@@ -1,0 +1,85 @@
+// A2 (ablation) — what the isValid filter (Alg. 2) is for.
+//
+// The paper's Section IV-B argues that replacing Okun's crash-tolerant
+// AA with Byzantine AA is NOT enough: without per-vote validation,
+// Byzantine votes can make the per-id agreements converge inconsistently
+// and destroy the order the stretch factor delta created. This ablation
+// runs the gap-collapsing "orderbreak" adversary twice — validation on
+// (production) and off (ablated) — and reports the minimum pairwise rank
+// gap between adjacent correct ids at decision time. With validation on
+// the gap never drops below delta (Corollary IV.6); with it off the
+// invariant collapses, and with it every proof of Theorem IV.10.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/harness.h"
+#include "core/op_renaming.h"
+#include "trace/table.h"
+
+namespace {
+
+using namespace byzrename;
+using numeric::Rational;
+
+struct Probe {
+  Rational min_gap;       ///< min over processes/adjacent timely id pairs
+  bool order_ok = false;
+  bool unique_ok = false;
+};
+
+Probe probe(int n, int t, bool validate) {
+  core::ScenarioConfig config;
+  config.params = {.n = n, .t = t};
+  config.adversary = "orderbreak";
+  config.options.validate_votes = validate;
+  config.seed = 1;
+  Probe result;
+  result.min_gap = Rational(1'000'000);
+  const int last = core::expected_steps(core::Algorithm::kOpRenaming, config.params);
+  config.observer = [&result, last](sim::Round round, const sim::Network& net) {
+    if (round != last) return;
+    for (sim::ProcessIndex i = 0; i < net.size(); ++i) {
+      if (net.is_byzantine(i)) continue;
+      const auto& op = dynamic_cast<const core::OpRenamingProcess&>(net.behavior(i));
+      const Rational* previous = nullptr;
+      for (const sim::Id id : op.timely()) {
+        const auto it = op.ranks().find(id);
+        if (it == op.ranks().end()) continue;
+        if (previous != nullptr) result.min_gap = std::min(result.min_gap, it->second - *previous);
+        previous = &it->second;
+      }
+    }
+  };
+  const core::ScenarioResult outcome = core::run_scenario(config);
+  result.order_ok = outcome.report.order_preservation;
+  result.unique_ok = outcome.report.uniqueness;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "A2: validation ablation — minimum adjacent-rank gap at decision time\n"
+            << "(orderbreak adversary: gap-collapsing votes; delta-gap must survive)\n\n";
+  trace::Table table(
+      {"N", "t", "isValid", "min gap", "delta", "gap >= delta", "order", "unique"});
+  for (const auto& [n, t] : std::vector<std::pair<int, int>>{{10, 3}, {13, 4}, {16, 5}, {25, 8}}) {
+    const Rational d = core::delta({.n = n, .t = t});
+    for (const bool validate : {true, false}) {
+      const Probe result = probe(n, t, validate);
+      table.add_row({std::to_string(n), std::to_string(t), validate ? "on" : "OFF (ablated)",
+                     trace::fmt_double(result.min_gap.to_double(), 6),
+                     trace::fmt_double(d.to_double(), 6),
+                     result.min_gap >= d ? "yes" : "NO", trace::fmt_bool(result.order_ok),
+                     trace::fmt_bool(result.unique_ok)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: with isValid on, min gap >= delta in every row (Corollary IV.6)\n"
+               "and all properties hold. With isValid off, the gap collapses below delta —\n"
+               "the invariant every correctness proof of Alg. 1 rests on is gone, and name\n"
+               "collisions follow wherever the collapsed pair straddles a rounding boundary.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// F1 — Lemmas IV.8/IV.9: per-iteration convergence of the voting phase.
+//
+// Prints, for each voting round, the maximum spread Delta_r of any timely
+// id's rank across correct processes, next to the geometric envelope
+// Delta_5 / sigma_t^(r-5) the paper guarantees. Also prints the final
+// decision margin (delta-1)/2 that Lemma IV.9 requires. Output is CSV so
+// the series can be plotted directly.
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/harness.h"
+#include "core/probe.h"
+#include "trace/csv.h"
+#include "trace/table.h"
+
+namespace {
+
+using namespace byzrename;
+using numeric::Rational;
+
+void run_case(int n, int t, const std::string& adversary) {
+  std::cout << "# N=" << n << " t=" << t << " adversary=" << adversary
+            << " sigma_t=" << core::sigma_t({.n = n, .t = t}) << " margin=(delta-1)/2=1/"
+            << 6 * (n + t) << "\n";
+  trace::CsvWriter csv(std::cout, {"round", "delta_r", "delta_r_float", "envelope_float"});
+
+  std::vector<Rational> spreads;
+  core::ScenarioConfig config;
+  config.params = {.n = n, .t = t};
+  config.adversary = adversary;
+  config.seed = 3;
+  config.observer = [&spreads](sim::Round round, const sim::Network& net) {
+    if (round >= 4) spreads.push_back(core::max_rank_spread(net, /*timely_only=*/true));
+  };
+  const core::ScenarioResult result = core::run_scenario(config);
+
+  const double sigma = core::sigma_t({.n = n, .t = t});
+  double envelope = spreads.empty() ? 0.0 : spreads.front().to_double();
+  for (std::size_t i = 0; i < spreads.size(); ++i) {
+    csv.write_row({std::to_string(4 + i), spreads[i].to_string(),
+                   trace::fmt_double(spreads[i].to_double(), 9), trace::fmt_double(envelope, 9)});
+    envelope /= sigma;
+  }
+  std::cout << "# verdict: " << (result.report.all_ok() ? "all ok" : result.report.detail)
+            << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout
+      << "F1: voting-phase convergence Delta_r per round vs geometric envelope\n\n"
+         "Reproduction note: adversaries that are honest during id selection (split, skew)\n"
+         "provably cannot create ANY initial-rank divergence — all correct processes compute\n"
+         "identical accepted sets, and trimming then removes the t faulty votes outright, so\n"
+         "Delta_r stays 0. Divergence requires selection-phase asymmetry: the hybrid strategy\n"
+         "(suppressed announcements + split-world votes) is the worst case profiled here.\n\n";
+  run_case(10, 3, "split");
+  run_case(10, 3, "hybrid");
+  run_case(10, 3, "asymflood");
+  run_case(13, 4, "asymflood");
+  run_case(25, 8, "asymflood");
+  run_case(40, 13, "asymflood");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// F2 — namespace size vs fault budget t at fixed N, across the three
+// regimes the paper identifies:
+//   N > 3t       : Alg. 1, namespace N+t-1,
+//   N > t^2+2t   : Alg. 1 constant-time, namespace N (strong),
+//   N > 2t^2+t   : Alg. 4, namespace N^2 in 2 steps.
+// CSV series: measured max name per (algorithm, t) under id flooding.
+
+#include <iostream>
+#include <string>
+
+#include "core/harness.h"
+#include "trace/csv.h"
+
+int main() {
+  using namespace byzrename;
+  const int n = 50;
+  std::cout << "F2: namespace used vs t at N=" << n << " (idflood adversary)\n";
+  std::cout << "# '-' = (n,t) outside that algorithm's regime\n";
+  trace::CsvWriter csv(std::cout, {"t", "alg1_maxname", "alg1_bound", "const_maxname",
+                                   "const_bound", "fast_maxname", "fast_bound"});
+  for (int t = 1; 3 * t < n; ++t) {
+    std::vector<std::string> row{std::to_string(t)};
+    {
+      core::ScenarioConfig config;
+      config.params = {.n = n, .t = t};
+      config.adversary = "idflood";
+      config.seed = 2;
+      const auto result = core::run_scenario(config);
+      row.push_back(std::to_string(result.report.max_name));
+      row.push_back(std::to_string(n + t - 1));
+    }
+    if (core::valid_for_constant_time({.n = n, .t = t})) {
+      core::ScenarioConfig config;
+      config.params = {.n = n, .t = t};
+      config.algorithm = core::Algorithm::kOpRenamingConstantTime;
+      config.adversary = "idflood";
+      config.seed = 2;
+      const auto result = core::run_scenario(config);
+      row.push_back(std::to_string(result.report.max_name));
+      row.push_back(std::to_string(n));
+    } else {
+      row.push_back("-");
+      row.push_back("-");
+    }
+    if (core::valid_for_fast_renaming({.n = n, .t = t})) {
+      core::ScenarioConfig config;
+      config.params = {.n = n, .t = t};
+      config.algorithm = core::Algorithm::kFastRenaming;
+      config.adversary = "idflood";
+      config.seed = 2;
+      const auto result = core::run_scenario(config);
+      row.push_back(std::to_string(result.report.max_name));
+      row.push_back(std::to_string(static_cast<long>(n) * n));
+    } else {
+      row.push_back("-");
+      row.push_back("-");
+    }
+    csv.write_row(row);
+  }
+  return 0;
+}

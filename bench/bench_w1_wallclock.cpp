@@ -1,0 +1,132 @@
+// W1 — wall-clock microbenchmarks (engineering, not in the paper).
+//
+// Covers the arithmetic kernels the voting phase leans on, one
+// approximate() step at realistic sizes, and whole-protocol runs.
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+#include <vector>
+
+#include "core/harness.h"
+#include "core/rank_approx.h"
+#include "numeric/bigint.h"
+#include "numeric/rational.h"
+
+namespace {
+
+using namespace byzrename;
+using numeric::BigInt;
+using numeric::Rational;
+
+void BM_BigIntMul(benchmark::State& state) {
+  const BigInt a = BigInt::from_string("123456789012345678901234567890123456789");
+  const BigInt b = BigInt::from_string("987654321098765432109876543210987654321");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMul);
+
+void BM_BigIntDivMod(benchmark::State& state) {
+  const BigInt num = BigInt::from_string("123456789012345678901234567890123456789012345678901");
+  const BigInt den = BigInt::from_string("98765432109876543210987654321");
+  BigInt q, r;
+  for (auto _ : state) {
+    BigInt::div_mod(num, den, q, r);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_BigIntDivMod);
+
+void BM_RationalNormalizedAdd(benchmark::State& state) {
+  const Rational a = Rational::of(123456789, 987654321);
+  const Rational b = Rational::of(987654321, 123456787);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a + b);
+  }
+}
+BENCHMARK(BM_RationalNormalizedAdd);
+
+void BM_ApproximateStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = n / 4;
+  const sim::SystemParams params{.n = n, .t = t};
+  const Rational d = core::delta(params);
+
+  core::RankMap mine;
+  std::set<sim::Id> accepted;
+  for (int i = 0; i < n; ++i) {
+    accepted.insert(i + 1);
+    mine.emplace(i + 1, Rational(i + 1) * d);
+  }
+  std::vector<core::RankMap> votes(static_cast<std::size_t>(n), mine);
+
+  for (auto _ : state) {
+    std::set<sim::Id> working = accepted;
+    benchmark::DoNotOptimize(core::approximate(params, working, mine, votes));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ApproximateStep)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_IsValid(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const sim::SystemParams params{.n = n, .t = n / 4};
+  const Rational d = core::delta(params);
+  std::set<sim::Id> timely;
+  core::RankMap vote;
+  for (int i = 0; i < n; ++i) {
+    timely.insert(i + 1);
+    vote.emplace(i + 1, Rational(i + 1) * d);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::is_valid_ranks(timely, vote, d));
+  }
+}
+BENCHMARK(BM_IsValid)->Arg(16)->Arg(64);
+
+void BM_FullOpRenaming(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 3;
+  for (auto _ : state) {
+    core::ScenarioConfig config;
+    config.params = {.n = n, .t = t};
+    config.adversary = "split";
+    config.seed = 21;
+    benchmark::DoNotOptimize(core::run_scenario(config));
+  }
+}
+BENCHMARK(BM_FullOpRenaming)->Arg(7)->Arg(13)->Arg(25)->Unit(benchmark::kMillisecond);
+
+void BM_FullFastRenaming(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = 2;
+  for (auto _ : state) {
+    core::ScenarioConfig config;
+    config.params = {.n = n, .t = t};
+    config.algorithm = core::Algorithm::kFastRenaming;
+    config.adversary = "suppress";
+    config.seed = 21;
+    benchmark::DoNotOptimize(core::run_scenario(config));
+  }
+}
+BENCHMARK(BM_FullFastRenaming)->Arg(11)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_FullConsensusRenaming(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 4;
+  for (auto _ : state) {
+    core::ScenarioConfig config;
+    config.params = {.n = n, .t = t};
+    config.algorithm = core::Algorithm::kConsensusRenaming;
+    config.adversary = "silent";
+    config.seed = 21;
+    benchmark::DoNotOptimize(core::run_scenario(config));
+  }
+}
+BENCHMARK(BM_FullConsensusRenaming)->Arg(9)->Arg(17)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Adversary gallery: runs Alg. 1 against every registered Byzantine
+// strategy and shows that the guarantees hold against each — plus what
+// each attack *does* manage to distort (accepted-set size, rejected
+// votes, largest name used).
+//
+// Useful as a template for plugging in your own adversary: implement
+// sim::ProcessBehavior, register a factory, and the whole test and bench
+// surface picks it up.
+
+#include <iostream>
+
+#include "adversary/adversary.h"
+#include "core/harness.h"
+#include "trace/table.h"
+
+int main() {
+  using namespace byzrename;
+
+  const int n = 13;
+  const int t = 4;
+  std::cout << "adversary gallery: Alg. 1 at N=" << n << ", t=" << t
+            << " (bound: names <= " << n + t - 1 << ")\n\n";
+
+  trace::Table table({"adversary", "rounds", "max |accepted|", "rejected votes", "max name",
+                      "properties"});
+  bool all_ok = true;
+  for (const std::string& name : adversary::adversary_names()) {
+    core::ScenarioConfig config;
+    config.params = {.n = n, .t = t};
+    config.adversary = name;
+    config.seed = 2024;
+    const core::ScenarioResult result = core::run_scenario(config);
+    all_ok = all_ok && result.report.all_ok();
+    table.add_row({name, std::to_string(result.run.rounds), std::to_string(result.max_accepted),
+                   std::to_string(result.total_rejected), std::to_string(result.report.max_name),
+                   result.report.all_ok() ? "all hold" : result.report.detail});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nhow to read this:\n"
+            << "  - idflood maxes out |accepted| at N + t^2/(N-2t) = "
+            << n + t * t / (n - 2 * t) << " (Lemma IV.3, tight)\n"
+            << "  - invalid generates only rejected votes (validation catches every one)\n"
+            << "  - split/skew distort the voting phase but trimming + select_t converge anyway\n";
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,50 @@
+// Priority arbitration: the motivating scenario of the paper's
+// introduction — original ids encode priority (lower id = higher
+// priority for a shared resource), so renaming must preserve order.
+//
+// A cluster of 13 controllers holds sparse priority ids from a huge
+// namespace (issued over years, with gaps). They need compact slot
+// numbers to index a fixed-size arbitration table, and up to 4 of them
+// may be compromised. Alg. 1 compacts the namespace from ~10^12 down to
+// N+t-1 = 16 slots while keeping every correct controller's relative
+// priority intact — which a non-order-preserving renaming would destroy.
+
+#include <iostream>
+#include <vector>
+
+#include "core/harness.h"
+
+int main() {
+  using namespace byzrename;
+
+  // Sparse priority ids: issued historically, heavily clustered.
+  const std::vector<sim::Id> priorities = {
+      1002, 1007, 48211, 48213, 900000017, 900000018, 900000019, 931112200, 931112201,
+  };
+
+  core::ScenarioConfig config;
+  config.params = {.n = 13, .t = 4};
+  config.algorithm = core::Algorithm::kOpRenaming;
+  config.correct_ids = priorities;  // 13 - 4 = 9 correct controllers
+  config.adversary = "split";       // compromised nodes equivocate in the vote
+  config.seed = 7;
+
+  const core::ScenarioResult result = core::run_scenario(config);
+
+  std::cout << "priority arbitration: 13 controllers, up to 4 compromised\n"
+            << "arbitration table size: " << result.target_namespace << " slots\n\n"
+            << "priority id      slot   (order must match)\n";
+  sim::Name previous = 0;
+  bool order_ok = true;
+  for (const core::NamedProcess& p : result.named) {
+    const sim::Name slot = p.new_name.value_or(-1);
+    std::cout << "  " << p.original_id << "\t->  slot " << slot << '\n';
+    if (slot <= previous) order_ok = false;
+    previous = slot;
+  }
+
+  std::cout << "\nrelative priorities preserved: " << (order_ok ? "yes" : "NO") << '\n'
+            << "checker verdict: " << (result.report.all_ok() ? "all properties hold" : result.report.detail)
+            << '\n';
+  return result.report.all_ok() && order_ok ? 0 : 1;
+}

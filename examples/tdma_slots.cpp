@@ -1,0 +1,44 @@
+// TDMA slot assignment: the time-constrained scenario motivating the
+// 2-step algorithm (Section VI).
+//
+// 11 radios must agree on transmission slots before the next frame
+// boundary — there is no time for a logarithmic number of rounds, let
+// alone consensus. Alg. 4 assigns order-preserving slots out of a frame
+// of N^2 = 121 micro-slots in exactly 2 message exchanges, tolerating 2
+// Byzantine radios. The comparison run shows what Alg. 1 would cost in
+// rounds on the same instance.
+
+#include <iostream>
+
+#include "core/harness.h"
+
+int main() {
+  using namespace byzrename;
+
+  core::ScenarioConfig fast;
+  fast.params = {.n = 11, .t = 2};  // N > 2t^2 + t = 10
+  fast.algorithm = core::Algorithm::kFastRenaming;
+  fast.adversary = "suppress";  // jamming radios echo selectively
+  fast.seed = 99;
+  const core::ScenarioResult fast_result = core::run_scenario(fast);
+
+  core::ScenarioConfig slow = fast;
+  slow.algorithm = core::Algorithm::kOpRenaming;
+  const core::ScenarioResult slow_result = core::run_scenario(slow);
+
+  std::cout << "TDMA slot assignment, 11 radios, up to 2 Byzantine\n"
+            << "frame: " << fast_result.target_namespace << " micro-slots\n\n"
+            << "radio id    ->  slot\n";
+  for (const core::NamedProcess& p : fast_result.named) {
+    std::cout << "  " << p.original_id << "  ->  " << p.new_name.value_or(-1) << '\n';
+  }
+
+  std::cout << "\nexchanges needed:   Alg. 4 (this run): " << fast_result.run.rounds
+            << "   vs   Alg. 1 on the same instance: " << slow_result.run.rounds << '\n'
+            << "slot order follows radio id order: "
+            << (fast_result.report.order_preservation ? "yes" : "NO") << '\n'
+            << "checker verdict: "
+            << (fast_result.report.all_ok() ? "all properties hold" : fast_result.report.detail)
+            << '\n';
+  return fast_result.report.all_ok() ? 0 : 1;
+}

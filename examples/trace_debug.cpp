@@ -1,0 +1,51 @@
+// Trace debugging: watch a renaming run message by message.
+//
+// Attaches the structured event log to a small Alg. 1 run with an
+// equivocating adversary, then prints (a) everything the Byzantine
+// processes sent — the omniscient view that exposes their equivocation —
+// and (b) the first rounds as one correct process experienced them,
+// where the same faulty peer is just an anonymous link label. Comparing
+// the two views is the whole point of the paper's model.
+
+#include <iostream>
+
+#include "core/harness.h"
+#include "trace/event_log.h"
+
+int main() {
+  using namespace byzrename;
+
+  trace::EventLog log;
+  core::ScenarioConfig config;
+  config.params = {.n = 4, .t = 1};
+  config.algorithm = core::Algorithm::kOpRenaming;
+  config.adversary = "split";  // faulty process equivocates in the vote
+  config.seed = 5;
+  config.event_log = &log;
+
+  const core::ScenarioResult result = core::run_scenario(config);
+
+  std::cout << "=== what the Byzantine process actually sent (omniscient view) ===\n";
+  log.render(std::cout, [](const trace::Event& event) {
+    return event.byzantine_actor && event.kind == trace::Event::Kind::kSend;
+  });
+
+  std::cout << "\n=== what correct process p0 received in rounds 1 and 5 (its own view) ===\n";
+  log.render(std::cout, [](const trace::Event& event) {
+    return event.actor == 0 && event.kind == trace::Event::Kind::kDeliver &&
+           (event.round == 1 || event.round == 5);
+  });
+
+  std::cout << "\nNote: p0 sees only link labels. The equivocating votes above arrive on\n"
+               "one stable link, but nothing in p0's view connects that link to a process\n"
+               "identity — which is why the algorithm never relies on attribution, only on\n"
+               "quorum counting and vote validation.\n\n";
+
+  std::cout << "outcome: " << (result.report.all_ok() ? "all renaming properties hold" : result.report.detail)
+            << "; names:";
+  for (const core::NamedProcess& p : result.named) {
+    std::cout << ' ' << p.original_id << "->" << p.new_name.value_or(-1);
+  }
+  std::cout << '\n';
+  return result.report.all_ok() ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+#include "aa/byzantine_aa.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "core/rank_approx.h"
+
+namespace byzrename::aa {
+
+using numeric::Rational;
+
+ByzantineAAProcess::ByzantineAAProcess(sim::SystemParams params, Rational initial, int rounds,
+                                       std::size_t max_value_bits)
+    : params_(params),
+      value_(std::move(initial)),
+      rounds_left_(rounds),
+      max_value_bits_(max_value_bits) {
+  if (params.n <= 3 * params.t) {
+    throw std::invalid_argument("ByzantineAAProcess: requires N > 3t");
+  }
+  if (rounds < 0) throw std::invalid_argument("ByzantineAAProcess: negative round count");
+}
+
+void ByzantineAAProcess::on_send(sim::Round, sim::Outbox& out) {
+  if (done()) return;
+  out.broadcast(sim::AAValueMsg{value_});
+}
+
+void ByzantineAAProcess::on_receive(sim::Round, const sim::Inbox& inbox) {
+  if (done()) return;
+
+  // One value per link; spamming links are provably faulty and their
+  // extra messages are discarded, as is any value whose encoding exceeds
+  // the wire budget (Byzantine denominator inflation).
+  std::map<sim::LinkIndex, Rational> per_link;
+  for (const sim::Delivery& d : inbox) {
+    const auto* msg = std::get_if<sim::AAValueMsg>(&d.payload);
+    if (msg == nullptr) continue;
+    if (msg->value.encoded_bits() > max_value_bits_) continue;
+    per_link.emplace(d.link, msg->value);
+  }
+
+  std::vector<Rational> ballot;
+  ballot.reserve(static_cast<std::size_t>(params_.n));
+  for (const auto& [link, v] : per_link) ballot.push_back(v);
+  while (static_cast<int>(ballot.size()) < params_.n) ballot.push_back(value_);
+  // More than N entries cannot happen: links are distinct and there are N.
+
+  std::sort(ballot.begin(), ballot.end());
+  const std::vector<Rational> trimmed(ballot.begin() + params_.t, ballot.end() - params_.t);
+  const std::vector<Rational> chosen = core::select_t(trimmed, params_.t);
+
+  Rational sum;
+  for (const Rational& v : chosen) sum += v;
+  value_ = sum / Rational(static_cast<std::int64_t>(chosen.size()));
+
+  --rounds_left_;
+}
+
+}  // namespace byzrename::aa

@@ -1,0 +1,46 @@
+#ifndef BYZRENAME_AA_BYZANTINE_AA_H
+#define BYZRENAME_AA_BYZANTINE_AA_H
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "numeric/rational.h"
+#include "sim/process.h"
+#include "sim/types.h"
+
+namespace byzrename::aa {
+
+/// Synchronous Byzantine approximate agreement after Dolev, Lynch,
+/// Pinter, Stark and Weihl (J.ACM 1986) — the substrate reference [7] of
+/// the paper, isolated here as a standalone reusable component.
+///
+/// Each round every process broadcasts its value, pads the received
+/// multiset to N with its own value, discards the t lowest and t highest,
+/// and moves to the average of the select_t subsequence. For N > 3t each
+/// round shrinks the spread of correct values by at least
+/// sigma_t = floor((N-2t)/t) + 1, and new values stay inside the range of
+/// the old correct values.
+class ByzantineAAProcess final : public sim::ProcessBehavior {
+ public:
+  /// @param rounds number of exchange rounds to run before halting.
+  ByzantineAAProcess(sim::SystemParams params, numeric::Rational initial, int rounds,
+                     std::size_t max_value_bits = 1 << 16);
+
+  void on_send(sim::Round round, sim::Outbox& out) override;
+  void on_receive(sim::Round round, const sim::Inbox& inbox) override;
+  [[nodiscard]] bool done() const override { return rounds_left_ == 0; }
+
+  /// Current estimate; the protocol's output once done().
+  [[nodiscard]] const numeric::Rational& value() const noexcept { return value_; }
+
+ private:
+  sim::SystemParams params_;
+  numeric::Rational value_;
+  int rounds_left_;
+  std::size_t max_value_bits_;
+};
+
+}  // namespace byzrename::aa
+
+#endif  // BYZRENAME_AA_BYZANTINE_AA_H

@@ -1,0 +1,38 @@
+#include "aa/crash_aa.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace byzrename::aa {
+
+using numeric::Rational;
+
+CrashAAProcess::CrashAAProcess(sim::SystemParams params, Rational initial, int rounds)
+    : params_(params), value_(std::move(initial)), rounds_left_(rounds) {
+  if (rounds < 0) throw std::invalid_argument("CrashAAProcess: negative round count");
+}
+
+void CrashAAProcess::on_send(sim::Round, sim::Outbox& out) {
+  if (done()) return;
+  out.broadcast(sim::AAValueMsg{value_});
+}
+
+void CrashAAProcess::on_receive(sim::Round, const sim::Inbox& inbox) {
+  if (done()) return;
+  std::map<sim::LinkIndex, Rational> per_link;
+  for (const sim::Delivery& d : inbox) {
+    const auto* msg = std::get_if<sim::AAValueMsg>(&d.payload);
+    if (msg == nullptr) continue;
+    per_link.emplace(d.link, msg->value);
+  }
+  if (per_link.empty()) {
+    --rounds_left_;
+    return;  // keep the current value; everyone else crashed
+  }
+  Rational sum;
+  for (const auto& [link, v] : per_link) sum += v;
+  value_ = sum / Rational(static_cast<std::int64_t>(per_link.size()));
+  --rounds_left_;
+}
+
+}  // namespace byzrename::aa

@@ -1,0 +1,36 @@
+#ifndef BYZRENAME_AA_CRASH_AA_H
+#define BYZRENAME_AA_CRASH_AA_H
+
+#include <optional>
+
+#include "numeric/rational.h"
+#include "sim/process.h"
+#include "sim/types.h"
+
+namespace byzrename::aa {
+
+/// Synchronous crash-tolerant approximate agreement: each round every
+/// process broadcasts its value and moves to the mean of everything it
+/// received. With crash faults only, any two correct processes' receive
+/// multisets differ in at most f elements, so the spread contracts
+/// geometrically. Used as the comparison substrate for the crash-model
+/// renaming baseline [14] and as a contrast case in the AA bench.
+class CrashAAProcess final : public sim::ProcessBehavior {
+ public:
+  CrashAAProcess(sim::SystemParams params, numeric::Rational initial, int rounds);
+
+  void on_send(sim::Round round, sim::Outbox& out) override;
+  void on_receive(sim::Round round, const sim::Inbox& inbox) override;
+  [[nodiscard]] bool done() const override { return rounds_left_ == 0; }
+
+  [[nodiscard]] const numeric::Rational& value() const noexcept { return value_; }
+
+ private:
+  sim::SystemParams params_;
+  numeric::Rational value_;
+  int rounds_left_;
+};
+
+}  // namespace byzrename::aa
+
+#endif  // BYZRENAME_AA_CRASH_AA_H

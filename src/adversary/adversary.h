@@ -1,0 +1,57 @@
+#ifndef BYZRENAME_ADVERSARY_ADVERSARY_H
+#define BYZRENAME_ADVERSARY_ADVERSARY_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/params.h"
+#include "sim/process.h"
+#include "sim/types.h"
+
+namespace byzrename::adversary {
+
+/// Everything a full-information adversary may know when planning an
+/// attack: the paper's fault model lets faulty processes collude with
+/// complete knowledge of the system, so strategies receive the global
+/// picture that correct processes never see.
+struct AdversaryEnv {
+  sim::SystemParams params;
+  core::Algorithm algorithm = core::Algorithm::kOpRenaming;
+  core::RenamingOptions options;
+
+  /// Physical index and original id of every correct process. By harness
+  /// convention correct processes occupy indices 0 .. n-f-1 in id order.
+  std::vector<std::pair<sim::ProcessIndex, sim::Id>> correct;
+
+  /// Physical indices of the faulty processes (n-f .. n-1) and the
+  /// "natural" ids the harness allotted them to lie with.
+  std::vector<sim::ProcessIndex> byz_indices;
+  std::vector<sim::Id> byz_ids;
+
+  std::uint64_t seed = 1;
+};
+
+/// Builds one behavior per faulty process (env.byz_indices.size() of
+/// them, in index order).
+using AdversaryFactory =
+    std::function<std::vector<std::unique_ptr<sim::ProcessBehavior>>(const AdversaryEnv&)>;
+
+/// Looks up a strategy by name. Throws std::out_of_range for unknown
+/// names; known names are listed by adversary_names().
+[[nodiscard]] const AdversaryFactory& find_adversary(const std::string& name);
+
+/// All registered strategy names, sorted.
+[[nodiscard]] std::vector<std::string> adversary_names();
+
+/// A faulty process that sends nothing at all (equivalently: crashed
+/// before the first round). The weakest adversary; every stronger
+/// strategy must do at least this well in the benches.
+[[nodiscard]] std::unique_ptr<sim::ProcessBehavior> make_silent();
+
+}  // namespace byzrename::adversary
+
+#endif  // BYZRENAME_ADVERSARY_ADVERSARY_H

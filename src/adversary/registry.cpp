@@ -1,0 +1,49 @@
+#include "adversary/adversary.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "adversary/strategies/strategies.h"
+
+namespace byzrename::adversary {
+
+namespace {
+
+const std::map<std::string, AdversaryFactory>& registry() {
+  static const std::map<std::string, AdversaryFactory> instance = {
+      {"silent", make_silent_team},
+      {"mute", make_mute_team},
+      {"crash", make_crash_team},
+      {"random", make_random_lies_team},
+      {"chaos", make_chaos_team},
+      {"idflood", make_id_flood_team},
+      {"asymflood", make_asym_flood_team},
+      {"split", make_split_world_team},
+      {"skew", make_rank_skew_team},
+      {"invalid", make_invalid_votes_team},
+      {"suppress", make_echo_suppress_team},
+      {"hybrid", make_hybrid_team},
+      {"orderbreak", make_order_break_team},
+  };
+  return instance;
+}
+
+}  // namespace
+
+const AdversaryFactory& find_adversary(const std::string& name) {
+  const auto& reg = registry();
+  const auto it = reg.find(name);
+  if (it == reg.end()) {
+    throw std::out_of_range("unknown adversary strategy: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> adversary_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace byzrename::adversary

@@ -1,0 +1,134 @@
+#include "adversary/strategies/strategies.h"
+
+#include <algorithm>
+
+#include "core/op_renaming.h"
+#include "core/rank_approx.h"
+#include "numeric/rational.h"
+#include "sim/rng.h"
+
+namespace byzrename::adversary {
+
+namespace {
+
+using numeric::Rational;
+
+/// Protocol-aware randomized adversary: unlike the blind `random` fuzzer
+/// it keeps a consistent honest view (an inner correct process) and each
+/// round, per receiver, randomly picks among behaviours that sit right at
+/// the validation boundary — honest, minimally-compressed, stretched,
+/// shifted (all pass isValid), sub-delta squeezed or hole-punched (must
+/// be rejected), or silence. Sweeping seeds makes this a cheap
+/// property-based search over mixed-strategy attacks.
+class ChaosBehavior final : public sim::ProcessBehavior {
+ public:
+  ChaosBehavior(const AdversaryEnv& env, sim::Id my_id, sim::Rng rng)
+      : env_(env),
+        delta_(core::delta(env.params)),
+        rng_(std::move(rng)),
+        inner_(std::make_unique<core::OpRenamingProcess>(env.params, my_id, env.options)) {}
+
+  void on_send(sim::Round round, sim::Outbox& out) override {
+    sim::Outbox inner_out(/*targeted_allowed=*/false);
+    inner_->on_send(round, inner_out);
+    if (round <= 4) {
+      // Selection phase: forward honestly, but drop each message toward
+      // each receiver with small probability (random omission).
+      for (const sim::Outbox::Entry& entry : inner_out.entries()) {
+        for (const auto& [index, id] : env_.correct) {
+          if (rng_.chance(0.1)) continue;
+          out.send_to(index, entry.payload);
+        }
+      }
+      return;
+    }
+    for (const auto& [index, id] : env_.correct) {
+      switch (rng_.uniform(0, 6)) {
+        case 0:
+          break;  // silence
+        case 1:
+          out.send_to(index, core::encode_vote(inner_->ranks()));  // honest
+          break;
+        case 2:
+          out.send_to(index, crafted(CompressToMinimum{}));
+          break;
+        case 3:
+          out.send_to(index, crafted(Stretch{}));
+          break;
+        case 4:
+          out.send_to(index, crafted(Shift{rng_.uniform(-1000, 1000)}));
+          break;
+        case 5:
+          out.send_to(index, crafted(Squeeze{}));  // invalid: sub-delta spacing
+          break;
+        default:
+          out.send_to(index, crafted(PunchHole{}));  // invalid: drops an id
+          break;
+      }
+    }
+  }
+
+  void on_receive(sim::Round round, const sim::Inbox& inbox) override {
+    inner_->on_receive(round, inbox);
+  }
+
+  [[nodiscard]] bool done() const override { return true; }
+
+ private:
+  struct CompressToMinimum {};
+  struct Stretch {};
+  struct Shift {
+    std::int64_t amount;
+  };
+  struct Squeeze {};
+  struct PunchHole {};
+
+  template <typename Kind>
+  [[nodiscard]] sim::RanksMsg crafted(Kind kind) {
+    core::RankMap vote;
+    std::int64_t position = 0;
+    for (const auto& [id, rank] : inner_->ranks()) {
+      ++position;
+      if constexpr (std::is_same_v<Kind, CompressToMinimum>) {
+        vote.emplace(id, Rational(position) * delta_);
+      } else if constexpr (std::is_same_v<Kind, Stretch>) {
+        vote.emplace(id, Rational(3 * position) * delta_);
+      } else if constexpr (std::is_same_v<Kind, Shift>) {
+        vote.emplace(id, rank + Rational(kind.amount));
+      } else if constexpr (std::is_same_v<Kind, Squeeze>) {
+        vote.emplace(id, Rational(position) * delta_ / Rational(2));
+      } else {
+        static_assert(std::is_same_v<Kind, PunchHole>);
+        if (position != 1) vote.emplace(id, rank);
+      }
+    }
+    return core::encode_vote(vote);
+  }
+
+  AdversaryEnv env_;
+  Rational delta_;
+  sim::Rng rng_;
+  std::unique_ptr<core::OpRenamingProcess> inner_;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<sim::ProcessBehavior>> make_chaos_team(const AdversaryEnv& env) {
+  sim::Rng rng(env.seed * 6364136223846793005ull + 1442695040888963407ull);
+  std::vector<std::unique_ptr<sim::ProcessBehavior>> team;
+  team.reserve(env.byz_indices.size());
+  for (std::size_t i = 0; i < env.byz_indices.size(); ++i) {
+    switch (env.algorithm) {
+      case core::Algorithm::kOpRenaming:
+      case core::Algorithm::kOpRenamingConstantTime:
+        team.push_back(std::make_unique<ChaosBehavior>(env, env.byz_ids[i], rng.fork()));
+        break;
+      default:
+        team.push_back(make_silent());
+        break;
+    }
+  }
+  return team;
+}
+
+}  // namespace byzrename::adversary

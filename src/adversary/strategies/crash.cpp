@@ -1,0 +1,65 @@
+#include "adversary/strategies/strategies.h"
+
+#include "core/harness.h"
+
+namespace byzrename::adversary {
+
+namespace {
+
+/// Runs the honest protocol until a chosen round; in that round forwards
+/// its outgoing broadcasts to only a prefix of the processes (a crash in
+/// the middle of the broadcast loop), afterwards stays silent.
+class CrashBehavior final : public sim::ProcessBehavior {
+ public:
+  CrashBehavior(std::unique_ptr<sim::ProcessBehavior> inner, sim::Round crash_round,
+                int partial_deliveries, int n)
+      : inner_(std::move(inner)),
+        crash_round_(crash_round),
+        partial_deliveries_(partial_deliveries),
+        n_(n) {}
+
+  void on_send(sim::Round round, sim::Outbox& out) override {
+    if (round > crash_round_) return;  // crashed
+    sim::Outbox inner_out(/*targeted_allowed=*/false);
+    inner_->on_send(round, inner_out);
+    const bool crashing = round == crash_round_;
+    for (const sim::Outbox::Entry& entry : inner_out.entries()) {
+      const int limit = crashing ? partial_deliveries_ : n_;
+      for (int dest = 0; dest < limit; ++dest) out.send_to(dest, entry.payload);
+    }
+  }
+
+  void on_receive(sim::Round round, const sim::Inbox& inbox) override {
+    if (round >= crash_round_) return;
+    inner_->on_receive(round, inbox);
+  }
+
+  [[nodiscard]] bool done() const override { return true; }
+
+ private:
+  std::unique_ptr<sim::ProcessBehavior> inner_;
+  sim::Round crash_round_;
+  int partial_deliveries_;
+  int n_;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<sim::ProcessBehavior>> make_crash_team(const AdversaryEnv& env) {
+  const int total = core::expected_steps(env.algorithm, env.params, env.options);
+  std::vector<std::unique_ptr<sim::ProcessBehavior>> team;
+  team.reserve(env.byz_indices.size());
+  for (std::size_t i = 0; i < env.byz_indices.size(); ++i) {
+    // Stagger crash rounds and partial-broadcast cuts across the team so
+    // one run exercises crashes in every protocol phase.
+    const auto crash_round = static_cast<sim::Round>(1 + static_cast<int>(i) % total);
+    const int partial = static_cast<int>(i * 3 + 1) % env.params.n;
+    auto inner = core::make_correct_behavior(env.algorithm, env.params, env.byz_ids[i],
+                                             env.options, env.byz_indices[i]);
+    team.push_back(
+        std::make_unique<CrashBehavior>(std::move(inner), crash_round, partial, env.params.n));
+  }
+  return team;
+}
+
+}  // namespace byzrename::adversary

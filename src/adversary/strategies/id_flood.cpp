@@ -1,0 +1,164 @@
+#include "adversary/strategies/strategies.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+namespace byzrename::adversary {
+
+namespace {
+
+/// The collusion plan shared by the whole flooding team.
+struct FloodPlan {
+  /// Fake ids to inject, interleaved among the correct ids so that the
+  /// extra names also stress order preservation.
+  std::vector<sim::Id> fake_ids;
+  /// step1_sends[b] = per-team-member list of (destination, fake id).
+  std::vector<std::vector<std::pair<sim::ProcessIndex, sim::Id>>> step1_sends;
+  /// Everything the team echoes/readies in steps 2-4.
+  std::vector<sim::Id> boost_ids;
+};
+
+/// Picks `count` ids interleaved with (and distinct from) the correct
+/// ids, clustered around the median so fake names land mid-range.
+std::vector<sim::Id> pick_fake_ids(const AdversaryEnv& env, std::size_t count) {
+  std::set<sim::Id> taken;
+  for (const auto& [index, id] : env.correct) taken.insert(id);
+  for (const sim::Id id : env.byz_ids) taken.insert(id);
+
+  std::vector<sim::Id> fakes;
+  sim::Id candidate =
+      env.correct.empty() ? 1 : env.correct[env.correct.size() / 2].second + 1;
+  while (fakes.size() < count) {
+    if (!taken.contains(candidate)) {
+      fakes.push_back(candidate);
+      taken.insert(candidate);
+    }
+    ++candidate;
+  }
+  return fakes;
+}
+
+/// Flood plan for Alg. 1's id selection: each fake id is announced to
+/// exactly `quota` correct processes, where quota is the smallest number
+/// of correct echoes that, together with the f faulty echoes, reaches the
+/// N-t acceptance threshold. This is the execution that witnesses the
+/// tightness of Lemma IV.3.
+FloodPlan plan_for_selection(const AdversaryEnv& env) {
+  FloodPlan plan;
+  const int n = env.params.n;
+  const int t = env.params.t;
+  const int f = static_cast<int>(env.byz_indices.size());
+  const int m = static_cast<int>(env.correct.size());
+  const int quota = std::max(1, n - t - f);  // correct step-1 receivers per fake id
+  const std::size_t fake_count = static_cast<std::size_t>((f * m) / quota);
+
+  plan.fake_ids = pick_fake_ids(env, fake_count);
+  plan.step1_sends.resize(static_cast<std::size_t>(f));
+  for (int b = 0; b < f; ++b) {
+    for (int c = 0; c < m; ++c) {
+      const std::size_t slot = static_cast<std::size_t>(b) * static_cast<std::size_t>(m) +
+                               static_cast<std::size_t>(c);
+      const std::size_t fake = slot / static_cast<std::size_t>(quota);
+      if (fake >= plan.fake_ids.size()) continue;
+      plan.step1_sends[static_cast<std::size_t>(b)].emplace_back(env.correct[static_cast<std::size_t>(c)].first,
+                                                                 plan.fake_ids[fake]);
+    }
+  }
+  plan.boost_ids = plan.fake_ids;
+  for (const auto& [index, id] : env.correct) plan.boost_ids.push_back(id);
+  return plan;
+}
+
+/// Flood plan for Alg. 4: every (member, receiver) pair gets its own
+/// fresh fake id — Alg. 4 has no filtering step, so each one lands in
+/// exactly one correct process's timely set and inflates counters
+/// asymmetrically (stress for Lemma VI.1 and the N^2 namespace).
+FloodPlan plan_for_fast(const AdversaryEnv& env) {
+  FloodPlan plan;
+  const int f = static_cast<int>(env.byz_indices.size());
+  const int m = static_cast<int>(env.correct.size());
+  plan.fake_ids = pick_fake_ids(env, static_cast<std::size_t>(f) * static_cast<std::size_t>(m));
+  plan.step1_sends.resize(static_cast<std::size_t>(f));
+  std::size_t next = 0;
+  for (int b = 0; b < f; ++b) {
+    for (int c = 0; c < m; ++c) {
+      plan.step1_sends[static_cast<std::size_t>(b)].emplace_back(
+          env.correct[static_cast<std::size_t>(c)].first, plan.fake_ids[next++]);
+    }
+  }
+  return plan;
+}
+
+class IdFloodBehavior final : public sim::ProcessBehavior {
+ public:
+  IdFloodBehavior(const AdversaryEnv& env, std::shared_ptr<const FloodPlan> plan, int member)
+      : env_(env), plan_(std::move(plan)), member_(member) {}
+
+  void on_send(sim::Round round, sim::Outbox& out) override {
+    const auto& my_sends = plan_->step1_sends[static_cast<std::size_t>(member_)];
+    if (env_.algorithm == core::Algorithm::kFastRenaming) {
+      if (round == 1) {
+        for (const auto& [dest, fake] : my_sends) out.send_to(dest, sim::IdMsg{fake});
+      } else if (round == 2) {
+        // Per-receiver MultiEcho: all correct ids (passes the overlap
+        // check) plus every fake id any team member planted at that
+        // receiver (boosting exactly the ids the receiver believes in).
+        for (const auto& [index, id] : env_.correct) {
+          sim::MultiEchoMsg echo;
+          for (const auto& [peer_index, peer_id] : env_.correct) echo.ids.push_back(peer_id);
+          for (const auto& member_sends : plan_->step1_sends) {
+            for (const auto& [dest, fake] : member_sends) {
+              if (dest == index) echo.ids.push_back(fake);
+            }
+          }
+          if (static_cast<int>(echo.ids.size()) > env_.params.n) {
+            echo.ids.resize(static_cast<std::size_t>(env_.params.n));
+          }
+          out.send_to(index, std::move(echo));
+        }
+      }
+      return;
+    }
+
+    // Alg. 1 grammar.
+    switch (round) {
+      case 1:
+        for (const auto& [dest, fake] : my_sends) out.send_to(dest, sim::IdMsg{fake});
+        break;
+      case 2:
+        for (const sim::Id id : plan_->boost_ids) out.broadcast(sim::EchoMsg{id});
+        break;
+      case 3:
+      case 4:
+        for (const sim::Id id : plan_->boost_ids) out.broadcast(sim::ReadyMsg{id});
+        break;
+      default:
+        break;  // voting phase: silent — the flood already did its damage
+    }
+  }
+
+  void on_receive(sim::Round, const sim::Inbox&) override {}
+  [[nodiscard]] bool done() const override { return true; }
+
+ private:
+  AdversaryEnv env_;
+  std::shared_ptr<const FloodPlan> plan_;
+  int member_;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<sim::ProcessBehavior>> make_id_flood_team(const AdversaryEnv& env) {
+  auto plan = std::make_shared<const FloodPlan>(env.algorithm == core::Algorithm::kFastRenaming
+                                                    ? plan_for_fast(env)
+                                                    : plan_for_selection(env));
+  std::vector<std::unique_ptr<sim::ProcessBehavior>> team;
+  team.reserve(env.byz_indices.size());
+  for (std::size_t i = 0; i < env.byz_indices.size(); ++i) {
+    team.push_back(std::make_unique<IdFloodBehavior>(env, plan, static_cast<int>(i)));
+  }
+  return team;
+}
+
+}  // namespace byzrename::adversary

@@ -1,0 +1,107 @@
+#include "adversary/strategies/strategies.h"
+
+#include <algorithm>
+
+#include "core/op_renaming.h"
+#include "core/rank_approx.h"
+#include "numeric/rational.h"
+
+namespace byzrename::adversary {
+
+namespace {
+
+using numeric::Rational;
+
+/// The attack the isValid filter (Alg. 2) exists to stop.
+///
+/// Selection phase: the calibrated asymmetric flood, so the favored half
+/// of the correct processes starts with every correct rank F positions
+/// above the disfavored half — correct processes now hold *overlapping
+/// rank intervals*, which is precisely the situation the paper warns
+/// makes raw Byzantine AA converge non-order-preservingly (Section I).
+///
+/// Voting phase: gap-collapsing votes. The two middle correct ids a < b
+/// both get the value midway between the groups' views of a and b; that
+/// point lies inside both ids' correct ranges, so trimming cannot remove
+/// it, and each round it drags rank(a) up and rank(b) down. The votes
+/// violate the delta-spacing rule, so with validation on they are all
+/// rejected (Corollary IV.6 survives); with bench_a2's validation-off
+/// ablation they land, and the delta-separation invariant collapses.
+class OrderBreakBehavior final : public sim::ProcessBehavior {
+ public:
+  OrderBreakBehavior(const AdversaryEnv& env,
+                     std::shared_ptr<const detail::AsymSelectionPlan> plan, int member,
+                     sim::Id my_id)
+      : env_(env),
+        plan_(std::move(plan)),
+        member_(member),
+        delta_(core::delta(env.params)),
+        inner_(std::make_unique<core::OpRenamingProcess>(env.params, my_id, env.options)) {}
+
+  void on_send(sim::Round round, sim::Outbox& out) override {
+    sim::Outbox discard(/*targeted_allowed=*/false);
+    inner_->on_send(round, discard);
+    if (round <= 4) {
+      detail::asym_selection_send(*plan_, member_, round, out);
+      return;
+    }
+
+    core::RankMap vote = inner_->ranks();
+    const std::size_t m = env_.correct.size();
+    if (m >= 2) {
+      const sim::Id a = env_.correct[m / 2 - 1].second;
+      const sim::Id b = env_.correct[m / 2].second;
+      const auto it_a = vote.find(a);
+      const auto it_b = vote.find(b);
+      if (it_a != vote.end() && it_b != vote.end()) {
+        // The inner process holds the disfavored (low) view; the favored
+        // group sits F*delta higher, halving each round. Aim midway
+        // between the two groups' midpoints of [a, b] so the collapsing
+        // value stays inside both ids' correct ranges.
+        Rational group_spread =
+            Rational(static_cast<std::int64_t>(plan_->fake_ids.size())) * delta_;
+        for (sim::Round r = 5; r <= round; ++r) group_spread = group_spread / Rational(2);
+        const Rational target = (it_a->second + it_b->second + group_spread) / Rational(2);
+        it_a->second = target;
+        it_b->second = target;
+      }
+    }
+    out.broadcast(core::encode_vote(vote));
+  }
+
+  void on_receive(sim::Round round, const sim::Inbox& inbox) override {
+    inner_->on_receive(round, inbox);
+  }
+
+  [[nodiscard]] bool done() const override { return true; }
+
+ private:
+  AdversaryEnv env_;
+  std::shared_ptr<const detail::AsymSelectionPlan> plan_;
+  int member_;
+  Rational delta_;
+  std::unique_ptr<core::OpRenamingProcess> inner_;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<sim::ProcessBehavior>> make_order_break_team(const AdversaryEnv& env) {
+  std::vector<std::unique_ptr<sim::ProcessBehavior>> team;
+  team.reserve(env.byz_indices.size());
+  auto plan = detail::make_asym_selection_plan(env);
+  for (std::size_t i = 0; i < env.byz_indices.size(); ++i) {
+    switch (env.algorithm) {
+      case core::Algorithm::kOpRenaming:
+      case core::Algorithm::kOpRenamingConstantTime:
+        team.push_back(
+            std::make_unique<OrderBreakBehavior>(env, plan, static_cast<int>(i), env.byz_ids[i]));
+        break;
+      default:
+        team.push_back(make_silent());
+        break;
+    }
+  }
+  return team;
+}
+
+}  // namespace byzrename::adversary

@@ -1,0 +1,73 @@
+#include "adversary/strategies/strategies.h"
+
+#include "core/harness.h"
+
+namespace byzrename::adversary {
+
+namespace {
+
+class SilentBehavior final : public sim::ProcessBehavior {
+ public:
+  void on_send(sim::Round, sim::Outbox&) override {}
+  void on_receive(sim::Round, const sim::Inbox&) override {}
+  [[nodiscard]] bool done() const override { return true; }
+};
+
+/// Rounds this protocol spends collecting inputs; the mute adversary
+/// participates through them and then stops talking.
+int input_phase_rounds(core::Algorithm algorithm) {
+  switch (algorithm) {
+    case core::Algorithm::kOpRenaming:
+    case core::Algorithm::kOpRenamingConstantTime:
+    case core::Algorithm::kBitRenaming:
+      return 4;
+    default:
+      return 1;
+  }
+}
+
+class MuteBehavior final : public sim::ProcessBehavior {
+ public:
+  MuteBehavior(std::unique_ptr<sim::ProcessBehavior> inner, int speaking_rounds)
+      : inner_(std::move(inner)), speaking_rounds_(speaking_rounds) {}
+
+  void on_send(sim::Round round, sim::Outbox& out) override {
+    if (round > speaking_rounds_) return;
+    sim::Outbox inner_out(/*targeted_allowed=*/false);
+    inner_->on_send(round, inner_out);
+    for (const sim::Outbox::Entry& entry : inner_out.entries()) out.broadcast(entry.payload);
+  }
+  void on_receive(sim::Round round, const sim::Inbox& inbox) override {
+    inner_->on_receive(round, inbox);
+  }
+  [[nodiscard]] bool done() const override { return true; }
+
+ private:
+  std::unique_ptr<sim::ProcessBehavior> inner_;
+  int speaking_rounds_;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<sim::ProcessBehavior>> make_mute_team(const AdversaryEnv& env) {
+  std::vector<std::unique_ptr<sim::ProcessBehavior>> team;
+  team.reserve(env.byz_indices.size());
+  for (std::size_t i = 0; i < env.byz_indices.size(); ++i) {
+    auto inner = core::make_correct_behavior(env.algorithm, env.params, env.byz_ids[i],
+                                             env.options, env.byz_indices[i]);
+    team.push_back(
+        std::make_unique<MuteBehavior>(std::move(inner), input_phase_rounds(env.algorithm)));
+  }
+  return team;
+}
+
+std::unique_ptr<sim::ProcessBehavior> make_silent() { return std::make_unique<SilentBehavior>(); }
+
+std::vector<std::unique_ptr<sim::ProcessBehavior>> make_silent_team(const AdversaryEnv& env) {
+  std::vector<std::unique_ptr<sim::ProcessBehavior>> team;
+  team.reserve(env.byz_indices.size());
+  for (std::size_t i = 0; i < env.byz_indices.size(); ++i) team.push_back(make_silent());
+  return team;
+}
+
+}  // namespace byzrename::adversary

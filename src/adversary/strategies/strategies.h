@@ -1,0 +1,113 @@
+#ifndef BYZRENAME_ADVERSARY_STRATEGIES_STRATEGIES_H
+#define BYZRENAME_ADVERSARY_STRATEGIES_STRATEGIES_H
+
+#include "adversary/adversary.h"
+
+namespace byzrename::adversary {
+
+// One factory per strategy; registry.cpp maps names onto these. Each
+// returns env.byz_indices.size() behaviors, in index order.
+
+/// Sends nothing at all (crash before round 1).
+std::vector<std::unique_ptr<sim::ProcessBehavior>> make_silent_team(const AdversaryEnv& env);
+
+/// Participates honestly in the protocol's input phase (id announcement
+/// and selection), then goes silent. The canonical weakest *participating*
+/// adversary: runs with it are the baseline that validation-focused
+/// strategies ("invalid") must be observationally equivalent to.
+std::vector<std::unique_ptr<sim::ProcessBehavior>> make_mute_team(const AdversaryEnv& env);
+
+/// Behaves correctly, then crashes mid-broadcast at a staggered round:
+/// the classic crash-fault adversary, expressed as a degenerate Byzantine
+/// strategy. Drives the crash-model baseline and f < t robustness tests.
+std::vector<std::unique_ptr<sim::ProcessBehavior>> make_crash_team(const AdversaryEnv& env);
+
+/// Sprays syntactically plausible but random protocol messages at random
+/// subsets of processes every round.
+std::vector<std::unique_ptr<sim::ProcessBehavior>> make_random_lies_team(const AdversaryEnv& env);
+
+/// Colluding id injection calibrated to saturate Lemma IV.3: every fake
+/// id is announced to exactly the number of correct processes whose
+/// echoes, combined with the faulty ones, reach the N-t threshold. With
+/// f == t this achieves |accepted| = N + floor(t^2/(N-2t)) exactly.
+/// Against Alg. 4 it floods per-receiver-distinct fakes instead.
+std::vector<std::unique_ptr<sim::ProcessBehavior>> make_id_flood_team(const AdversaryEnv& env);
+
+/// Honest through id selection, then equivocates in every voting step:
+/// one half of the correct processes receives a minimally-spaced
+/// (compressed) rank array, the other half a doubly-stretched one — both
+/// pass isValid, maximizing the disagreement the approximation must burn
+/// down (stress for Lemmas IV.8/IV.9).
+std::vector<std::unique_ptr<sim::ProcessBehavior>> make_split_world_team(const AdversaryEnv& env);
+
+/// Honest through id selection, then broadcasts votes shifted by a huge
+/// uniform offset (alternating sign per round): still valid, but extreme
+/// — the trim step must neutralize it (stress for Lemma IV.8's range
+/// containment). Against scalar AA it broadcasts extreme values.
+std::vector<std::unique_ptr<sim::ProcessBehavior>> make_rank_skew_team(const AdversaryEnv& env);
+
+/// Honest through id selection, then sends only malformed votes (missing
+/// timely ids, sub-delta spacing, duplicate entries, oversized
+/// encodings, wrong message types). Every one must be rejected; the run
+/// must look exactly like the silent adversary's.
+std::vector<std::unique_ptr<sim::ProcessBehavior>> make_invalid_votes_team(const AdversaryEnv& env);
+
+/// Calibrated asymmetric flood against Alg. 1: injects the maximum
+/// number of fake ids and steers the Echo/Ready waves so every fake is
+/// accepted by exactly the favored half of the correct processes —
+/// achieving Lemma IV.7's initial-rank discrepancy bound with equality.
+/// The hardest test of the voting phase's convergence budget.
+std::vector<std::unique_ptr<sim::ProcessBehavior>> make_asym_flood_team(const AdversaryEnv& env);
+
+/// The composed worst case for Alg. 1: suppress-style id-selection
+/// asymmetry (different correct processes start with different initial
+/// ranks) followed by split-world vote equivocation. Drives the Delta_r
+/// convergence traces of bench_f1. Falls back to echo suppression for
+/// protocols without a voting phase.
+std::vector<std::unique_ptr<sim::ProcessBehavior>> make_hybrid_team(const AdversaryEnv& env);
+
+/// The attack isValid exists to stop: selection asymmetry plus
+/// gap-collapsing votes (two adjacent ids pushed onto the same rank).
+/// With validation on, provably harmless; with the bench_a2 ablation's
+/// validation off, it destroys the delta-separation invariant.
+std::vector<std::unique_ptr<sim::ProcessBehavior>> make_order_break_team(const AdversaryEnv& env);
+
+/// Announces its id to only part of the system and echoes selectively,
+/// creating maximal asymmetry between correct processes' timely/accepted
+/// views (stress for Lemmas IV.1/IV.7); against Alg. 4, selective
+/// MultiEchoes drive the name discrepancy toward Lemma VI.1's 2t^2.
+std::vector<std::unique_ptr<sim::ProcessBehavior>> make_echo_suppress_team(const AdversaryEnv& env);
+
+/// Protocol-aware randomized mixture: per receiver per round, randomly
+/// honest / boundary-valid (compressed, stretched, shifted) / boundary-
+/// invalid (squeezed, hole-punched) / silent, plus random omissions in
+/// the selection phase. Sweeping seeds gives property-based coverage of
+/// mixed strategies no hand-written attack enumerates.
+std::vector<std::unique_ptr<sim::ProcessBehavior>> make_chaos_team(const AdversaryEnv& env);
+
+namespace detail {
+
+/// The calibrated asymmetric-flood selection plan (see asym_flood.cpp),
+/// reusable by composed attacks (orderbreak) that need provable initial
+/// asymmetry before their own voting-phase mischief.
+struct AsymSelectionPlan {
+  std::vector<sim::Id> fake_ids;
+  std::vector<std::vector<std::pair<sim::ProcessIndex, sim::Id>>> step1_sends;
+  std::vector<sim::ProcessIndex> seeds;
+  std::vector<sim::ProcessIndex> bridges;
+  std::vector<sim::ProcessIndex> favored;
+  std::vector<sim::Id> correct_ids;
+};
+
+[[nodiscard]] std::shared_ptr<const AsymSelectionPlan> make_asym_selection_plan(
+    const AdversaryEnv& env);
+
+/// Emits team member @p member's sends for selection rounds 1-4.
+void asym_selection_send(const AsymSelectionPlan& plan, int member, sim::Round round,
+                         sim::Outbox& out);
+
+}  // namespace detail
+
+}  // namespace byzrename::adversary
+
+#endif  // BYZRENAME_ADVERSARY_STRATEGIES_STRATEGIES_H

@@ -1,0 +1,133 @@
+#include "baselines/bit_renaming.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace byzrename::baselines {
+
+using sim::Delivery;
+using sim::Id;
+using sim::Inbox;
+using sim::Name;
+using sim::Outbox;
+using sim::Round;
+using sim::WordMsg;
+
+namespace {
+
+// WordMsg tags: claim rounds use kClaimBase + phase, echoes kEchoBase + phase.
+constexpr std::int64_t kClaimBase = 1000;
+constexpr std::int64_t kEchoBase = 2000;
+
+}  // namespace
+
+BitRenamingProcess::BitRenamingProcess(sim::SystemParams params, Id my_id)
+    : params_(params),
+      my_id_(my_id),
+      selection_(params, my_id),
+      phases_(core::ceil_log2(static_cast<int>(target_namespace(params)))) {}
+
+void BitRenamingProcess::on_send(Round round, Outbox& out) {
+  if (decided_) return;
+  if (round <= 4) {
+    selection_.on_send(round, out);
+    return;
+  }
+  const int phase = (round - 5) / 2 + 1;
+  const bool is_claim_round = (round - 5) % 2 == 0;
+  if (is_claim_round) {
+    out.broadcast(WordMsg{kClaimBase + phase, {my_id_, lo_, hi_}});
+  } else {
+    if (heard_claims_.empty()) return;  // nothing to confirm
+    // Echo every distinct claim heard this phase in one message.
+    WordMsg echo{kEchoBase + phase, {}};
+    echo.words.reserve(heard_claims_.size() * 3);
+    for (const Claim& claim : heard_claims_) {
+      echo.words.push_back(std::get<0>(claim));
+      echo.words.push_back(std::get<1>(claim));
+      echo.words.push_back(std::get<2>(claim));
+    }
+    out.broadcast(std::move(echo));
+  }
+}
+
+void BitRenamingProcess::on_receive(Round round, const Inbox& inbox) {
+  if (decided_) return;
+  if (round <= 4) {
+    selection_.on_receive(round, inbox);
+    if (round == 4) {
+      lo_ = 0;
+      hi_ = target_namespace(params_);
+    }
+    return;
+  }
+  const int phase = (round - 5) / 2 + 1;
+  const bool is_claim_round = (round - 5) % 2 == 0;
+
+  if (is_claim_round) {
+    heard_claims_.clear();
+    echo_links_.clear();
+    std::set<sim::LinkIndex> claimed_links;  // one claim per link per phase
+    for (const Delivery& d : inbox) {
+      const auto* msg = std::get_if<WordMsg>(&d.payload);
+      if (msg == nullptr || msg->tag != kClaimBase + phase || msg->words.size() != 3) continue;
+      if (!claimed_links.insert(d.link).second) continue;
+      const Id id = msg->words[0];
+      // Only claims by ids that survived the selection phase count;
+      // this is what bounds Byzantine claim injection.
+      if (!selection_.accepted().contains(id)) continue;
+      const Name lo = msg->words[1];
+      const Name hi = msg->words[2];
+      if (lo < 0 || hi <= lo || hi > target_namespace(params_)) continue;
+      heard_claims_.insert({id, lo, hi});
+    }
+    return;
+  }
+
+  // Echo round: count confirmations per claim over distinct links.
+  for (const Delivery& d : inbox) {
+    const auto* msg = std::get_if<WordMsg>(&d.payload);
+    if (msg == nullptr || msg->tag != kEchoBase + phase || msg->words.size() % 3 != 0) continue;
+    for (std::size_t i = 0; i < msg->words.size(); i += 3) {
+      const Id id = msg->words[i];
+      if (!selection_.accepted().contains(id)) continue;
+      const Name lo = msg->words[i + 1];
+      const Name hi = msg->words[i + 2];
+      if (lo < 0 || hi <= lo || hi > target_namespace(params_)) continue;
+      echo_links_[{id, lo, hi}].insert(d.link);
+    }
+  }
+
+  // Confirmed claimants of my own interval, in id order.
+  std::vector<Id> same_interval;
+  for (const auto& [claim, links] : echo_links_) {
+    if (static_cast<int>(links.size()) < params_.n - params_.t) continue;
+    if (std::get<1>(claim) != lo_ || std::get<2>(claim) != hi_) continue;
+    same_interval.push_back(std::get<0>(claim));
+  }
+  std::sort(same_interval.begin(), same_interval.end());
+  same_interval.erase(std::unique(same_interval.begin(), same_interval.end()),
+                      same_interval.end());
+
+  // 1-based rank of my id among the confirmed claimants of my interval.
+  // My own claim is always confirmed (every correct process echoes it),
+  // so this is its position; the insertion point covers the impossible
+  // miss defensively.
+  const auto my_position = std::lower_bound(same_interval.begin(), same_interval.end(), my_id_);
+  const Name rank = static_cast<Name>(my_position - same_interval.begin()) + 1;
+
+  const Name size = hi_ - lo_;
+  const Name half = size / 2;
+  if (rank <= half) {
+    hi_ = lo_ + half;
+  } else {
+    lo_ = lo_ + half;
+  }
+
+  if (phase == phases_) {
+    decided_ = true;
+    decision_ = lo_ + 1;  // interval has shrunk to a single name
+  }
+}
+
+}  // namespace byzrename::baselines

@@ -1,0 +1,122 @@
+#include "baselines/consensus_renaming.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace byzrename::baselines {
+
+using consensus::PhaseKingInstance;
+using sim::Delivery;
+using sim::Inbox;
+using sim::Outbox;
+using sim::Round;
+using sim::WordMsg;
+
+ConsensusRenamingProcess::ConsensusRenamingProcess(sim::SystemParams params,
+                                                   sim::ProcessIndex my_index, sim::Id my_id)
+    : params_(params), my_index_(my_index), my_id_(my_id) {}
+
+std::vector<std::int64_t> ConsensusRenamingProcess::agreed_claims() const {
+  std::vector<std::int64_t> claims;
+  claims.reserve(instances_.size());
+  for (const PhaseKingInstance& instance : instances_) claims.push_back(instance.value());
+  return claims;
+}
+
+void ConsensusRenamingProcess::on_send(Round round, Outbox& out) {
+  if (decided_) return;
+  if (round == 1) {
+    out.broadcast(sim::IdMsg{my_id_});
+    return;
+  }
+  const int phase = (round - 2) / 2;
+  const bool is_round_a = (round - 2) % 2 == 0;
+  if (is_round_a) {
+    // All instances share one physical message: word j carries instance
+    // j's current value.
+    WordMsg msg{round, {}};
+    msg.words = agreed_claims();
+    out.broadcast(std::move(msg));
+  } else if (my_index_ == phase) {
+    WordMsg msg{round, {}};
+    msg.words = agreed_claims();
+    out.broadcast(std::move(msg));
+  }
+}
+
+void ConsensusRenamingProcess::on_receive(Round round, const Inbox& inbox) {
+  if (decided_) return;
+  const std::size_t n = static_cast<std::size_t>(params_.n);
+
+  if (round == 1) {
+    // Link label == sender index in this model, so the claim of process j
+    // is whatever arrived on link j.
+    std::vector<std::int64_t> claims(n, PhaseKingInstance::kBottom);
+    for (const Delivery& d : inbox) {
+      const auto* msg = std::get_if<sim::IdMsg>(&d.payload);
+      if (msg == nullptr) continue;
+      if (claims[static_cast<std::size_t>(d.link)] == PhaseKingInstance::kBottom) {
+        claims[static_cast<std::size_t>(d.link)] = msg->id;
+      }
+    }
+    instances_.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) instances_.emplace_back(params_, claims[j]);
+    return;
+  }
+
+  const int phase = (round - 2) / 2;
+  const bool is_round_a = (round - 2) % 2 == 0;
+
+  if (is_round_a) {
+    std::map<sim::LinkIndex, std::vector<std::int64_t>> per_link;
+    for (const Delivery& d : inbox) {
+      const auto* msg = std::get_if<WordMsg>(&d.payload);
+      if (msg == nullptr || msg->tag != round || msg->words.size() != n) continue;
+      per_link.emplace(d.link, msg->words);
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      std::vector<std::int64_t> received;
+      received.reserve(per_link.size());
+      for (const auto& [link, words] : per_link) received.push_back(words[j]);
+      instances_[j].on_round_a(received);
+    }
+    return;
+  }
+
+  // Round B: adopt the phase king's vector where local counts were weak.
+  std::optional<std::vector<std::int64_t>> king_words;
+  for (const Delivery& d : inbox) {
+    if (d.link != phase) continue;
+    const auto* msg = std::get_if<WordMsg>(&d.payload);
+    if (msg == nullptr || msg->tag != round || msg->words.size() != n) continue;
+    king_words = msg->words;
+    break;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    instances_[j].on_round_b(king_words.has_value()
+                                 ? std::optional<std::int64_t>((*king_words)[j])
+                                 : std::nullopt);
+  }
+
+  if (phase == params_.t) {
+    // Last phase complete: rank my id among the distinct agreed claims.
+    decided_ = true;
+    std::set<std::int64_t> agreed;
+    for (const PhaseKingInstance& instance : instances_) {
+      if (instance.value() != PhaseKingInstance::kBottom) agreed.insert(instance.value());
+    }
+    sim::Name rank = 0;
+    bool found = false;
+    for (const std::int64_t id : agreed) {
+      ++rank;
+      if (id == my_id_) {
+        found = true;
+        break;
+      }
+    }
+    decision_ = found ? std::optional<sim::Name>(rank) : std::nullopt;
+  }
+}
+
+}  // namespace byzrename::baselines

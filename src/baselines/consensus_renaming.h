@@ -1,0 +1,54 @@
+#ifndef BYZRENAME_BASELINES_CONSENSUS_RENAMING_H
+#define BYZRENAME_BASELINES_CONSENSUS_RENAMING_H
+
+#include <optional>
+#include <vector>
+
+#include "consensus/phase_king.h"
+#include "sim/process.h"
+
+namespace byzrename::baselines {
+
+/// Consensus-based strong order-preserving renaming: the "heavyweight"
+/// solution the paper's introduction argues against.
+///
+/// Round 1 exchanges ids; then N parallel phase-king instances (one per
+/// process slot, all sharing one physical message per round) agree on
+/// what id each process claimed. Every correct process ends with the
+/// same vector of claims, sorts the distinct values, and takes the rank
+/// of its own id as its new name — strong (namespace N), order-
+/// preserving, but 1 + 2(t+1) rounds: linear in t, versus Alg. 1's
+/// O(log t). Requires N > 4t (simple-king variant) and, like any
+/// consensus protocol, sender-authenticated links (scramble_links ==
+/// false; see DESIGN.md — this presupposition is exactly why the paper's
+/// model rules the approach out).
+class ConsensusRenamingProcess final : public sim::ProcessBehavior {
+ public:
+  ConsensusRenamingProcess(sim::SystemParams params, sim::ProcessIndex my_index, sim::Id my_id);
+
+  void on_send(sim::Round round, sim::Outbox& out) override;
+  void on_receive(sim::Round round, const sim::Inbox& inbox) override;
+  [[nodiscard]] bool done() const override { return decided_; }
+  [[nodiscard]] std::optional<sim::Name> decision() const override { return decision_; }
+
+  [[nodiscard]] int total_steps() const noexcept {
+    return 1 + consensus::PhaseKingProcess::total_rounds(params_);
+  }
+
+  /// The agreed claim vector (kBottom where no id was agreed); equal at
+  /// every correct process once done.
+  [[nodiscard]] std::vector<std::int64_t> agreed_claims() const;
+
+ private:
+  sim::SystemParams params_;
+  sim::ProcessIndex my_index_;
+  sim::Id my_id_;
+
+  std::vector<consensus::PhaseKingInstance> instances_;
+  bool decided_ = false;
+  std::optional<sim::Name> decision_;
+};
+
+}  // namespace byzrename::baselines
+
+#endif  // BYZRENAME_BASELINES_CONSENSUS_RENAMING_H

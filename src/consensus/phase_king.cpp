@@ -1,0 +1,97 @@
+#include "consensus/phase_king.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace byzrename::consensus {
+
+using sim::Delivery;
+using sim::Inbox;
+using sim::Outbox;
+using sim::Round;
+using sim::WordMsg;
+
+PhaseKingInstance::PhaseKingInstance(sim::SystemParams params, std::int64_t initial)
+    : params_(params), value_(initial) {
+  if (params.n <= 4 * params.t) {
+    throw std::invalid_argument("PhaseKingInstance: simple king variant requires N > 4t");
+  }
+}
+
+void PhaseKingInstance::on_round_a(const std::vector<std::int64_t>& received) {
+  std::map<std::int64_t, int> counts;
+  for (const std::int64_t v : received) counts[v] += 1;
+  majority_ = kBottom;
+  majority_count_ = 0;
+  for (const auto& [v, count] : counts) {  // ascending order: smallest value wins ties
+    if (count > majority_count_) {
+      majority_ = v;
+      majority_count_ = count;
+    }
+  }
+  // Tentatively adopt the plurality so the king's round-B broadcast is
+  // its round-A plurality, as the protocol requires.
+  value_ = majority_;
+}
+
+void PhaseKingInstance::on_round_b(std::optional<std::int64_t> king_value) {
+  if (majority_count_ >= params_.n - params_.t) {
+    value_ = majority_;  // strong count: stick with the plurality
+  } else if (king_value.has_value()) {
+    value_ = *king_value;
+  }
+  // Silent king: keep the plurality adopted in round A; a silent king is
+  // faulty and a later correct king's phase will align everyone.
+}
+
+PhaseKingProcess::PhaseKingProcess(sim::SystemParams params, sim::ProcessIndex my_index,
+                                   std::int64_t initial)
+    : params_(params), my_index_(my_index), instance_(params, initial) {}
+
+bool PhaseKingProcess::done() const { return last_round_ >= total_rounds(params_); }
+
+void PhaseKingProcess::on_send(Round round, Outbox& out) {
+  if (round > total_rounds(params_)) return;
+  const int phase = (round - 1) / 2;
+  const bool is_round_a = (round - 1) % 2 == 0;
+  if (is_round_a) {
+    out.broadcast(WordMsg{round, {instance_.value()}});
+  } else if (my_index_ == phase) {
+    out.broadcast(WordMsg{round, {instance_.value()}});
+  }
+}
+
+void PhaseKingProcess::on_receive(Round round, const Inbox& inbox) {
+  last_round_ = round;
+  if (round > total_rounds(params_)) return;
+  const int phase = (round - 1) / 2;
+  const bool is_round_a = (round - 1) % 2 == 0;
+
+  if (is_round_a) {
+    // One value per link; link label == sender index in this model.
+    std::map<sim::LinkIndex, std::int64_t> per_link;
+    for (const Delivery& d : inbox) {
+      const auto* msg = std::get_if<WordMsg>(&d.payload);
+      if (msg == nullptr || msg->tag != round || msg->words.size() != 1) continue;
+      per_link.emplace(d.link, msg->words[0]);
+    }
+    std::vector<std::int64_t> received;
+    received.reserve(per_link.size());
+    for (const auto& [link, v] : per_link) received.push_back(v);
+    instance_.on_round_a(received);
+  } else {
+    std::optional<std::int64_t> king_value;
+    for (const Delivery& d : inbox) {
+      if (d.link != phase) continue;  // only the phase king's link counts
+      const auto* msg = std::get_if<WordMsg>(&d.payload);
+      if (msg == nullptr || msg->tag != round || msg->words.size() != 1) continue;
+      king_value = msg->words[0];
+      break;
+    }
+    instance_.on_round_b(king_value);
+    // After the final phase the instance value is the decision;
+    // decided_value() reports it once done() is true.
+  }
+}
+
+}  // namespace byzrename::consensus

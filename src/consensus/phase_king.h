@@ -1,0 +1,81 @@
+#ifndef BYZRENAME_CONSENSUS_PHASE_KING_H
+#define BYZRENAME_CONSENSUS_PHASE_KING_H
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "sim/process.h"
+#include "sim/types.h"
+
+namespace byzrename::consensus {
+
+/// One instance of multivalued phase-king consensus (simple king variant,
+/// Berman-Garay lineage), tolerating t < N/4 and running t+1 phases of
+/// two rounds each.
+///
+/// The paper cites consensus-based renaming as the "obvious" solution it
+/// improves on: consensus needs a linear number of rounds (t+1 phases
+/// here, Omega(t) in general by Dolev-Strong), while Alg. 1 renames in
+/// O(log t) steps. This substrate powers the consensus renaming baseline
+/// so bench_t7 can measure that gap. Like every consensus protocol it
+/// presupposes sender-authenticated links (scramble_links == false).
+///
+/// This class is a pure state machine: the owner feeds it the per-round
+/// values it extracted from the wire, so N instances can share one
+/// physical message per round (the renaming baseline does exactly that).
+class PhaseKingInstance {
+ public:
+  /// Absent/unknown value marker.
+  static constexpr std::int64_t kBottom = std::numeric_limits<std::int64_t>::min();
+
+  PhaseKingInstance(sim::SystemParams params, std::int64_t initial);
+
+  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
+
+  /// Consumes the round-A values (one entry per process that sent a
+  /// well-formed vector; missing senders simply absent). Computes the
+  /// plurality candidate, smallest value winning ties.
+  void on_round_a(const std::vector<std::int64_t>& received);
+
+  /// Consumes the king's round-B value (nullopt if the king was silent or
+  /// malformed): keep the plurality when it had a strong count, else
+  /// adopt the king's value.
+  void on_round_b(std::optional<std::int64_t> king_value);
+
+ private:
+  sim::SystemParams params_;
+  std::int64_t value_;
+  std::int64_t majority_ = kBottom;
+  int majority_count_ = 0;
+};
+
+/// A standalone process behavior running exactly one phase-king instance;
+/// used by the substrate tests. Rounds 1..2(t+1): phase k occupies rounds
+/// 2k+1 (all-to-all value exchange) and 2k+2 (king k's broadcast).
+class PhaseKingProcess final : public sim::ProcessBehavior {
+ public:
+  PhaseKingProcess(sim::SystemParams params, sim::ProcessIndex my_index, std::int64_t initial);
+
+  void on_send(sim::Round round, sim::Outbox& out) override;
+  void on_receive(sim::Round round, const sim::Inbox& inbox) override;
+  [[nodiscard]] bool done() const override;
+
+  [[nodiscard]] std::int64_t decided_value() const noexcept { return instance_.value(); }
+
+  /// Total rounds this configuration runs: 2(t+1).
+  [[nodiscard]] static int total_rounds(const sim::SystemParams& params) noexcept {
+    return 2 * (params.t + 1);
+  }
+
+ private:
+  sim::SystemParams params_;
+  sim::ProcessIndex my_index_;
+  PhaseKingInstance instance_;
+  int last_round_ = 0;
+};
+
+}  // namespace byzrename::consensus
+
+#endif  // BYZRENAME_CONSENSUS_PHASE_KING_H

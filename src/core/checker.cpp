@@ -1,0 +1,78 @@
+#include "core/checker.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace byzrename::core {
+
+CheckReport check_renaming(const std::vector<NamedProcess>& processes,
+                           sim::Name namespace_size) {
+  CheckReport report;
+  std::ostringstream detail;
+
+  std::vector<NamedProcess> sorted = processes;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const NamedProcess& a, const NamedProcess& b) {
+              return a.original_id < b.original_id;
+            });
+
+  report.min_name = std::numeric_limits<sim::Name>::max();
+  report.max_name = std::numeric_limits<sim::Name>::min();
+  bool any_named = false;
+
+  const NamedProcess* previous = nullptr;
+  for (const NamedProcess& p : sorted) {
+    if (!p.new_name.has_value()) {
+      if (report.termination) {
+        detail << "process with id " << p.original_id << " did not decide; ";
+      }
+      report.termination = false;
+      continue;
+    }
+    const sim::Name name = *p.new_name;
+    any_named = true;
+    report.min_name = std::min(report.min_name, name);
+    report.max_name = std::max(report.max_name, name);
+
+    if (name < 1 || name > namespace_size) {
+      if (report.validity) {
+        detail << "id " << p.original_id << " got name " << name << " outside [1.."
+               << namespace_size << "]; ";
+      }
+      report.validity = false;
+    }
+    if (previous != nullptr && previous->new_name.has_value() && *previous->new_name >= name) {
+      if (report.order_preservation) {
+        detail << "id order " << previous->original_id << " < " << p.original_id
+               << " but names " << *previous->new_name << " >= " << name << "; ";
+      }
+      report.order_preservation = false;
+    }
+    previous = &p;
+  }
+
+  // Uniqueness is checked independently of id order so a duplicate is
+  // reported as a uniqueness failure even when it also breaks ordering.
+  std::vector<sim::Name> names;
+  names.reserve(sorted.size());
+  for (const NamedProcess& p : sorted) {
+    if (p.new_name.has_value()) names.push_back(*p.new_name);
+  }
+  std::sort(names.begin(), names.end());
+  for (std::size_t i = 1; i < names.size(); ++i) {
+    if (names[i - 1] == names[i]) {
+      if (report.uniqueness) detail << "name " << names[i] << " assigned twice; ";
+      report.uniqueness = false;
+    }
+  }
+
+  if (!any_named) {
+    report.min_name = 0;
+    report.max_name = 0;
+  }
+  report.detail = detail.str();
+  return report;
+}
+
+}  // namespace byzrename::core

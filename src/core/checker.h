@@ -1,0 +1,41 @@
+#ifndef BYZRENAME_CORE_CHECKER_H
+#define BYZRENAME_CORE_CHECKER_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace byzrename::core {
+
+/// One correct process's input/output pair as seen by the checker.
+struct NamedProcess {
+  sim::Id original_id = 0;
+  std::optional<sim::Name> new_name;
+};
+
+/// Independent verdict on a renaming run, checking exactly the four
+/// properties of Section II of the paper — over correct processes only,
+/// as the definitions demand.
+struct CheckReport {
+  bool validity = true;           ///< every name in [1 .. namespace_size]
+  bool termination = true;        ///< every correct process decided
+  bool uniqueness = true;         ///< no two correct processes share a name
+  bool order_preservation = true; ///< names ordered like original ids
+  sim::Name max_name = 0;         ///< largest name actually used
+  sim::Name min_name = 0;         ///< smallest name actually used
+  std::string detail;             ///< human-readable description of the first violation
+
+  [[nodiscard]] bool all_ok() const noexcept {
+    return validity && termination && uniqueness && order_preservation;
+  }
+};
+
+/// Scores a run against the target namespace [1 .. namespace_size].
+[[nodiscard]] CheckReport check_renaming(const std::vector<NamedProcess>& processes,
+                                         sim::Name namespace_size);
+
+}  // namespace byzrename::core
+
+#endif  // BYZRENAME_CORE_CHECKER_H

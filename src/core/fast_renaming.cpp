@@ -1,0 +1,93 @@
+#include "core/fast_renaming.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace byzrename::core {
+
+using sim::Delivery;
+using sim::Id;
+using sim::IdMsg;
+using sim::Inbox;
+using sim::LinkIndex;
+using sim::MultiEchoMsg;
+using sim::Name;
+using sim::Outbox;
+using sim::Round;
+
+FastRenamingProcess::FastRenamingProcess(sim::SystemParams params, Id my_id)
+    : params_(params), my_id_(my_id) {
+  if (!valid_for_fast_renaming(params)) {
+    throw std::invalid_argument("FastRenamingProcess: requires N > 2t^2 + t");
+  }
+}
+
+void FastRenamingProcess::on_send(Round round, Outbox& out) {
+  if (decided_) return;
+  if (round == 1) {
+    out.broadcast(IdMsg{my_id_});
+  } else if (round == 2) {
+    MultiEchoMsg echo;
+    echo.ids.assign(timely_.begin(), timely_.end());
+    out.broadcast(std::move(echo));
+  }
+}
+
+bool FastRenamingProcess::is_valid_echo(LinkIndex link, const std::vector<Id>& ids) const {
+  if (!link_id_.contains(link)) return false;  // sender never announced an id in step 1
+  if (static_cast<int>(ids.size()) > params_.n) return false;
+  int common = 0;
+  for (const Id id : ids) {
+    if (timely_.contains(id)) ++common;
+  }
+  return common >= params_.n - params_.t;
+}
+
+void FastRenamingProcess::on_receive(Round round, const Inbox& inbox) {
+  if (decided_) return;
+  if (round == 1) {
+    for (const Delivery& d : inbox) {
+      const auto* msg = std::get_if<IdMsg>(&d.payload);
+      if (msg == nullptr) continue;
+      if (link_id_.contains(d.link)) continue;  // one announcement per link
+      link_id_.emplace(d.link, msg->id);
+      timely_.insert(msg->id);
+    }
+    return;
+  }
+  if (round != 2) return;
+
+  std::set<LinkIndex> echoed_links;
+  for (const Delivery& d : inbox) {
+    const auto* msg = std::get_if<MultiEchoMsg>(&d.payload);
+    if (msg == nullptr) continue;
+    if (!echoed_links.insert(d.link).second) continue;  // one MultiEcho per link
+    // Treat the id list as a set: repeating an id inside one message must
+    // not inflate its counter.
+    std::set<Id> unique_ids(msg->ids.begin(), msg->ids.end());
+    std::vector<Id> ids(unique_ids.begin(), unique_ids.end());
+    if (!is_valid_echo(d.link, ids)) {
+      ++rejected_echoes_;
+      continue;
+    }
+    for (const Id id : ids) {
+      accepted_.insert(id);
+      counter_[id] += 1;
+    }
+  }
+
+  // Compute new names: prefix sums of clamped echo counters over the
+  // sorted accepted set (Alg. 4, lines 18-22).
+  Name accumulated_offset = 0;
+  for (const Id id : accepted_) {  // std::set iterates in sorted order
+    accumulated_offset +=
+        std::min<Name>(counter_[id], static_cast<Name>(params_.n - params_.t));
+    newid_[id] = accumulated_offset;
+  }
+
+  decided_ = true;
+  const auto own = newid_.find(my_id_);
+  decision_ = own != newid_.end() ? std::optional<Name>(own->second) : std::nullopt;
+}
+
+}  // namespace byzrename::core

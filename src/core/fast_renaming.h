@@ -1,0 +1,69 @@
+#ifndef BYZRENAME_CORE_FAST_RENAMING_H
+#define BYZRENAME_CORE_FAST_RENAMING_H
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/params.h"
+#include "sim/process.h"
+
+namespace byzrename::core {
+
+/// Alg. 4: 2-step order-preserving Byzantine renaming for N > 2t^2 + t.
+///
+/// Step 1: every process announces its id; everything received is
+/// `timely` and the arrival link of each announcement is remembered.
+/// Step 2: every process echoes its whole timely set in one MultiEcho;
+/// echoes are filtered by a validity check (sender announced an id in
+/// step 1, carries at most N ids, shares at least N-t ids with the local
+/// timely set) and counted per id. The new name is the prefix sum of
+/// min(counter[id], N-t) over all accepted ids up to and including one's
+/// own — clamping to N-t is what stops Byzantine selective echoing from
+/// introducing an error linear in N (Section VI).
+///
+/// Guarantees (Theorem VI.3): names are unique, order-preserving, and in
+/// [1 .. N^2]; discrepancy between any two correct estimates of the same
+/// correct id's name is at most 2t^2 (Lemma VI.1) while consecutive
+/// correct names differ by at least N-t (Lemma VI.2).
+class FastRenamingProcess final : public sim::ProcessBehavior {
+ public:
+  FastRenamingProcess(sim::SystemParams params, sim::Id my_id);
+
+  void on_send(sim::Round round, sim::Outbox& out) override;
+  void on_receive(sim::Round round, const sim::Inbox& inbox) override;
+  [[nodiscard]] bool done() const override { return decided_; }
+  [[nodiscard]] std::optional<sim::Name> decision() const override { return decision_; }
+
+  // --- Introspection for tests and benches -------------------------------
+
+  [[nodiscard]] const std::set<sim::Id>& timely() const noexcept { return timely_; }
+  [[nodiscard]] const std::set<sim::Id>& accepted() const noexcept { return accepted_; }
+  /// Locally estimated new names for every accepted id (paper keeps these
+  /// "only for clarity of the proofs"; we keep them for the tests that
+  /// check Lemmas VI.1 and VI.2 directly).
+  [[nodiscard]] const std::map<sim::Id, sim::Name>& newid() const noexcept { return newid_; }
+  [[nodiscard]] int rejected_echoes() const noexcept { return rejected_echoes_; }
+  [[nodiscard]] sim::Id my_id() const noexcept { return my_id_; }
+
+ private:
+  [[nodiscard]] bool is_valid_echo(sim::LinkIndex link, const std::vector<sim::Id>& ids) const;
+
+  sim::SystemParams params_;
+  sim::Id my_id_;
+
+  std::map<sim::LinkIndex, sim::Id> link_id_;  ///< paper's linkid array
+  std::set<sim::Id> timely_;
+  std::set<sim::Id> accepted_;
+  std::map<sim::Id, int> counter_;
+  std::map<sim::Id, sim::Name> newid_;
+
+  int rejected_echoes_ = 0;
+  bool decided_ = false;
+  std::optional<sim::Name> decision_;
+};
+
+}  // namespace byzrename::core
+
+#endif  // BYZRENAME_CORE_FAST_RENAMING_H

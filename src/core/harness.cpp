@@ -1,0 +1,243 @@
+#include "core/harness.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "adversary/adversary.h"
+#include "aa/byzantine_aa.h"
+#include "baselines/bit_renaming.h"
+#include "baselines/consensus_renaming.h"
+#include "baselines/crash_renaming.h"
+#include "core/fast_renaming.h"
+#include "core/op_renaming.h"
+#include "sim/rng.h"
+#include "translate/crash_to_byzantine.h"
+
+namespace byzrename::core {
+
+namespace {
+
+/// Correct behaviors sometimes need the process's physical index (the
+/// consensus baseline runs in the sender-authenticated model). This
+/// overload is internal; the public make_correct_behavior forwards -1.
+std::unique_ptr<sim::ProcessBehavior> make_behavior(Algorithm algorithm,
+                                                    const sim::SystemParams& params, sim::Id id,
+                                                    const RenamingOptions& options,
+                                                    sim::ProcessIndex index) {
+  switch (algorithm) {
+    case Algorithm::kOpRenaming:
+      return std::make_unique<OpRenamingProcess>(params, id, options);
+    case Algorithm::kOpRenamingConstantTime: {
+      // Fail fast outside Section V's regime: at N == t^2+2t exactly, the
+      // flood adversary provably produces N+1 names (the bound is tight),
+      // so running there would silently break Lemma V.1's promise.
+      if (!valid_for_constant_time(params)) {
+        throw std::invalid_argument("constant-time renaming requires N > t^2 + 2t");
+      }
+      RenamingOptions adjusted = options;
+      adjusted.approximation_iterations = kConstantTimeIterations;
+      return std::make_unique<OpRenamingProcess>(params, id, adjusted);
+    }
+    case Algorithm::kFastRenaming:
+      return std::make_unique<FastRenamingProcess>(params, id);
+    case Algorithm::kCrashRenaming:
+      return std::make_unique<baselines::CrashRenamingProcess>(params, id, options);
+    case Algorithm::kConsensusRenaming:
+      if (index < 0) {
+        throw std::invalid_argument("consensus renaming needs the process index");
+      }
+      return std::make_unique<baselines::ConsensusRenamingProcess>(params, index, id);
+    case Algorithm::kBitRenaming:
+      return std::make_unique<baselines::BitRenamingProcess>(params, id);
+    case Algorithm::kTranslatedRenaming: {
+      auto inner = std::make_unique<baselines::CrashRenamingProcess>(params, id, options);
+      const int inner_steps = inner->total_steps();
+      return std::make_unique<translate::TranslatedProcess>(params, std::move(inner),
+                                                            inner_steps);
+    }
+    case Algorithm::kScalarAA: {
+      const int rounds =
+          options.approximation_iterations >= 0 ? options.approximation_iterations : 10;
+      return std::make_unique<aa::ByzantineAAProcess>(params, numeric::Rational(id), rounds);
+    }
+  }
+  throw std::invalid_argument("make_correct_behavior: unknown algorithm");
+}
+
+}  // namespace
+
+std::unique_ptr<sim::ProcessBehavior> make_correct_behavior(Algorithm algorithm,
+                                                            const sim::SystemParams& params,
+                                                            sim::Id id,
+                                                            const RenamingOptions& options,
+                                                            sim::ProcessIndex index) {
+  return make_behavior(algorithm, params, id, options, index);
+}
+
+sim::Name namespace_size(Algorithm algorithm, const sim::SystemParams& params) {
+  const auto n = static_cast<sim::Name>(params.n);
+  const auto t = static_cast<sim::Name>(params.t);
+  switch (algorithm) {
+    case Algorithm::kOpRenaming:
+      return params.t > 0 ? n + t - 1 : n;
+    case Algorithm::kOpRenamingConstantTime:
+      return n;  // Lemma V.1: strong renaming in this regime
+    case Algorithm::kFastRenaming:
+      return n * n;
+    case Algorithm::kCrashRenaming:
+      return n;
+    case Algorithm::kConsensusRenaming:
+      return n;
+    case Algorithm::kBitRenaming:
+      return baselines::BitRenamingProcess::target_namespace(params);
+    case Algorithm::kTranslatedRenaming:
+      return n;  // the wrapped [14]-style protocol is strong
+    case Algorithm::kScalarAA:
+      break;
+  }
+  throw std::invalid_argument("namespace_size: not a renaming algorithm");
+}
+
+int expected_steps(Algorithm algorithm, const sim::SystemParams& params,
+                   const RenamingOptions& options) {
+  const int iterations = options.approximation_iterations >= 0
+                             ? options.approximation_iterations
+                             : default_approximation_iterations(params.t);
+  switch (algorithm) {
+    case Algorithm::kOpRenaming:
+      return 4 + iterations;
+    case Algorithm::kOpRenamingConstantTime:
+      return 4 + kConstantTimeIterations;
+    case Algorithm::kFastRenaming:
+      return 2;
+    case Algorithm::kCrashRenaming:
+      return 1 + iterations;
+    case Algorithm::kConsensusRenaming:
+      return 1 + 2 * (params.t + 1);
+    case Algorithm::kBitRenaming:
+      return 4 + 2 * ceil_log2(2 * params.n);
+    case Algorithm::kTranslatedRenaming:
+      return translate::TranslatedProcess::real_steps(1 + iterations);
+    case Algorithm::kScalarAA:
+      return options.approximation_iterations >= 0 ? options.approximation_iterations : 10;
+  }
+  throw std::invalid_argument("expected_steps: unknown algorithm");
+}
+
+std::vector<sim::Id> generate_ids(int count, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::set<sim::Id> chosen;
+  while (static_cast<int>(chosen.size()) < count) {
+    chosen.insert(rng.uniform(1, 1'000'000'000'000));
+  }
+  std::vector<sim::Id> ids(chosen.begin(), chosen.end());
+  std::shuffle(ids.begin(), ids.end(), rng.engine());
+  return ids;
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  const sim::SystemParams& params = config.params;
+  if (config.algorithm == Algorithm::kScalarAA) {
+    throw std::invalid_argument("run_scenario: drive scalar AA directly, not via scenarios");
+  }
+  const int faults = config.actual_faults >= 0 ? config.actual_faults : params.t;
+  if (faults > params.t || faults >= params.n) {
+    throw std::invalid_argument("run_scenario: invalid fault count");
+  }
+  const int correct_count = params.n - faults;
+
+  // Ids: correct processes sit at indices 0..correct_count-1 in id order;
+  // the faulty tail receives "natural" ids interleaved with them.
+  std::vector<sim::Id> correct_ids = config.correct_ids;
+  std::vector<sim::Id> byz_ids;
+  if (correct_ids.empty()) {
+    std::vector<sim::Id> all = generate_ids(params.n, config.seed * 7919 + 17);
+    correct_ids.assign(all.begin(), all.begin() + correct_count);
+    byz_ids.assign(all.begin() + correct_count, all.end());
+  } else {
+    if (static_cast<int>(correct_ids.size()) != correct_count) {
+      throw std::invalid_argument("run_scenario: correct_ids size mismatch");
+    }
+    std::vector<sim::Id> extra = generate_ids(params.n, config.seed * 104729 + 29);
+    for (const sim::Id id : extra) {
+      if (static_cast<int>(byz_ids.size()) == faults) break;
+      if (std::find(correct_ids.begin(), correct_ids.end(), id) == correct_ids.end()) {
+        byz_ids.push_back(id);
+      }
+    }
+  }
+  std::sort(correct_ids.begin(), correct_ids.end());
+
+  RenamingOptions options = config.options;
+  if (config.algorithm == Algorithm::kOpRenamingConstantTime) {
+    options.approximation_iterations = kConstantTimeIterations;
+  }
+
+  std::vector<std::unique_ptr<sim::ProcessBehavior>> behaviors;
+  behaviors.reserve(static_cast<std::size_t>(params.n));
+  for (int i = 0; i < correct_count; ++i) {
+    behaviors.push_back(make_behavior(config.algorithm, params, correct_ids[static_cast<std::size_t>(i)],
+                                      options, i));
+  }
+
+  adversary::AdversaryEnv env;
+  env.params = params;
+  env.algorithm = config.algorithm;
+  env.options = options;
+  for (int i = 0; i < correct_count; ++i) {
+    env.correct.emplace_back(i, correct_ids[static_cast<std::size_t>(i)]);
+  }
+  for (int i = correct_count; i < params.n; ++i) env.byz_indices.push_back(i);
+  env.byz_ids = byz_ids;
+  env.seed = config.seed;
+
+  std::vector<std::unique_ptr<sim::ProcessBehavior>> faulty =
+      adversary::find_adversary(config.adversary)(env);
+  if (static_cast<int>(faulty.size()) != faults) {
+    throw std::logic_error("run_scenario: adversary produced wrong behavior count");
+  }
+  for (auto& behavior : faulty) behaviors.push_back(std::move(behavior));
+
+  std::vector<bool> byzantine(static_cast<std::size_t>(params.n), false);
+  for (int i = correct_count; i < params.n; ++i) byzantine[static_cast<std::size_t>(i)] = true;
+
+  // Consensus and the crash-to-Byzantine translation presuppose
+  // sender-authenticated links (see DESIGN.md).
+  const bool scramble = config.algorithm != Algorithm::kConsensusRenaming &&
+                        config.algorithm != Algorithm::kTranslatedRenaming;
+
+  sim::Network network(std::move(behaviors), std::move(byzantine),
+                       sim::Rng(config.seed ^ 0x9e3779b97f4a7c15ull), scramble);
+  if (config.event_log != nullptr) network.attach_event_log(config.event_log);
+
+  ScenarioResult result;
+  result.target_namespace = namespace_size(config.algorithm, params);
+  const int budget = expected_steps(config.algorithm, params, options) + config.extra_rounds;
+  result.run = sim::run_to_completion(network, budget, config.observer);
+
+  for (int i = 0; i < correct_count; ++i) {
+    result.named.push_back(
+        {correct_ids[static_cast<std::size_t>(i)], result.run.decisions[static_cast<std::size_t>(i)]});
+  }
+  result.report = check_renaming(result.named, result.target_namespace);
+
+  result.min_accepted = static_cast<std::size_t>(-1);
+  for (int i = 0; i < correct_count; ++i) {
+    const sim::ProcessBehavior& behavior = network.behavior(i);
+    if (const auto* op = dynamic_cast<const OpRenamingProcess*>(&behavior)) {
+      result.max_accepted = std::max(result.max_accepted, op->selection_accepted().size());
+      result.min_accepted = std::min(result.min_accepted, op->selection_accepted().size());
+      result.total_rejected += op->rejected_votes();
+    } else if (const auto* fast = dynamic_cast<const FastRenamingProcess*>(&behavior)) {
+      result.max_accepted = std::max(result.max_accepted, fast->accepted().size());
+      result.min_accepted = std::min(result.min_accepted, fast->accepted().size());
+      result.total_rejected += fast->rejected_echoes();
+    }
+  }
+  if (result.min_accepted == static_cast<std::size_t>(-1)) result.min_accepted = 0;
+  return result;
+}
+
+}  // namespace byzrename::core

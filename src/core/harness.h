@@ -1,0 +1,80 @@
+#ifndef BYZRENAME_CORE_HARNESS_H
+#define BYZRENAME_CORE_HARNESS_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/checker.h"
+#include "core/params.h"
+#include "sim/process.h"
+#include "sim/runner.h"
+#include "trace/event_log.h"
+
+namespace byzrename::core {
+
+/// Creates a correct-process behavior for the given protocol. Also used
+/// by adversary strategies that mimic or wrap honest processes (crash
+/// faults, split-world equivocators). @p index is the process's physical
+/// index, needed only by protocols in the sender-authenticated model
+/// (consensus renaming); pass -1 otherwise.
+[[nodiscard]] std::unique_ptr<sim::ProcessBehavior> make_correct_behavior(
+    Algorithm algorithm, const sim::SystemParams& params, sim::Id id,
+    const RenamingOptions& options = {}, sim::ProcessIndex index = -1);
+
+/// Target namespace size M the protocol promises for (n, t); the checker
+/// scores validity against this.
+[[nodiscard]] sim::Name namespace_size(Algorithm algorithm, const sim::SystemParams& params);
+
+/// Synchronous steps the protocol needs; the runner's round budget.
+[[nodiscard]] int expected_steps(Algorithm algorithm, const sim::SystemParams& params,
+                                 const RenamingOptions& options = {});
+
+/// A complete experiment specification: protocol, fault budget, id
+/// workload, adversary strategy, seed.
+struct ScenarioConfig {
+  sim::SystemParams params;
+  Algorithm algorithm = Algorithm::kOpRenaming;
+  /// Strategy name from the adversary registry ("silent", "idflood", ...).
+  std::string adversary = "silent";
+  /// Number of actually faulty processes, <= params.t. -1 means t.
+  int actual_faults = -1;
+  std::uint64_t seed = 1;
+  /// Original ids of correct processes; generated from the seed if empty.
+  std::vector<sim::Id> correct_ids;
+  RenamingOptions options;
+  /// Extra safety margin on the round budget (0 = exact expected_steps).
+  int extra_rounds = 0;
+  sim::RoundObserver observer;
+  /// Optional structured event trace (sends/deliveries); O(N^2) events
+  /// per round, for debugging-scale scenarios only.
+  trace::EventLog* event_log = nullptr;
+};
+
+/// Everything a test or bench wants to know about one run.
+struct ScenarioResult {
+  sim::RunResult run;
+  CheckReport report;
+  sim::Name target_namespace = 0;
+  std::vector<NamedProcess> named;  ///< correct processes, in id order
+  /// |accepted| extremes over correct processes (Alg. 1 / Alg. 4 only).
+  std::size_t max_accepted = 0;
+  std::size_t min_accepted = 0;
+  /// Votes/echoes rejected by validation, summed over correct processes.
+  long total_rejected = 0;
+};
+
+/// Deterministically generates @p count distinct ids from a large
+/// namespace, seeded; ids of correct and faulty processes interleave so
+/// Byzantine lies can target order boundaries.
+[[nodiscard]] std::vector<sim::Id> generate_ids(int count, std::uint64_t seed);
+
+/// Assembles the network (correct processes at indices 0..n-f-1 in id
+/// order, faulty at the tail), runs it to completion, and scores it.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config);
+
+}  // namespace byzrename::core
+
+#endif  // BYZRENAME_CORE_HARNESS_H

@@ -1,0 +1,109 @@
+#include "core/id_selection.h"
+
+#include <stdexcept>
+
+namespace byzrename::core {
+
+using sim::Delivery;
+using sim::EchoMsg;
+using sim::Id;
+using sim::IdMsg;
+using sim::Inbox;
+using sim::LinkIndex;
+using sim::Outbox;
+using sim::ReadyMsg;
+using sim::Round;
+
+IdSelection::IdSelection(sim::SystemParams params, Id my_id) : params_(params), my_id_(my_id) {}
+
+void IdSelection::on_send(Round step, Outbox& out) {
+  switch (step) {
+    case 1:
+      out.broadcast(IdMsg{my_id_});
+      break;
+    case 2:
+      for (const Id id : ids_) out.broadcast(EchoMsg{id});
+      break;
+    case 3:
+      for (const Id id : ids_) {
+        out.broadcast(ReadyMsg{id});
+        ready_sent_.insert(id);
+      }
+      break;
+    case 4:
+      for (const Id id : ids_) {
+        out.broadcast(ReadyMsg{id});
+        ready_sent_.insert(id);
+      }
+      break;
+    default:
+      throw std::logic_error("IdSelection::on_send: step out of range");
+  }
+}
+
+void IdSelection::on_receive(Round step, const Inbox& inbox) {
+  const int quorum = params_.n - params_.t;          // N - t
+  const int weak_quorum = params_.n - 2 * params_.t;  // N - 2t
+
+  switch (step) {
+    case 1: {
+      // One id per link: a link that announces several "own" ids is
+      // provably faulty and only its first announcement counts. This is
+      // what caps Byzantine step-1 injections at t*(N-t) id slots
+      // (Lemma A.1's counting argument).
+      std::set<LinkIndex> seen_links;
+      ids_.clear();
+      for (const Delivery& d : inbox) {
+        const auto* msg = std::get_if<IdMsg>(&d.payload);
+        if (msg == nullptr) continue;
+        if (!seen_links.insert(d.link).second) continue;
+        ids_.insert(msg->id);
+      }
+      break;
+    }
+    case 2: {
+      for (const Delivery& d : inbox) {
+        const auto* msg = std::get_if<EchoMsg>(&d.payload);
+        if (msg == nullptr) continue;
+        echo_links_[msg->id].insert(d.link);
+      }
+      ids_.clear();
+      for (const auto& [id, links] : echo_links_) {
+        if (static_cast<int>(links.size()) >= quorum) ids_.insert(id);
+      }
+      break;
+    }
+    case 3: {
+      for (const Delivery& d : inbox) {
+        const auto* msg = std::get_if<ReadyMsg>(&d.payload);
+        if (msg == nullptr) continue;
+        ready_links_[msg->id].insert(d.link);
+      }
+      ids_.clear();
+      for (const auto& [id, links] : ready_links_) {
+        const int count = static_cast<int>(links.size());
+        if (count >= quorum) timely_.insert(id);
+        // Amplification: a weak quorum of Readys means at least one
+        // correct process observed an Echo quorum, so join in step 4.
+        if (count >= weak_quorum && !ready_sent_.contains(id)) ids_.insert(id);
+      }
+      break;
+    }
+    case 4: {
+      // Ready counts accumulate over steps 3 and 4 (paper, lines 24-25).
+      for (const Delivery& d : inbox) {
+        const auto* msg = std::get_if<ReadyMsg>(&d.payload);
+        if (msg == nullptr) continue;
+        ready_links_[msg->id].insert(d.link);
+      }
+      for (const auto& [id, links] : ready_links_) {
+        if (static_cast<int>(links.size()) >= quorum) accepted_.insert(id);
+      }
+      break;
+    }
+    default:
+      throw std::logic_error("IdSelection::on_receive: step out of range");
+  }
+}
+
+}  // namespace byzrename::core

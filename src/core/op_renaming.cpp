@@ -1,0 +1,101 @@
+#include "core/op_renaming.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace byzrename::core {
+
+using numeric::Rational;
+using sim::Id;
+using sim::Inbox;
+using sim::Outbox;
+using sim::Round;
+
+OpRenamingProcess::OpRenamingProcess(sim::SystemParams params, Id my_id, RenamingOptions options)
+    : params_(params),
+      options_(options),
+      iterations_(options.approximation_iterations >= 0
+                      ? options.approximation_iterations
+                      : default_approximation_iterations(params.t)),
+      delta_(delta(params)),
+      selection_(params, my_id) {
+  if (!valid_for_op_renaming(params)) {
+    throw std::invalid_argument("OpRenamingProcess: requires N > 3t");
+  }
+}
+
+void OpRenamingProcess::on_send(Round round, Outbox& out) {
+  if (decided_) return;
+  if (round <= 4) {
+    selection_.on_send(round, out);
+    return;
+  }
+  out.broadcast(encode_vote(ranks_));
+}
+
+void OpRenamingProcess::on_receive(Round round, const Inbox& inbox) {
+  if (decided_) return;
+  if (round <= 4) {
+    selection_.on_receive(round, inbox);
+    if (round == 4) {
+      accepted_ = selection_.accepted();
+      assign_initial_ranks();
+      if (iterations_ == 0) decide();
+    }
+    return;
+  }
+
+  // Voting step: accept at most one vote per link (a link spamming
+  // several arrays is provably faulty; counting them all would let one
+  // Byzantine process outvote the trim).
+  std::map<sim::LinkIndex, RankMap> per_link;
+  for (const sim::Delivery& d : inbox) {
+    const auto* msg = std::get_if<sim::RanksMsg>(&d.payload);
+    if (msg == nullptr) continue;
+    if (per_link.contains(d.link)) {
+      ++rejected_votes_;
+      continue;
+    }
+    RankMap vote;
+    if (!decode_vote(*msg, params_, options_, vote) ||
+        (options_.validate_votes && !is_valid_ranks(selection_.timely(), vote, delta_))) {
+      ++rejected_votes_;
+      continue;
+    }
+    per_link.emplace(d.link, std::move(vote));
+  }
+
+  std::vector<RankMap> votes;
+  votes.reserve(per_link.size());
+  for (auto& [link, vote] : per_link) votes.push_back(std::move(vote));
+
+  ApproximateResult result = approximate(params_, accepted_, ranks_, votes);
+  ranks_ = std::move(result.new_ranks);
+
+  if (round == 4 + iterations_) decide();
+}
+
+void OpRenamingProcess::assign_initial_ranks() {
+  // ranks[id] := rank(accepted, id) * delta, rank being the 1-based
+  // position in the sorted accepted set (Alg. 1, lines 26-28).
+  ranks_.clear();
+  std::int64_t position = 0;
+  for (const Id id : accepted_) {  // std::set iterates in sorted order
+    ++position;
+    ranks_.emplace(id, Rational(position) * delta_);
+  }
+}
+
+void OpRenamingProcess::decide() {
+  decided_ = true;
+  const auto it = ranks_.find(selection_.my_id());
+  if (it == ranks_.end()) {
+    // Cannot happen for valid parameters: my id is timely at every
+    // correct process (Lemma IV.2), hence never dropped (Cor. IV.5).
+    decision_ = std::nullopt;
+    return;
+  }
+  decision_ = it->second.round().to_int64();
+}
+
+}  // namespace byzrename::core

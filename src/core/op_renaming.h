@@ -1,0 +1,72 @@
+#ifndef BYZRENAME_CORE_OP_RENAMING_H
+#define BYZRENAME_CORE_OP_RENAMING_H
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/id_selection.h"
+#include "core/params.h"
+#include "core/rank_approx.h"
+#include "sim/process.h"
+
+namespace byzrename::core {
+
+/// Alg. 1: order-preserving Byzantine renaming for N > 3t.
+///
+/// Steps 1-4 run the id selection phase (IdSelection); steps 5 onwards
+/// run the validated approximate-agreement voting phase. After the last
+/// voting step the process decides round(ranks[my_id]).
+///
+/// Guarantees (Theorem IV.10): for N > 3t the decided names of correct
+/// processes are unique, order-preserving with respect to original ids,
+/// and lie in [1 .. N+t-1]. In the constant-time regime N > t^2 + 2t,
+/// running exactly 4 voting iterations (RenamingOptions) yields names in
+/// [1 .. N] after 8 total steps (Theorem V.3).
+class OpRenamingProcess final : public sim::ProcessBehavior {
+ public:
+  OpRenamingProcess(sim::SystemParams params, sim::Id my_id, RenamingOptions options = {});
+
+  void on_send(sim::Round round, sim::Outbox& out) override;
+  void on_receive(sim::Round round, const sim::Inbox& inbox) override;
+  [[nodiscard]] bool done() const override { return decided_; }
+  [[nodiscard]] std::optional<sim::Name> decision() const override { return decision_; }
+
+  /// Total synchronous steps this configuration runs (4 + iterations).
+  [[nodiscard]] int total_steps() const noexcept { return 4 + iterations_; }
+
+  // --- Introspection for tests and benches -------------------------------
+
+  [[nodiscard]] const std::set<sim::Id>& timely() const noexcept { return selection_.timely(); }
+  [[nodiscard]] const std::set<sim::Id>& accepted() const noexcept { return accepted_; }
+  /// The accepted set as of the end of step 4, before the voting phase
+  /// drops under-voted ids — the set Lemma IV.3 bounds.
+  [[nodiscard]] const std::set<sim::Id>& selection_accepted() const noexcept {
+    return selection_.accepted();
+  }
+  [[nodiscard]] const RankMap& ranks() const noexcept { return ranks_; }
+  [[nodiscard]] sim::Id my_id() const noexcept { return selection_.my_id(); }
+  /// Votes rejected by decode/isValid across the whole run.
+  [[nodiscard]] int rejected_votes() const noexcept { return rejected_votes_; }
+
+ private:
+  void assign_initial_ranks();
+  void decide();
+
+  sim::SystemParams params_;
+  RenamingOptions options_;
+  int iterations_;
+  numeric::Rational delta_;
+
+  IdSelection selection_;
+  std::set<sim::Id> accepted_;  ///< working copy, shrinks as ids are dropped
+  RankMap ranks_;
+
+  int rejected_votes_ = 0;
+  bool decided_ = false;
+  std::optional<sim::Name> decision_;
+};
+
+}  // namespace byzrename::core
+
+#endif  // BYZRENAME_CORE_OP_RENAMING_H

@@ -1,0 +1,61 @@
+#include "core/planner.h"
+
+#include <algorithm>
+
+namespace byzrename::core {
+
+namespace {
+
+bool algorithm_feasible(Algorithm algorithm, const sim::SystemParams& params,
+                        const PlanConstraints& constraints) {
+  switch (algorithm) {
+    case Algorithm::kOpRenaming:
+      return valid_for_op_renaming(params);
+    case Algorithm::kOpRenamingConstantTime:
+      return valid_for_constant_time(params);
+    case Algorithm::kFastRenaming:
+      return valid_for_fast_renaming(params);
+    case Algorithm::kConsensusRenaming:
+      return constraints.authenticated_links && params.n > 4 * params.t;
+    case Algorithm::kBitRenaming:
+      return !constraints.order_preserving && valid_for_op_renaming(params);
+    default:
+      return false;  // crash baseline tolerates no Byzantine faults
+  }
+}
+
+}  // namespace
+
+std::vector<PlanOption> plan_renaming(const sim::SystemParams& params,
+                                      const PlanConstraints& constraints) {
+  std::vector<PlanOption> options;
+  for (const Algorithm algorithm :
+       {Algorithm::kFastRenaming, Algorithm::kOpRenamingConstantTime, Algorithm::kOpRenaming,
+        Algorithm::kBitRenaming, Algorithm::kConsensusRenaming}) {
+    if (!algorithm_feasible(algorithm, params, constraints)) continue;
+    PlanOption option;
+    option.algorithm = algorithm;
+    option.steps = expected_steps(algorithm, params);
+    option.namespace_size = namespace_size(algorithm, params);
+    option.order_preserving = algorithm != Algorithm::kBitRenaming;
+    if (constraints.max_steps > 0 && option.steps > constraints.max_steps) continue;
+    if (constraints.max_namespace > 0 && option.namespace_size > constraints.max_namespace) {
+      continue;
+    }
+    options.push_back(option);
+  }
+  std::sort(options.begin(), options.end(), [](const PlanOption& a, const PlanOption& b) {
+    if (a.steps != b.steps) return a.steps < b.steps;
+    return a.namespace_size < b.namespace_size;
+  });
+  return options;
+}
+
+std::optional<PlanOption> recommend_renaming(const sim::SystemParams& params,
+                                             const PlanConstraints& constraints) {
+  const std::vector<PlanOption> options = plan_renaming(params, constraints);
+  if (options.empty()) return std::nullopt;
+  return options.front();
+}
+
+}  // namespace byzrename::core

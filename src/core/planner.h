@@ -1,0 +1,52 @@
+#ifndef BYZRENAME_CORE_PLANNER_H
+#define BYZRENAME_CORE_PLANNER_H
+
+#include <optional>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/harness.h"
+#include "core/params.h"
+
+namespace byzrename::core {
+
+/// What a deployment cares about when choosing among the paper's three
+/// regimes (and the baselines).
+struct PlanConstraints {
+  /// Largest acceptable target namespace; 0 = unconstrained.
+  sim::Name max_namespace = 0;
+  /// Largest acceptable number of synchronous steps; 0 = unconstrained.
+  int max_steps = 0;
+  /// Whether the new names must preserve original-id order.
+  bool order_preserving = true;
+  /// Whether receivers can attribute messages to senders. The paper's
+  /// model says no; consensus-based renaming requires yes.
+  bool authenticated_links = false;
+};
+
+/// One feasible choice, with its costs.
+struct PlanOption {
+  Algorithm algorithm = Algorithm::kOpRenaming;
+  int steps = 0;
+  sim::Name namespace_size = 0;
+  bool order_preserving = true;
+};
+
+/// All algorithms whose resilience requirement, namespace, step count and
+/// model assumptions fit (n, t) and the constraints — cheapest (fewest
+/// steps, then smallest namespace) first. Empty means nothing in this
+/// library fits; the caller must relax something.
+///
+/// This encodes the paper's decision surface: Alg. 4 when t is tiny and
+/// steps are precious, constant-time Alg. 1 when N > t^2+2t and a tight
+/// namespace matters, full Alg. 1 whenever N > 3t.
+[[nodiscard]] std::vector<PlanOption> plan_renaming(const sim::SystemParams& params,
+                                                    const PlanConstraints& constraints = {});
+
+/// The single recommended choice, if any.
+[[nodiscard]] std::optional<PlanOption> recommend_renaming(const sim::SystemParams& params,
+                                                           const PlanConstraints& constraints = {});
+
+}  // namespace byzrename::core
+
+#endif  // BYZRENAME_CORE_PLANNER_H

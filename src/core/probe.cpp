@@ -1,0 +1,93 @@
+#include "core/probe.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/fast_renaming.h"
+#include "core/op_renaming.h"
+
+namespace byzrename::core {
+
+using numeric::Rational;
+
+Rational max_rank_spread(const sim::Network& network, bool timely_only) {
+  std::map<sim::Id, std::pair<Rational, Rational>> extremes;
+  std::set<sim::Id> timely_union;
+  for (sim::ProcessIndex i = 0; i < network.size(); ++i) {
+    if (network.is_byzantine(i)) continue;
+    const auto* op = dynamic_cast<const OpRenamingProcess*>(&network.behavior(i));
+    if (op == nullptr) continue;
+    timely_union.insert(op->timely().begin(), op->timely().end());
+    for (const auto& [id, rank] : op->ranks()) {
+      const auto it = extremes.find(id);
+      if (it == extremes.end()) {
+        extremes.emplace(id, std::make_pair(rank, rank));
+      } else {
+        it->second.first = std::min(it->second.first, rank);
+        it->second.second = std::max(it->second.second, rank);
+      }
+    }
+  }
+  Rational worst;
+  for (const auto& [id, range] : extremes) {
+    if (timely_only && !timely_union.contains(id)) continue;
+    worst = std::max(worst, range.second - range.first);
+  }
+  return worst;
+}
+
+Rational min_adjacent_rank_gap(const sim::Network& network) {
+  Rational best(1'000'000'000);
+  for (sim::ProcessIndex i = 0; i < network.size(); ++i) {
+    if (network.is_byzantine(i)) continue;
+    const auto* op = dynamic_cast<const OpRenamingProcess*>(&network.behavior(i));
+    if (op == nullptr) continue;
+    const Rational* previous = nullptr;
+    for (const sim::Id id : op->timely()) {
+      const auto it = op->ranks().find(id);
+      if (it == op->ranks().end()) continue;
+      if (previous != nullptr) best = std::min(best, it->second - *previous);
+      previous = &it->second;
+    }
+  }
+  return best;
+}
+
+FastNameStats fast_name_stats(const sim::Network& network) {
+  FastNameStats stats;
+  std::vector<std::map<sim::Id, sim::Name>> newids;
+  std::vector<sim::Id> correct_ids;
+  for (sim::ProcessIndex i = 0; i < network.size(); ++i) {
+    if (network.is_byzantine(i)) continue;
+    const auto* fast = dynamic_cast<const FastRenamingProcess*>(&network.behavior(i));
+    if (fast == nullptr) continue;
+    newids.push_back(fast->newid());
+    correct_ids.push_back(fast->my_id());
+  }
+  std::sort(correct_ids.begin(), correct_ids.end());
+
+  for (const sim::Id id : correct_ids) {
+    sim::Name lo = std::numeric_limits<sim::Name>::max();
+    sim::Name hi = std::numeric_limits<sim::Name>::min();
+    for (const auto& newid : newids) {
+      const auto it = newid.find(id);
+      if (it == newid.end()) continue;
+      lo = std::min(lo, it->second);
+      hi = std::max(hi, it->second);
+    }
+    if (lo <= hi) stats.max_discrepancy = std::max(stats.max_discrepancy, hi - lo);
+  }
+  for (const auto& newid : newids) {
+    for (std::size_t i = 1; i < correct_ids.size(); ++i) {
+      const auto lo = newid.find(correct_ids[i - 1]);
+      const auto hi = newid.find(correct_ids[i]);
+      if (lo == newid.end() || hi == newid.end()) continue;
+      stats.min_gap = std::min(stats.min_gap, hi->second - lo->second);
+    }
+  }
+  return stats;
+}
+
+}  // namespace byzrename::core

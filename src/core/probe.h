@@ -1,0 +1,42 @@
+#ifndef BYZRENAME_CORE_PROBE_H
+#define BYZRENAME_CORE_PROBE_H
+
+#include <limits>
+
+#include "numeric/rational.h"
+#include "sim/network.h"
+#include "sim/types.h"
+
+namespace byzrename::core {
+
+/// Read-only measurements over a live network's correct processes —
+/// the quantities the paper's lemmas bound. Used by the convergence
+/// benches (F1, T5, A1, E1) and the lemma-level tests; centralizing them
+/// keeps every experiment measuring exactly the same thing.
+
+/// Maximum over ids of the spread (max - min) of that id's rank across
+/// all correct OpRenaming processes. With @p timely_only, only ids in
+/// some correct process's timely set count — the quantity Lemmas IV.7-9
+/// track; otherwise all ranked ids count.
+[[nodiscard]] numeric::Rational max_rank_spread(const sim::Network& network,
+                                                bool timely_only = false);
+
+/// Minimum gap between consecutive timely ids' ranks over all correct
+/// OpRenaming processes — Corollary IV.6 lower-bounds this by delta.
+[[nodiscard]] numeric::Rational min_adjacent_rank_gap(const sim::Network& network);
+
+/// Alg. 4 measurements after round 2.
+struct FastNameStats {
+  /// Max over correct ids of (max - min) of that id's estimated name
+  /// across correct processes — Lemma VI.1 bounds this by 2t^2.
+  sim::Name max_discrepancy = 0;
+  /// Min over processes of the gap between consecutive correct ids'
+  /// names — Lemma VI.2 lower-bounds this by N-t.
+  sim::Name min_gap = std::numeric_limits<sim::Name>::max();
+};
+
+[[nodiscard]] FastNameStats fast_name_stats(const sim::Network& network);
+
+}  // namespace byzrename::core
+
+#endif  // BYZRENAME_CORE_PROBE_H

@@ -1,0 +1,446 @@
+#include "numeric/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace byzrename::numeric {
+
+namespace {
+
+constexpr std::uint64_t kLimbBase = 1ull << 32;
+
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  negative_ = value < 0;
+  // Convert through uint64 so INT64_MIN negates safely.
+  std::uint64_t magnitude =
+      negative_ ? ~static_cast<std::uint64_t>(value) + 1 : static_cast<std::uint64_t>(value);
+  while (magnitude != 0) {
+    limbs_.push_back(static_cast<Limb>(magnitude & 0xFFFFFFFFu));
+    magnitude >>= kLimbBits;
+  }
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::from_string(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("BigInt::from_string: empty input");
+  bool negative = false;
+  std::size_t pos = 0;
+  if (text[0] == '-' || text[0] == '+') {
+    negative = text[0] == '-';
+    pos = 1;
+    if (pos == text.size()) throw std::invalid_argument("BigInt::from_string: sign only");
+  }
+  BigInt result;
+  const BigInt ten(10);
+  for (; pos < text.size(); ++pos) {
+    const char c = text[pos];
+    if (c < '0' || c > '9') throw std::invalid_argument("BigInt::from_string: non-digit");
+    result *= ten;
+    result += BigInt(c - '0');
+  }
+  result.negative_ = negative && !result.is_zero();
+  return result;
+}
+
+void BigInt::trim() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+std::size_t BigInt::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * kLimbBits;
+  Limb top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+int BigInt::compare_magnitude(const std::vector<Limb>& a, const std::vector<Limb>& b) noexcept {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+int BigInt::compare(const BigInt& other) const noexcept {
+  if (negative_ != other.negative_) return negative_ ? -1 : 1;
+  const int mag = compare_magnitude(limbs_, other.limbs_);
+  return negative_ ? -mag : mag;
+}
+
+bool BigInt::fits_int64() const noexcept {
+  if (limbs_.size() > 2) return false;
+  if (limbs_.size() < 2) return true;
+  const std::uint64_t magnitude =
+      (static_cast<std::uint64_t>(limbs_[1]) << kLimbBits) | limbs_[0];
+  const std::uint64_t limit =
+      negative_ ? (1ull << 63) : (1ull << 63) - 1;
+  return magnitude <= limit;
+}
+
+std::int64_t BigInt::to_int64() const {
+  if (!fits_int64()) throw std::overflow_error("BigInt::to_int64: out of range");
+  std::uint64_t magnitude = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    magnitude = (magnitude << kLimbBits) | limbs_[i];
+  }
+  if (negative_) return static_cast<std::int64_t>(~magnitude + 1);
+  return static_cast<std::int64_t>(magnitude);
+}
+
+double BigInt::to_double() const noexcept {
+  double value = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    value = value * static_cast<double>(kLimbBase) + static_cast<double>(limbs_[i]);
+  }
+  return negative_ ? -value : value;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result = *this;
+  if (!result.is_zero()) result.negative_ = !result.negative_;
+  return result;
+}
+
+BigInt BigInt::abs() const {
+  BigInt result = *this;
+  result.negative_ = false;
+  return result;
+}
+
+std::vector<BigInt::Limb> BigInt::add_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  const std::vector<Limb>& longer = a.size() >= b.size() ? a : b;
+  const std::vector<Limb>& shorter = a.size() >= b.size() ? b : a;
+  std::vector<Limb> out(longer.size());
+  WideLimb carry = 0;
+  for (std::size_t i = 0; i < longer.size(); ++i) {
+    WideLimb sum = carry + longer[i];
+    if (i < shorter.size()) sum += shorter[i];
+    out[i] = static_cast<Limb>(sum & 0xFFFFFFFFu);
+    carry = sum >> kLimbBits;
+  }
+  if (carry != 0) out.push_back(static_cast<Limb>(carry));
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::sub_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  std::vector<Limb> out(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow;
+    if (i < b.size()) diff -= static_cast<std::int64_t>(b[i]);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out[i] = static_cast<Limb>(diff);
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mul_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<Limb> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    WideLimb carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      WideLimb cur = static_cast<WideLimb>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<Limb>(cur & 0xFFFFFFFFu);
+      carry = cur >> kLimbBits;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      WideLimb cur = carry + out[k];
+      out[k] = static_cast<Limb>(cur & 0xFFFFFFFFu);
+      carry = cur >> kLimbBits;
+      ++k;
+    }
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+// Knuth TAOCP vol. 2, Algorithm D, specialized to 32-bit limbs.
+void BigInt::div_mod_magnitude(const std::vector<Limb>& num, const std::vector<Limb>& den,
+                               std::vector<Limb>& quot, std::vector<Limb>& rem) {
+  quot.clear();
+  rem.clear();
+  if (den.empty()) throw std::domain_error("BigInt: division by zero");
+  if (compare_magnitude(num, den) < 0) {
+    rem = num;
+    return;
+  }
+  if (den.size() == 1) {
+    // Short division by a single limb.
+    const WideLimb d = den[0];
+    quot.assign(num.size(), 0);
+    WideLimb carry = 0;
+    for (std::size_t i = num.size(); i-- > 0;) {
+      WideLimb cur = (carry << kLimbBits) | num[i];
+      quot[i] = static_cast<Limb>(cur / d);
+      carry = cur % d;
+    }
+    while (!quot.empty() && quot.back() == 0) quot.pop_back();
+    if (carry != 0) rem.push_back(static_cast<Limb>(carry));
+    return;
+  }
+
+  // D1: normalize so the divisor's top limb has its high bit set.
+  unsigned shift = 0;
+  {
+    Limb top = den.back();
+    while ((top & 0x80000000u) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  auto shifted_left = [](const std::vector<Limb>& v, unsigned s) {
+    std::vector<Limb> out(v.size() + 1, 0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out[i] |= static_cast<Limb>((static_cast<WideLimb>(v[i]) << s) & 0xFFFFFFFFu);
+      if (s != 0) out[i + 1] = static_cast<Limb>(static_cast<WideLimb>(v[i]) >> (kLimbBits - s));
+    }
+    return out;
+  };
+  std::vector<Limb> u = shifted_left(num, shift);  // size m+n+1 (keeps the extra top limb)
+  std::vector<Limb> v = shifted_left(den, shift);
+  while (!v.empty() && v.back() == 0) v.pop_back();
+  const std::size_t n = v.size();
+  const std::size_t m = u.size() - n - 1;
+  quot.assign(m + 1, 0);
+
+  const WideLimb v_top = v[n - 1];
+  const WideLimb v_second = v[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate the quotient limb.
+    WideLimb numerator = (static_cast<WideLimb>(u[j + n]) << kLimbBits) | u[j + n - 1];
+    WideLimb q_hat = numerator / v_top;
+    WideLimb r_hat = numerator % v_top;
+    while (q_hat >= kLimbBase ||
+           q_hat * v_second > ((r_hat << kLimbBits) | u[j + n - 2])) {
+      --q_hat;
+      r_hat += v_top;
+      if (r_hat >= kLimbBase) break;
+    }
+    // D4: multiply and subtract.
+    std::int64_t borrow = 0;
+    WideLimb carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      WideLimb product = q_hat * v[i] + carry;
+      carry = product >> kLimbBits;
+      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
+                          static_cast<std::int64_t>(product & 0xFFFFFFFFu) - borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kLimbBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<Limb>(diff);
+    }
+    std::int64_t top_diff =
+        static_cast<std::int64_t>(u[j + n]) - static_cast<std::int64_t>(carry) - borrow;
+    if (top_diff < 0) {
+      // D6: the estimate was one too large; add the divisor back.
+      top_diff += static_cast<std::int64_t>(kLimbBase);
+      --q_hat;
+      WideLimb add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        WideLimb sum = static_cast<WideLimb>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<Limb>(sum & 0xFFFFFFFFu);
+        add_carry = sum >> kLimbBits;
+      }
+      top_diff += static_cast<std::int64_t>(add_carry);
+      top_diff &= 0xFFFFFFFF;
+    }
+    u[j + n] = static_cast<Limb>(top_diff);
+    quot[j] = static_cast<Limb>(q_hat);
+  }
+  while (!quot.empty() && quot.back() == 0) quot.pop_back();
+
+  // D8: denormalize the remainder.
+  rem.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  if (shift != 0) {
+    for (std::size_t i = 0; i < rem.size(); ++i) {
+      rem[i] >>= shift;
+      if (i + 1 < u.size()) {
+        rem[i] |= static_cast<Limb>((static_cast<WideLimb>(u[i + 1]) << (kLimbBits - shift)) &
+                                    0xFFFFFFFFu);
+      }
+    }
+  }
+  while (!rem.empty() && rem.back() == 0) rem.pop_back();
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (negative_ == rhs.negative_) {
+    limbs_ = add_magnitude(limbs_, rhs.limbs_);
+  } else if (compare_magnitude(limbs_, rhs.limbs_) >= 0) {
+    limbs_ = sub_magnitude(limbs_, rhs.limbs_);
+  } else {
+    limbs_ = sub_magnitude(rhs.limbs_, limbs_);
+    negative_ = rhs.negative_;
+  }
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) {
+  BigInt negated = rhs;
+  if (!negated.is_zero()) negated.negative_ = !negated.negative_;
+  return *this += negated;
+}
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  negative_ = negative_ != rhs.negative_;
+  limbs_ = mul_magnitude(limbs_, rhs.limbs_);
+  trim();
+  return *this;
+}
+
+void BigInt::div_mod(const BigInt& num, const BigInt& den, BigInt& quot, BigInt& rem) {
+  std::vector<Limb> q;
+  std::vector<Limb> r;
+  div_mod_magnitude(num.limbs_, den.limbs_, q, r);
+  quot.limbs_ = std::move(q);
+  quot.negative_ = num.negative_ != den.negative_;
+  quot.trim();
+  rem.limbs_ = std::move(r);
+  rem.negative_ = num.negative_;
+  rem.trim();
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  BigInt quot;
+  BigInt rem;
+  div_mod(*this, rhs, quot, rem);
+  *this = std::move(quot);
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  BigInt quot;
+  BigInt rem;
+  div_mod(*this, rhs, quot, rem);
+  *this = std::move(rem);
+  return *this;
+}
+
+BigInt& BigInt::operator<<=(unsigned bits) {
+  if (is_zero() || bits == 0) return *this;
+  const unsigned limb_shift = bits / kLimbBits;
+  const unsigned bit_shift = bits % kLimbBits;
+  limbs_.insert(limbs_.begin(), limb_shift, 0);
+  if (bit_shift != 0) {
+    Limb carry = 0;
+    for (std::size_t i = limb_shift; i < limbs_.size(); ++i) {
+      const WideLimb cur = (static_cast<WideLimb>(limbs_[i]) << bit_shift) | carry;
+      limbs_[i] = static_cast<Limb>(cur & 0xFFFFFFFFu);
+      carry = static_cast<Limb>(cur >> kLimbBits);
+    }
+    if (carry != 0) limbs_.push_back(carry);
+  }
+  return *this;
+}
+
+BigInt& BigInt::operator>>=(unsigned bits) {
+  if (is_zero() || bits == 0) return *this;
+  const unsigned limb_shift = bits / kLimbBits;
+  const unsigned bit_shift = bits % kLimbBits;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    negative_ = false;
+    return *this;
+  }
+  limbs_.erase(limbs_.begin(), limbs_.begin() + static_cast<std::ptrdiff_t>(limb_shift));
+  if (bit_shift != 0) {
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+      limbs_[i] >>= bit_shift;
+      if (i + 1 < limbs_.size()) {
+        limbs_[i] |= static_cast<Limb>(
+            (static_cast<WideLimb>(limbs_[i + 1]) << (kLimbBits - bit_shift)) & 0xFFFFFFFFu);
+      }
+    }
+  }
+  trim();
+  return *this;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt quot;
+    BigInt rem;
+    div_mod(a, b, quot, rem);
+    a = std::move(b);
+    b = std::move(rem);
+  }
+  return a;
+}
+
+std::vector<std::uint8_t> BigInt::magnitude_bytes() const {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(limbs_.size() * 4);
+  for (const Limb limb : limbs_) {
+    bytes.push_back(static_cast<std::uint8_t>(limb & 0xFF));
+    bytes.push_back(static_cast<std::uint8_t>((limb >> 8) & 0xFF));
+    bytes.push_back(static_cast<std::uint8_t>((limb >> 16) & 0xFF));
+    bytes.push_back(static_cast<std::uint8_t>((limb >> 24) & 0xFF));
+  }
+  while (!bytes.empty() && bytes.back() == 0) bytes.pop_back();
+  return bytes;
+}
+
+BigInt BigInt::from_magnitude_bytes(const std::vector<std::uint8_t>& bytes, bool negative) {
+  BigInt value;
+  value.limbs_.resize((bytes.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    value.limbs_[i / 4] |= static_cast<Limb>(bytes[i]) << (8 * (i % 4));
+  }
+  value.trim();
+  value.negative_ = negative && !value.is_zero();
+  return value;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  // Peel nine decimal digits at a time via short division by 10^9.
+  std::string digits;
+  BigInt value = abs();
+  const BigInt chunk(1000000000);
+  while (!value.is_zero()) {
+    BigInt quot;
+    BigInt rem;
+    div_mod(value, chunk, quot, rem);
+    std::uint32_t part = rem.limbs_.empty() ? 0 : rem.limbs_[0];
+    for (int i = 0; i < 9; ++i) {
+      digits.push_back(static_cast<char>('0' + part % 10));
+      part /= 10;
+    }
+    value = std::move(quot);
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v) { return os << v.to_string(); }
+
+}  // namespace byzrename::numeric

@@ -1,0 +1,127 @@
+#ifndef BYZRENAME_NUMERIC_BIGINT_H
+#define BYZRENAME_NUMERIC_BIGINT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace byzrename::numeric {
+
+/// Arbitrary-precision signed integer.
+///
+/// Representation is sign-magnitude with base-2^32 limbs stored
+/// little-endian (limb 0 is least significant). Zero is canonically the
+/// empty limb vector with a non-negative sign. All operations produce
+/// canonical values (no leading zero limbs, no negative zero).
+///
+/// This class exists because the renaming algorithm's correctness proofs
+/// (Lemmas IV.4-IV.9 of the paper) are statements about *exact* rational
+/// ranks: δ-separation must survive dozens of trimmed-averaging rounds.
+/// Fixed-width integers overflow under adversarial inputs, and floating
+/// point silently destroys the invariant the tests assert.
+class BigInt {
+ public:
+  /// Constructs zero.
+  BigInt() = default;
+
+  /// Constructs from a built-in signed integer.
+  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor): deliberate implicit widening
+
+  /// Parses a decimal string with optional leading '-'.
+  /// Throws std::invalid_argument on malformed input.
+  static BigInt from_string(std::string_view text);
+
+  /// True iff the value is zero.
+  [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
+
+  /// True iff the value is strictly negative.
+  [[nodiscard]] bool is_negative() const noexcept { return negative_; }
+
+  /// Number of significant bits in the magnitude (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const noexcept;
+
+  /// Three-way comparison; total order over the integers.
+  [[nodiscard]] int compare(const BigInt& other) const noexcept;
+
+  /// Value as int64 if representable.
+  /// Throws std::overflow_error otherwise.
+  [[nodiscard]] std::int64_t to_int64() const;
+
+  /// True iff the value fits in int64.
+  [[nodiscard]] bool fits_int64() const noexcept;
+
+  /// Decimal string representation.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] BigInt operator-() const;
+  [[nodiscard]] BigInt abs() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  /// Truncated division (C++ semantics: quotient rounds toward zero).
+  /// Throws std::domain_error on division by zero.
+  BigInt& operator/=(const BigInt& rhs);
+  /// Remainder matching truncated division: (a/b)*b + a%b == a.
+  BigInt& operator%=(const BigInt& rhs);
+  BigInt& operator<<=(unsigned bits);
+  BigInt& operator>>=(unsigned bits);
+
+  friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
+  friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
+  friend BigInt operator*(BigInt lhs, const BigInt& rhs) { return lhs *= rhs; }
+  friend BigInt operator/(BigInt lhs, const BigInt& rhs) { return lhs /= rhs; }
+  friend BigInt operator%(BigInt lhs, const BigInt& rhs) { return lhs %= rhs; }
+  friend BigInt operator<<(BigInt lhs, unsigned bits) { return lhs <<= bits; }
+  friend BigInt operator>>(BigInt lhs, unsigned bits) { return lhs >>= bits; }
+
+  friend bool operator==(const BigInt& a, const BigInt& b) noexcept { return a.compare(b) == 0; }
+  friend bool operator!=(const BigInt& a, const BigInt& b) noexcept { return a.compare(b) != 0; }
+  friend bool operator<(const BigInt& a, const BigInt& b) noexcept { return a.compare(b) < 0; }
+  friend bool operator<=(const BigInt& a, const BigInt& b) noexcept { return a.compare(b) <= 0; }
+  friend bool operator>(const BigInt& a, const BigInt& b) noexcept { return a.compare(b) > 0; }
+  friend bool operator>=(const BigInt& a, const BigInt& b) noexcept { return a.compare(b) >= 0; }
+
+  /// Greatest common divisor of |a| and |b|; gcd(0, 0) == 0.
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// Quotient and remainder in one division pass.
+  static void div_mod(const BigInt& num, const BigInt& den, BigInt& quot, BigInt& rem);
+
+  /// Best-effort conversion to double (may lose precision; never throws).
+  [[nodiscard]] double to_double() const noexcept;
+
+  /// Magnitude as little-endian bytes, no leading zero byte; empty for
+  /// zero. Together with is_negative() this is the wire representation
+  /// the codec uses.
+  [[nodiscard]] std::vector<std::uint8_t> magnitude_bytes() const;
+
+  /// Reconstructs a value from magnitude bytes (little-endian) and sign.
+  /// Trailing zero bytes are tolerated; a zero magnitude ignores the sign.
+  static BigInt from_magnitude_bytes(const std::vector<std::uint8_t>& bytes, bool negative);
+
+  friend std::ostream& operator<<(std::ostream& os, const BigInt& v);
+
+ private:
+  using Limb = std::uint32_t;
+  using WideLimb = std::uint64_t;
+  static constexpr unsigned kLimbBits = 32;
+
+  std::vector<Limb> limbs_;
+  bool negative_ = false;
+
+  void trim() noexcept;
+  static int compare_magnitude(const std::vector<Limb>& a, const std::vector<Limb>& b) noexcept;
+  static std::vector<Limb> add_magnitude(const std::vector<Limb>& a, const std::vector<Limb>& b);
+  /// Requires |a| >= |b|.
+  static std::vector<Limb> sub_magnitude(const std::vector<Limb>& a, const std::vector<Limb>& b);
+  static std::vector<Limb> mul_magnitude(const std::vector<Limb>& a, const std::vector<Limb>& b);
+  static void div_mod_magnitude(const std::vector<Limb>& num, const std::vector<Limb>& den,
+                                std::vector<Limb>& quot, std::vector<Limb>& rem);
+};
+
+}  // namespace byzrename::numeric
+
+#endif  // BYZRENAME_NUMERIC_BIGINT_H

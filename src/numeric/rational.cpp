@@ -1,0 +1,107 @@
+#include "numeric/rational.h"
+
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace byzrename::numeric {
+
+Rational::Rational(BigInt numerator, BigInt denominator)
+    : num_(std::move(numerator)), den_(std::move(denominator)) {
+  if (den_.is_zero()) throw std::domain_error("Rational: zero denominator");
+  normalize();
+}
+
+Rational Rational::of(std::int64_t numerator, std::int64_t denominator) {
+  return Rational(BigInt(numerator), BigInt(denominator));
+}
+
+void Rational::normalize() {
+  if (den_.is_negative()) {
+    den_ = -den_;
+    num_ = -num_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  const BigInt g = BigInt::gcd(num_, den_);
+  if (g != BigInt(1)) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+int Rational::compare(const Rational& other) const {
+  // Cross-multiplication is safe: denominators are positive.
+  return (num_ * other.den_).compare(other.num_ * den_);
+}
+
+Rational Rational::operator-() const {
+  Rational result = *this;
+  result.num_ = -result.num_;
+  return result;
+}
+
+Rational Rational::abs() const {
+  Rational result = *this;
+  result.num_ = result.num_.abs();
+  return result;
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  num_ = num_ * rhs.den_ + rhs.num_ * den_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) {
+  num_ = num_ * rhs.den_ - rhs.num_ * den_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  num_ *= rhs.num_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  if (rhs.num_.is_zero()) throw std::domain_error("Rational: division by zero");
+  num_ *= rhs.den_;
+  den_ *= rhs.num_;
+  normalize();
+  return *this;
+}
+
+BigInt Rational::floor() const {
+  BigInt quot;
+  BigInt rem;
+  BigInt::div_mod(num_, den_, quot, rem);
+  if (num_.is_negative() && !rem.is_zero()) quot -= BigInt(1);
+  return quot;
+}
+
+BigInt Rational::round() const {
+  // round(x) = floor(x + 1/2) except that exact .5 rounds away from zero
+  // for negatives too; the ranks in the algorithm never land exactly on
+  // a half after convergence, so either convention satisfies the proofs.
+  const Rational half = Rational::of(1, 2);
+  if (!is_negative()) return (*this + half).floor();
+  return -((-*this + half).floor());
+}
+
+double Rational::to_double() const noexcept { return num_.to_double() / den_.to_double(); }
+
+std::string Rational::to_string() const {
+  if (is_integer()) return num_.to_string();
+  return num_.to_string() + "/" + den_.to_string();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& v) { return os << v.to_string(); }
+
+}  // namespace byzrename::numeric

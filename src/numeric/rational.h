@@ -1,0 +1,93 @@
+#ifndef BYZRENAME_NUMERIC_RATIONAL_H
+#define BYZRENAME_NUMERIC_RATIONAL_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "numeric/bigint.h"
+
+namespace byzrename::numeric {
+
+/// Exact rational number with arbitrary-precision numerator/denominator.
+///
+/// Invariants: the denominator is strictly positive, gcd(num, den) == 1,
+/// and zero is canonically 0/1. Every operation restores the invariants.
+///
+/// Ranks in the renaming algorithm are rationals of the form
+/// k * (1 + 1/(3(N+t))) repeatedly averaged over select_t subsets; the
+/// correctness proofs are exact statements about these values, so the
+/// library computes with them exactly.
+class Rational {
+ public:
+  /// Constructs zero.
+  Rational() : den_(1) {}
+
+  /// Constructs an integer value.
+  Rational(std::int64_t value) : num_(value), den_(1) {}  // NOLINT: deliberate implicit
+
+  Rational(BigInt numerator, BigInt denominator);
+
+  /// num / den as built-in integers.
+  static Rational of(std::int64_t numerator, std::int64_t denominator);
+
+  [[nodiscard]] const BigInt& numerator() const noexcept { return num_; }
+  [[nodiscard]] const BigInt& denominator() const noexcept { return den_; }
+
+  [[nodiscard]] bool is_zero() const noexcept { return num_.is_zero(); }
+  [[nodiscard]] bool is_negative() const noexcept { return num_.is_negative(); }
+  [[nodiscard]] bool is_integer() const noexcept { return den_ == BigInt(1); }
+
+  /// Total bits needed to represent numerator and denominator; used to
+  /// enforce the wire-size bound on Byzantine-supplied values.
+  [[nodiscard]] std::size_t encoded_bits() const noexcept {
+    return num_.bit_length() + den_.bit_length() + 2;
+  }
+
+  [[nodiscard]] int compare(const Rational& other) const;
+
+  [[nodiscard]] Rational operator-() const;
+  [[nodiscard]] Rational abs() const;
+
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  /// Throws std::domain_error on division by zero.
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational lhs, const Rational& rhs) { return lhs += rhs; }
+  friend Rational operator-(Rational lhs, const Rational& rhs) { return lhs -= rhs; }
+  friend Rational operator*(Rational lhs, const Rational& rhs) { return lhs *= rhs; }
+  friend Rational operator/(Rational lhs, const Rational& rhs) { return lhs /= rhs; }
+
+  friend bool operator==(const Rational& a, const Rational& b) { return a.compare(b) == 0; }
+  friend bool operator!=(const Rational& a, const Rational& b) { return a.compare(b) != 0; }
+  friend bool operator<(const Rational& a, const Rational& b) { return a.compare(b) < 0; }
+  friend bool operator<=(const Rational& a, const Rational& b) { return a.compare(b) <= 0; }
+  friend bool operator>(const Rational& a, const Rational& b) { return a.compare(b) > 0; }
+  friend bool operator>=(const Rational& a, const Rational& b) { return a.compare(b) >= 0; }
+
+  /// Nearest integer, halves away from zero (matches the paper's Round()).
+  [[nodiscard]] BigInt round() const;
+
+  /// Largest integer <= value.
+  [[nodiscard]] BigInt floor() const;
+
+  /// Best-effort double (may lose precision; for reporting only).
+  [[nodiscard]] double to_double() const noexcept;
+
+  /// "num/den" (or just "num" for integers).
+  [[nodiscard]] std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& v);
+
+ private:
+  BigInt num_;
+  BigInt den_;  // > 0 always
+
+  void normalize();
+};
+
+}  // namespace byzrename::numeric
+
+#endif  // BYZRENAME_NUMERIC_RATIONAL_H

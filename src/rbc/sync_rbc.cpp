@@ -1,0 +1,104 @@
+#include "rbc/sync_rbc.h"
+
+#include <stdexcept>
+
+namespace byzrename::rbc {
+
+namespace {
+
+// WordMsg tags for the three message kinds.
+constexpr std::int64_t kSendTag = 1;
+constexpr std::int64_t kEchoTag = 2;
+constexpr std::int64_t kReadyTag = 3;
+
+}  // namespace
+
+using sim::Delivery;
+using sim::Inbox;
+using sim::Outbox;
+using sim::Round;
+using sim::WordMsg;
+
+SyncRbcProcess::SyncRbcProcess(sim::SystemParams params, sim::ProcessIndex my_index,
+                               sim::ProcessIndex sender_index, std::int64_t value)
+    : params_(params), my_index_(my_index), sender_index_(sender_index), value_(value) {
+  if (params.n <= 3 * params.t) throw std::invalid_argument("SyncRbcProcess: requires N > 3t");
+}
+
+void SyncRbcProcess::on_send(Round round, Outbox& out) {
+  switch (round) {
+    case 1:
+      if (my_index_ == sender_index_) out.broadcast(WordMsg{kSendTag, {value_}});
+      break;
+    case 2:
+      if (received_from_sender_.has_value()) {
+        echo_value_ = received_from_sender_;
+        out.broadcast(WordMsg{kEchoTag, {*echo_value_}});
+      }
+      break;
+    case 3:
+      // Ready on an echo quorum, for at most one value: two quorums of
+      // N-t share a correct process, so no correct process ever sees
+      // quorums for two values.
+      for (const auto& [value, links] : echo_links_) {
+        if (static_cast<int>(links.size()) >= params_.n - params_.t) {
+          ready_value_ = value;
+          out.broadcast(WordMsg{kReadyTag, {value}});
+          break;
+        }
+      }
+      break;
+    case 4:
+      // Amplification: a weak quorum of Readys implies some correct
+      // process saw an echo quorum, so it is safe to join.
+      if (!ready_value_.has_value()) {
+        for (const auto& [value, links] : ready_links_) {
+          if (static_cast<int>(links.size()) >= params_.n - 2 * params_.t) {
+            ready_value_ = value;
+            out.broadcast(WordMsg{kReadyTag, {value}});
+            break;
+          }
+        }
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void SyncRbcProcess::on_receive(Round round, const Inbox& inbox) {
+  round_ = round;
+  for (const Delivery& d : inbox) {
+    const auto* msg = std::get_if<WordMsg>(&d.payload);
+    if (msg == nullptr || msg->words.size() != 1) continue;
+    const std::int64_t value = msg->words[0];
+    switch (msg->tag) {
+      case kSendTag:
+        // Sender attribution: only believable on the sender's own link.
+        // This is the step that is impossible with anonymous links.
+        if (round == 1 && d.link == sender_index_ && !received_from_sender_.has_value()) {
+          received_from_sender_ = value;
+        }
+        break;
+      case kEchoTag:
+        if (round == 2) echo_links_[value].insert(d.link);
+        break;
+      case kReadyTag:
+        if (round == 3 || round == 4) ready_links_[value].insert(d.link);
+        break;
+      default:
+        break;
+    }
+  }
+
+  if (round == 4) {
+    for (const auto& [value, links] : ready_links_) {
+      if (static_cast<int>(links.size()) >= params_.n - params_.t) {
+        delivered_ = value;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace byzrename::rbc

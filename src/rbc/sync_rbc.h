@@ -1,0 +1,62 @@
+#ifndef BYZRENAME_RBC_SYNC_RBC_H
+#define BYZRENAME_RBC_SYNC_RBC_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "sim/process.h"
+#include "sim/types.h"
+
+namespace byzrename::rbc {
+
+/// Synchronous single-sender reliable broadcast after Bracha & Toueg,
+/// restricted to a fixed 4-round schedule (Send, Echo, Ready, Ready
+/// amplification), tolerating t < N/3 Byzantine faults.
+///
+/// IMPORTANT MODELLING NOTE (the reason this substrate exists): reliable
+/// broadcast assumes receivers can attribute messages to senders. In the
+/// paper's renaming model link labels are anonymous, which is exactly why
+/// the paper replaces RBC with the 4-step id selection scheme (Section
+/// IV-A). This component therefore requires a network built with
+/// scramble_links == false so that link label == sender index; it exists
+/// to make that contrast measurable (see bench_t7 and the RBC tests).
+///
+/// Guarantees after round 4, for a designated sender s and value v:
+///  - if s is correct, every correct process delivers v;
+///  - if any correct process delivers a value, every correct process
+///    delivers that same value (no two correct deliver differently).
+class SyncRbcProcess final : public sim::ProcessBehavior {
+ public:
+  /// @param my_index this process's index (== the link label peers see).
+  /// @param sender_index the designated broadcaster.
+  /// @param value payload word to broadcast (used when my_index == sender_index).
+  SyncRbcProcess(sim::SystemParams params, sim::ProcessIndex my_index,
+                 sim::ProcessIndex sender_index, std::int64_t value);
+
+  void on_send(sim::Round round, sim::Outbox& out) override;
+  void on_receive(sim::Round round, const sim::Inbox& inbox) override;
+  [[nodiscard]] bool done() const override { return round_ >= 4; }
+
+  /// The delivered value, if delivery happened.
+  [[nodiscard]] std::optional<std::int64_t> delivered() const noexcept { return delivered_; }
+
+ private:
+  sim::SystemParams params_;
+  sim::ProcessIndex my_index_;
+  sim::ProcessIndex sender_index_;
+  std::int64_t value_;
+
+  int round_ = 0;
+  std::optional<std::int64_t> received_from_sender_;
+  std::optional<std::int64_t> echo_value_;     ///< value this process echoes
+  std::optional<std::int64_t> ready_value_;    ///< value this process sent Ready for
+  std::map<std::int64_t, std::set<sim::LinkIndex>> echo_links_;
+  std::map<std::int64_t, std::set<sim::LinkIndex>> ready_links_;
+  std::optional<std::int64_t> delivered_;
+};
+
+}  // namespace byzrename::rbc
+
+#endif  // BYZRENAME_RBC_SYNC_RBC_H

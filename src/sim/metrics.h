@@ -1,0 +1,55 @@
+#ifndef BYZRENAME_SIM_METRICS_H
+#define BYZRENAME_SIM_METRICS_H
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace byzrename::sim {
+
+/// Message/bit counters for one synchronous round. A broadcast counts as
+/// N point-to-point messages, matching the paper's "all-to-all
+/// communication" accounting in Sections IV-D and VI-B.
+struct RoundMetrics {
+  std::size_t messages = 0;
+  std::size_t bits = 0;
+  std::size_t correct_messages = 0;
+  std::size_t correct_bits = 0;
+};
+
+/// Aggregated communication metrics for a whole run.
+struct Metrics {
+  std::vector<RoundMetrics> per_round;
+  std::size_t max_message_bits = 0;          ///< largest single message (any sender)
+  std::size_t max_correct_message_bits = 0;  ///< largest single message from a correct sender
+
+  [[nodiscard]] std::size_t rounds() const noexcept { return per_round.size(); }
+
+  [[nodiscard]] std::size_t total_messages() const noexcept {
+    std::size_t sum = 0;
+    for (const RoundMetrics& r : per_round) sum += r.messages;
+    return sum;
+  }
+
+  [[nodiscard]] std::size_t total_bits() const noexcept {
+    std::size_t sum = 0;
+    for (const RoundMetrics& r : per_round) sum += r.bits;
+    return sum;
+  }
+
+  [[nodiscard]] std::size_t total_correct_messages() const noexcept {
+    std::size_t sum = 0;
+    for (const RoundMetrics& r : per_round) sum += r.correct_messages;
+    return sum;
+  }
+
+  [[nodiscard]] std::size_t total_correct_bits() const noexcept {
+    std::size_t sum = 0;
+    for (const RoundMetrics& r : per_round) sum += r.correct_bits;
+    return sum;
+  }
+};
+
+}  // namespace byzrename::sim
+
+#endif  // BYZRENAME_SIM_METRICS_H

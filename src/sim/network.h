@@ -1,0 +1,84 @@
+#ifndef BYZRENAME_SIM_NETWORK_H
+#define BYZRENAME_SIM_NETWORK_H
+
+#include <memory>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/payload.h"
+#include "sim/process.h"
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace byzrename::trace {
+class EventLog;
+}  // namespace byzrename::trace
+
+namespace byzrename::sim {
+
+/// Fully connected synchronous network of N processes.
+///
+/// Realizes the model of Section II of the paper:
+///  - computation proceeds in lockstep rounds: all round-r messages are
+///    delivered before any process takes a round-(r+1) action;
+///  - each pair of processes is connected by a reliable link, and every
+///    process has a self-loop;
+///  - a receiver learns only the (stable) label of the link a message
+///    arrived on, never the sender's identity. Link labels are scrambled
+///    with a per-receiver random permutation so no algorithm can cheat by
+///    decoding sender indices out of labels;
+///  - Byzantine processes may send arbitrary, per-destination payloads.
+class Network {
+ public:
+  /// @param behaviors one behavior per process; index is the physical
+  ///        process index (hidden from correct behaviors).
+  /// @param byzantine byzantine[i] marks process i faulty: it gains
+  ///        targeted sends and is excluded from termination/decisions.
+  /// @param rng source for the link-label scrambling.
+  /// @param scramble_links when true (default, the paper's model) each
+  ///        receiver's link labels are a random permutation of the peers;
+  ///        when false link label == sender index, modelling the stronger
+  ///        sender-authenticated setting that the reliable-broadcast and
+  ///        consensus substrates presuppose (see DESIGN.md).
+  Network(std::vector<std::unique_ptr<ProcessBehavior>> behaviors, std::vector<bool> byzantine,
+          Rng rng, bool scramble_links = true);
+
+  /// Executes one synchronous round (send phase then receive phase).
+  void run_round(Round round);
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(behaviors_.size()); }
+  [[nodiscard]] bool is_byzantine(ProcessIndex i) const { return byzantine_.at(static_cast<std::size_t>(i)); }
+
+  /// True once every correct process reports done().
+  [[nodiscard]] bool all_correct_done() const;
+
+  [[nodiscard]] ProcessBehavior& behavior(ProcessIndex i) { return *behaviors_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] const ProcessBehavior& behavior(ProcessIndex i) const {
+    return *behaviors_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Link label on which @p receiver hears from @p sender. Exposed for
+  /// tests and full-information adversaries only.
+  [[nodiscard]] LinkIndex link_of(ProcessIndex receiver, ProcessIndex sender) const {
+    return link_of_sender_.at(static_cast<std::size_t>(receiver)).at(static_cast<std::size_t>(sender));
+  }
+
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+
+  /// Attaches a structured event trace (sends and deliveries); pass
+  /// nullptr to detach. The log sees physical indices — it is the
+  /// omniscient observer's view, not any process's.
+  void attach_event_log(trace::EventLog* log) noexcept { event_log_ = log; }
+
+ private:
+  std::vector<std::unique_ptr<ProcessBehavior>> behaviors_;
+  std::vector<bool> byzantine_;
+  /// link_of_sender_[receiver][sender] -> link label at the receiver.
+  std::vector<std::vector<LinkIndex>> link_of_sender_;
+  Metrics metrics_;
+  trace::EventLog* event_log_ = nullptr;
+};
+
+}  // namespace byzrename::sim
+
+#endif  // BYZRENAME_SIM_NETWORK_H

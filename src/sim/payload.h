@@ -1,0 +1,113 @@
+#ifndef BYZRENAME_SIM_PAYLOAD_H
+#define BYZRENAME_SIM_PAYLOAD_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "numeric/rational.h"
+#include "sim/types.h"
+
+namespace byzrename::sim {
+
+/// Step-1 announcement of a process's own id (paper: <ID, my_id>).
+struct IdMsg {
+  Id id = 0;
+  friend bool operator==(const IdMsg&, const IdMsg&) = default;
+};
+
+/// Step-2 echo of a previously received id (paper: <Echo, id>).
+struct EchoMsg {
+  Id id = 0;
+  friend bool operator==(const EchoMsg&, const EchoMsg&) = default;
+};
+
+/// Step-3/4 readiness announcement (paper: <Ready, id>).
+struct ReadyMsg {
+  Id id = 0;
+  friend bool operator==(const ReadyMsg&, const ReadyMsg&) = default;
+};
+
+/// One (id, proposed rank) entry of a voting-phase message.
+struct RankEntry {
+  Id id = 0;
+  numeric::Rational rank;
+  friend bool operator==(const RankEntry&, const RankEntry&) = default;
+};
+
+/// Voting-phase vote: the sender's entire ranks array (paper: <AA, ranks>).
+/// Entries are sorted by id; receivers must tolerate arbitrary content
+/// since Byzantine senders craft these freely.
+struct RanksMsg {
+  std::vector<RankEntry> entries;
+  friend bool operator==(const RanksMsg&, const RanksMsg&) = default;
+};
+
+/// Step-2 message of the 2-step algorithm (paper: <MultiEcho, ids>).
+struct MultiEchoMsg {
+  std::vector<Id> ids;
+  friend bool operator==(const MultiEchoMsg&, const MultiEchoMsg&) = default;
+};
+
+/// Scalar value exchanged by the standalone approximate-agreement substrate.
+struct AAValueMsg {
+  numeric::Rational value;
+  friend bool operator==(const AAValueMsg&, const AAValueMsg&) = default;
+};
+
+/// Generic small-integer message used by the consensus substrate
+/// (phase-king rounds) and the bit-by-bit renaming baseline.
+struct WordMsg {
+  std::int64_t tag = 0;
+  std::vector<std::int64_t> words;
+  friend bool operator==(const WordMsg&, const WordMsg&) = default;
+};
+
+/// Crash-to-Byzantine translation (translate/): a simulated protocol
+/// message, cast in the first half of a simulated round. The blob is the
+/// codec-encoded inner payload.
+struct WrappedCastMsg {
+  std::int64_t sim_round = 0;
+  std::vector<std::uint8_t> blob;
+  friend bool operator==(const WrappedCastMsg&, const WrappedCastMsg&) = default;
+};
+
+/// Crash-to-Byzantine translation: an echo of a cast, attributed to the
+/// original sender (requires the authenticated-link model).
+struct WrappedEchoMsg {
+  std::int64_t sender = 0;
+  std::int64_t sim_round = 0;
+  std::vector<std::uint8_t> blob;
+  friend bool operator==(const WrappedEchoMsg&, const WrappedEchoMsg&) = default;
+};
+
+/// A message payload. Byzantine senders may emit any alternative at any
+/// round with any content; correct receivers must ignore what they cannot
+/// interpret at the current step.
+using Payload = std::variant<IdMsg, EchoMsg, ReadyMsg, RanksMsg, MultiEchoMsg, AAValueMsg, WordMsg,
+                             WrappedCastMsg, WrappedEchoMsg>;
+
+/// Size of the payload in bits under a simple fixed-width wire model:
+/// ids cost 64 bits (log Nmax), rationals their exact numerator +
+/// denominator length, vectors a 32-bit length prefix. The network's
+/// metrics use the exact binary codec instead (sim/codec.h); this
+/// analytic model exists for quick worst-case estimates in tests.
+[[nodiscard]] std::size_t wire_bits(const Payload& payload) noexcept;
+
+/// Human-readable payload summary for traces and test diagnostics.
+[[nodiscard]] std::string describe(const Payload& payload);
+
+/// One delivered message: the receiver learns only the link label.
+struct Delivery {
+  LinkIndex link = 0;
+  Payload payload;
+};
+
+/// All messages delivered to one process in one round.
+using Inbox = std::vector<Delivery>;
+
+}  // namespace byzrename::sim
+
+#endif  // BYZRENAME_SIM_PAYLOAD_H

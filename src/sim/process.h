@@ -1,0 +1,73 @@
+#ifndef BYZRENAME_SIM_PROCESS_H
+#define BYZRENAME_SIM_PROCESS_H
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/payload.h"
+#include "sim/types.h"
+
+namespace byzrename::sim {
+
+/// Collects the messages one process emits during the send phase of a
+/// round. Correct processes in the paper's algorithms only ever perform
+/// all-to-all broadcast; targeted (and therefore equivocating) sends are
+/// reserved to Byzantine behaviors and enforced at run time.
+class Outbox {
+ public:
+  explicit Outbox(bool targeted_allowed) : targeted_allowed_(targeted_allowed) {}
+
+  /// Sends the payload to every process, including the sender itself via
+  /// the self-loop link (paper, Section II).
+  void broadcast(Payload payload) { entries_.push_back({std::nullopt, std::move(payload)}); }
+
+  /// Byzantine-only: sends a payload to one specific destination. Allows
+  /// a faulty process to equivocate by sending different content on each
+  /// link. Throws std::logic_error if invoked by a correct process.
+  void send_to(ProcessIndex dest, Payload payload);
+
+  struct Entry {
+    std::optional<ProcessIndex> dest;  ///< nullopt = broadcast
+    Payload payload;
+  };
+
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept { return entries_; }
+  [[nodiscard]] bool targeted_allowed() const noexcept { return targeted_allowed_; }
+
+ private:
+  bool targeted_allowed_;
+  std::vector<Entry> entries_;
+};
+
+/// A process participating in the synchronous computation. Each round the
+/// runner first calls on_send on every process, then delivers all messages
+/// sent that round and calls on_receive. State updates belong in
+/// on_receive so every process acts on the same global round boundary.
+class ProcessBehavior {
+ public:
+  virtual ~ProcessBehavior() = default;
+
+  ProcessBehavior() = default;
+  ProcessBehavior(const ProcessBehavior&) = delete;
+  ProcessBehavior& operator=(const ProcessBehavior&) = delete;
+
+  /// Emits this round's messages.
+  virtual void on_send(Round round, Outbox& out) = 0;
+
+  /// Consumes this round's inbox. Deliveries are ordered by link label;
+  /// the receiver never learns sender identities.
+  virtual void on_receive(Round round, const Inbox& inbox) = 0;
+
+  /// True once the process has completed its protocol. The runner stops
+  /// when every correct process is done.
+  [[nodiscard]] virtual bool done() const = 0;
+
+  /// The new name this process decided, if any. Byzantine behaviors
+  /// return nullopt.
+  [[nodiscard]] virtual std::optional<Name> decision() const { return std::nullopt; }
+};
+
+}  // namespace byzrename::sim
+
+#endif  // BYZRENAME_SIM_PROCESS_H

@@ -1,0 +1,42 @@
+#ifndef BYZRENAME_SIM_RNG_H
+#define BYZRENAME_SIM_RNG_H
+
+#include <cstdint>
+#include <random>
+
+namespace byzrename::sim {
+
+/// Deterministic random source. Every randomized component of the
+/// simulator (link-label scrambling, randomized adversaries, workload
+/// generators) draws from an explicitly seeded Rng so that runs are
+/// reproducible bit-for-bit from their seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial with the given success probability.
+  [[nodiscard]] bool chance(double probability) {
+    std::bernoulli_distribution dist(probability);
+    return dist(engine_);
+  }
+
+  /// Derives an independent child generator; use to hand sub-components
+  /// their own streams without sharing state.
+  [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+  /// Underlying engine for use with standard algorithms (std::shuffle).
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace byzrename::sim
+
+#endif  // BYZRENAME_SIM_RNG_H

@@ -1,0 +1,28 @@
+#include "sim/runner.h"
+
+namespace byzrename::sim {
+
+RunResult run_to_completion(Network& network, int max_rounds, const RoundObserver& observer) {
+  RunResult result;
+  for (Round round = 1; round <= max_rounds; ++round) {
+    network.run_round(round);
+    result.rounds = round;
+    if (observer) observer(round, network);
+    if (network.all_correct_done()) {
+      result.terminated = true;
+      break;
+    }
+  }
+  result.decisions.reserve(static_cast<std::size_t>(network.size()));
+  for (ProcessIndex i = 0; i < network.size(); ++i) {
+    if (network.is_byzantine(i)) {
+      result.decisions.emplace_back(std::nullopt);
+    } else {
+      result.decisions.push_back(network.behavior(i).decision());
+    }
+  }
+  result.metrics = network.metrics();
+  return result;
+}
+
+}  // namespace byzrename::sim

@@ -1,0 +1,38 @@
+#ifndef BYZRENAME_SIM_RUNNER_H
+#define BYZRENAME_SIM_RUNNER_H
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "sim/types.h"
+
+namespace byzrename::sim {
+
+/// Outcome of driving a network to completion.
+struct RunResult {
+  /// Number of synchronous rounds executed.
+  int rounds = 0;
+  /// True iff every correct process reported done() within the budget.
+  bool terminated = false;
+  /// decision()[i] for each process i (nullopt for Byzantine processes
+  /// and for correct processes that did not decide).
+  std::vector<std::optional<Name>> decisions;
+  Metrics metrics;
+};
+
+/// Observation hook invoked after each round's receive phase; used by
+/// benches to record per-round convergence traces.
+using RoundObserver = std::function<void(Round, const Network&)>;
+
+/// Runs the network round by round until every correct process is done or
+/// @p max_rounds is exhausted. All algorithms in the paper terminate in a
+/// round count known a priori, so a run hitting max_rounds indicates a
+/// bug and is reported via RunResult::terminated = false.
+RunResult run_to_completion(Network& network, int max_rounds, const RoundObserver& observer = {});
+
+}  // namespace byzrename::sim
+
+#endif  // BYZRENAME_SIM_RUNNER_H

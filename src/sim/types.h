@@ -1,0 +1,37 @@
+#ifndef BYZRENAME_SIM_TYPES_H
+#define BYZRENAME_SIM_TYPES_H
+
+#include <cstdint>
+
+namespace byzrename::sim {
+
+/// Original process identifier drawn from the large namespace [1..Nmax].
+/// The paper allows Nmax >> N; 64 bits covers any realistic namespace.
+using Id = std::int64_t;
+
+/// New name produced by a renaming algorithm (target namespace <= N^2).
+using Name = std::int64_t;
+
+/// Physical index of a process inside the simulator, 0..N-1. Only the
+/// simulator and (by the full-information adversary assumption) Byzantine
+/// strategies ever see these; correct algorithms must not.
+using ProcessIndex = int;
+
+/// Label of an incoming link at a receiver, 0..N-1. Link labels are an
+/// arbitrary per-receiver permutation of the peers (plus a self-loop), so
+/// a label carries no information about the sender's identity — exactly
+/// the anonymity the model in Section II of the paper prescribes.
+using LinkIndex = int;
+
+/// Synchronous round number, starting at 1 to match the paper's "Step r".
+using Round = int;
+
+/// Global system parameters known a priori to every process.
+struct SystemParams {
+  int n = 0;  ///< number of processes
+  int t = 0;  ///< upper bound on the number of Byzantine faults
+};
+
+}  // namespace byzrename::sim
+
+#endif  // BYZRENAME_SIM_TYPES_H

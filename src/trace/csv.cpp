@@ -1,0 +1,43 @@
+#include "trace/csv.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace byzrename::trace {
+
+namespace {
+
+void write_cell(std::ostream& os, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (const char c : cell) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+void write_line(std::ostream& os, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) os << ',';
+    write_cell(os, cells[i]);
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> headers)
+    : os_(os), columns_(headers.size()) {
+  write_line(os_, headers);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) throw std::invalid_argument("CsvWriter: column count mismatch");
+  write_line(os_, cells);
+}
+
+}  // namespace byzrename::trace

@@ -1,0 +1,25 @@
+#ifndef BYZRENAME_TRACE_CSV_H
+#define BYZRENAME_TRACE_CSV_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace byzrename::trace {
+
+/// Streaming CSV writer for bench series that downstream plotting
+/// consumes (figures F1-F3). Quotes cells only when needed.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& os, std::vector<std::string> headers);
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+  std::size_t columns_;
+};
+
+}  // namespace byzrename::trace
+
+#endif  // BYZRENAME_TRACE_CSV_H

@@ -1,0 +1,42 @@
+#include "trace/event_log.h"
+
+#include <ostream>
+
+namespace byzrename::trace {
+
+void EventLog::render(std::ostream& os, const Filter& filter) const {
+  sim::Round current_round = -1;
+  for (const Event& event : events_) {
+    if (filter && !filter(event)) continue;
+    if (event.round != current_round) {
+      current_round = event.round;
+      os << "--- round " << current_round << " ---\n";
+    }
+    if (event.kind == Event::Kind::kSend) {
+      os << "  p" << event.actor << (event.byzantine_actor ? "*" : "") << " -> ";
+      if (event.peer.has_value()) {
+        os << "p" << *event.peer;
+      } else {
+        os << "all";
+      }
+    } else {
+      os << "  p" << event.actor << (event.byzantine_actor ? "*" : "") << " <- link "
+         << event.link;
+    }
+    os << " : " << event.payload << '\n';
+  }
+}
+
+EventLog::Filter EventLog::only_round(sim::Round round) {
+  return [round](const Event& event) { return event.round == round; };
+}
+
+EventLog::Filter EventLog::only_actor(sim::ProcessIndex actor) {
+  return [actor](const Event& event) { return event.actor == actor; };
+}
+
+EventLog::Filter EventLog::only_byzantine() {
+  return [](const Event& event) { return event.byzantine_actor; };
+}
+
+}  // namespace byzrename::trace

@@ -1,0 +1,57 @@
+#ifndef BYZRENAME_TRACE_EVENT_LOG_H
+#define BYZRENAME_TRACE_EVENT_LOG_H
+
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace byzrename::trace {
+
+/// One observable network event. Send events carry the (physical)
+/// destination the simulator resolved; deliver events carry the link
+/// label the receiver saw — reflecting exactly the asymmetry of the
+/// model (the omniscient log knows who sent what; the receiver only
+/// knows the link).
+struct Event {
+  enum class Kind { kSend, kDeliver };
+  sim::Round round = 0;
+  Kind kind = Kind::kSend;
+  sim::ProcessIndex actor = 0;  ///< sender (kSend) or receiver (kDeliver)
+  std::optional<sim::ProcessIndex> peer;  ///< destination (kSend only; nullopt = broadcast)
+  sim::LinkIndex link = -1;               ///< arrival link (kDeliver only)
+  bool byzantine_actor = false;
+  std::string payload;  ///< human-readable payload summary
+};
+
+/// In-memory structured trace of a run. Attach to a Network before
+/// running; O(N^2) events per round, so meant for small debugging and
+/// teaching scenarios, not sweeps.
+class EventLog {
+ public:
+  void record(Event event) { events_.push_back(std::move(event)); }
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept { return events_; }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  void clear() noexcept { events_.clear(); }
+
+  using Filter = std::function<bool(const Event&)>;
+
+  /// Renders events matching @p filter (all if absent), grouped by round.
+  void render(std::ostream& os, const Filter& filter = {}) const;
+
+  /// Convenience filters.
+  [[nodiscard]] static Filter only_round(sim::Round round);
+  [[nodiscard]] static Filter only_actor(sim::ProcessIndex actor);
+  [[nodiscard]] static Filter only_byzantine();
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace byzrename::trace
+
+#endif  // BYZRENAME_TRACE_EVENT_LOG_H

@@ -1,0 +1,35 @@
+#ifndef BYZRENAME_TRACE_TABLE_H
+#define BYZRENAME_TRACE_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace byzrename::trace {
+
+/// Minimal fixed-width text table used by the bench harness to print the
+/// reproduced tables in a paper-like layout.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column auto-sizing and a header rule.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convenience formatters for table cells.
+[[nodiscard]] std::string fmt_bool(bool value);
+[[nodiscard]] std::string fmt_double(double value, int precision = 3);
+
+}  // namespace byzrename::trace
+
+#endif  // BYZRENAME_TRACE_TABLE_H

@@ -1,0 +1,85 @@
+#include "translate/crash_to_byzantine.h"
+
+#include <algorithm>
+
+#include "sim/codec.h"
+
+namespace byzrename::translate {
+
+using sim::Delivery;
+using sim::Inbox;
+using sim::Outbox;
+using sim::Round;
+using sim::WrappedCastMsg;
+using sim::WrappedEchoMsg;
+
+TranslatedProcess::TranslatedProcess(sim::SystemParams params,
+                                     std::unique_ptr<sim::ProcessBehavior> inner, int inner_steps)
+    : params_(params), inner_(std::move(inner)), inner_steps_(inner_steps) {}
+
+bool TranslatedProcess::done() const { return inner_->done(); }
+
+void TranslatedProcess::on_send(Round round, Outbox& out) {
+  const Round sim_round = (round + 1) / 2;
+  const bool is_cast_round = round % 2 == 1;
+  if (sim_round > inner_steps_) return;
+
+  if (is_cast_round) {
+    sim::Outbox inner_out(/*targeted_allowed=*/false);
+    inner_->on_send(sim_round, inner_out);
+    for (const Outbox::Entry& entry : inner_out.entries()) {
+      out.broadcast(WrappedCastMsg{sim_round, sim::encode(entry.payload)});
+    }
+    return;
+  }
+
+  // Echo round: re-broadcast every cast heard, attributed to its sender.
+  for (const CastKey& cast : heard_casts_) {
+    out.broadcast(WrappedEchoMsg{cast.first, sim_round, cast.second});
+  }
+}
+
+void TranslatedProcess::on_receive(Round round, const Inbox& inbox) {
+  const Round sim_round = (round + 1) / 2;
+  const bool is_cast_round = round % 2 == 1;
+  if (sim_round > inner_steps_) return;
+
+  if (is_cast_round) {
+    heard_casts_.clear();
+    echo_links_.clear();
+    for (const Delivery& d : inbox) {
+      const auto* cast = std::get_if<WrappedCastMsg>(&d.payload);
+      if (cast == nullptr || cast->sim_round != sim_round) continue;
+      // Authenticated model: the arrival link IS the sender index.
+      heard_casts_.insert({d.link, cast->blob});
+    }
+    return;
+  }
+
+  for (const Delivery& d : inbox) {
+    const auto* echo = std::get_if<WrappedEchoMsg>(&d.payload);
+    if (echo == nullptr || echo->sim_round != sim_round) continue;
+    if (echo->sender < 0 || echo->sender >= params_.n) continue;
+    echo_links_[{static_cast<sim::ProcessIndex>(echo->sender), echo->blob}].insert(d.link);
+  }
+
+  // Deliver every cast with an echo quorum to the wrapped protocol, in
+  // deterministic (sender, blob) order; the simulated link label is the
+  // sender index, stable across simulated rounds as the model requires.
+  Inbox simulated;
+  for (const auto& [cast, links] : echo_links_) {
+    if (static_cast<int>(links.size()) < params_.n - params_.t) {
+      ++undelivered_casts_;
+      continue;
+    }
+    std::optional<sim::Payload> payload = sim::decode(cast.second);
+    if (!payload.has_value()) {
+      ++undelivered_casts_;  // garbage blob with a quorum: faulty sender
+      continue;
+    }
+    simulated.push_back({cast.first, std::move(*payload)});
+  }
+  inner_->on_receive(sim_round, simulated);
+}
+
+}  // namespace byzrename::translate

@@ -1,0 +1,264 @@
+#include "numeric/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+
+namespace byzrename::numeric {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_FALSE(zero.is_negative());
+  EXPECT_EQ(zero.to_string(), "0");
+  EXPECT_EQ(zero.to_int64(), 0);
+  EXPECT_EQ(zero.bit_length(), 0u);
+}
+
+TEST(BigInt, ConstructsFromInt64) {
+  EXPECT_EQ(BigInt(42).to_int64(), 42);
+  EXPECT_EQ(BigInt(-42).to_int64(), -42);
+  EXPECT_EQ(BigInt(0).to_string(), "0");
+  EXPECT_EQ(BigInt(1).to_string(), "1");
+  EXPECT_EQ(BigInt(-1).to_string(), "-1");
+}
+
+TEST(BigInt, HandlesInt64Extremes) {
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(BigInt(max).to_int64(), max);
+  EXPECT_EQ(BigInt(min).to_int64(), min);
+  EXPECT_EQ(BigInt(max).to_string(), "9223372036854775807");
+  EXPECT_EQ(BigInt(min).to_string(), "-9223372036854775808");
+}
+
+TEST(BigInt, ToInt64ThrowsWhenOutOfRange) {
+  const BigInt big = BigInt(std::numeric_limits<std::int64_t>::max()) + BigInt(1);
+  EXPECT_FALSE(big.fits_int64());
+  EXPECT_THROW((void)big.to_int64(), std::overflow_error);
+  // INT64_MIN itself still fits.
+  const BigInt min(std::numeric_limits<std::int64_t>::min());
+  EXPECT_TRUE(min.fits_int64());
+  EXPECT_THROW((void)(min - BigInt(1)).to_int64(), std::overflow_error);
+}
+
+TEST(BigInt, FromStringRoundTrips) {
+  for (const char* text :
+       {"0", "1", "-1", "123456789", "-987654321", "340282366920938463463374607431768211456",
+        "-170141183460469231731687303715884105728"}) {
+    EXPECT_EQ(BigInt::from_string(text).to_string(), text) << text;
+  }
+}
+
+TEST(BigInt, FromStringAcceptsPlusSign) {
+  EXPECT_EQ(BigInt::from_string("+17").to_int64(), 17);
+}
+
+TEST(BigInt, FromStringNormalizesLeadingZeros) {
+  EXPECT_EQ(BigInt::from_string("000123").to_int64(), 123);
+  EXPECT_EQ(BigInt::from_string("-000").to_string(), "0");
+}
+
+TEST(BigInt, FromStringRejectsMalformedInput) {
+  EXPECT_THROW((void)BigInt::from_string(""), std::invalid_argument);
+  EXPECT_THROW((void)BigInt::from_string("-"), std::invalid_argument);
+  EXPECT_THROW((void)BigInt::from_string("12a"), std::invalid_argument);
+  EXPECT_THROW((void)BigInt::from_string(" 12"), std::invalid_argument);
+}
+
+TEST(BigInt, AdditionCarriesAcrossLimbs) {
+  const BigInt a = BigInt::from_string("4294967295");  // 2^32 - 1
+  EXPECT_EQ((a + BigInt(1)).to_string(), "4294967296");
+  const BigInt b = BigInt::from_string("18446744073709551615");  // 2^64 - 1
+  EXPECT_EQ((b + BigInt(1)).to_string(), "18446744073709551616");
+}
+
+TEST(BigInt, SubtractionBorrowsAcrossLimbs) {
+  const BigInt a = BigInt::from_string("18446744073709551616");  // 2^64
+  EXPECT_EQ((a - BigInt(1)).to_string(), "18446744073709551615");
+  EXPECT_EQ((BigInt(5) - BigInt(7)).to_int64(), -2);
+}
+
+TEST(BigInt, MixedSignAddition) {
+  EXPECT_EQ((BigInt(10) + BigInt(-3)).to_int64(), 7);
+  EXPECT_EQ((BigInt(-10) + BigInt(3)).to_int64(), -7);
+  EXPECT_EQ((BigInt(-10) + BigInt(-3)).to_int64(), -13);
+  EXPECT_EQ((BigInt(10) + BigInt(-10)).to_string(), "0");
+}
+
+TEST(BigInt, MultiplicationMatchesKnownProducts) {
+  EXPECT_EQ((BigInt(0) * BigInt(12345)).to_string(), "0");
+  EXPECT_EQ((BigInt(-7) * BigInt(6)).to_int64(), -42);
+  EXPECT_EQ((BigInt(-7) * BigInt(-6)).to_int64(), 42);
+  const BigInt big = BigInt::from_string("123456789012345678901234567890");
+  EXPECT_EQ((big * big).to_string(),
+            "15241578753238836750495351562536198787501905199875019052100");
+}
+
+TEST(BigInt, DivisionTruncatesTowardZero) {
+  EXPECT_EQ((BigInt(7) / BigInt(2)).to_int64(), 3);
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).to_int64(), -3);
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).to_int64(), -3);
+  EXPECT_EQ((BigInt(-7) / BigInt(-2)).to_int64(), 3);
+  EXPECT_EQ((BigInt(7) % BigInt(2)).to_int64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).to_int64(), -1);
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).to_int64(), 1);
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  EXPECT_THROW((void)(BigInt(1) / BigInt(0)), std::domain_error);
+  EXPECT_THROW((void)(BigInt(1) % BigInt(0)), std::domain_error);
+}
+
+TEST(BigInt, MultiLimbDivisionKnownQuotients) {
+  const BigInt num = BigInt::from_string("340282366920938463463374607431768211456");  // 2^128
+  const BigInt den = BigInt::from_string("18446744073709551616");                     // 2^64
+  EXPECT_EQ((num / den).to_string(), "18446744073709551616");
+  EXPECT_EQ((num % den).to_string(), "0");
+  EXPECT_EQ(((num + BigInt(5)) % den).to_int64(), 5);
+}
+
+TEST(BigInt, DivisionIdentityHoldsOnRandomInputs) {
+  std::mt19937_64 rng(12345);
+  for (int i = 0; i < 500; ++i) {
+    BigInt a(static_cast<std::int64_t>(rng()));
+    BigInt b(static_cast<std::int64_t>(rng()) >> (rng() % 48));
+    a = a * BigInt(static_cast<std::int64_t>(rng())) + BigInt(static_cast<std::int64_t>(rng()));
+    if (b.is_zero()) continue;
+    BigInt q;
+    BigInt r;
+    BigInt::div_mod(a, b, q, r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.abs(), b.abs());
+    // Remainder carries the dividend's sign (truncated division).
+    if (!r.is_zero()) {
+      EXPECT_EQ(r.is_negative(), a.is_negative());
+    }
+  }
+}
+
+TEST(BigInt, MultiLimbDivisionIdentityOnWideOperands) {
+  // Random dividends up to ~10 limbs against divisors of 2..6 limbs:
+  // exercises the full Knuth-D path (normalization, q-hat refinement,
+  // and occasionally the D6 add-back).
+  std::mt19937_64 rng(0xD1BD1B);
+  auto random_wide = [&rng](int limbs) {
+    BigInt value;
+    for (int i = 0; i < limbs; ++i) {
+      value = (value << 32) + BigInt(static_cast<std::int64_t>(rng() & 0xFFFFFFFF));
+    }
+    return value;
+  };
+  for (int i = 0; i < 400; ++i) {
+    const BigInt num = random_wide(2 + static_cast<int>(rng() % 9));
+    BigInt den = random_wide(2 + static_cast<int>(rng() % 5));
+    if (den.is_zero()) den = BigInt(1);
+    BigInt q;
+    BigInt r;
+    BigInt::div_mod(num, den, q, r);
+    EXPECT_EQ(q * den + r, num);
+    EXPECT_LT(r, den);
+    EXPECT_FALSE(r.is_negative());
+  }
+}
+
+TEST(BigInt, DivisorsWithHighTopLimbStressQHat) {
+  // Divisors whose top limb is 0xFFFFFFFF maximize q-hat overestimation.
+  std::mt19937_64 rng(31337);
+  for (int i = 0; i < 200; ++i) {
+    BigInt den = (BigInt(0xFFFFFFFF) << 32) + BigInt(static_cast<std::int64_t>(rng() & 0xFFFFFFFF));
+    BigInt num = den * BigInt(static_cast<std::int64_t>(rng() >> 1)) +
+                 BigInt(static_cast<std::int64_t>(rng() & 0x7FFFFFFF));
+    BigInt q;
+    BigInt r;
+    BigInt::div_mod(num, den, q, r);
+    EXPECT_EQ(q * den + r, num);
+    EXPECT_LT(r, den);
+  }
+}
+
+TEST(BigInt, KnuthDAddBackCase) {
+  // Constructed to exercise the rare D6 add-back branch: divisor with a
+  // high top limb, dividend just below a multiple.
+  const BigInt den = (BigInt(1) << 64) - (BigInt(1) << 32);  // 0xFFFFFFFF00000000
+  const BigInt num = (den * BigInt::from_string("4294967296")) - BigInt(1);
+  BigInt q;
+  BigInt r;
+  BigInt::div_mod(num, den, q, r);
+  EXPECT_EQ(q * den + r, num);
+}
+
+TEST(BigInt, ShiftsMatchMultiplication) {
+  BigInt one(1);
+  EXPECT_EQ((one << 100).to_string(), "1267650600228229401496703205376");
+  EXPECT_EQ(((one << 100) >> 100), one);
+  EXPECT_EQ((BigInt(5) << 3).to_int64(), 40);
+  EXPECT_EQ((BigInt(40) >> 3).to_int64(), 5);
+  EXPECT_EQ((BigInt(1) >> 1).to_string(), "0");
+}
+
+TEST(BigInt, BitLength) {
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+  EXPECT_EQ(BigInt(2).bit_length(), 2u);
+  EXPECT_EQ(BigInt(255).bit_length(), 8u);
+  EXPECT_EQ(BigInt(256).bit_length(), 9u);
+  EXPECT_EQ((BigInt(1) << 1000).bit_length(), 1001u);
+}
+
+TEST(BigInt, ComparisonIsTotalOrder) {
+  const BigInt values[] = {BigInt::from_string("-99999999999999999999"), BigInt(-2), BigInt(0),
+                           BigInt(3), BigInt::from_string("99999999999999999999")};
+  for (std::size_t i = 0; i < std::size(values); ++i) {
+    for (std::size_t j = 0; j < std::size(values); ++j) {
+      EXPECT_EQ(values[i] < values[j], i < j);
+      EXPECT_EQ(values[i] == values[j], i == j);
+      EXPECT_EQ(values[i] >= values[j], i >= j);
+    }
+  }
+}
+
+TEST(BigInt, GcdMatchesEuclid) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).to_int64(), 5);
+  EXPECT_EQ(BigInt::gcd(BigInt(5), BigInt(0)).to_int64(), 5);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(0)).to_int64(), 0);
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)).to_int64(), 1);
+  const BigInt a = BigInt::from_string("123456789012345678901234567890");
+  EXPECT_EQ(BigInt::gcd(a * BigInt(35), a * BigInt(21)), a * BigInt(7));
+}
+
+TEST(BigInt, NegationAndAbs) {
+  EXPECT_EQ((-BigInt(5)).to_int64(), -5);
+  EXPECT_EQ((-BigInt(-5)).to_int64(), 5);
+  EXPECT_EQ((-BigInt(0)).to_string(), "0");
+  EXPECT_FALSE((-BigInt(0)).is_negative());
+  EXPECT_EQ(BigInt(-5).abs().to_int64(), 5);
+}
+
+TEST(BigInt, ToDoubleApproximates) {
+  EXPECT_DOUBLE_EQ(BigInt(1000).to_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(BigInt(-1000).to_double(), -1000.0);
+  const double big = (BigInt(1) << 64).to_double();
+  EXPECT_NEAR(big, 1.8446744073709552e19, 1e5);
+}
+
+TEST(BigInt, RandomizedAlgebraicIdentities) {
+  std::mt19937_64 rng(777);
+  for (int i = 0; i < 300; ++i) {
+    const BigInt a(static_cast<std::int64_t>(rng()));
+    const BigInt b(static_cast<std::int64_t>(rng()));
+    const BigInt c(static_cast<std::int64_t>(rng()));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, BigInt(0));
+  }
+}
+
+}  // namespace
+}  // namespace byzrename::numeric

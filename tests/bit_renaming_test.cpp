@@ -1,0 +1,162 @@
+// Unit-level tests for the bit-by-bit baseline's filtering: driven with
+// fabricated inboxes through the selection phase and one split phase.
+
+#include "baselines/bit_renaming.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace byzrename::baselines {
+namespace {
+
+using sim::Id;
+using sim::Inbox;
+
+const sim::SystemParams kParams{.n = 4, .t = 1};
+constexpr std::int64_t kClaimTag = 1001;   // kClaimBase + phase 1
+constexpr std::int64_t kEchoTag = 2001;    // kEchoBase + phase 1
+
+/// Runs the 4-step selection with everything honest: 4 processes with
+/// ids 10, 20, 30, 40; we drive the process holding id 10.
+std::unique_ptr<BitRenamingProcess> selected_process() {
+  auto p_owner = std::make_unique<BitRenamingProcess>(kParams, 10);
+  BitRenamingProcess& p = *p_owner;
+  const std::vector<Id> ids{10, 20, 30, 40};
+  // Step 1: ids arrive, one per link.
+  Inbox step1;
+  for (int link = 0; link < 4; ++link) step1.push_back({link, sim::IdMsg{ids[static_cast<std::size_t>(link)]}});
+  sim::Outbox out1(false);
+  p.on_send(1, out1);
+  p.on_receive(1, step1);
+  // Step 2: everyone echoes everything.
+  sim::Outbox out2(false);
+  p.on_send(2, out2);
+  Inbox step2;
+  for (int link = 0; link < 4; ++link) {
+    for (const Id id : ids) step2.push_back({link, sim::EchoMsg{id}});
+  }
+  p.on_receive(2, step2);
+  // Step 3: everyone Readys everything.
+  sim::Outbox out3(false);
+  p.on_send(3, out3);
+  Inbox step3;
+  for (int link = 0; link < 4; ++link) {
+    for (const Id id : ids) step3.push_back({link, sim::ReadyMsg{id}});
+  }
+  p.on_receive(3, step3);
+  sim::Outbox out4(false);
+  p.on_send(4, out4);
+  p.on_receive(4, {});
+  return p_owner;
+}
+
+TEST(BitRenamingUnit, ClaimsCarryIdAndFullInterval) {
+  auto p_owner = selected_process();
+  BitRenamingProcess& p = *p_owner;
+  sim::Outbox claim_out(false);
+  p.on_send(5, claim_out);  // first claim round
+  ASSERT_EQ(claim_out.entries().size(), 1u);
+  const auto& msg = std::get<sim::WordMsg>(claim_out.entries()[0].payload);
+  EXPECT_EQ(msg.tag, kClaimTag);
+  ASSERT_EQ(msg.words.size(), 3u);
+  EXPECT_EQ(msg.words[0], 10);  // my id
+  EXPECT_EQ(msg.words[1], 0);   // lo
+  EXPECT_EQ(msg.words[2], 8);   // hi = 2N
+}
+
+TEST(BitRenamingUnit, UnselectedIdsCannotClaim) {
+  auto p_owner = selected_process();
+  BitRenamingProcess& p = *p_owner;
+  // Claim round: id 99 never passed selection; its claim must be ignored
+  // (no echo of it in the echo round's outbox).
+  Inbox claims;
+  claims.push_back({0, sim::WordMsg{kClaimTag, {10, 0, 8}}});
+  claims.push_back({1, sim::WordMsg{kClaimTag, {99, 0, 8}}});
+  p.on_receive(5, claims);
+  sim::Outbox echo_out(false);
+  p.on_send(6, echo_out);
+  ASSERT_EQ(echo_out.entries().size(), 1u);
+  const auto& echo = std::get<sim::WordMsg>(echo_out.entries()[0].payload);
+  EXPECT_EQ(echo.tag, kEchoTag);
+  EXPECT_EQ(echo.words.size(), 3u);  // only the claim by id 10 echoed
+  EXPECT_EQ(echo.words[0], 10);
+}
+
+TEST(BitRenamingUnit, OneClaimPerLinkPerPhase) {
+  auto p_owner = selected_process();
+  BitRenamingProcess& p = *p_owner;
+  Inbox claims;
+  claims.push_back({0, sim::WordMsg{kClaimTag, {10, 0, 8}}});
+  claims.push_back({0, sim::WordMsg{kClaimTag, {20, 0, 8}}});  // same link again
+  p.on_receive(5, claims);
+  sim::Outbox echo_out(false);
+  p.on_send(6, echo_out);
+  ASSERT_EQ(echo_out.entries().size(), 1u);  // second claim discarded
+}
+
+TEST(BitRenamingUnit, MalformedIntervalsAreIgnored) {
+  auto p_owner = selected_process();
+  BitRenamingProcess& p = *p_owner;
+  Inbox claims;
+  claims.push_back({0, sim::WordMsg{kClaimTag, {10, 5, 3}}});   // hi <= lo
+  claims.push_back({1, sim::WordMsg{kClaimTag, {20, -1, 8}}});  // negative lo
+  claims.push_back({2, sim::WordMsg{kClaimTag, {30, 0, 99}}});  // hi > 2N
+  p.on_receive(5, claims);
+  sim::Outbox echo_out(false);
+  p.on_send(6, echo_out);
+  EXPECT_TRUE(echo_out.entries().empty());
+}
+
+TEST(BitRenamingUnit, SplitsByConfirmedRank) {
+  auto p_owner = selected_process();
+  BitRenamingProcess& p = *p_owner;
+  // Claims by ids 10 and 20 for the full interval.
+  Inbox claims;
+  claims.push_back({0, sim::WordMsg{kClaimTag, {10, 0, 8}}});
+  claims.push_back({1, sim::WordMsg{kClaimTag, {20, 0, 8}}});
+  p.on_receive(5, claims);
+  // Echoes: both claims confirmed by N-t = 3 links.
+  Inbox echoes;
+  for (int link = 0; link < 3; ++link) {
+    echoes.push_back({link, sim::WordMsg{kEchoTag, {10, 0, 8, 20, 0, 8}}});
+  }
+  p.on_receive(6, echoes);
+  // Rank of id 10 among {10, 20} is 1 <= half=4: go left.
+  sim::Outbox next_claim(false);
+  p.on_send(7, next_claim);
+  const auto& msg = std::get<sim::WordMsg>(next_claim.entries()[0].payload);
+  EXPECT_EQ(msg.words[1], 0);  // lo unchanged
+  EXPECT_EQ(msg.words[2], 4);  // hi halved
+}
+
+TEST(BitRenamingUnit, UnconfirmedClaimsDoNotAffectRank) {
+  auto p_owner = selected_process();
+  BitRenamingProcess& p = *p_owner;
+  Inbox claims;
+  claims.push_back({0, sim::WordMsg{kClaimTag, {10, 0, 8}}});
+  claims.push_back({1, sim::WordMsg{kClaimTag, {20, 0, 8}}});
+  p.on_receive(5, claims);
+  // Id 20's claim gets only 2 echoes (< N-t): not confirmed, so my rank
+  // stays 1 either way; confirm only my own claim.
+  Inbox echoes;
+  for (int link = 0; link < 3; ++link) {
+    echoes.push_back({link, sim::WordMsg{kEchoTag, {10, 0, 8}}});
+  }
+  echoes.push_back({0, sim::WordMsg{kEchoTag, {20, 0, 8}}});
+  echoes.push_back({1, sim::WordMsg{kEchoTag, {20, 0, 8}}});
+  p.on_receive(6, echoes);
+  sim::Outbox next_claim(false);
+  p.on_send(7, next_claim);
+  const auto& msg = std::get<sim::WordMsg>(next_claim.entries()[0].payload);
+  EXPECT_EQ(msg.words[1], 0);
+  EXPECT_EQ(msg.words[2], 4);
+}
+
+TEST(BitRenamingUnit, TotalStepsFormula) {
+  EXPECT_EQ(BitRenamingProcess(kParams, 1).total_steps(), 4 + 2 * 3);  // ceil(log2 8) = 3
+  EXPECT_EQ(BitRenamingProcess({.n = 10, .t = 3}, 1).total_steps(), 4 + 2 * 5);
+}
+
+}  // namespace
+}  // namespace byzrename::baselines

@@ -1,0 +1,73 @@
+#include "core/checker.h"
+
+#include <gtest/gtest.h>
+
+namespace byzrename::core {
+namespace {
+
+TEST(Checker, AcceptsPerfectRenaming) {
+  const CheckReport report = check_renaming({{10, 1}, {20, 2}, {30, 3}}, 3);
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(report.min_name, 1);
+  EXPECT_EQ(report.max_name, 3);
+  EXPECT_TRUE(report.detail.empty());
+}
+
+TEST(Checker, FlagsMissingDecision) {
+  const CheckReport report = check_renaming({{10, 1}, {20, std::nullopt}}, 3);
+  EXPECT_FALSE(report.termination);
+  EXPECT_TRUE(report.validity);
+  EXPECT_NE(report.detail.find("did not decide"), std::string::npos);
+}
+
+TEST(Checker, FlagsNameOutOfRange) {
+  EXPECT_FALSE(check_renaming({{10, 0}}, 3).validity);   // below 1
+  EXPECT_FALSE(check_renaming({{10, 4}}, 3).validity);   // above M
+  EXPECT_TRUE(check_renaming({{10, 3}}, 3).validity);    // boundary
+  EXPECT_TRUE(check_renaming({{10, 1}}, 3).validity);    // boundary
+}
+
+TEST(Checker, FlagsDuplicateNames) {
+  const CheckReport report = check_renaming({{10, 2}, {20, 2}}, 3);
+  EXPECT_FALSE(report.uniqueness);
+  EXPECT_NE(report.detail.find("assigned twice"), std::string::npos);
+}
+
+TEST(Checker, FlagsOrderViolation) {
+  const CheckReport report = check_renaming({{10, 3}, {20, 1}}, 3);
+  EXPECT_FALSE(report.order_preservation);
+  EXPECT_TRUE(report.uniqueness);
+}
+
+TEST(Checker, FlagsNonAdjacentDuplicateEvenWhenOrderAlsoBreaks) {
+  const CheckReport report = check_renaming({{10, 5}, {20, 3}, {30, 5}}, 9);
+  EXPECT_FALSE(report.uniqueness);
+  EXPECT_FALSE(report.order_preservation);
+}
+
+TEST(Checker, InputOrderDoesNotMatter) {
+  // The checker sorts by original id internally.
+  const CheckReport report = check_renaming({{30, 3}, {10, 1}, {20, 2}}, 3);
+  EXPECT_TRUE(report.all_ok());
+}
+
+TEST(Checker, EmptyInputIsVacuouslyOk) {
+  const CheckReport report = check_renaming({}, 3);
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(report.min_name, 0);
+  EXPECT_EQ(report.max_name, 0);
+}
+
+TEST(Checker, UndecidedProcessesDoNotBreakOtherChecks) {
+  const CheckReport report = check_renaming({{10, 1}, {20, std::nullopt}, {30, 2}}, 3);
+  EXPECT_FALSE(report.termination);
+  EXPECT_TRUE(report.uniqueness);
+  EXPECT_TRUE(report.order_preservation);
+}
+
+TEST(Checker, NegativeNameIsInvalid) {
+  EXPECT_FALSE(check_renaming({{10, -5}}, 3).validity);
+}
+
+}  // namespace
+}  // namespace byzrename::core

@@ -1,0 +1,206 @@
+#include "sim/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "numeric/bigint.h"
+#include "numeric/rational.h"
+
+namespace byzrename::sim {
+namespace {
+
+using numeric::BigInt;
+using numeric::Rational;
+
+void expect_round_trip(const Payload& payload) {
+  const std::vector<std::uint8_t> bytes = encode(payload);
+  const std::optional<Payload> decoded = decode(bytes);
+  ASSERT_TRUE(decoded.has_value()) << describe(payload);
+  EXPECT_EQ(*decoded, payload) << describe(payload);
+}
+
+TEST(Codec, RoundTripsSimpleMessages) {
+  expect_round_trip(IdMsg{0});
+  expect_round_trip(IdMsg{1});
+  expect_round_trip(IdMsg{-1});
+  expect_round_trip(IdMsg{std::numeric_limits<std::int64_t>::max()});
+  expect_round_trip(IdMsg{std::numeric_limits<std::int64_t>::min()});
+  expect_round_trip(EchoMsg{123456789});
+  expect_round_trip(ReadyMsg{987654321});
+}
+
+TEST(Codec, RoundTripsRanks) {
+  expect_round_trip(RanksMsg{});
+  expect_round_trip(RanksMsg{{{5, Rational::of(41, 40)}}});
+  RanksMsg big;
+  for (int i = 0; i < 100; ++i) {
+    big.entries.push_back({1000 + i, Rational::of(i * 41 + 1, 40)});
+  }
+  expect_round_trip(big);
+}
+
+TEST(Codec, RoundTripsNegativeAndHugeRationals) {
+  expect_round_trip(AAValueMsg{Rational(0)});
+  expect_round_trip(AAValueMsg{Rational(-7)});
+  expect_round_trip(AAValueMsg{Rational::of(-22, 7)});
+  const BigInt huge = (BigInt(1) << 300) + BigInt(12345);
+  expect_round_trip(AAValueMsg{Rational(huge, (BigInt(1) << 128) + BigInt(1))});
+  expect_round_trip(AAValueMsg{Rational(-huge, BigInt(3))});
+}
+
+TEST(Codec, RoundTripsMultiEchoAndWords) {
+  expect_round_trip(MultiEchoMsg{});
+  expect_round_trip(MultiEchoMsg{{1, 2, 3, -5, 1'000'000'000'000}});
+  expect_round_trip(WordMsg{0, {}});
+  expect_round_trip(WordMsg{-42, {1, -2, 3, std::numeric_limits<std::int64_t>::min()}});
+}
+
+TEST(Codec, SmallMessagesEncodeSmall) {
+  // Varint efficiency: a 1-digit id costs 2 bytes total, not 9.
+  EXPECT_EQ(encode(IdMsg{5}).size(), 2u);
+  EXPECT_LE(encode(RanksMsg{{{3, Rational::of(41, 40)}}}).size(), 8u);
+}
+
+TEST(Codec, RejectsEmptyAndUnknownKind) {
+  EXPECT_FALSE(decode({}).has_value());
+  EXPECT_FALSE(decode({0x00}).has_value());
+  EXPECT_FALSE(decode({0xFF, 0x01}).has_value());
+}
+
+TEST(Codec, RejectsTruncation) {
+  const std::vector<std::uint8_t> good = encode(RanksMsg{{{5, Rational::of(41, 40)}}});
+  for (std::size_t cut = 1; cut < good.size(); ++cut) {
+    const std::vector<std::uint8_t> truncated(good.begin(),
+                                              good.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(decode(truncated).has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(Codec, RejectsTrailingGarbage) {
+  std::vector<std::uint8_t> bytes = encode(IdMsg{7});
+  bytes.push_back(0x00);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsZeroDenominator) {
+  // AAValue with numerator 1 and denominator of zero length.
+  std::vector<std::uint8_t> bytes;
+  bytes.push_back(6);     // kAAValue
+  bytes.push_back(0x02);  // numerator header: 1 byte, positive
+  bytes.push_back(0x01);  // numerator magnitude = 1
+  bytes.push_back(0x00);  // denominator length 0 => zero
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsNonCanonicalBigintPadding) {
+  // A magnitude with a trailing zero byte must be rejected so equal
+  // values have exactly one encoding (no malleability).
+  std::vector<std::uint8_t> bytes;
+  bytes.push_back(6);     // kAAValue
+  bytes.push_back(0x04);  // numerator header: 2 bytes, positive
+  bytes.push_back(0x01);  // 1
+  bytes.push_back(0x00);  // padded high byte
+  bytes.push_back(0x01);  // denominator length 1
+  bytes.push_back(0x01);  // denominator 1
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsNonMinimalVarints) {
+  // 0x80 0x00 is a padded encoding of 0; only 0x00 is canonical.
+  EXPECT_FALSE(decode({1 /*kId*/, 0x80, 0x00}).has_value());
+  EXPECT_TRUE(decode({1 /*kId*/, 0x00}).has_value());
+}
+
+TEST(Codec, RejectsAbsurdVectorCounts) {
+  std::vector<std::uint8_t> bytes;
+  bytes.push_back(5);  // kMultiEcho
+  // count = 2^40 as varint
+  for (int i = 0; i < 5; ++i) bytes.push_back(0x80);
+  bytes.push_back(0x10);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, FuzzDecodeNeverCrashes) {
+  // Byzantine processes control every byte: decode must be total.
+  std::mt19937_64 rng(20130707);
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<std::uint8_t> bytes(rng() % 64);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    const auto decoded = decode(bytes);  // must not crash or throw
+    if (decoded.has_value()) {
+      // Whatever decodes must re-encode to the same bytes (canonicality).
+      EXPECT_EQ(encode(*decoded), bytes);
+    }
+  }
+}
+
+TEST(Codec, FuzzRoundTripRandomPayloads) {
+  std::mt19937_64 rng(424242);
+  for (int i = 0; i < 2000; ++i) {
+    Payload payload;
+    switch (rng() % 5) {
+      case 0:
+        payload = IdMsg{static_cast<std::int64_t>(rng())};
+        break;
+      case 1: {
+        MultiEchoMsg msg;
+        for (std::uint64_t k = rng() % 10; k > 0; --k) {
+          msg.ids.push_back(static_cast<std::int64_t>(rng()));
+        }
+        payload = std::move(msg);
+        break;
+      }
+      case 2: {
+        RanksMsg msg;
+        for (std::uint64_t k = rng() % 6; k > 0; --k) {
+          msg.entries.push_back(
+              {static_cast<std::int64_t>(rng() % 100000),
+               Rational::of(static_cast<std::int64_t>(rng() % 2001) - 1000,
+                            static_cast<std::int64_t>(rng() % 999) + 1)});
+        }
+        payload = std::move(msg);
+        break;
+      }
+      case 3: {
+        WordMsg msg{static_cast<std::int64_t>(rng() % 1000), {}};
+        for (std::uint64_t k = rng() % 8; k > 0; --k) {
+          msg.words.push_back(static_cast<std::int64_t>(rng()));
+        }
+        payload = std::move(msg);
+        break;
+      }
+      default:
+        payload = AAValueMsg{Rational::of(static_cast<std::int64_t>(rng()) / 1024,
+                                          static_cast<std::int64_t>(rng() % 4095) + 1)};
+        break;
+    }
+    const auto decoded = decode(encode(payload));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, payload);
+  }
+}
+
+TEST(Codec, EncodedBitsMatchesEncodeSize) {
+  const Payload payload = RanksMsg{{{5, Rational::of(41, 40)}, {9, Rational::of(82, 40)}}};
+  EXPECT_EQ(encoded_bits(payload), encode(payload).size() * 8);
+}
+
+TEST(BigIntBytes, MagnitudeRoundTrip) {
+  for (const char* text : {"0", "1", "255", "256", "4294967295", "4294967296",
+                           "340282366920938463463374607431768211457"}) {
+    const BigInt value = BigInt::from_string(text);
+    EXPECT_EQ(BigInt::from_magnitude_bytes(value.magnitude_bytes(), false), value) << text;
+    EXPECT_EQ(BigInt::from_magnitude_bytes(value.magnitude_bytes(), true),
+              value.is_zero() ? value : -value)
+        << text;
+  }
+}
+
+TEST(BigIntBytes, ToleratesTrailingZeroBytes) {
+  EXPECT_EQ(BigInt::from_magnitude_bytes({0x05, 0x00, 0x00}, false), BigInt(5));
+  EXPECT_EQ(BigInt::from_magnitude_bytes({}, true), BigInt(0));
+}
+
+}  // namespace
+}  // namespace byzrename::sim

@@ -1,0 +1,146 @@
+// Boundary configurations: the smallest legal systems, extreme ids from
+// the far end of the Nmax namespace, zero-fault modes of every
+// algorithm, and bit-for-bit determinism of whole runs.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/harness.h"
+
+namespace byzrename::core {
+namespace {
+
+TEST(EdgeCase, SingleProcessSystemRenamesItself) {
+  ScenarioConfig config;
+  config.params = {.n = 1, .t = 0};
+  config.actual_faults = 0;
+  const ScenarioResult result = run_scenario(config);
+  ASSERT_TRUE(result.report.all_ok()) << result.report.detail;
+  EXPECT_EQ(result.named.size(), 1u);
+  EXPECT_EQ(result.named[0].new_name, 1);
+}
+
+TEST(EdgeCase, SmallestByzantineSystem) {
+  // N = 4, t = 1 is the smallest system with a Byzantine fault.
+  ScenarioConfig config;
+  config.params = {.n = 4, .t = 1};
+  config.adversary = "asymflood";
+  const ScenarioResult result = run_scenario(config);
+  EXPECT_TRUE(result.report.all_ok()) << result.report.detail;
+  EXPECT_LE(result.report.max_name, 4);  // N+t-1 = 4
+}
+
+TEST(EdgeCase, IdsAtTheTopOfTheNamespace) {
+  // Nmax is huge; ids near 2^62 must flow through ranks, votes and the
+  // codec without loss (exact rationals make this a non-event — that is
+  // the point of the test).
+  const sim::Id top = (std::int64_t{1} << 62);
+  ScenarioConfig config;
+  config.params = {.n = 7, .t = 2};
+  config.correct_ids = {top - 4, top - 3, top - 2, top - 1, top};
+  config.adversary = "split";
+  const ScenarioResult result = run_scenario(config);
+  ASSERT_TRUE(result.report.all_ok()) << result.report.detail;
+  EXPECT_EQ(result.named.back().original_id, top);
+  EXPECT_LE(result.report.max_name, 8);
+}
+
+TEST(EdgeCase, MixedMagnitudeIds) {
+  ScenarioConfig config;
+  config.params = {.n = 7, .t = 2};
+  config.correct_ids = {1, 2, 1'000'000, (std::int64_t{1} << 40), (std::int64_t{1} << 55)};
+  config.adversary = "suppress";
+  const ScenarioResult result = run_scenario(config);
+  EXPECT_TRUE(result.report.all_ok()) << result.report.detail;
+}
+
+TEST(EdgeCase, EveryAlgorithmHandlesZeroFaultBudget) {
+  for (const Algorithm algorithm :
+       {Algorithm::kOpRenaming, Algorithm::kFastRenaming, Algorithm::kCrashRenaming,
+        Algorithm::kConsensusRenaming, Algorithm::kBitRenaming, Algorithm::kTranslatedRenaming}) {
+    ScenarioConfig config;
+    config.params = {.n = 5, .t = 0};
+    config.algorithm = algorithm;
+    config.actual_faults = 0;
+    const ScenarioResult result = run_scenario(config);
+    EXPECT_TRUE(result.report.validity) << to_string(algorithm) << ": " << result.report.detail;
+    EXPECT_TRUE(result.report.termination) << to_string(algorithm);
+    EXPECT_TRUE(result.report.uniqueness) << to_string(algorithm);
+    if (algorithm != Algorithm::kBitRenaming) {
+      EXPECT_TRUE(result.report.order_preservation) << to_string(algorithm);
+    }
+  }
+}
+
+TEST(EdgeCase, RunsAreBitForBitDeterministic) {
+  auto run_once = [] {
+    ScenarioConfig config;
+    config.params = {.n = 10, .t = 3};
+    config.adversary = "chaos";  // the most randomized strategy
+    config.seed = 99;
+    return run_scenario(config);
+  };
+  const ScenarioResult a = run_once();
+  const ScenarioResult b = run_once();
+  EXPECT_EQ(a.run.rounds, b.run.rounds);
+  EXPECT_EQ(a.run.metrics.total_messages(), b.run.metrics.total_messages());
+  EXPECT_EQ(a.run.metrics.total_bits(), b.run.metrics.total_bits());
+  ASSERT_EQ(a.named.size(), b.named.size());
+  for (std::size_t i = 0; i < a.named.size(); ++i) {
+    EXPECT_EQ(a.named[i].new_name, b.named[i].new_name);
+  }
+}
+
+TEST(EdgeCase, DifferentSeedsChangeLinkScrambling) {
+  auto run_with_seed = [](std::uint64_t seed) {
+    ScenarioConfig config;
+    config.params = {.n = 10, .t = 3};
+    config.adversary = "random";
+    config.seed = seed;
+    return run_scenario(config);
+  };
+  // Different seeds give different adversary traffic; metrics differ
+  // with overwhelming probability.
+  const ScenarioResult a = run_with_seed(1);
+  const ScenarioResult b = run_with_seed(2);
+  EXPECT_NE(a.run.metrics.total_bits(), b.run.metrics.total_bits());
+}
+
+TEST(EdgeCase, ZeroIterationOverrideDecidesAfterSelection) {
+  ScenarioConfig config;
+  config.params = {.n = 10, .t = 3};
+  config.actual_faults = 0;
+  config.options.approximation_iterations = 0;
+  const ScenarioResult result = run_scenario(config);
+  // With no actual faults, views agree after selection; zero voting
+  // rounds still yield a correct renaming.
+  EXPECT_TRUE(result.report.all_ok()) << result.report.detail;
+  EXPECT_EQ(result.run.rounds, 4);
+}
+
+TEST(EdgeCase, ExtraIterationsNeverHurt) {
+  ScenarioConfig config;
+  config.params = {.n = 13, .t = 4};
+  config.adversary = "asymflood";
+  config.options.approximation_iterations = default_approximation_iterations(4) + 5;
+  const ScenarioResult result = run_scenario(config);
+  EXPECT_TRUE(result.report.all_ok()) << result.report.detail;
+  EXPECT_EQ(result.run.rounds, 4 + 9 + 5);
+}
+
+TEST(EdgeCase, MaximalFaultDensityAcrossScales) {
+  // t at its resilience maximum for growing N.
+  for (const int n : {4, 7, 10, 13, 16, 19, 22}) {
+    const int t = (n - 1) / 3;
+    ScenarioConfig config;
+    config.params = {.n = n, .t = t};
+    config.adversary = "asymflood";
+    config.seed = static_cast<std::uint64_t>(n);
+    const ScenarioResult result = run_scenario(config);
+    EXPECT_TRUE(result.report.all_ok()) << "n=" << n << ": " << result.report.detail;
+  }
+}
+
+}  // namespace
+}  // namespace byzrename::core

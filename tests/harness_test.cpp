@@ -1,0 +1,128 @@
+#include "core/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace byzrename::core {
+namespace {
+
+TEST(Harness, GenerateIdsAreDistinctAndDeterministic) {
+  const auto a = generate_ids(50, 7);
+  const auto b = generate_ids(50, 7);
+  const auto c = generate_ids(50, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  const std::set<sim::Id> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), 50u);
+  for (const sim::Id id : a) EXPECT_GE(id, 1);
+}
+
+TEST(Harness, NamespaceSizesMatchPaper) {
+  const sim::SystemParams params{.n = 10, .t = 3};
+  EXPECT_EQ(namespace_size(Algorithm::kOpRenaming, params), 12);           // N+t-1
+  EXPECT_EQ(namespace_size(Algorithm::kOpRenamingConstantTime, params), 10);
+  EXPECT_EQ(namespace_size(Algorithm::kFastRenaming, params), 100);        // N^2
+  EXPECT_EQ(namespace_size(Algorithm::kCrashRenaming, params), 10);
+  EXPECT_EQ(namespace_size(Algorithm::kConsensusRenaming, params), 10);
+  EXPECT_EQ(namespace_size(Algorithm::kBitRenaming, params), 20);          // 2N
+  EXPECT_EQ(namespace_size(Algorithm::kOpRenaming, {.n = 10, .t = 0}), 10);
+}
+
+TEST(Harness, ExpectedStepsMatchPaper) {
+  const sim::SystemParams params{.n = 13, .t = 4};
+  EXPECT_EQ(expected_steps(Algorithm::kOpRenaming, params), 4 + 3 * 2 + 3);  // 3 ceil(log 4)+7
+  EXPECT_EQ(expected_steps(Algorithm::kOpRenamingConstantTime, params), 8);
+  EXPECT_EQ(expected_steps(Algorithm::kFastRenaming, params), 2);
+  EXPECT_EQ(expected_steps(Algorithm::kConsensusRenaming, params), 1 + 2 * 5);
+}
+
+TEST(Harness, RejectsBadConfigs) {
+  ScenarioConfig config;
+  config.params = {.n = 7, .t = 2};
+  config.actual_faults = 3;  // more than t
+  EXPECT_THROW((void)run_scenario(config), std::invalid_argument);
+
+  ScenarioConfig aa;
+  aa.params = {.n = 7, .t = 2};
+  aa.algorithm = Algorithm::kScalarAA;
+  EXPECT_THROW((void)run_scenario(aa), std::invalid_argument);
+
+  ScenarioConfig unknown;
+  unknown.params = {.n = 7, .t = 2};
+  unknown.adversary = "does-not-exist";
+  EXPECT_THROW((void)run_scenario(unknown), std::out_of_range);
+
+  ScenarioConfig mismatched;
+  mismatched.params = {.n = 7, .t = 2};
+  mismatched.correct_ids = {1, 2, 3};  // needs n - t = 5 ids
+  EXPECT_THROW((void)run_scenario(mismatched), std::invalid_argument);
+
+  // Exactly ON the constant-time regime boundary (N == t^2+2t): rejected,
+  // because the idflood adversary provably produces N+1 names there (the
+  // soak sweep caught precisely this before the guard existed).
+  ScenarioConfig boundary;
+  boundary.params = {.n = 24, .t = 4};
+  boundary.algorithm = Algorithm::kOpRenamingConstantTime;
+  EXPECT_THROW((void)run_scenario(boundary), std::invalid_argument);
+  ScenarioConfig inside = boundary;
+  inside.params.n = 25;
+  EXPECT_NO_THROW((void)run_scenario(inside));
+}
+
+TEST(Harness, ExplicitCorrectIdsAreHonored) {
+  ScenarioConfig config;
+  config.params = {.n = 7, .t = 2};
+  config.correct_ids = {500, 100, 300, 200, 400};  // unsorted on purpose
+  config.adversary = "silent";
+  const ScenarioResult result = run_scenario(config);
+  ASSERT_EQ(result.named.size(), 5u);
+  // Harness sorts: named[] comes back in id order.
+  EXPECT_EQ(result.named.front().original_id, 100);
+  EXPECT_EQ(result.named.back().original_id, 500);
+  EXPECT_TRUE(result.report.all_ok()) << result.report.detail;
+}
+
+TEST(Harness, MetricsArePopulated) {
+  ScenarioConfig config;
+  config.params = {.n = 7, .t = 2};
+  config.adversary = "silent";
+  const ScenarioResult result = run_scenario(config);
+  EXPECT_EQ(result.run.metrics.rounds(), static_cast<std::size_t>(result.run.rounds));
+  EXPECT_GT(result.run.metrics.total_messages(), 0u);
+  EXPECT_GT(result.run.metrics.total_bits(), 0u);
+  EXPECT_GT(result.run.metrics.max_correct_message_bits, 0u);
+}
+
+TEST(Harness, MessageSizeStaysWithinPaperBound) {
+  // Section IV-D: message size O((N+t-1)(log Nmax + log N)) bits. The
+  // exact-rational ranks add ~log2(N) bits per voting round; the
+  // generous constant below covers that, and the real encoded sizes
+  // (binary codec) must stay under it.
+  for (const auto& [n, t] : std::vector<std::pair<int, int>>{{10, 3}, {22, 7}, {40, 13}}) {
+    ScenarioConfig config;
+    config.params = {.n = n, .t = t};
+    config.adversary = "asymflood";
+    const ScenarioResult result = run_scenario(config);
+    ASSERT_TRUE(result.report.all_ok()) << result.report.detail;
+    const std::size_t bound =
+        static_cast<std::size_t>(n + t) * (64 + static_cast<std::size_t>(ceil_log2(n)) + 40);
+    EXPECT_LE(result.run.metrics.max_correct_message_bits, bound) << "n=" << n;
+  }
+}
+
+TEST(Harness, MakeCorrectBehaviorCoversEveryAlgorithm) {
+  const sim::SystemParams params{.n = 11, .t = 2};  // inside every regime incl. N > 2t^2+t
+  EXPECT_NE(make_correct_behavior(Algorithm::kOpRenaming, params, 1), nullptr);
+  EXPECT_NE(make_correct_behavior(Algorithm::kOpRenamingConstantTime, params, 1), nullptr);
+  EXPECT_NE(make_correct_behavior(Algorithm::kFastRenaming, params, 1), nullptr);
+  EXPECT_NE(make_correct_behavior(Algorithm::kCrashRenaming, params, 1), nullptr);
+  EXPECT_NE(make_correct_behavior(Algorithm::kBitRenaming, params, 1), nullptr);
+  EXPECT_NE(make_correct_behavior(Algorithm::kScalarAA, params, 1), nullptr);
+  EXPECT_NE(make_correct_behavior(Algorithm::kConsensusRenaming, params, 1, {}, 0), nullptr);
+  EXPECT_THROW((void)make_correct_behavior(Algorithm::kConsensusRenaming, params, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace byzrename::core

@@ -1,0 +1,126 @@
+#include "consensus/phase_king.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "sim/network.h"
+#include "sim/runner.h"
+
+namespace byzrename::consensus {
+namespace {
+
+/// Faulty participant: equivocates in value rounds and, when it is the
+/// king, tells each half of the system a different value.
+class ByzantineKing final : public sim::ProcessBehavior {
+ public:
+  ByzantineKing(int n, sim::ProcessIndex my_index) : n_(n), my_index_(my_index) {}
+
+  void on_send(sim::Round round, sim::Outbox& out) override {
+    const int phase = (round - 1) / 2;
+    const bool is_round_a = (round - 1) % 2 == 0;
+    if (!is_round_a && my_index_ != phase) return;  // not my phase to speak as king
+    for (int dest = 0; dest < n_; ++dest) {
+      out.send_to(dest, sim::WordMsg{round, {dest < n_ / 2 ? 111 : 222}});
+    }
+  }
+  void on_receive(sim::Round, const sim::Inbox&) override {}
+  [[nodiscard]] bool done() const override { return true; }
+
+ private:
+  int n_;
+  sim::ProcessIndex my_index_;
+};
+
+std::vector<std::int64_t> run_phase_king(int n, int t, const std::vector<std::int64_t>& inputs,
+                                         int faulty) {
+  const sim::SystemParams params{.n = n, .t = t};
+  std::vector<std::unique_ptr<sim::ProcessBehavior>> behaviors;
+  std::vector<bool> byzantine;
+  const int correct = n - faulty;
+  for (int i = 0; i < correct; ++i) {
+    behaviors.push_back(std::make_unique<PhaseKingProcess>(params, i, inputs[static_cast<std::size_t>(i)]));
+    byzantine.push_back(false);
+  }
+  for (int i = correct; i < n; ++i) {
+    behaviors.push_back(std::make_unique<ByzantineKing>(n, i));
+    byzantine.push_back(true);
+  }
+  sim::Network net(std::move(behaviors), std::move(byzantine), sim::Rng(4), /*scramble=*/false);
+  sim::run_to_completion(net, PhaseKingProcess::total_rounds(params));
+  std::vector<std::int64_t> decided;
+  for (int i = 0; i < correct; ++i) {
+    decided.push_back(dynamic_cast<const PhaseKingProcess&>(net.behavior(i)).decided_value());
+  }
+  return decided;
+}
+
+TEST(PhaseKing, RequiresNGreaterThan4t) {
+  EXPECT_THROW(PhaseKingInstance({.n = 8, .t = 2}, 0), std::invalid_argument);
+  EXPECT_NO_THROW(PhaseKingInstance({.n = 9, .t = 2}, 0));
+}
+
+TEST(PhaseKing, ValidityWithUnanimousInputs) {
+  const auto decided = run_phase_king(9, 2, std::vector<std::int64_t>(7, 5), 2);
+  for (const std::int64_t v : decided) EXPECT_EQ(v, 5);
+}
+
+TEST(PhaseKing, AgreementWithSplitInputs) {
+  std::vector<std::int64_t> inputs{1, 1, 1, 2, 2, 2, 3};
+  const auto decided = run_phase_king(9, 2, inputs, 2);
+  const std::set<std::int64_t> values(decided.begin(), decided.end());
+  EXPECT_EQ(values.size(), 1u) << "correct processes decided differently";
+}
+
+TEST(PhaseKing, NoFaultsDecidesPlurality) {
+  const auto decided = run_phase_king(5, 1, {7, 7, 7, 2, 2}, 0);
+  for (const std::int64_t v : decided) EXPECT_EQ(v, 7);
+}
+
+TEST(PhaseKing, AgreementAcrossManySeedsAndSplits) {
+  for (int split = 1; split < 8; ++split) {
+    std::vector<std::int64_t> inputs;
+    for (int i = 0; i < 11; ++i) inputs.push_back(i < split ? 100 : 200);
+    const auto decided = run_phase_king(13, 3, inputs, 2);
+    const std::set<std::int64_t> values(decided.begin(), decided.end());
+    EXPECT_EQ(values.size(), 1u) << "split=" << split;
+  }
+}
+
+TEST(PhaseKing, TotalRoundsIsLinearInT) {
+  EXPECT_EQ(PhaseKingProcess::total_rounds({.n = 5, .t = 1}), 4);
+  EXPECT_EQ(PhaseKingProcess::total_rounds({.n = 9, .t = 2}), 6);
+  EXPECT_EQ(PhaseKingProcess::total_rounds({.n = 21, .t = 5}), 12);
+}
+
+TEST(PhaseKingInstance, SilentKingKeepsPlurality) {
+  PhaseKingInstance instance({.n = 9, .t = 2}, 4);
+  instance.on_round_a({4, 4, 4, 9, 9});
+  instance.on_round_b(std::nullopt);
+  EXPECT_EQ(instance.value(), 4);
+}
+
+TEST(PhaseKingInstance, WeakCountAdoptsKing) {
+  PhaseKingInstance instance({.n = 9, .t = 2}, 4);
+  instance.on_round_a({4, 4, 4, 9, 9});  // plurality 4 with count 3 < N-t = 7
+  instance.on_round_b(9);
+  EXPECT_EQ(instance.value(), 9);
+}
+
+TEST(PhaseKingInstance, StrongCountIgnoresKing) {
+  PhaseKingInstance instance({.n = 9, .t = 2}, 4);
+  instance.on_round_a({4, 4, 4, 4, 4, 4, 4, 9, 9});  // count 7 >= N-t
+  instance.on_round_b(9);
+  EXPECT_EQ(instance.value(), 4);
+}
+
+TEST(PhaseKingInstance, TiesBreakTowardSmallestValue) {
+  PhaseKingInstance instance({.n = 9, .t = 2}, 0);
+  instance.on_round_a({8, 3, 8, 3});
+  instance.on_round_b(std::nullopt);
+  EXPECT_EQ(instance.value(), 3);
+}
+
+}  // namespace
+}  // namespace byzrename::consensus

@@ -1,0 +1,103 @@
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+namespace byzrename::core {
+namespace {
+
+TEST(Planner, TinyFaultBudgetPrefersTwoSteps) {
+  // N=11, t=2 is inside every regime; Alg. 4's 2 steps win on latency.
+  const auto plan = recommend_renaming({.n = 11, .t = 2});
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->algorithm, Algorithm::kFastRenaming);
+  EXPECT_EQ(plan->steps, 2);
+  EXPECT_EQ(plan->namespace_size, 121);
+}
+
+TEST(Planner, TightNamespaceForcesConstantTime) {
+  PlanConstraints constraints;
+  constraints.max_namespace = 11;  // N^2 = 121 no longer allowed
+  const auto plan = recommend_renaming({.n = 11, .t = 2}, constraints);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->algorithm, Algorithm::kOpRenamingConstantTime);
+  EXPECT_EQ(plan->steps, 8);
+  EXPECT_EQ(plan->namespace_size, 11);
+}
+
+TEST(Planner, LargeTLeavesOnlyFullAlgorithmOne) {
+  // N=13, t=4: t^2+2t = 24 > 13 and 2t^2+t = 36 > 13; only Alg. 1 fits.
+  const auto plans = plan_renaming({.n = 13, .t = 4});
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].algorithm, Algorithm::kOpRenaming);
+  EXPECT_EQ(plans[0].namespace_size, 16);
+}
+
+TEST(Planner, NothingFitsBeyondResilience) {
+  EXPECT_TRUE(plan_renaming({.n = 9, .t = 3}).empty());  // N == 3t
+  EXPECT_FALSE(recommend_renaming({.n = 10, .t = 3}).has_value() == false);
+}
+
+TEST(Planner, StepBudgetFiltersSlowOptions) {
+  PlanConstraints constraints;
+  constraints.max_steps = 2;
+  const auto plans = plan_renaming({.n = 13, .t = 4}, constraints);
+  EXPECT_TRUE(plans.empty());  // Alg. 1 needs 13 steps; nothing renames in 2
+}
+
+TEST(Planner, NonOrderPreservingUnlocksBitRenaming) {
+  PlanConstraints constraints;
+  constraints.order_preserving = false;
+  const auto plans = plan_renaming({.n = 13, .t = 4}, constraints);
+  bool found_bit = false;
+  for (const PlanOption& option : plans) {
+    if (option.algorithm == Algorithm::kBitRenaming) {
+      found_bit = true;
+      EXPECT_FALSE(option.order_preserving);
+      EXPECT_EQ(option.namespace_size, 26);
+    }
+  }
+  EXPECT_TRUE(found_bit);
+}
+
+TEST(Planner, AuthenticatedLinksUnlockConsensus) {
+  PlanConstraints constraints;
+  constraints.authenticated_links = true;
+  const auto plans = plan_renaming({.n = 9, .t = 2}, constraints);
+  bool found_consensus = false;
+  for (const PlanOption& option : plans) {
+    found_consensus = found_consensus || option.algorithm == Algorithm::kConsensusRenaming;
+  }
+  EXPECT_TRUE(found_consensus);
+
+  PlanConstraints anonymous;
+  for (const PlanOption& option : plan_renaming({.n = 9, .t = 2}, anonymous)) {
+    EXPECT_NE(option.algorithm, Algorithm::kConsensusRenaming);
+  }
+}
+
+TEST(Planner, OptionsAreSortedBySteps) {
+  const auto plans = plan_renaming({.n = 30, .t = 2});
+  ASSERT_GE(plans.size(), 3u);
+  for (std::size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_LE(plans[i - 1].steps, plans[i].steps);
+  }
+  EXPECT_EQ(plans.front().algorithm, Algorithm::kFastRenaming);
+}
+
+TEST(Planner, RecommendationMatchesScenarioReality) {
+  // The planner's cost predictions are exactly what a run produces.
+  const sim::SystemParams params{.n = 16, .t = 3};
+  const auto plan = recommend_renaming(params, {.max_namespace = 16});
+  ASSERT_TRUE(plan.has_value());
+  ScenarioConfig config;
+  config.params = params;
+  config.algorithm = plan->algorithm;
+  config.adversary = "idflood";
+  const ScenarioResult result = run_scenario(config);
+  EXPECT_TRUE(result.report.all_ok()) << result.report.detail;
+  EXPECT_EQ(result.run.rounds, plan->steps);
+  EXPECT_LE(result.report.max_name, plan->namespace_size);
+}
+
+}  // namespace
+}  // namespace byzrename::core

@@ -1,0 +1,170 @@
+// Broad parameterized property sweep: Theorem IV.10, Theorem V.3 and
+// Theorem VI.3 checked end-to-end over a grid of (N, t, adversary, seed).
+// These are the paper's headline guarantees; everything else in the test
+// suite exists so that a failure here can be localized.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/harness.h"
+
+namespace byzrename::core {
+namespace {
+
+using SweepParam = std::tuple<int /*n*/, int /*t*/, std::string /*adversary*/, int /*seed*/>;
+
+class OpRenamingSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(OpRenamingSweep, TheoremIV10) {
+  const auto& [n, t, adversary, seed] = GetParam();
+  ASSERT_GT(n, 3 * t);
+  ScenarioConfig config;
+  config.params = {.n = n, .t = t};
+  config.algorithm = Algorithm::kOpRenaming;
+  config.adversary = adversary;
+  config.seed = static_cast<std::uint64_t>(seed);
+  const ScenarioResult result = run_scenario(config);
+  EXPECT_TRUE(result.report.all_ok())
+      << "n=" << n << " t=" << t << " adv=" << adversary << " seed=" << seed << ": "
+      << result.report.detail;
+  EXPECT_LE(result.report.max_name, t > 0 ? n + t - 1 : n);
+  EXPECT_EQ(result.run.rounds, expected_steps(Algorithm::kOpRenaming, config.params));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MinimalResilience, OpRenamingSweep,
+    ::testing::Combine(::testing::Values(4), ::testing::Values(1),
+                       ::testing::Values("silent", "idflood", "asymflood", "split", "skew",
+                                         "suppress", "hybrid", "orderbreak", "random", "invalid",
+                                         "crash"),
+                       ::testing::Values(1, 2, 3)));
+
+INSTANTIATE_TEST_SUITE_P(
+    TightResilienceT2, OpRenamingSweep,
+    ::testing::Combine(::testing::Values(7), ::testing::Values(2),
+                       ::testing::Values("silent", "idflood", "asymflood", "split", "skew",
+                                         "suppress", "hybrid", "orderbreak", "random", "invalid",
+                                         "crash"),
+                       ::testing::Values(1, 2, 3)));
+
+INSTANTIATE_TEST_SUITE_P(
+    TightResilienceT4, OpRenamingSweep,
+    ::testing::Combine(::testing::Values(13), ::testing::Values(4),
+                       ::testing::Values("silent", "idflood", "asymflood", "split", "skew",
+                                         "suppress", "hybrid", "orderbreak", "random"),
+                       ::testing::Values(1, 2)));
+
+INSTANTIATE_TEST_SUITE_P(
+    LooseResilience, OpRenamingSweep,
+    ::testing::Combine(::testing::Values(16, 25), ::testing::Values(2, 3),
+                       ::testing::Values("idflood", "asymflood", "split", "suppress", "hybrid",
+                                         "orderbreak"),
+                       ::testing::Values(1, 2)));
+
+INSTANTIATE_TEST_SUITE_P(
+    LargerSystems, OpRenamingSweep,
+    ::testing::Combine(::testing::Values(40), ::testing::Values(13),
+                       ::testing::Values("idflood", "asymflood", "split", "hybrid"),
+                       ::testing::Values(1)));
+
+class ConstantTimeSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ConstantTimeSweep, TheoremV3) {
+  const auto& [n, t, adversary, seed] = GetParam();
+  ASSERT_GT(n, t * t + 2 * t) << "outside the constant-time regime";
+  ScenarioConfig config;
+  config.params = {.n = n, .t = t};
+  config.algorithm = Algorithm::kOpRenamingConstantTime;
+  config.adversary = adversary;
+  config.seed = static_cast<std::uint64_t>(seed);
+  const ScenarioResult result = run_scenario(config);
+  EXPECT_TRUE(result.report.all_ok())
+      << "n=" << n << " t=" << t << " adv=" << adversary << ": " << result.report.detail;
+  // Strong renaming: namespace exactly N (Lemma V.1).
+  EXPECT_LE(result.report.max_name, n);
+  // Exactly 8 steps (Theorem V.3).
+  EXPECT_EQ(result.run.rounds, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regime, ConstantTimeSweep,
+    ::testing::Combine(::testing::Values(16, 24, 36), ::testing::Values(1, 2, 3),
+                       ::testing::Values("silent", "idflood", "split", "skew", "suppress"),
+                       ::testing::Values(1, 2)));
+
+class FastRenamingSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(FastRenamingSweep, TheoremVI3) {
+  const auto& [n, t, adversary, seed] = GetParam();
+  ASSERT_GT(n, 2 * t * t + t) << "outside the 2-step regime";
+  ScenarioConfig config;
+  config.params = {.n = n, .t = t};
+  config.algorithm = Algorithm::kFastRenaming;
+  config.adversary = adversary;
+  config.seed = static_cast<std::uint64_t>(seed);
+  const ScenarioResult result = run_scenario(config);
+  EXPECT_TRUE(result.report.all_ok())
+      << "n=" << n << " t=" << t << " adv=" << adversary << ": " << result.report.detail;
+  EXPECT_LE(result.report.max_name, static_cast<sim::Name>(n) * n);
+  EXPECT_EQ(result.run.rounds, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regime, FastRenamingSweep,
+    ::testing::Combine(::testing::Values(11, 16), ::testing::Values(1, 2),
+                       ::testing::Values("silent", "idflood", "suppress", "random", "invalid",
+                                         "crash"),
+                       ::testing::Values(1, 2)));
+
+INSTANTIATE_TEST_SUITE_P(
+    LargerSystems, FastRenamingSweep,
+    ::testing::Combine(::testing::Values(22, 36), ::testing::Values(3),
+                       ::testing::Values("idflood", "suppress"), ::testing::Values(1)));
+
+// Chaos sweeps: the randomized protocol-aware adversary across many
+// seeds — cheap property-based search over mixed strategies.
+class ChaosSweep : public ::testing::TestWithParam<std::tuple<std::pair<int, int>, int>> {};
+
+TEST_P(ChaosSweep, GuaranteesHoldUnderRandomizedMixtures) {
+  const auto& [nt, seed] = GetParam();
+  const auto& [n, t] = nt;
+  ScenarioConfig config;
+  config.params = {.n = n, .t = t};
+  config.adversary = "chaos";
+  config.seed = static_cast<std::uint64_t>(seed);
+  const ScenarioResult result = run_scenario(config);
+  EXPECT_TRUE(result.report.all_ok())
+      << "n=" << n << " t=" << t << " seed=" << seed << ": " << result.report.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ChaosSweep,
+                         ::testing::Combine(::testing::Values(std::pair<int, int>{7, 2},
+                                                              std::pair<int, int>{10, 3},
+                                                              std::pair<int, int>{13, 4}),
+                                            ::testing::Range(1, 17)));
+
+// Degraded-fault sweeps: fewer actual faults than the budget t must never
+// hurt (the adversary only gets weaker).
+class UnderloadedSweep : public ::testing::TestWithParam<std::tuple<int, std::string>> {};
+
+TEST_P(UnderloadedSweep, FewerFaultsThanBudget) {
+  const auto& [faults, adversary] = GetParam();
+  ScenarioConfig config;
+  config.params = {.n = 13, .t = 4};
+  config.actual_faults = faults;
+  config.adversary = adversary;
+  config.seed = 55;
+  const ScenarioResult result = run_scenario(config);
+  EXPECT_TRUE(result.report.all_ok())
+      << "f=" << faults << " adv=" << adversary << ": " << result.report.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, UnderloadedSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values("silent", "idflood", "split",
+                                                              "suppress")));
+
+}  // namespace
+}  // namespace byzrename::core

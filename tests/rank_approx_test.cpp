@@ -1,0 +1,301 @@
+#include "core/rank_approx.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "numeric/bigint.h"
+
+namespace byzrename::core {
+namespace {
+
+using numeric::BigInt;
+using numeric::Rational;
+using sim::Id;
+
+const sim::SystemParams kParams{.n = 7, .t = 2};
+const Rational kDelta = delta(kParams);
+
+RankMap ranks_of(std::initializer_list<std::pair<Id, Rational>> entries) {
+  RankMap map;
+  for (const auto& [id, rank] : entries) map.emplace(id, rank);
+  return map;
+}
+
+// ---------------------------------------------------------------------------
+// decode_vote
+// ---------------------------------------------------------------------------
+
+TEST(DecodeVote, AcceptsWellFormedSortedEntries) {
+  sim::RanksMsg msg{{{1, Rational(1)}, {5, Rational(2)}, {9, Rational(3)}}};
+  RankMap out;
+  EXPECT_TRUE(decode_vote(msg, kParams, {}, out));
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.at(5), Rational(2));
+}
+
+TEST(DecodeVote, RejectsUnsortedIds) {
+  sim::RanksMsg msg{{{5, Rational(1)}, {1, Rational(2)}}};
+  RankMap out;
+  EXPECT_FALSE(decode_vote(msg, kParams, {}, out));
+}
+
+TEST(DecodeVote, RejectsDuplicateIds) {
+  sim::RanksMsg msg{{{5, Rational(1)}, {5, Rational(2)}}};
+  RankMap out;
+  EXPECT_FALSE(decode_vote(msg, kParams, {}, out));
+}
+
+TEST(DecodeVote, RejectsEntryCountSpam) {
+  sim::RanksMsg msg;
+  for (int i = 0; i < kParams.n + kParams.t + 1; ++i) {
+    msg.entries.push_back({i + 1, Rational(i + 1)});
+  }
+  RankMap out;
+  EXPECT_FALSE(decode_vote(msg, kParams, {}, out));
+  // One fewer entry fits the bound.
+  msg.entries.pop_back();
+  EXPECT_TRUE(decode_vote(msg, kParams, {}, out));
+}
+
+TEST(DecodeVote, RejectsOversizedRankEncodings) {
+  RenamingOptions options;
+  options.max_rank_bits = 64;
+  sim::RanksMsg msg{{{1, Rational(BigInt(1), BigInt(1) << 128)}}};
+  RankMap out;
+  EXPECT_FALSE(decode_vote(msg, kParams, options, out));
+  sim::RanksMsg small{{{1, Rational::of(1, 3)}}};
+  EXPECT_TRUE(decode_vote(small, kParams, options, out));
+}
+
+TEST(DecodeVote, AcceptsEmptyVote) {
+  RankMap out;
+  EXPECT_TRUE(decode_vote(sim::RanksMsg{}, kParams, {}, out));
+  EXPECT_TRUE(out.empty());
+}
+
+// ---------------------------------------------------------------------------
+// is_valid_ranks (Alg. 2)
+// ---------------------------------------------------------------------------
+
+TEST(IsValid, AcceptsDeltaSpacedCoverage) {
+  const std::set<Id> timely{1, 2, 3};
+  const RankMap vote = ranks_of({{1, kDelta}, {2, kDelta * Rational(2)}, {3, kDelta * Rational(3)}});
+  EXPECT_TRUE(is_valid_ranks(timely, vote, kDelta));
+}
+
+TEST(IsValid, RejectsMissingTimelyId) {
+  const std::set<Id> timely{1, 2, 3};
+  const RankMap vote = ranks_of({{1, kDelta}, {3, kDelta * Rational(2)}});
+  EXPECT_FALSE(is_valid_ranks(timely, vote, kDelta));
+}
+
+TEST(IsValid, RejectsSubDeltaSpacing) {
+  const std::set<Id> timely{1, 2};
+  const RankMap vote =
+      ranks_of({{1, kDelta}, {2, kDelta + kDelta * Rational::of(99, 100)}});
+  EXPECT_FALSE(is_valid_ranks(timely, vote, kDelta));
+}
+
+TEST(IsValid, AcceptsExactDeltaSpacing) {
+  const std::set<Id> timely{1, 2};
+  const RankMap vote = ranks_of({{1, Rational(5)}, {2, Rational(5) + kDelta}});
+  EXPECT_TRUE(is_valid_ranks(timely, vote, kDelta));
+}
+
+TEST(IsValid, RejectsInvertedOrder) {
+  const std::set<Id> timely{1, 2};
+  const RankMap vote = ranks_of({{1, Rational(9)}, {2, Rational(1)}});
+  EXPECT_FALSE(is_valid_ranks(timely, vote, kDelta));
+}
+
+TEST(IsValid, ExtraNonTimelyEntriesAreAllowed) {
+  // Votes rank the sender's whole accepted set, which may exceed the
+  // receiver's timely set; only timely coverage and spacing matter.
+  const std::set<Id> timely{2, 4};
+  const RankMap vote = ranks_of({{1, Rational(1)},
+                                 {2, Rational(1) + kDelta},
+                                 {3, Rational(100)},
+                                 {4, Rational(1) + kDelta * Rational(2)}});
+  EXPECT_TRUE(is_valid_ranks(timely, vote, kDelta));
+}
+
+TEST(IsValid, EmptyTimelyAcceptsAnything) {
+  EXPECT_TRUE(is_valid_ranks({}, {}, kDelta));
+  EXPECT_TRUE(is_valid_ranks({}, ranks_of({{1, Rational(0)}}), kDelta));
+}
+
+// ---------------------------------------------------------------------------
+// select_t
+// ---------------------------------------------------------------------------
+
+TEST(SelectT, PicksSmallestAndEveryTth) {
+  const std::vector<Rational> sorted{Rational(1), Rational(2), Rational(3),
+                                     Rational(4), Rational(5), Rational(6)};
+  const auto chosen = select_t(sorted, 2);
+  ASSERT_EQ(chosen.size(), 3u);  // positions 0, 2, 4
+  EXPECT_EQ(chosen[0], Rational(1));
+  EXPECT_EQ(chosen[1], Rational(3));
+  EXPECT_EQ(chosen[2], Rational(5));
+}
+
+TEST(SelectT, CountMatchesSigmaFormula) {
+  // |select_t| on N-2t elements is floor((N-2t-1)/t)+1, which is
+  // sigma_t = floor((N-2t)/t)+1 whenever t does not divide N-2t.
+  for (int n = 4; n <= 40; ++n) {
+    for (int t = 1; 3 * t < n; ++t) {
+      std::vector<Rational> sorted;
+      for (int i = 0; i < n - 2 * t; ++i) sorted.emplace_back(i);
+      const int count = static_cast<int>(select_t(sorted, t).size());
+      EXPECT_EQ(count, (n - 2 * t - 1) / t + 1) << "n=" << n << " t=" << t;
+      EXPECT_GE(count, 2) << "contraction requires at least two points";
+    }
+  }
+}
+
+TEST(SelectT, ZeroTReturnsEverything) {
+  const std::vector<Rational> sorted{Rational(1), Rational(2)};
+  EXPECT_EQ(select_t(sorted, 0).size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// approximate (Alg. 3)
+// ---------------------------------------------------------------------------
+
+std::vector<RankMap> identical_votes(int count, const RankMap& vote) {
+  return std::vector<RankMap>(static_cast<std::size_t>(count), vote);
+}
+
+TEST(Approximate, UnanimousVotesAreFixpoint) {
+  std::set<Id> accepted{1, 2, 3};
+  const RankMap mine =
+      ranks_of({{1, kDelta}, {2, kDelta * Rational(2)}, {3, kDelta * Rational(3)}});
+  const ApproximateResult result =
+      approximate(kParams, accepted, mine, identical_votes(kParams.n, mine));
+  EXPECT_TRUE(result.dropped.empty());
+  EXPECT_EQ(result.new_ranks, mine);
+}
+
+TEST(Approximate, DropsIdsBelowVoteThreshold) {
+  std::set<Id> accepted{1, 2};
+  const RankMap with_both = ranks_of({{1, Rational(1)}, {2, Rational(1) + kDelta}});
+  const RankMap only_one = ranks_of({{1, Rational(1)}});
+  // Id 2 appears in only 4 votes < N-t = 5.
+  std::vector<RankMap> votes = identical_votes(4, with_both);
+  votes.push_back(only_one);
+  const ApproximateResult result = approximate(kParams, accepted, with_both, votes);
+  EXPECT_TRUE(result.dropped.contains(2));
+  EXPECT_FALSE(accepted.contains(2));
+  EXPECT_TRUE(result.new_ranks.contains(1));
+  EXPECT_FALSE(result.new_ranks.contains(2));
+}
+
+TEST(Approximate, TrimNeutralizesExtremeMinority) {
+  // t = 2 Byzantine votes at +/- 10^6 must not drag the result outside
+  // the correct range [1, 1+delta].
+  std::set<Id> accepted{1};
+  const RankMap mine = ranks_of({{1, Rational(1)}});
+  std::vector<RankMap> votes = identical_votes(kParams.n - kParams.t, mine);
+  votes.push_back(ranks_of({{1, Rational(1'000'000)}}));
+  votes.push_back(ranks_of({{1, Rational(-1'000'000)}}));
+  const ApproximateResult result = approximate(kParams, accepted, mine, votes);
+  EXPECT_EQ(result.new_ranks.at(1), Rational(1));
+}
+
+TEST(Approximate, OutputStaysInCorrectRange) {
+  // Lemma IV.8 containment: with 5 correct votes in [10, 20] and 2
+  // Byzantine extremes, the new value must stay in [10, 20].
+  std::set<Id> accepted{1};
+  const RankMap mine = ranks_of({{1, Rational(10)}});
+  std::vector<RankMap> votes;
+  votes.push_back(ranks_of({{1, Rational(10)}}));
+  votes.push_back(ranks_of({{1, Rational(12)}}));
+  votes.push_back(ranks_of({{1, Rational(15)}}));
+  votes.push_back(ranks_of({{1, Rational(18)}}));
+  votes.push_back(ranks_of({{1, Rational(20)}}));
+  votes.push_back(ranks_of({{1, Rational(1'000'000)}}));
+  votes.push_back(ranks_of({{1, Rational(-1'000'000)}}));
+  const ApproximateResult result = approximate(kParams, accepted, mine, votes);
+  EXPECT_GE(result.new_ranks.at(1), Rational(10));
+  EXPECT_LE(result.new_ranks.at(1), Rational(20));
+}
+
+TEST(Approximate, PadsMissingVotesWithOwnValue) {
+  // Exactly N-t votes arrive; the remaining t slots are filled with the
+  // local value, which then influences the average.
+  std::set<Id> accepted{1};
+  const RankMap mine = ranks_of({{1, Rational(0)}});
+  const std::vector<RankMap> votes = identical_votes(kParams.n - kParams.t, ranks_of({{1, Rational(10)}}));
+  const ApproximateResult result = approximate(kParams, accepted, mine, votes);
+  // Ballot (sorted): [0, 0, 10, 10, 10, 10, 10] -> trim 2 -> [10,10,10]
+  // wait: trim removes two lowest (0,0) and two highest (10,10): [10,10,10].
+  EXPECT_EQ(result.new_ranks.at(1), Rational(10));
+}
+
+TEST(Approximate, PairwiseDeltaGapIsPreservedAcrossStep) {
+  // Lemma A.3: if every vote spaces two ids by >= delta, so does the
+  // output — even when votes disagree wildly about absolute positions.
+  std::set<Id> accepted{1, 2};
+  std::mt19937_64 rng(99);
+  const RankMap mine = ranks_of({{1, Rational(3)}, {2, Rational(3) + kDelta}});
+  std::vector<RankMap> votes;
+  for (int v = 0; v < kParams.n; ++v) {
+    const Rational base(static_cast<std::int64_t>(rng() % 1000));
+    const Rational gap = kDelta + Rational::of(static_cast<std::int64_t>(rng() % 5), 3);
+    votes.push_back(ranks_of({{1, base}, {2, base + gap}}));
+  }
+  std::set<Id> accepted_copy = accepted;
+  const ApproximateResult result = approximate(kParams, accepted_copy, mine, votes);
+  EXPECT_GE(result.new_ranks.at(2) - result.new_ranks.at(1), kDelta);
+}
+
+TEST(Approximate, ContractionMatchesSigma) {
+  // Two processes whose vote multisets differ in at most t entries end up
+  // within Delta/sigma_t of each other (Lemma IV.8).
+  const sim::SystemParams params{.n = 13, .t = 2};
+  const int sigma = sigma_t(params);
+  // Correct votes spread over [0, 100]; the two processes see the same
+  // correct votes but different Byzantine extremes.
+  std::vector<RankMap> correct_votes;
+  for (int i = 0; i < params.n - params.t; ++i) {
+    correct_votes.push_back(ranks_of({{1, Rational(100 * i / (params.n - params.t - 1))}}));
+  }
+  std::vector<RankMap> votes_p = correct_votes;
+  votes_p.push_back(ranks_of({{1, Rational(-500)}}));
+  votes_p.push_back(ranks_of({{1, Rational(-600)}}));
+  std::vector<RankMap> votes_q = correct_votes;
+  votes_q.push_back(ranks_of({{1, Rational(500)}}));
+  votes_q.push_back(ranks_of({{1, Rational(600)}}));
+
+  std::set<Id> accepted_p{1};
+  std::set<Id> accepted_q{1};
+  const RankMap mine_p = ranks_of({{1, Rational(0)}});
+  const RankMap mine_q = ranks_of({{1, Rational(100)}});
+  const Rational new_p = approximate(params, accepted_p, mine_p, votes_p).new_ranks.at(1);
+  const Rational new_q = approximate(params, accepted_q, mine_q, votes_q).new_ranks.at(1);
+  const Rational spread = (new_p - new_q).abs();
+  EXPECT_LE(spread, Rational(100) / Rational(sigma));
+}
+
+TEST(Approximate, ZeroFaultsAveragesAllVotes) {
+  const sim::SystemParams params{.n = 3, .t = 0};
+  std::set<Id> accepted{1};
+  const RankMap mine = ranks_of({{1, Rational(1)}});
+  std::vector<RankMap> votes;
+  votes.push_back(ranks_of({{1, Rational(1)}}));
+  votes.push_back(ranks_of({{1, Rational(2)}}));
+  votes.push_back(ranks_of({{1, Rational(3)}}));
+  const ApproximateResult result = approximate(params, accepted, mine, votes);
+  EXPECT_EQ(result.new_ranks.at(1), Rational(2));
+}
+
+TEST(EncodeVote, RoundTripsThroughDecode) {
+  const RankMap original =
+      ranks_of({{3, Rational::of(7, 2)}, {8, Rational(5)}, {11, Rational::of(21, 4)}});
+  RankMap decoded;
+  ASSERT_TRUE(decode_vote(encode_vote(original), kParams, {}, decoded));
+  EXPECT_EQ(decoded, original);
+}
+
+}  // namespace
+}  // namespace byzrename::core

@@ -1,0 +1,144 @@
+#include "numeric/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace byzrename::numeric {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_TRUE(zero.is_integer());
+  EXPECT_EQ(zero.to_string(), "0");
+}
+
+TEST(Rational, NormalizesSignIntoNumerator) {
+  const Rational v = Rational::of(3, -6);
+  EXPECT_EQ(v.to_string(), "-1/2");
+  EXPECT_TRUE(v.is_negative());
+  EXPECT_FALSE(v.denominator().is_negative());
+}
+
+TEST(Rational, ReducesToLowestTerms) {
+  EXPECT_EQ(Rational::of(6, 8).to_string(), "3/4");
+  EXPECT_EQ(Rational::of(100, 10).to_string(), "10");
+  EXPECT_EQ(Rational::of(0, 7).to_string(), "0");
+  EXPECT_EQ(Rational::of(0, 7).denominator(), BigInt(1));
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW((void)Rational::of(1, 0), std::domain_error);
+  EXPECT_THROW((void)(Rational(1) / Rational(0)), std::domain_error);
+}
+
+TEST(Rational, ExactArithmetic) {
+  const Rational third = Rational::of(1, 3);
+  EXPECT_EQ(third + third + third, Rational(1));
+  EXPECT_EQ(Rational::of(1, 2) + Rational::of(1, 3), Rational::of(5, 6));
+  EXPECT_EQ(Rational::of(1, 2) - Rational::of(1, 3), Rational::of(1, 6));
+  EXPECT_EQ(Rational::of(2, 3) * Rational::of(3, 4), Rational::of(1, 2));
+  EXPECT_EQ(Rational::of(2, 3) / Rational::of(4, 3), Rational::of(1, 2));
+}
+
+TEST(Rational, ComparisonCrossMultiplies) {
+  EXPECT_LT(Rational::of(1, 3), Rational::of(1, 2));
+  EXPECT_LT(Rational::of(-1, 2), Rational::of(-1, 3));
+  EXPECT_LT(Rational::of(-1, 2), Rational(0));
+  EXPECT_EQ(Rational::of(2, 4), Rational::of(1, 2));
+  EXPECT_GT(Rational::of(7, 6), Rational(1));
+}
+
+TEST(Rational, FloorForPositivesAndNegatives) {
+  EXPECT_EQ(Rational::of(7, 2).floor(), BigInt(3));
+  EXPECT_EQ(Rational::of(-7, 2).floor(), BigInt(-4));
+  EXPECT_EQ(Rational(5).floor(), BigInt(5));
+  EXPECT_EQ(Rational(-5).floor(), BigInt(-5));
+  EXPECT_EQ(Rational::of(1, 3).floor(), BigInt(0));
+  EXPECT_EQ(Rational::of(-1, 3).floor(), BigInt(-1));
+}
+
+TEST(Rational, RoundToNearestInteger) {
+  EXPECT_EQ(Rational::of(7, 2).round(), BigInt(4));    // 3.5 -> 4
+  EXPECT_EQ(Rational::of(10, 3).round(), BigInt(3));   // 3.33 -> 3
+  EXPECT_EQ(Rational::of(11, 3).round(), BigInt(4));   // 3.67 -> 4
+  EXPECT_EQ(Rational::of(-7, 2).round(), BigInt(-4));  // -3.5 -> -4 (away from zero)
+  EXPECT_EQ(Rational::of(-10, 3).round(), BigInt(-3));
+  EXPECT_EQ(Rational(0).round(), BigInt(0));
+  EXPECT_EQ(Rational(9).round(), BigInt(9));
+}
+
+TEST(Rational, RoundIsStableUnderTinyPerturbation) {
+  // The algorithm's final rounding must map rank +- (delta-1)/2 to the
+  // same integer; check the pattern at a representative scale.
+  const Rational rank(17);
+  const Rational eps = Rational::of(1, 6 * (64 + 4));  // (delta-1)/2 for N=64, t=4
+  EXPECT_EQ((rank + eps).round(), BigInt(17));
+  EXPECT_EQ((rank - eps).round(), BigInt(17));
+}
+
+TEST(Rational, EncodedBitsGrowsWithMagnitude) {
+  EXPECT_LT(Rational::of(1, 2).encoded_bits(), Rational::of(1, 1'000'000'007).encoded_bits());
+  const Rational huge(BigInt(1), BigInt(1) << 5000);
+  EXPECT_GT(huge.encoded_bits(), 5000u);
+}
+
+TEST(Rational, ToDoubleApproximates) {
+  EXPECT_NEAR(Rational::of(1, 3).to_double(), 0.333333, 1e-6);
+  EXPECT_NEAR(Rational::of(-22, 7).to_double(), -3.142857, 1e-6);
+}
+
+TEST(Rational, AbsAndNegate) {
+  EXPECT_EQ((-Rational::of(1, 2)).to_string(), "-1/2");
+  EXPECT_EQ(Rational::of(-1, 2).abs(), Rational::of(1, 2));
+  EXPECT_EQ((-Rational(0)).to_string(), "0");
+}
+
+TEST(Rational, DeltaExpression) {
+  // delta = 1 + 1/(3(N+t)) stays an exact rational, and (delta-1)/2 is
+  // exactly 1/(6(N+t)) — the identity Lemma V.2 computes with.
+  const Rational delta = Rational(1) + Rational::of(1, 3 * (10 + 3));
+  EXPECT_EQ(delta, Rational::of(40, 39));
+  EXPECT_EQ((delta - Rational(1)) / Rational(2), Rational::of(1, 78));
+}
+
+TEST(Rational, RepeatedAveragingStaysExact) {
+  // Mimics the voting phase: averaging values separated by exactly delta
+  // preserves the separation exactly, with no drift, for many rounds.
+  const Rational delta = Rational(1) + Rational::of(1, 3 * 20);
+  Rational low = Rational(3) * delta;
+  Rational high = Rational(4) * delta;
+  for (int round = 0; round < 50; ++round) {
+    const Rational low2 = (low + (low + delta)) / Rational(2) - delta;
+    const Rational high2 = (high + (high + delta)) / Rational(2) - delta;
+    ASSERT_EQ(high2 - low2, high - low);
+    low = low2;
+    high = high2;
+  }
+  EXPECT_EQ(high - low, delta);
+}
+
+TEST(Rational, RandomizedFieldAxioms) {
+  std::mt19937_64 rng(4242);
+  auto random_rational = [&rng] {
+    const auto num = static_cast<std::int64_t>(rng() % 20001) - 10000;
+    const auto den = static_cast<std::int64_t>(rng() % 999) + 1;
+    return Rational::of(num, den);
+  };
+  for (int i = 0; i < 300; ++i) {
+    const Rational a = random_rational();
+    const Rational b = random_rational();
+    const Rational c = random_rational();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!b.is_zero()) {
+      EXPECT_EQ((a / b) * b, a);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace byzrename::numeric

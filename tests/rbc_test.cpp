@@ -1,0 +1,137 @@
+#include "rbc/sync_rbc.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "sim/network.h"
+#include "sim/runner.h"
+
+namespace byzrename::rbc {
+namespace {
+
+/// A faulty sender that equivocates: value `a` to the first half, `b` to
+/// the second half, in round 1; silent afterwards.
+class EquivocatingSender final : public sim::ProcessBehavior {
+ public:
+  EquivocatingSender(int n, std::int64_t a, std::int64_t b) : n_(n), a_(a), b_(b) {}
+  void on_send(sim::Round round, sim::Outbox& out) override {
+    if (round != 1) return;
+    for (int dest = 0; dest < n_; ++dest) {
+      out.send_to(dest, sim::WordMsg{1, {dest < n_ / 2 ? a_ : b_}});
+    }
+  }
+  void on_receive(sim::Round, const sim::Inbox&) override {}
+  [[nodiscard]] bool done() const override { return true; }
+
+ private:
+  int n_;
+  std::int64_t a_;
+  std::int64_t b_;
+};
+
+/// A faulty process that echoes/readies a value of its own invention.
+class LyingParticipant final : public sim::ProcessBehavior {
+ public:
+  explicit LyingParticipant(std::int64_t value) : value_(value) {}
+  void on_send(sim::Round round, sim::Outbox& out) override {
+    if (round == 2) out.broadcast(sim::WordMsg{2, {value_}});
+    if (round == 3 || round == 4) out.broadcast(sim::WordMsg{3, {value_}});
+  }
+  void on_receive(sim::Round, const sim::Inbox&) override {}
+  [[nodiscard]] bool done() const override { return true; }
+
+ private:
+  std::int64_t value_;
+};
+
+struct RbcOutcome {
+  std::vector<std::optional<std::int64_t>> delivered;  ///< per correct process
+};
+
+RbcOutcome run_rbc(int n, int t, sim::ProcessIndex sender,
+                   std::vector<std::unique_ptr<sim::ProcessBehavior>> faulty,
+                   std::int64_t sender_value = 77) {
+  const sim::SystemParams params{.n = n, .t = t};
+  std::vector<std::unique_ptr<sim::ProcessBehavior>> behaviors;
+  std::vector<bool> byzantine;
+  const int correct = n - static_cast<int>(faulty.size());
+  for (int i = 0; i < correct; ++i) {
+    behaviors.push_back(std::make_unique<SyncRbcProcess>(params, i, sender, sender_value));
+    byzantine.push_back(false);
+  }
+  for (auto& f : faulty) {
+    behaviors.push_back(std::move(f));
+    byzantine.push_back(true);
+  }
+  // RBC presupposes sender-authenticated links: scramble off.
+  sim::Network net(std::move(behaviors), std::move(byzantine), sim::Rng(9), false);
+  sim::run_to_completion(net, 4);
+  RbcOutcome outcome;
+  for (int i = 0; i < correct; ++i) {
+    outcome.delivered.push_back(
+        dynamic_cast<const SyncRbcProcess&>(net.behavior(i)).delivered());
+  }
+  return outcome;
+}
+
+TEST(SyncRbc, CorrectSenderDeliversEverywhere) {
+  const RbcOutcome outcome = run_rbc(4, 1, 0, {});
+  for (const auto& d : outcome.delivered) {
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(*d, 77);
+  }
+}
+
+TEST(SyncRbc, CorrectSenderSurvivesLyingParticipant) {
+  std::vector<std::unique_ptr<sim::ProcessBehavior>> faulty;
+  faulty.push_back(std::make_unique<LyingParticipant>(666));
+  const RbcOutcome outcome = run_rbc(7, 2, 0, std::move(faulty));
+  for (const auto& d : outcome.delivered) {
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(*d, 77);
+  }
+}
+
+TEST(SyncRbc, EquivocatingSenderNeverSplitsDeliveries) {
+  // Agreement: whatever subset delivers, it delivers one value.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    std::vector<std::unique_ptr<sim::ProcessBehavior>> faulty;
+    faulty.push_back(std::make_unique<EquivocatingSender>(7, 10, 20));
+    const RbcOutcome outcome = run_rbc(7, 2, /*sender=*/6, std::move(faulty));
+    std::set<std::int64_t> values;
+    for (const auto& d : outcome.delivered) {
+      if (d.has_value()) values.insert(*d);
+    }
+    EXPECT_LE(values.size(), 1u) << "two correct processes delivered different values";
+  }
+}
+
+TEST(SyncRbc, SilentSenderDeliversNothing) {
+  std::vector<std::unique_ptr<sim::ProcessBehavior>> faulty;
+  faulty.push_back(std::make_unique<LyingParticipant>(0));  // never sends round-1 Send
+  const RbcOutcome outcome = run_rbc(4, 1, /*sender=*/3, std::move(faulty));
+  for (const auto& d : outcome.delivered) EXPECT_FALSE(d.has_value());
+}
+
+TEST(SyncRbc, SendMessageOnWrongLinkIsIgnored) {
+  // A Send arriving on a non-sender link must not be believed — this is
+  // the attribution step that anonymous links make impossible.
+  const sim::SystemParams params{.n = 4, .t = 1};
+  SyncRbcProcess p(params, /*my_index=*/0, /*sender_index=*/2, /*value=*/0);
+  sim::Inbox round1;
+  round1.push_back({1, sim::WordMsg{1, {55}}});  // link 1 != sender 2
+  p.on_receive(1, round1);
+  sim::Outbox out(false);
+  p.on_send(2, out);
+  EXPECT_TRUE(out.entries().empty());  // nothing to echo
+}
+
+TEST(SyncRbc, RequiresByzantineQuorum) {
+  EXPECT_THROW(SyncRbcProcess({.n = 6, .t = 2}, 0, 0, 1), std::invalid_argument);
+  EXPECT_NO_THROW(SyncRbcProcess({.n = 7, .t = 2}, 0, 0, 1));
+}
+
+}  // namespace
+}  // namespace byzrename::rbc

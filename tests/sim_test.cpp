@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "sim/network.h"
+#include "sim/payload.h"
+#include "sim/process.h"
+#include "sim/runner.h"
+
+namespace byzrename::sim {
+namespace {
+
+/// Records everything it hears; broadcasts its id each round.
+class EchoRecorder final : public ProcessBehavior {
+ public:
+  explicit EchoRecorder(Id id, int rounds) : id_(id), rounds_(rounds) {}
+
+  void on_send(Round, Outbox& out) override { out.broadcast(IdMsg{id_}); }
+  void on_receive(Round round, const Inbox& inbox) override {
+    last_round_ = round;
+    inboxes.push_back(inbox);
+  }
+  [[nodiscard]] bool done() const override { return last_round_ >= rounds_; }
+  [[nodiscard]] std::optional<Name> decision() const override { return id_; }
+
+  std::vector<Inbox> inboxes;
+
+ private:
+  Id id_;
+  int rounds_;
+  Round last_round_ = 0;
+};
+
+/// Sends one targeted message to destination 0 each round.
+class TargetedSender final : public ProcessBehavior {
+ public:
+  void on_send(Round, Outbox& out) override { out.send_to(0, IdMsg{99}); }
+  void on_receive(Round, const Inbox&) override {}
+  [[nodiscard]] bool done() const override { return true; }
+};
+
+Network make_network(int n, int rounds, std::vector<bool> byzantine = {},
+                     bool scramble = true, std::uint64_t seed = 7) {
+  std::vector<std::unique_ptr<ProcessBehavior>> behaviors;
+  for (int i = 0; i < n; ++i) behaviors.push_back(std::make_unique<EchoRecorder>(i + 1, rounds));
+  if (byzantine.empty()) byzantine.assign(static_cast<std::size_t>(n), false);
+  return Network(std::move(behaviors), std::move(byzantine), Rng(seed), scramble);
+}
+
+TEST(Outbox, CorrectProcessCannotSendTargeted) {
+  Outbox out(/*targeted_allowed=*/false);
+  EXPECT_THROW(out.send_to(1, IdMsg{1}), std::logic_error);
+  out.broadcast(IdMsg{1});
+  EXPECT_EQ(out.entries().size(), 1u);
+}
+
+TEST(Outbox, ByzantineProcessMaySendTargeted) {
+  Outbox out(/*targeted_allowed=*/true);
+  out.send_to(2, IdMsg{1});
+  ASSERT_EQ(out.entries().size(), 1u);
+  EXPECT_EQ(out.entries()[0].dest, 2);
+}
+
+TEST(Network, BroadcastReachesEveryProcessIncludingSelf) {
+  Network net = make_network(5, 1);
+  net.run_round(1);
+  for (ProcessIndex i = 0; i < 5; ++i) {
+    const auto& recorder = dynamic_cast<const EchoRecorder&>(net.behavior(i));
+    ASSERT_EQ(recorder.inboxes.size(), 1u);
+    EXPECT_EQ(recorder.inboxes[0].size(), 5u);  // all peers + self-loop
+    std::set<Id> ids;
+    for (const Delivery& d : recorder.inboxes[0]) {
+      ids.insert(std::get<IdMsg>(d.payload).id);
+    }
+    EXPECT_EQ(ids.size(), 5u);
+  }
+}
+
+TEST(Network, LinkLabelsAreDistinctAndStable) {
+  Network net = make_network(6, 2);
+  net.run_round(1);
+  net.run_round(2);
+  for (ProcessIndex i = 0; i < 6; ++i) {
+    const auto& recorder = dynamic_cast<const EchoRecorder&>(net.behavior(i));
+    // Each round delivers over 6 distinct link labels 0..5.
+    for (const Inbox& inbox : recorder.inboxes) {
+      std::set<LinkIndex> links;
+      for (const Delivery& d : inbox) links.insert(d.link);
+      EXPECT_EQ(links.size(), 6u);
+      EXPECT_EQ(*links.begin(), 0);
+      EXPECT_EQ(*links.rbegin(), 5);
+    }
+    // Stability: the same id arrives on the same link in both rounds.
+    std::map<LinkIndex, Id> first_round;
+    for (const Delivery& d : recorder.inboxes[0]) {
+      first_round[d.link] = std::get<IdMsg>(d.payload).id;
+    }
+    for (const Delivery& d : recorder.inboxes[1]) {
+      EXPECT_EQ(first_round.at(d.link), std::get<IdMsg>(d.payload).id);
+    }
+  }
+}
+
+TEST(Network, ScramblingPermutesLinksPerReceiver) {
+  // With scrambling on and enough processes, at least one receiver must
+  // see some sender on a link different from the sender's index.
+  Network net = make_network(8, 1, {}, /*scramble=*/true, /*seed=*/123);
+  bool any_permuted = false;
+  for (ProcessIndex r = 0; r < 8; ++r) {
+    for (ProcessIndex s = 0; s < 8; ++s) {
+      if (net.link_of(r, s) != s) any_permuted = true;
+    }
+  }
+  EXPECT_TRUE(any_permuted);
+}
+
+TEST(Network, IdentityLinksWhenScramblingDisabled) {
+  Network net = make_network(5, 1, {}, /*scramble=*/false);
+  for (ProcessIndex r = 0; r < 5; ++r) {
+    for (ProcessIndex s = 0; s < 5; ++s) {
+      EXPECT_EQ(net.link_of(r, s), s);
+    }
+  }
+}
+
+TEST(Network, TargetedSendReachesOnlyItsDestination) {
+  std::vector<std::unique_ptr<ProcessBehavior>> behaviors;
+  behaviors.push_back(std::make_unique<EchoRecorder>(1, 1));
+  behaviors.push_back(std::make_unique<EchoRecorder>(2, 1));
+  behaviors.push_back(std::make_unique<TargetedSender>());
+  Network net(std::move(behaviors), {false, false, true}, Rng(1));
+  net.run_round(1);
+  const auto& p0 = dynamic_cast<const EchoRecorder&>(net.behavior(0));
+  const auto& p1 = dynamic_cast<const EchoRecorder&>(net.behavior(1));
+  EXPECT_EQ(p0.inboxes[0].size(), 3u);  // two broadcasts (incl. self) + targeted
+  EXPECT_EQ(p1.inboxes[0].size(), 2u);
+}
+
+TEST(Network, MetricsCountBroadcastAsNMessages) {
+  Network net = make_network(4, 2);
+  net.run_round(1);
+  const Metrics& m = net.metrics();
+  ASSERT_EQ(m.per_round.size(), 1u);
+  // 4 broadcasts x 4 receivers.
+  EXPECT_EQ(m.per_round[0].messages, 16u);
+  EXPECT_EQ(m.per_round[0].correct_messages, 16u);
+  EXPECT_GT(m.per_round[0].bits, 0u);
+  EXPECT_EQ(m.total_messages(), 16u);
+}
+
+TEST(Network, MetricsSeparateByzantineTraffic) {
+  std::vector<std::unique_ptr<ProcessBehavior>> behaviors;
+  behaviors.push_back(std::make_unique<EchoRecorder>(1, 1));
+  behaviors.push_back(std::make_unique<TargetedSender>());
+  Network net(std::move(behaviors), {false, true}, Rng(1));
+  net.run_round(1);
+  EXPECT_EQ(net.metrics().per_round[0].messages, 3u);          // broadcast(2) + targeted(1)
+  EXPECT_EQ(net.metrics().per_round[0].correct_messages, 2u);  // broadcast only
+}
+
+TEST(Network, RejectsMismatchedConstruction) {
+  std::vector<std::unique_ptr<ProcessBehavior>> behaviors;
+  behaviors.push_back(std::make_unique<EchoRecorder>(1, 1));
+  EXPECT_THROW(Network(std::move(behaviors), {false, true}, Rng(1)), std::invalid_argument);
+  std::vector<std::unique_ptr<ProcessBehavior>> empty;
+  EXPECT_THROW(Network(std::move(empty), {}, Rng(1)), std::invalid_argument);
+}
+
+TEST(Runner, StopsWhenAllCorrectDone) {
+  Network net = make_network(3, 2);
+  const RunResult result = run_to_completion(net, 10);
+  EXPECT_TRUE(result.terminated);
+  EXPECT_EQ(result.rounds, 2);
+  ASSERT_EQ(result.decisions.size(), 3u);
+  EXPECT_EQ(result.decisions[0], 1);
+  EXPECT_EQ(result.decisions[2], 3);
+}
+
+TEST(Runner, ReportsNonTerminationWhenBudgetExhausted) {
+  Network net = make_network(3, 100);
+  const RunResult result = run_to_completion(net, 5);
+  EXPECT_FALSE(result.terminated);
+  EXPECT_EQ(result.rounds, 5);
+}
+
+TEST(Runner, ByzantineDecisionsAreSuppressed) {
+  std::vector<std::unique_ptr<ProcessBehavior>> behaviors;
+  behaviors.push_back(std::make_unique<EchoRecorder>(1, 1));
+  behaviors.push_back(std::make_unique<EchoRecorder>(2, 1));
+  Network net(std::move(behaviors), {false, true}, Rng(1));
+  const RunResult result = run_to_completion(net, 3);
+  EXPECT_TRUE(result.decisions[0].has_value());
+  EXPECT_FALSE(result.decisions[1].has_value());
+}
+
+TEST(Runner, ObserverSeesEveryRound) {
+  Network net = make_network(3, 3);
+  std::vector<Round> seen;
+  const RunResult result = run_to_completion(net, 10, [&seen](Round r, const Network&) {
+    seen.push_back(r);
+  });
+  EXPECT_TRUE(result.terminated);
+  EXPECT_EQ(seen, (std::vector<Round>{1, 2, 3}));
+}
+
+TEST(Payload, WireBitsReflectContentSize) {
+  EXPECT_LT(wire_bits(IdMsg{1}), wire_bits(RanksMsg{{{1, numeric::Rational(1)}}}));
+  RanksMsg two{{{1, numeric::Rational(1)}, {2, numeric::Rational(2)}}};
+  RanksMsg one{{{1, numeric::Rational(1)}}};
+  EXPECT_GT(wire_bits(two), wire_bits(one));
+  MultiEchoMsg echo{{1, 2, 3}};
+  EXPECT_EQ(wire_bits(echo), 8u + 32u + 3u * 64u);
+}
+
+TEST(Payload, DescribeNamesEveryAlternative) {
+  EXPECT_EQ(describe(IdMsg{7}), "Id(7)");
+  EXPECT_EQ(describe(EchoMsg{7}), "Echo(7)");
+  EXPECT_EQ(describe(ReadyMsg{7}), "Ready(7)");
+  EXPECT_NE(describe(RanksMsg{}).find("Ranks"), std::string::npos);
+  EXPECT_NE(describe(MultiEchoMsg{}).find("MultiEcho"), std::string::npos);
+  EXPECT_NE(describe(AAValueMsg{numeric::Rational::of(1, 2)}).find("1/2"), std::string::npos);
+  EXPECT_NE(describe(WordMsg{1, {2, 3}}).find("Word"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace byzrename::sim

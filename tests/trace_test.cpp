@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/harness.h"
+#include "trace/csv.h"
+#include "trace/event_log.h"
+#include "trace/table.h"
+
+namespace byzrename::trace {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"a", "long header", "c"});
+  table.add_row({"1", "2", "3"});
+  table.add_row({"wide cell", "x", "y"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("long header"), std::string::npos);
+  EXPECT_NE(text.find("wide cell"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, RejectsWrongCellCount) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Csv, QuotesOnlyWhenNeeded) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"x", "y"});
+  csv.write_row({"plain", "with,comma"});
+  csv.write_row({"with\"quote", "with\nnewline"});
+  EXPECT_EQ(out.str(), "x,y\nplain,\"with,comma\"\n\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(Csv, RejectsColumnMismatch) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"x"});
+  EXPECT_THROW(csv.write_row({"a", "b"}), std::invalid_argument);
+}
+
+TEST(FmtHelpers, Format) {
+  EXPECT_EQ(fmt_bool(true), "yes");
+  EXPECT_EQ(fmt_bool(false), "NO");
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+}
+
+TEST(EventLog, CapturesSendsAndDeliveries) {
+  EventLog log;
+  core::ScenarioConfig config;
+  config.params = {.n = 4, .t = 1};
+  config.adversary = "silent";
+  config.event_log = &log;
+  const core::ScenarioResult result = core::run_scenario(config);
+  ASSERT_TRUE(result.report.all_ok()) << result.report.detail;
+  ASSERT_FALSE(log.empty());
+
+  int sends = 0;
+  int deliveries = 0;
+  for (const Event& event : log.events()) {
+    if (event.kind == Event::Kind::kSend) {
+      ++sends;
+      EXPECT_FALSE(event.peer.has_value());  // correct processes broadcast
+      EXPECT_FALSE(event.byzantine_actor);   // the silent one never sends
+    } else {
+      ++deliveries;
+      EXPECT_GE(event.link, 0);
+      EXPECT_LT(event.link, 4);
+    }
+    EXPECT_FALSE(event.payload.empty());
+  }
+  // Every broadcast fans out to N deliveries.
+  EXPECT_EQ(deliveries, sends * 4);
+}
+
+TEST(EventLog, FiltersSelectSubsets) {
+  EventLog log;
+  core::ScenarioConfig config;
+  config.params = {.n = 4, .t = 1};
+  config.adversary = "split";  // byzantine sender -> targeted sends in the log
+  config.event_log = &log;
+  (void)core::run_scenario(config);
+
+  std::ostringstream round_one;
+  log.render(round_one, EventLog::only_round(1));
+  EXPECT_NE(round_one.str().find("--- round 1 ---"), std::string::npos);
+  EXPECT_EQ(round_one.str().find("--- round 2 ---"), std::string::npos);
+
+  std::ostringstream byz_only;
+  log.render(byz_only, EventLog::only_byzantine());
+  EXPECT_NE(byz_only.str().find("*"), std::string::npos);
+
+  std::ostringstream actor_zero;
+  log.render(actor_zero, EventLog::only_actor(0));
+  EXPECT_NE(actor_zero.str().find("p0"), std::string::npos);
+  EXPECT_EQ(actor_zero.str().find("p1 "), std::string::npos);
+}
+
+TEST(EventLog, ByzantineTargetedSendsAreAttributed) {
+  EventLog log;
+  core::ScenarioConfig config;
+  config.params = {.n = 7, .t = 2};
+  config.adversary = "split";
+  config.event_log = &log;
+  (void)core::run_scenario(config);
+  bool saw_targeted_byzantine_send = false;
+  for (const Event& event : log.events()) {
+    if (event.kind == Event::Kind::kSend && event.byzantine_actor && event.peer.has_value()) {
+      saw_targeted_byzantine_send = true;
+    }
+  }
+  EXPECT_TRUE(saw_targeted_byzantine_send);
+}
+
+}  // namespace
+}  // namespace byzrename::trace

@@ -1,0 +1,190 @@
+// byzrename — command-line driver for any renaming scenario.
+//
+// Examples:
+//   byzrename --algorithm op --n 13 --t 4 --adversary asymflood
+//   byzrename --algorithm fast --n 11 --t 2 --adversary suppress --seed 9
+//   byzrename --algorithm op --n 10 --t 3 --faults 1 --iterations 12 --trace
+//   byzrename --list-adversaries
+//
+// Exit code 0 iff every renaming property held.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "core/harness.h"
+#include "core/op_renaming.h"
+#include "trace/table.h"
+
+namespace {
+
+using namespace byzrename;
+
+void print_usage() {
+  std::cout <<
+      "usage: byzrename [options]\n"
+      "  --algorithm <op|const|fast|crash|consensus|bit|translated>   protocol (default op)\n"
+      "  --n <int>             number of processes (default 10)\n"
+      "  --t <int>             fault budget (default 3)\n"
+      "  --faults <int>        actual faulty processes, <= t (default t)\n"
+      "  --adversary <name>    Byzantine strategy (default silent)\n"
+      "  --seed <uint64>       run seed (default 1)\n"
+      "  --iterations <int>    voting iterations override (Alg. 1 only)\n"
+      "  --no-validation       ABLATION: disable the Alg. 2 isValid filter\n"
+      "  --ids <a,b,c,...>     explicit correct-process ids\n"
+      "  --trace               print per-round metrics\n"
+      "  --quiet               print only the verdict line\n"
+      "  --list-adversaries    list registered strategies and exit\n"
+      "  --help                this text\n";
+}
+
+std::optional<core::Algorithm> parse_algorithm(std::string_view name) {
+  static const std::map<std::string_view, core::Algorithm> table = {
+      {"op", core::Algorithm::kOpRenaming},
+      {"const", core::Algorithm::kOpRenamingConstantTime},
+      {"fast", core::Algorithm::kFastRenaming},
+      {"crash", core::Algorithm::kCrashRenaming},
+      {"consensus", core::Algorithm::kConsensusRenaming},
+      {"bit", core::Algorithm::kBitRenaming},
+      {"translated", core::Algorithm::kTranslatedRenaming},
+  };
+  const auto it = table.find(name);
+  if (it == table.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<sim::Id> parse_ids(const std::string& csv) {
+  std::vector<sim::Id> ids;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string token =
+        csv.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!token.empty()) ids.push_back(std::stoll(token));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return ids;
+}
+
+struct CliError {
+  std::string message;
+};
+
+struct Options {
+  core::ScenarioConfig config;
+  bool trace = false;
+  bool quiet = false;
+};
+
+Options parse(int argc, char** argv) {
+  Options options;
+  options.config.params = {.n = 10, .t = 3};
+  auto next_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) throw CliError{std::string(argv[i]) + " needs a value"};
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help") {
+      print_usage();
+      std::exit(0);
+    } else if (arg == "--list-adversaries") {
+      for (const std::string& name : adversary::adversary_names()) std::cout << name << '\n';
+      std::exit(0);
+    } else if (arg == "--algorithm") {
+      const std::string value = next_value(i);
+      const auto algorithm = parse_algorithm(value);
+      if (!algorithm.has_value()) throw CliError{"unknown algorithm: " + value};
+      options.config.algorithm = *algorithm;
+    } else if (arg == "--n") {
+      options.config.params.n = std::stoi(next_value(i));
+    } else if (arg == "--t") {
+      options.config.params.t = std::stoi(next_value(i));
+    } else if (arg == "--faults") {
+      options.config.actual_faults = std::stoi(next_value(i));
+    } else if (arg == "--adversary") {
+      options.config.adversary = next_value(i);
+    } else if (arg == "--seed") {
+      options.config.seed = std::stoull(next_value(i));
+    } else if (arg == "--iterations") {
+      options.config.options.approximation_iterations = std::stoi(next_value(i));
+    } else if (arg == "--no-validation") {
+      options.config.options.validate_votes = false;
+    } else if (arg == "--ids") {
+      options.config.correct_ids = parse_ids(next_value(i));
+    } else if (arg == "--trace") {
+      options.trace = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else {
+      throw CliError{"unknown option: " + std::string(arg)};
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  try {
+    options = parse(argc, argv);
+  } catch (const CliError& error) {
+    std::cerr << "byzrename: " << error.message << "\n\n";
+    print_usage();
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "byzrename: bad argument: " << error.what() << '\n';
+    return 2;
+  }
+
+  core::ScenarioResult result;
+  try {
+    result = core::run_scenario(options.config);
+  } catch (const std::exception& error) {
+    std::cerr << "byzrename: " << error.what() << '\n';
+    return 2;
+  }
+
+  if (!options.quiet) {
+    std::cout << "algorithm   " << core::to_string(options.config.algorithm) << '\n'
+              << "system      N=" << options.config.params.n << " t=" << options.config.params.t
+              << " adversary=" << options.config.adversary << " seed=" << options.config.seed
+              << '\n'
+              << "rounds      " << result.run.rounds << '\n'
+              << "namespace   [1.." << result.target_namespace << "], max used "
+              << result.report.max_name << '\n'
+              << "messages    " << result.run.metrics.total_messages() << " ("
+              << result.run.metrics.total_bits() / 8 << " bytes on the wire)\n\n";
+    trace::Table table({"original id", "new name"});
+    for (const core::NamedProcess& p : result.named) {
+      table.add_row({std::to_string(p.original_id),
+                     p.new_name.has_value() ? std::to_string(*p.new_name) : "(none)"});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  if (options.trace) {
+    trace::Table table({"round", "messages", "bytes"});
+    for (std::size_t r = 0; r < result.run.metrics.per_round.size(); ++r) {
+      table.add_row({std::to_string(r + 1),
+                     std::to_string(result.run.metrics.per_round[r].messages),
+                     std::to_string(result.run.metrics.per_round[r].bits / 8)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "verdict: "
+            << (result.report.all_ok() ? "all renaming properties hold" : result.report.detail)
+            << '\n';
+  return result.report.all_ok() ? 0 : 1;
+}
