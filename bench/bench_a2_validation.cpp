@@ -16,6 +16,7 @@
 
 #include "core/harness.h"
 #include "core/op_renaming.h"
+#include "obs/bench_report.h"
 #include "trace/table.h"
 
 namespace {
@@ -29,7 +30,7 @@ struct Probe {
   bool unique_ok = false;
 };
 
-Probe probe(int n, int t, bool validate) {
+Probe probe(obs::BenchReporter& reporter, int n, int t, bool validate) {
   core::ScenarioConfig config;
   config.params = {.n = n, .t = t};
   config.adversary = "orderbreak";
@@ -52,7 +53,9 @@ Probe probe(int n, int t, bool validate) {
       }
     }
   };
-  const core::ScenarioResult outcome = core::run_scenario(config);
+  const core::ScenarioResult outcome =
+      reporter.run(config, "N=" + std::to_string(n) + " t=" + std::to_string(t) +
+                               " validate=" + (validate ? "on" : "off"));
   result.order_ok = outcome.report.order_preservation;
   result.unique_ok = outcome.report.uniqueness;
   return result;
@@ -65,10 +68,11 @@ int main() {
             << "(orderbreak adversary: gap-collapsing votes; delta-gap must survive)\n\n";
   trace::Table table(
       {"N", "t", "isValid", "min gap", "delta", "gap >= delta", "order", "unique"});
+  obs::BenchReporter reporter("bench_a2");
   for (const auto& [n, t] : std::vector<std::pair<int, int>>{{10, 3}, {13, 4}, {16, 5}, {25, 8}}) {
     const Rational d = core::delta({.n = n, .t = t});
     for (const bool validate : {true, false}) {
-      const Probe result = probe(n, t, validate);
+      const Probe result = probe(reporter, n, t, validate);
       table.add_row({std::to_string(n), std::to_string(t), validate ? "on" : "OFF (ablated)",
                      trace::fmt_double(result.min_gap.to_double(), 6),
                      trace::fmt_double(d.to_double(), 6),
@@ -81,5 +85,6 @@ int main() {
                "and all properties hold. With isValid off, the gap collapses below delta —\n"
                "the invariant every correctness proof of Alg. 1 rests on is gone, and name\n"
                "collisions follow wherever the collapsed pair straddles a rounding boundary.\n";
+  reporter.announce(std::cout);
   return 0;
 }

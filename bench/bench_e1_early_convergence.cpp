@@ -20,6 +20,7 @@
 
 #include "core/harness.h"
 #include "core/probe.h"
+#include "obs/bench_report.h"
 #include "trace/table.h"
 
 namespace {
@@ -29,7 +30,8 @@ using numeric::Rational;
 
 /// First voting round after which the global rank spread is below the
 /// decision margin; 0 if it already is at the end of selection.
-int rounds_to_margin(int n, int t, int f, const std::string& adversary) {
+int rounds_to_margin(obs::BenchReporter& reporter, int n, int t, int f,
+                     const std::string& adversary) {
   core::ScenarioConfig config;
   config.params = {.n = n, .t = t};
   config.actual_faults = f;
@@ -44,7 +46,8 @@ int rounds_to_margin(int n, int t, int f, const std::string& adversary) {
     if (round < 4 || converged_at >= 0) return;
     if (core::max_rank_spread(net) < margin) converged_at = round - 4;
   };
-  (void)core::run_scenario(config);
+  (void)reporter.run(config, "N=" + std::to_string(n) + " t=" + std::to_string(t) + " f=" +
+                                 std::to_string(f) + " adversary=" + adversary);
   return converged_at;
 }
 
@@ -54,12 +57,13 @@ int main() {
   std::cout << "E1: voting rounds until spread < (delta-1)/2, as a function of actual faults f\n"
             << "(adversary scaled to f; budget stays 3*ceil(log2 t)+3 for the full t)\n\n";
   trace::Table table({"N", "t", "f", "adversary", "rounds to margin", "budget for t"});
+  obs::BenchReporter reporter("bench_e1");
   for (const auto& [n, t] : std::vector<std::pair<int, int>>{{25, 8}, {40, 13}}) {
     // Only adversaries with a calibrated selection attack create any
     // divergence to measure (see EXPERIMENTS.md finding #3).
     for (const char* adversary : {"asymflood", "orderbreak"}) {
       for (int f = 0; f <= t; f = (f == 0 ? 1 : f * 2)) {
-        const int measured = rounds_to_margin(n, t, std::min(f, t), adversary);
+        const int measured = rounds_to_margin(reporter, n, t, std::min(f, t), adversary);
         table.add_row({std::to_string(n), std::to_string(t), std::to_string(std::min(f, t)),
                        adversary, std::to_string(measured),
                        std::to_string(core::default_approximation_iterations(t))});
@@ -71,5 +75,6 @@ int main() {
                "t-budget for f << t — the early-deciding opportunity of [1], measured in the\n"
                "Byzantine model. (Whether a process can *safely exploit* it without knowing f\n"
                "is the open question the paper's Section VII leaves for future work.)\n";
+  reporter.announce(std::cout);
   return 0;
 }

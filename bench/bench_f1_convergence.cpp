@@ -13,6 +13,7 @@
 
 #include "core/harness.h"
 #include "core/probe.h"
+#include "obs/bench_report.h"
 #include "trace/csv.h"
 #include "trace/table.h"
 
@@ -21,7 +22,7 @@ namespace {
 using namespace byzrename;
 using numeric::Rational;
 
-void run_case(int n, int t, const std::string& adversary) {
+void run_case(obs::BenchReporter& reporter, int n, int t, const std::string& adversary) {
   std::cout << "# N=" << n << " t=" << t << " adversary=" << adversary
             << " sigma_t=" << core::sigma_t({.n = n, .t = t}) << " margin=(delta-1)/2=1/"
             << 6 * (n + t) << "\n";
@@ -35,7 +36,8 @@ void run_case(int n, int t, const std::string& adversary) {
   config.observer = [&spreads](sim::Round round, const sim::Network& net) {
     if (round >= 4) spreads.push_back(core::max_rank_spread(net, /*timely_only=*/true));
   };
-  const core::ScenarioResult result = core::run_scenario(config);
+  const core::ScenarioResult result = reporter.run(
+      config, "N=" + std::to_string(n) + " t=" + std::to_string(t) + " adversary=" + adversary);
 
   const double sigma = core::sigma_t({.n = n, .t = t});
   double envelope = spreads.empty() ? 0.0 : spreads.front().to_double();
@@ -58,11 +60,13 @@ int main() {
          "identical accepted sets, and trimming then removes the t faulty votes outright, so\n"
          "Delta_r stays 0. Divergence requires selection-phase asymmetry: the hybrid strategy\n"
          "(suppressed announcements + split-world votes) is the worst case profiled here.\n\n";
-  run_case(10, 3, "split");
-  run_case(10, 3, "hybrid");
-  run_case(10, 3, "asymflood");
-  run_case(13, 4, "asymflood");
-  run_case(25, 8, "asymflood");
-  run_case(40, 13, "asymflood");
+  obs::BenchReporter reporter("bench_f1");
+  run_case(reporter, 10, 3, "split");
+  run_case(reporter, 10, 3, "hybrid");
+  run_case(reporter, 10, 3, "asymflood");
+  run_case(reporter, 13, 4, "asymflood");
+  run_case(reporter, 25, 8, "asymflood");
+  run_case(reporter, 40, 13, "asymflood");
+  reporter.announce(std::cout);
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/harness.h"
+#include "obs/bench_report.h"
 #include "trace/csv.h"
 
 int main() {
@@ -16,6 +17,7 @@ int main() {
   const int n = 50;
   std::cout << "F2: namespace used vs t at N=" << n << " (idflood adversary)\n";
   std::cout << "# '-' = (n,t) outside that algorithm's regime\n";
+  obs::BenchReporter reporter("bench_f2");
   trace::CsvWriter csv(std::cout, {"t", "alg1_maxname", "alg1_bound", "const_maxname",
                                    "const_bound", "fast_maxname", "fast_bound"});
   for (int t = 1; 3 * t < n; ++t) {
@@ -25,7 +27,7 @@ int main() {
       config.params = {.n = n, .t = t};
       config.adversary = "idflood";
       config.seed = 2;
-      const auto result = core::run_scenario(config);
+      const auto result = reporter.run(config, "op t=" + std::to_string(t));
       row.push_back(std::to_string(result.report.max_name));
       row.push_back(std::to_string(n + t - 1));
     }
@@ -35,7 +37,7 @@ int main() {
       config.algorithm = core::Algorithm::kOpRenamingConstantTime;
       config.adversary = "idflood";
       config.seed = 2;
-      const auto result = core::run_scenario(config);
+      const auto result = reporter.run(config, "const t=" + std::to_string(t));
       row.push_back(std::to_string(result.report.max_name));
       row.push_back(std::to_string(n));
     } else {
@@ -48,7 +50,7 @@ int main() {
       config.algorithm = core::Algorithm::kFastRenaming;
       config.adversary = "idflood";
       config.seed = 2;
-      const auto result = core::run_scenario(config);
+      const auto result = reporter.run(config, "fast t=" + std::to_string(t));
       row.push_back(std::to_string(result.report.max_name));
       row.push_back(std::to_string(static_cast<long>(n) * n));
     } else {
@@ -57,5 +59,6 @@ int main() {
     }
     csv.write_row(row);
   }
+  reporter.announce(std::cout);
   return 0;
 }

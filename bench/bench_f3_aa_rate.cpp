@@ -15,6 +15,7 @@
 #include "aa/crash_aa.h"
 #include "core/params.h"
 #include "numeric/rational.h"
+#include "obs/bench_report.h"
 #include "sim/network.h"
 #include "sim/runner.h"
 #include "trace/table.h"
@@ -49,7 +50,7 @@ Rational spread_of(const std::vector<Rational>& values) {
   return hi - lo;
 }
 
-void run_case(trace::Table& table, int n, int t, int rounds) {
+void run_case(obs::BenchReporter& reporter, trace::Table& table, int n, int t, int rounds) {
   std::vector<std::unique_ptr<sim::ProcessBehavior>> behaviors;
   std::vector<bool> byzantine;
   const int correct = n - t;
@@ -84,6 +85,17 @@ void run_case(trace::Table& table, int n, int t, int rounds) {
                  std::to_string(core::sigma_t({.n = n, .t = t})), std::to_string(constructive),
                  trace::fmt_double(worst_factor, 2),
                  trace::fmt_double(spreads.back().to_double(), 9), std::to_string(rounds)});
+
+  // Not a run_scenario workload, so emit the spread trajectory as a
+  // byzrename.series/1 line instead of a run report.
+  std::vector<std::pair<std::string, double>> series;
+  series.emplace_back("sigma_t", core::sigma_t({.n = n, .t = t}));
+  series.emplace_back("select_t", constructive);
+  series.emplace_back("min_factor", worst_factor);
+  for (std::size_t r = 0; r < spreads.size(); ++r) {
+    series.emplace_back("spread_r" + std::to_string(r), spreads[r].to_double());
+  }
+  reporter.write_series("N=" + std::to_string(n) + " t=" + std::to_string(t), series);
 }
 
 }  // namespace
@@ -92,13 +104,14 @@ int main() {
   std::cout << "F3: scalar Byzantine AA contraction per round vs sigma_t (equivocating faults)\n\n";
   trace::Table table(
       {"N", "t", "sigma_t (paper)", "|select_t|", "measured min factor", "final spread", "rounds"});
-  run_case(table, 4, 1, 8);
-  run_case(table, 7, 2, 8);
-  run_case(table, 10, 3, 8);
-  run_case(table, 13, 3, 8);
-  run_case(table, 25, 8, 8);
-  run_case(table, 40, 5, 8);
-  run_case(table, 64, 21, 8);
+  obs::BenchReporter reporter("bench_f3");
+  run_case(reporter, table, 4, 1, 8);
+  run_case(reporter, table, 7, 2, 8);
+  run_case(reporter, table, 10, 3, 8);
+  run_case(reporter, table, 13, 3, 8);
+  run_case(reporter, table, 25, 8, 8);
+  run_case(reporter, table, 40, 5, 8);
+  run_case(reporter, table, 64, 21, 8);
   table.print(std::cout);
   std::cout
       << "\nExpected: measured factor >= |select_t| = floor((N-2t-1)/t)+1 in every row.\n"
@@ -107,5 +120,6 @@ int main() {
          "yields floor((N-2t-1)/t)+1 elements — one fewer whenever t divides N-2t (e.g. the\n"
          "N=4,t=1 and N=40,t=5 rows). The measured contraction matches the constructive count.\n"
          "All end-to-end round counts still suffice (bench_t5, tests); see EXPERIMENTS.md.\n";
+  reporter.announce(std::cout);
   return 0;
 }

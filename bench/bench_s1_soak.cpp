@@ -11,6 +11,7 @@
 
 #include "adversary/adversary.h"
 #include "core/harness.h"
+#include "obs/bench_report.h"
 #include "trace/table.h"
 
 namespace {
@@ -46,6 +47,10 @@ int main() {
   long runs = 0;
   long violations = 0;
   trace::Table failures({"algorithm", "N", "t", "adversary", "seed", "detail"});
+  obs::BenchReporter reporter("bench_s1");
+  // Thousands of executions: keep the counters, skip the per-round
+  // rational probes so the soak's runtime stays dominated by the runs.
+  reporter.telemetry().set_probes_enabled(false);
 
   for (const GridPoint& point : grid) {
     for (const std::string& adversary : adversary::adversary_names()) {
@@ -60,7 +65,10 @@ int main() {
         config.algorithm = point.algorithm;
         config.adversary = adversary;
         config.seed = seed;
-        const core::ScenarioResult result = core::run_scenario(config);
+        const core::ScenarioResult result = reporter.run(
+            config, std::string(core::to_string(point.algorithm)) + " N=" +
+                        std::to_string(point.n) + " t=" + std::to_string(point.t) +
+                        " adversary=" + adversary + " seed=" + std::to_string(seed));
         ++runs;
         const bool order_required = point.algorithm != core::Algorithm::kBitRenaming;
         const bool ok = result.report.validity && result.report.termination &&
@@ -84,5 +92,6 @@ int main() {
   }
   std::cout << "every execution satisfied validity, termination, uniqueness"
                " (and order preservation where promised)\n";
+  reporter.announce(std::cout);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/harness.h"
+#include "obs/bench_report.h"
 #include "trace/table.h"
 
 namespace {
@@ -24,7 +25,7 @@ struct Row {
   const char* order;
 };
 
-void run_size(trace::Table& table, int n, int t) {
+void run_size(obs::BenchReporter& reporter, trace::Table& table, int n, int t) {
   const Row rows[] = {
       {core::Algorithm::kOpRenaming, "N>3t", "N+t-1", "idflood", "yes"},
       {core::Algorithm::kOpRenamingConstantTime, "N>t^2+2t", "N", "idflood", "yes"},
@@ -52,7 +53,9 @@ void run_size(trace::Table& table, int n, int t) {
     config.algorithm = row.algorithm;
     config.adversary = row.adversary;
     config.seed = 2013;
-    const core::ScenarioResult result = core::run_scenario(config);
+    const core::ScenarioResult result =
+        reporter.run(config, std::string(core::to_string(row.algorithm)) + " N=" +
+                                 std::to_string(n) + " t=" + std::to_string(t));
     table.add_row({std::to_string(n), std::to_string(t),
                    std::string(core::to_string(row.algorithm)), row.resilience,
                    std::to_string(result.run.rounds),
@@ -72,10 +75,12 @@ int main() {
             << "[14]-style crash baseline log steps & N names.\n\n";
   trace::Table table({"N", "t", "algorithm", "resilience", "steps", "msgs", "M(formula)",
                       "maxname/M", "order", "verdict"});
-  run_size(table, 16, 2);
-  run_size(table, 25, 3);
-  run_size(table, 40, 4);
-  run_size(table, 64, 5);
+  obs::BenchReporter reporter("bench_t1");
+  run_size(reporter, table, 16, 2);
+  run_size(reporter, table, 25, 3);
+  run_size(reporter, table, 40, 4);
+  run_size(reporter, table, 64, 5);
   table.print(std::cout);
+  reporter.announce(std::cout);
   return 0;
 }

@@ -11,11 +11,13 @@
 
 #include "adversary/adversary.h"
 #include "core/harness.h"
+#include "obs/bench_report.h"
 #include "trace/table.h"
 
 int main() {
   using namespace byzrename;
   std::cout << "T2: Theorem IV.10 — validity/uniqueness/order under every adversary\n\n";
+  obs::BenchReporter reporter("bench_t2");
   trace::Table table({"N", "t", "steps", "M=N+t-1", "max name", "worst adversary (by max name)",
                       "violations"});
 
@@ -41,7 +43,9 @@ int main() {
           config.params = {.n = n, .t = t};
           config.adversary = adversary;
           config.seed = seed;
-          const core::ScenarioResult result = core::run_scenario(config);
+          const core::ScenarioResult result = reporter.run(
+              config, "N=" + std::to_string(n) + " t=" + std::to_string(t) + " adversary=" +
+                          adversary + " seed=" + std::to_string(seed));
           steps = result.run.rounds;
           if (!result.report.all_ok()) ++violations;
           if (result.report.max_name > worst_name) {
@@ -57,5 +61,6 @@ int main() {
   }
   table.print(std::cout);
   std::cout << "\nExpected: zero violations; max name <= N+t-1 in every row.\n";
+  reporter.announce(std::cout);
   return 0;
 }

@@ -11,11 +11,13 @@
 #include <string>
 
 #include "core/harness.h"
+#include "obs/bench_report.h"
 #include "trace/table.h"
 
 int main() {
   using namespace byzrename;
   std::cout << "T3: Lemma IV.3 accepted-set bound under calibrated id flooding\n\n";
+  obs::BenchReporter reporter("bench_t3");
   trace::Table table(
       {"N", "t", "bound N+t^2/(N-2t)", "N+t-1", "|accepted| max", "|accepted| min", "saturated"});
   for (const int t : {1, 2, 3, 4, 5, 6, 8}) {
@@ -25,7 +27,8 @@ int main() {
       config.params = {.n = n, .t = t};
       config.adversary = "idflood";
       config.seed = 7;
-      const core::ScenarioResult result = core::run_scenario(config);
+      const core::ScenarioResult result =
+          reporter.run(config, "N=" + std::to_string(n) + " t=" + std::to_string(t));
       const int bound = n + (t * t) / (n - 2 * t);
       table.add_row({std::to_string(n), std::to_string(t), std::to_string(bound),
                      std::to_string(n + t - 1), std::to_string(result.max_accepted),
@@ -35,5 +38,6 @@ int main() {
   }
   table.print(std::cout);
   std::cout << "\nExpected: measured max == bound (tight) and always <= N+t-1.\n";
+  reporter.announce(std::cout);
   return 0;
 }

@@ -11,11 +11,13 @@
 #include <string>
 
 #include "core/harness.h"
+#include "obs/bench_report.h"
 #include "trace/table.h"
 
 int main() {
   using namespace byzrename;
   std::cout << "T4: Alg. 1 complexity — steps, messages, message size vs paper formulas\n\n";
+  obs::BenchReporter reporter("bench_t4");
   trace::Table table({"N", "t", "steps", "3log(t)+7", "correct msgs", "N^2*steps",
                       "max msg bits", "(N+t)(64+log N) bits"});
   for (const auto& [n, t] : std::vector<std::pair<int, int>>{
@@ -24,7 +26,8 @@ int main() {
     config.params = {.n = n, .t = t};
     config.adversary = "split";  // keeps the voting phase fully loaded
     config.seed = 11;
-    const core::ScenarioResult result = core::run_scenario(config);
+    const core::ScenarioResult result =
+        reporter.run(config, "N=" + std::to_string(n) + " t=" + std::to_string(t));
     const int formula_steps = 3 * core::ceil_log2(t) + 7;
     const long nn_steps = static_cast<long>(n) * n * result.run.rounds;
     const std::size_t size_bound =
@@ -33,7 +36,7 @@ int main() {
                    std::to_string(formula_steps),
                    std::to_string(result.run.metrics.total_correct_messages()),
                    std::to_string(nn_steps),
-                   std::to_string(result.run.metrics.max_correct_message_bits),
+                   std::to_string(result.run.metrics.max_correct_message_bits()),
                    std::to_string(size_bound)});
   }
   table.print(std::cout);
@@ -41,5 +44,6 @@ int main() {
                "(the selection phase sends one Echo/Ready per id, adding a factor <= N+t-1 for\n"
                "4 of the steps); max message bits below the size bound. Rank encodings grow by\n"
                "~log2(N) bits per voting round (exact rationals), remaining O((N+t) log N).\n";
+  reporter.announce(std::cout);
   return 0;
 }

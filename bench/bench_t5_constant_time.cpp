@@ -9,6 +9,7 @@
 
 #include "core/harness.h"
 #include "core/probe.h"
+#include "obs/bench_report.h"
 #include "trace/table.h"
 
 using namespace byzrename;
@@ -16,6 +17,7 @@ using numeric::Rational;
 
 int main() {
   std::cout << "T5: constant-time strong renaming (Theorem V.3) at the regime edge N=t^2+2t+1\n\n";
+  obs::BenchReporter reporter("bench_t5");
   trace::Table table({"N", "t", "adversary", "steps", "max name", "M=N", "final spread",
                       "(delta-1)/2", "verdict"});
   for (const int t : {1, 2, 3, 4, 5}) {
@@ -30,7 +32,9 @@ int main() {
       config.observer = [&spread](sim::Round round, const sim::Network& net) {
         if (round == 8) spread = core::max_rank_spread(net);
       };
-      const core::ScenarioResult result = core::run_scenario(config);
+      const core::ScenarioResult result = reporter.run(
+          config,
+          "N=" + std::to_string(n) + " t=" + std::to_string(t) + " adversary=" + adversary);
       const Rational margin = Rational::of(1, 6 * (n + t));
       table.add_row({std::to_string(n), std::to_string(t), adversary,
                      std::to_string(result.run.rounds), std::to_string(result.report.max_name),
@@ -41,5 +45,6 @@ int main() {
   }
   table.print(std::cout);
   std::cout << "\nExpected: 8 steps, max name <= N (strong), spread < (delta-1)/2 in every row.\n";
+  reporter.announce(std::cout);
   return 0;
 }

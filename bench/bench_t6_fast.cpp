@@ -14,12 +14,14 @@
 
 #include "core/harness.h"
 #include "core/probe.h"
+#include "obs/bench_report.h"
 #include "trace/table.h"
 
 using namespace byzrename;
 
 int main() {
   std::cout << "T6: 2-step renaming (Theorem VI.3) at the regime edge N=2t^2+t+1\n\n";
+  obs::BenchReporter reporter("bench_t6");
   trace::Table table({"N", "t", "adversary", "steps", "max name", "M=N^2", "Delta", "2t^2",
                       "min gap", "N-t", "verdict"});
   for (const int t : {1, 2, 3, 4}) {
@@ -34,7 +36,9 @@ int main() {
       config.observer = [&stats](sim::Round round, const sim::Network& net) {
         if (round == 2) stats = core::fast_name_stats(net);
       };
-      const core::ScenarioResult result = core::run_scenario(config);
+      const core::ScenarioResult result = reporter.run(
+          config,
+          "N=" + std::to_string(n) + " t=" + std::to_string(t) + " adversary=" + adversary);
       const bool ok = result.report.all_ok() && stats.max_discrepancy <= 2 * t * t &&
                       stats.min_gap >= n - t;
       table.add_row({std::to_string(n), std::to_string(t), adversary,
@@ -47,5 +51,6 @@ int main() {
   }
   table.print(std::cout);
   std::cout << "\nExpected: 2 steps, names <= N^2, Delta <= 2t^2, min gap >= N-t everywhere.\n";
+  reporter.announce(std::cout);
   return 0;
 }

@@ -11,11 +11,13 @@
 #include <string>
 
 #include "core/harness.h"
+#include "obs/bench_report.h"
 #include "trace/table.h"
 
 int main() {
   using namespace byzrename;
   std::cout << "T7: Alg. 1 (O(log t) steps) vs phase-king consensus renaming (O(t) steps)\n\n";
+  obs::BenchReporter reporter("bench_t7");
   trace::Table table({"N", "t", "alg1 steps", "alg1 msgs", "consensus steps", "consensus msgs",
                       "alg1 ok", "consensus ok"});
   for (const int t : {1, 2, 3, 4, 6, 8, 10, 12}) {
@@ -25,14 +27,16 @@ int main() {
     renaming.algorithm = core::Algorithm::kOpRenaming;
     renaming.adversary = "split";
     renaming.seed = 4;
-    const auto renaming_result = core::run_scenario(renaming);
+    const auto renaming_result =
+        reporter.run(renaming, "op N=" + std::to_string(n) + " t=" + std::to_string(t));
 
     core::ScenarioConfig consensus;
     consensus.params = {.n = n, .t = t};
     consensus.algorithm = core::Algorithm::kConsensusRenaming;
     consensus.adversary = "random";
     consensus.seed = 4;
-    const auto consensus_result = core::run_scenario(consensus);
+    const auto consensus_result =
+        reporter.run(consensus, "consensus N=" + std::to_string(n) + " t=" + std::to_string(t));
 
     table.add_row({std::to_string(n), std::to_string(t),
                    std::to_string(renaming_result.run.rounds),
@@ -45,5 +49,6 @@ int main() {
   table.print(std::cout);
   std::cout << "\nExpected: Alg. 1 rounds grow like 3 log2(t)+7; consensus rounds like 2t+3.\n"
                "The crossover sits near t=8 and widens quickly after it.\n";
+  reporter.announce(std::cout);
   return 0;
 }

@@ -14,11 +14,13 @@
 #include <string>
 
 #include "core/harness.h"
+#include "obs/bench_report.h"
 #include "trace/table.h"
 
 int main() {
   using namespace byzrename;
   std::cout << "T8: crash-to-Byzantine translation of [14] vs native Alg. 1\n\n";
+  obs::BenchReporter reporter("bench_t8");
   trace::Table table({"N", "t", "pipeline", "steps", "correct msgs", "wire MB", "max name",
                       "verdict"});
   for (const auto& [n, t] : std::vector<std::pair<int, int>>{{7, 2}, {13, 4}, {25, 8}, {40, 13}}) {
@@ -32,7 +34,9 @@ int main() {
       // correct processes).
       config.adversary = "silent";
       config.seed = 8;
-      const core::ScenarioResult result = core::run_scenario(config);
+      const core::ScenarioResult result =
+          reporter.run(config, std::string(core::to_string(algorithm)) + " N=" +
+                                   std::to_string(n) + " t=" + std::to_string(t));
       table.add_row({std::to_string(n), std::to_string(t),
                      std::string(core::to_string(algorithm)), std::to_string(result.run.rounds),
                      std::to_string(result.run.metrics.total_correct_messages()),
@@ -50,5 +54,6 @@ int main() {
          "bytes by ~N (every cast re-broadcast by everyone) — the measured form of Section\n"
          "I's first objection. Its second objection is structural: this row only exists in\n"
          "the sender-authenticated model, where renaming is trivial to begin with.\n";
+  reporter.announce(std::cout);
   return 0;
 }

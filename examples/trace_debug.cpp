@@ -6,10 +6,16 @@
 // and (b) the first rounds as one correct process experienced them,
 // where the same faulty peer is just an anonymous link label. Comparing
 // the two views is the whole point of the paper's model.
+//
+// Also exports the same log as trace_debug.trace.json — load it in
+// chrome://tracing or https://ui.perfetto.dev to scrub the run visually
+// (one track per process; see docs/OBSERVABILITY.md).
 
+#include <fstream>
 #include <iostream>
 
 #include "core/harness.h"
+#include "obs/trace_export.h"
 #include "trace/event_log.h"
 
 int main() {
@@ -47,5 +53,16 @@ int main() {
     std::cout << ' ' << p.original_id << "->" << p.new_name.value_or(-1);
   }
   std::cout << '\n';
+
+  std::ofstream trace_out("trace_debug.trace.json", std::ios::trunc);
+  if (trace_out.is_open()) {
+    obs::TraceMeta meta;
+    meta.title = "trace_debug: op-renaming N=4 t=1 split seed=5";
+    meta.process_count = 4;
+    meta.rounds = result.run.rounds;
+    meta.byzantine = {false, false, false, true};
+    obs::write_chrome_trace(trace_out, log, meta);
+    std::cout << "wrote trace_debug.trace.json — open it in chrome://tracing or Perfetto\n";
+  }
   return result.report.all_ok() ? 0 : 1;
 }

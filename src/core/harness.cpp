@@ -12,6 +12,7 @@
 #include "baselines/crash_renaming.h"
 #include "core/fast_renaming.h"
 #include "core/op_renaming.h"
+#include "obs/telemetry.h"
 #include "sim/rng.h"
 #include "translate/crash_to_byzantine.h"
 
@@ -215,7 +216,37 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   ScenarioResult result;
   result.target_namespace = namespace_size(config.algorithm, params);
   const int budget = expected_steps(config.algorithm, params, options) + config.extra_rounds;
-  result.run = sim::run_to_completion(network, budget, config.observer);
+
+  // Fan the runner's single observer slot out to the caller's probe and
+  // the telemetry sampler; with neither attached the run pays nothing.
+  obs::ObserverHub hub;
+  hub.add(config.observer);
+  obs::Telemetry* telemetry =
+      config.telemetry != nullptr && config.telemetry->active() ? config.telemetry : nullptr;
+  if (telemetry != nullptr) {
+    obs::RunInfo info;
+    info.algorithm = std::string(to_string(config.algorithm));
+    info.n = params.n;
+    info.t = params.t;
+    info.faults = faults;
+    info.adversary = config.adversary;
+    info.seed = config.seed;
+    const bool uses_iterations = config.algorithm == Algorithm::kOpRenaming ||
+                                 config.algorithm == Algorithm::kOpRenamingConstantTime ||
+                                 config.algorithm == Algorithm::kCrashRenaming ||
+                                 config.algorithm == Algorithm::kTranslatedRenaming;
+    info.iterations = !uses_iterations ? -1
+                      : options.approximation_iterations >= 0
+                          ? options.approximation_iterations
+                          : default_approximation_iterations(params.t);
+    info.validate_votes = options.validate_votes;
+    info.target_namespace = result.target_namespace;
+    info.round_budget = budget;
+    info.label = config.telemetry_label;
+    telemetry->begin_run(std::move(info));
+    hub.add(telemetry->round_observer());
+  }
+  result.run = sim::run_to_completion(network, budget, hub.as_observer());
 
   for (int i = 0; i < correct_count; ++i) {
     result.named.push_back(
@@ -237,6 +268,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     }
   }
   if (result.min_accepted == static_cast<std::size_t>(-1)) result.min_accepted = 0;
+  if (telemetry != nullptr) telemetry->end_run(result);
   return result;
 }
 

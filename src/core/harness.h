@@ -13,6 +13,10 @@
 #include "sim/runner.h"
 #include "trace/event_log.h"
 
+namespace byzrename::obs {
+class Telemetry;
+}  // namespace byzrename::obs
+
 namespace byzrename::core {
 
 /// Creates a correct-process behavior for the given protocol. Also used
@@ -47,10 +51,19 @@ struct ScenarioConfig {
   RenamingOptions options;
   /// Extra safety margin on the round budget (0 = exact expected_steps).
   int extra_rounds = 0;
+  /// Single-slot per-round hook, kept for existing probes; composes with
+  /// telemetry through the obs::ObserverHub the harness builds.
   sim::RoundObserver observer;
-  /// Optional structured event trace (sends/deliveries); O(N^2) events
-  /// per round, for debugging-scale scenarios only.
+  /// Optional structured event trace (sends/deliveries/decisions);
+  /// O(N^2) events per round, for debugging-scale scenarios only.
   trace::EventLog* event_log = nullptr;
+  /// Optional telemetry hub (obs/telemetry.h). When attached and it has
+  /// sinks, the harness samples per-round counters/probes/timers and
+  /// reports the finished run; when null or sink-less the run costs
+  /// exactly what it would without the telemetry layer.
+  obs::Telemetry* telemetry = nullptr;
+  /// Free-form label copied into telemetry reports (bench row id etc).
+  std::string telemetry_label;
 };
 
 /// Everything a test or bench wants to know about one run.

@@ -1,0 +1,46 @@
+#include "obs/bench_report.h"
+
+#include <filesystem>
+#include <ostream>
+#include <system_error>
+
+#include "obs/json.h"
+#include "obs/schema.h"
+
+namespace byzrename::obs {
+
+BenchReporter::BenchReporter(std::string bench_name, std::string out_dir)
+    : bench_(std::move(bench_name)), sink_(out_, bench_) {
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) return;
+  path_ = out_dir + "/" + bench_ + ".jsonl";
+  out_.open(path_, std::ios::trunc);
+  if (out_.is_open()) telemetry_.add_sink(sink_);
+}
+
+core::ScenarioResult BenchReporter::run(core::ScenarioConfig config, std::string label) {
+  config.telemetry = &telemetry_;
+  config.telemetry_label = std::move(label);
+  return core::run_scenario(config);
+}
+
+void BenchReporter::write_series(const std::string& label,
+                                 const std::vector<std::pair<std::string, double>>& values) {
+  if (!enabled()) return;
+  JsonWriter json(out_);
+  json.begin_object();
+  json.field("schema", kSeriesSchema).field("bench", bench_).field("label", label);
+  json.key("values").begin_object();
+  for (const auto& [name, value] : values) json.field(name, value);
+  json.end_object();
+  json.end_object();
+  out_ << '\n';
+  out_.flush();
+}
+
+void BenchReporter::announce(std::ostream& os) const {
+  if (enabled()) os << "\n[telemetry] run reports: " << path_ << "\n";
+}
+
+}  // namespace byzrename::obs

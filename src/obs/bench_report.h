@@ -1,0 +1,54 @@
+#ifndef BYZRENAME_OBS_BENCH_REPORT_H
+#define BYZRENAME_OBS_BENCH_REPORT_H
+
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/harness.h"
+#include "obs/run_report.h"
+#include "obs/telemetry.h"
+
+namespace byzrename::obs {
+
+/// One-stop telemetry plumbing for the bench binaries: opens
+/// <out_dir>/<bench_name>.jsonl (creating the directory), and routes
+/// every scenario through run_scenario with a RunReportSink attached, so
+/// each bench emits its human table AND a machine-readable trajectory
+/// feed without hand-rolled wiring.
+///
+/// Filesystem failures (read-only checkout, exotic CI sandbox) disable
+/// reporting instead of failing the bench: the tables still print.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string bench_name, std::string out_dir = "bench/out");
+
+  /// run_scenario with telemetry attached; @p label lands in the
+  /// report's `label` field (use the table row's coordinates).
+  core::ScenarioResult run(core::ScenarioConfig config, std::string label = {});
+
+  /// Emits a byzrename.series/1 line for measurements that are not
+  /// scenario runs (e.g. the scalar-AA contraction series of F3).
+  void write_series(const std::string& label,
+                    const std::vector<std::pair<std::string, double>>& values);
+
+  [[nodiscard]] bool enabled() const noexcept { return out_.is_open(); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] Telemetry& telemetry() noexcept { return telemetry_; }
+
+  /// Prints a one-line pointer to the report file (no-op when disabled);
+  /// benches call this after their table.
+  void announce(std::ostream& os) const;
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::ofstream out_;
+  RunReportSink sink_;
+  Telemetry telemetry_;
+};
+
+}  // namespace byzrename::obs
+
+#endif  // BYZRENAME_OBS_BENCH_REPORT_H

@@ -1,0 +1,115 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace byzrename::obs {
+
+void write_json_string(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void JsonWriter::prefix() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (first_.back()) {
+      first_.back() = false;
+    } else {
+      os_ << ',';
+    }
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prefix();
+  os_ << '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  first_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prefix();
+  os_ << '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  first_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  prefix();
+  write_json_string(os_, name);
+  os_ << ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  prefix();
+  write_json_string(os_, text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  prefix();
+  os_ << (b ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long n) {
+  prefix();
+  os_ << n;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(unsigned long long n) {
+  prefix();
+  os_ << n;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  prefix();
+  if (!std::isfinite(d)) {
+    os_ << "null";
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", d);
+  os_ << buf;
+  return *this;
+}
+
+}  // namespace byzrename::obs

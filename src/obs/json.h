@@ -1,0 +1,64 @@
+#ifndef BYZRENAME_OBS_JSON_H
+#define BYZRENAME_OBS_JSON_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+namespace byzrename::obs {
+
+/// Minimal streaming JSON writer — the only JSON producer in the repo,
+/// shared by the run-report emitter and the trace-event exporter.
+/// Handles comma placement and string escaping; the caller is
+/// responsible for structural balance (asserted in debug builds via the
+/// context stack). No DOM: reports stream out line by line.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; must be followed by exactly one value (or a
+  /// begin_object/begin_array).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(bool b);
+  // Fundamental integer types (not the fixed-width aliases, which would
+  // collide with them on some ABIs); everything widens to (u)int64 range.
+  JsonWriter& value(long long n);
+  JsonWriter& value(unsigned long long n);
+  JsonWriter& value(int n) { return value(static_cast<long long>(n)); }
+  JsonWriter& value(unsigned int n) { return value(static_cast<unsigned long long>(n)); }
+  JsonWriter& value(long n) { return value(static_cast<long long>(n)); }
+  JsonWriter& value(unsigned long n) { return value(static_cast<unsigned long long>(n)); }
+  /// Non-finite doubles have no JSON representation; emitted as null.
+  JsonWriter& value(double d);
+
+  /// key + scalar value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+ private:
+  void prefix();
+
+  std::ostream& os_;
+  /// One entry per open container: true until its first element lands.
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
+
+/// Appends @p text to @p os as a JSON string literal (quotes included).
+void write_json_string(std::ostream& os, std::string_view text);
+
+}  // namespace byzrename::obs
+
+#endif  // BYZRENAME_OBS_JSON_H

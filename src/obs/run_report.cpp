@@ -1,0 +1,110 @@
+#include "obs/run_report.h"
+
+#include <ostream>
+#include <utility>
+
+#include "core/harness.h"
+#include "obs/json.h"
+#include "obs/schema.h"
+
+namespace byzrename::obs {
+
+RunReportSink::RunReportSink(std::ostream& os, std::string bench)
+    : os_(os), bench_(std::move(bench)) {}
+
+void RunReportSink::on_run_start(const RunInfo& info) {
+  info_ = info;
+  rounds_.clear();
+}
+
+void RunReportSink::on_round(const RoundSample& sample) { rounds_.push_back(sample); }
+
+void RunReportSink::on_run_end(const RunSummary& summary) {
+  const core::ScenarioResult& result = summary.result;
+  const sim::Metrics& metrics = result.run.metrics;
+
+  JsonWriter json(os_);
+  json.begin_object();
+  json.field("schema", kRunSchema);
+  if (!bench_.empty()) json.field("bench", bench_);
+  if (!info_.label.empty()) json.field("label", info_.label);
+
+  json.key("scenario").begin_object();
+  json.field("algorithm", info_.algorithm)
+      .field("n", info_.n)
+      .field("t", info_.t)
+      .field("faults", info_.faults)
+      .field("adversary", info_.adversary)
+      .field("seed", static_cast<std::uint64_t>(info_.seed))
+      .field("iterations", info_.iterations)
+      .field("validate_votes", info_.validate_votes)
+      .field("target_namespace", static_cast<std::int64_t>(info_.target_namespace))
+      .field("round_budget", info_.round_budget);
+  json.end_object();
+
+  json.key("outcome").begin_object();
+  json.field("rounds", result.run.rounds)
+      .field("terminated", result.run.terminated)
+      .field("wall_seconds", summary.wall_seconds)
+      .field("max_name", static_cast<std::int64_t>(result.report.max_name))
+      .field("min_name", static_cast<std::int64_t>(result.report.min_name));
+  json.key("accepted").begin_object();
+  json.field("min", result.min_accepted).field("max", result.max_accepted);
+  json.end_object();
+  json.field("rejected_votes", result.total_rejected);
+  json.key("verdict").begin_object();
+  json.field("validity", result.report.validity)
+      .field("termination", result.report.termination)
+      .field("uniqueness", result.report.uniqueness)
+      .field("order_preservation", result.report.order_preservation)
+      .field("all_ok", result.report.all_ok())
+      .field("detail", result.report.detail);
+  json.end_object();
+  json.end_object();
+
+  json.key("totals").begin_object();
+  json.field("messages", metrics.total_messages())
+      .field("bits", metrics.total_bits())
+      .field("correct_messages", metrics.total_correct_messages())
+      .field("correct_bits", metrics.total_correct_bits())
+      .field("equivocating_sends", metrics.total_equivocating_sends())
+      .field("max_message_bits", metrics.max_message_bits())
+      .field("max_correct_message_bits", metrics.max_correct_message_bits());
+  json.end_object();
+
+  json.key("per_round").begin_array();
+  for (const RoundSample& sample : rounds_) {
+    json.begin_object();
+    json.field("round", sample.round)
+        .field("messages", sample.metrics.messages)
+        .field("bits", sample.metrics.bits)
+        .field("correct_messages", sample.metrics.correct_messages)
+        .field("correct_bits", sample.metrics.correct_bits)
+        .field("equivocating_sends", sample.metrics.equivocating_sends)
+        .field("wall_seconds", sample.wall_seconds);
+    if (sample.has_acceptance) {
+      json.key("accepted").begin_object();
+      json.field("min", sample.min_accepted).field("max", sample.max_accepted);
+      json.end_object();
+      json.field("rejected_votes", sample.rejected_votes);
+    }
+    if (sample.has_rank_probes) {
+      json.field("rank_spread", sample.rank_spread)
+          .field("rank_spread_exact", sample.rank_spread_exact)
+          .field("adjacent_gap", sample.adjacent_gap)
+          .field("adjacent_gap_exact", sample.adjacent_gap_exact);
+    }
+    if (sample.has_fast_probes) {
+      json.field("fast_max_discrepancy", static_cast<std::int64_t>(sample.fast_max_discrepancy))
+          .field("fast_min_gap", static_cast<std::int64_t>(sample.fast_min_gap));
+    }
+    json.end_object();
+  }
+  json.end_array();
+
+  json.end_object();
+  os_ << '\n';
+  os_.flush();
+}
+
+}  // namespace byzrename::obs

@@ -1,0 +1,34 @@
+#ifndef BYZRENAME_OBS_RUN_REPORT_H
+#define BYZRENAME_OBS_RUN_REPORT_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.h"
+
+namespace byzrename::obs {
+
+/// TelemetrySink that serializes each finished run as one JSON line
+/// (schema byzrename.run/1, documented in obs/schema.h). Rounds are
+/// buffered between on_run_start and on_run_end; the line is written and
+/// flushed on run end, so a killed sweep keeps every completed run.
+class RunReportSink final : public TelemetrySink {
+ public:
+  /// @param bench optional emitting-binary name stamped into each line.
+  explicit RunReportSink(std::ostream& os, std::string bench = {});
+
+  void on_run_start(const RunInfo& info) override;
+  void on_round(const RoundSample& sample) override;
+  void on_run_end(const RunSummary& summary) override;
+
+ private:
+  std::ostream& os_;
+  std::string bench_;
+  RunInfo info_;
+  std::vector<RoundSample> rounds_;
+};
+
+}  // namespace byzrename::obs
+
+#endif  // BYZRENAME_OBS_RUN_REPORT_H

@@ -1,0 +1,73 @@
+#ifndef BYZRENAME_OBS_SCHEMA_H
+#define BYZRENAME_OBS_SCHEMA_H
+
+namespace byzrename::obs {
+
+/// Schema identifiers stamped into every JSONL record this subsystem
+/// emits. Consumers (CI validation, EXPERIMENTS.md regeneration, the
+/// BENCH_*.json trajectory) dispatch on the `schema` field and must
+/// reject records whose major version they do not know.
+///
+/// Versioning contract: the suffix is `<name>/<major>`. Within one major
+/// version fields are only ever ADDED, never renamed, retyped, or
+/// removed, so a consumer written against `byzrename.run/1` keeps
+/// working as the producer grows. Any breaking change bumps the major.
+///
+/// ## byzrename.run/1 — one finished scenario per line
+///
+/// Stable fields (always present):
+///   schema            string   "byzrename.run/1"
+///   scenario          object   resolved ScenarioConfig:
+///     .algorithm        string   core::to_string(Algorithm)
+///     .n .t .faults     int      system size / budget / actual faults
+///     .adversary        string   registry name
+///     .seed             uint64
+///     .iterations       int      resolved voting iterations (-1 = n/a)
+///     .validate_votes   bool     Alg. 2 isValid filter enabled
+///     .target_namespace int      M promised for (algorithm, n, t)
+///     .round_budget     int      runner's max_rounds
+///   outcome           object
+///     .rounds           int      synchronous rounds actually executed
+///     .terminated       bool     every correct process decided in budget
+///     .wall_seconds     double   whole-run wall clock
+///     .max_name .min_name int    extremes of decided names
+///     .accepted         object   {min,max} |accepted| over correct procs
+///     .rejected_votes   int      votes/echoes killed by validation
+///     .verdict          object   CheckReport: validity, termination,
+///                                uniqueness, order_preservation, all_ok,
+///                                detail (string, empty when all_ok)
+///   totals            object   whole-run communication counters:
+///     .messages .bits .correct_messages .correct_bits   uint64
+///     .equivocating_sends uint64  targeted sends by Byzantine processes
+///     .max_message_bits .max_correct_message_bits       uint64
+///   per_round         array    one object per round, in order:
+///     .round            int      1-based, matches the paper's "Step r"
+///     .messages .bits .correct_messages .correct_bits .equivocating_sends
+///     .wall_seconds     double   wall clock of this round
+///
+/// Optional fields (present when the producer had them):
+///   bench             string   emitting bench binary
+///   label             string   free-form row label from the bench
+///   per_round[i].accepted        object {min,max}, Alg. 1/4 runs only
+///   per_round[i].rejected_votes  int, cumulative up to this round
+///   per_round[i].rank_spread / .rank_spread_exact    double / string
+///       max_rank_spread(timely) — the Delta_r of Lemmas IV.7-9
+///   per_round[i].adjacent_gap / .adjacent_gap_exact  double / string
+///       min_adjacent_rank_gap — Corollary IV.6's delta-gap
+///   per_round[i].fast_max_discrepancy / .fast_min_gap  int
+///       Alg. 4 probe quantities (Lemmas VI.1 / VI.2)
+///
+/// ## byzrename.series/1 — free-form bench series
+///
+/// For benches whose measurements are not scenario runs (e.g. the scalar
+/// AA contraction series of F3):
+///   schema   string  "byzrename.series/1"
+///   bench    string  emitting bench binary
+///   label    string  row label
+///   values   object  string -> double measurement map
+inline constexpr const char* kRunSchema = "byzrename.run/1";
+inline constexpr const char* kSeriesSchema = "byzrename.series/1";
+
+}  // namespace byzrename::obs
+
+#endif  // BYZRENAME_OBS_SCHEMA_H

@@ -1,0 +1,98 @@
+#include "obs/telemetry.h"
+
+#include <limits>
+
+#include "core/fast_renaming.h"
+#include "core/harness.h"
+#include "core/op_renaming.h"
+#include "core/probe.h"
+#include "sim/network.h"
+
+namespace byzrename::obs {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+void Telemetry::begin_run(RunInfo info) {
+  if (sinks_.empty()) return;
+  run_start_ = std::chrono::steady_clock::now();
+  last_round_ = run_start_;
+  for (TelemetrySink* sink : sinks_) sink->on_run_start(info);
+}
+
+void Telemetry::sample_round(sim::Round round, const sim::Network& network) {
+  if (sinks_.empty()) return;
+
+  RoundSample sample;
+  sample.round = round;
+  if (!network.metrics().per_round().empty()) {
+    sample.metrics = network.metrics().per_round().back();
+  }
+  const auto now = std::chrono::steady_clock::now();
+  sample.wall_seconds = seconds_between(last_round_, now);
+  last_round_ = now;
+
+  // Acceptance/rejection counters over correct Alg. 1 / Alg. 4 processes
+  // — the same introspection the harness performs once at run end, here
+  // per round so reports carry the whole series.
+  bool any_op = false;
+  bool any_fast = false;
+  std::size_t min_accepted = std::numeric_limits<std::size_t>::max();
+  std::size_t max_accepted = 0;
+  long rejected = 0;
+  for (sim::ProcessIndex i = 0; i < network.size(); ++i) {
+    if (network.is_byzantine(i)) continue;
+    const sim::ProcessBehavior& behavior = network.behavior(i);
+    if (const auto* op = dynamic_cast<const core::OpRenamingProcess*>(&behavior)) {
+      any_op = true;
+      min_accepted = std::min(min_accepted, op->accepted().size());
+      max_accepted = std::max(max_accepted, op->accepted().size());
+      rejected += op->rejected_votes();
+    } else if (const auto* fast = dynamic_cast<const core::FastRenamingProcess*>(&behavior)) {
+      any_fast = true;
+      min_accepted = std::min(min_accepted, fast->accepted().size());
+      max_accepted = std::max(max_accepted, fast->accepted().size());
+      rejected += fast->rejected_echoes();
+    }
+  }
+  if (any_op || any_fast) {
+    sample.has_acceptance = true;
+    sample.min_accepted = min_accepted;
+    sample.max_accepted = max_accepted;
+    sample.rejected_votes = rejected;
+  }
+
+  if (probes_ && any_op) {
+    sample.has_rank_probes = true;
+    const numeric::Rational spread = core::max_rank_spread(network, /*timely_only=*/true);
+    sample.rank_spread_exact = spread.to_string();
+    sample.rank_spread = spread.to_double();
+    const numeric::Rational gap = core::min_adjacent_rank_gap(network);
+    sample.adjacent_gap_exact = gap.to_string();
+    sample.adjacent_gap = gap.to_double();
+  }
+  if (probes_ && any_fast && round >= 2) {
+    const core::FastNameStats stats = core::fast_name_stats(network);
+    if (stats.min_gap != std::numeric_limits<sim::Name>::max()) {
+      sample.has_fast_probes = true;
+      sample.fast_max_discrepancy = stats.max_discrepancy;
+      sample.fast_min_gap = stats.min_gap;
+    }
+  }
+
+  for (TelemetrySink* sink : sinks_) sink->on_round(sample);
+}
+
+void Telemetry::end_run(const core::ScenarioResult& result) {
+  if (sinks_.empty()) return;
+  const RunSummary summary{result, seconds_between(run_start_, std::chrono::steady_clock::now())};
+  for (TelemetrySink* sink : sinks_) sink->on_run_end(summary);
+}
+
+}  // namespace byzrename::obs

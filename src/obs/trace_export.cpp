@@ -1,0 +1,163 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <string>
+#include <tuple>
+
+#include "obs/json.h"
+
+namespace byzrename::obs {
+
+namespace {
+
+// One synchronous round = 1000 µs of synthesized timeline. The send
+// phase fills the first half, the receive phase the second, and decide
+// slices close the round — mirroring the lockstep semantics (all round-r
+// sends happen before any round-r delivery).
+constexpr double kRoundUs = 1000.0;
+constexpr double kSendStartUs = 0.0;
+constexpr double kSendWidthUs = 480.0;
+constexpr double kDeliverStartUs = 500.0;
+constexpr double kDeliverWidthUs = 440.0;
+constexpr double kDecideStartUs = 950.0;
+constexpr double kDecideWidthUs = 50.0;
+
+struct PhaseWindow {
+  double start;
+  double width;
+};
+
+PhaseWindow phase_window(trace::Event::Kind kind) {
+  switch (kind) {
+    case trace::Event::Kind::kSend: return {kSendStartUs, kSendWidthUs};
+    case trace::Event::Kind::kDeliver: return {kDeliverStartUs, kDeliverWidthUs};
+    case trace::Event::Kind::kDecide: return {kDecideStartUs, kDecideWidthUs};
+  }
+  return {0.0, kRoundUs};
+}
+
+std::string event_name(const trace::Event& event) {
+  switch (event.kind) {
+    case trace::Event::Kind::kSend:
+      if (event.peer.has_value()) return "send to p" + std::to_string(*event.peer);
+      return "broadcast";
+    case trace::Event::Kind::kDeliver:
+      return "recv link " + std::to_string(event.link);
+    case trace::Event::Kind::kDecide:
+      return "decide " + event.payload;
+  }
+  return "?";
+}
+
+void write_thread_name(JsonWriter& json, int tid, const std::string& name, int sort_index) {
+  json.begin_object();
+  json.field("name", "thread_name").field("ph", "M").field("pid", 0).field("tid", tid);
+  json.key("args").begin_object();
+  json.field("name", name);
+  json.end_object();
+  json.end_object();
+
+  json.begin_object();
+  json.field("name", "thread_sort_index").field("ph", "M").field("pid", 0).field("tid", tid);
+  json.key("args").begin_object();
+  json.field("sort_index", sort_index);
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const trace::EventLog& log, const TraceMeta& meta) {
+  int process_count = meta.process_count;
+  int rounds = meta.rounds;
+  for (const trace::Event& event : log.events()) {
+    process_count = std::max(process_count, event.actor + 1);
+    if (event.kind == trace::Event::Kind::kSend && event.peer.has_value()) {
+      process_count = std::max(process_count, *event.peer + 1);
+    }
+    rounds = std::max(rounds, event.round);
+  }
+
+  // First pass: how many events share each (round, actor, phase) window,
+  // so slices can split it evenly without overlapping.
+  std::map<std::tuple<sim::Round, sim::ProcessIndex, int>, int> window_population;
+  for (const trace::Event& event : log.events()) {
+    ++window_population[{event.round, event.actor, static_cast<int>(event.kind)}];
+  }
+
+  JsonWriter json(os);
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+
+  json.begin_object();
+  json.field("name", "process_name").field("ph", "M").field("pid", 0);
+  json.field("tid", 0);
+  json.key("args").begin_object();
+  json.field("name", meta.title.empty() ? std::string("byzrename run") : meta.title);
+  json.end_object();
+  json.end_object();
+
+  // The rounds track sits above the per-process tracks.
+  const int rounds_tid = process_count;
+  write_thread_name(json, rounds_tid, "rounds", -1);
+  for (int i = 0; i < process_count; ++i) {
+    std::string name = "p" + std::to_string(i);
+    if (static_cast<std::size_t>(i) < meta.byzantine.size() && meta.byzantine[static_cast<std::size_t>(i)]) {
+      name += " [byz]";
+    }
+    write_thread_name(json, i, name, i);
+  }
+
+  for (int r = 1; r <= rounds; ++r) {
+    json.begin_object();
+    json.field("name", "round " + std::to_string(r))
+        .field("ph", "X")
+        .field("ts", (r - 1) * kRoundUs)
+        .field("dur", kRoundUs)
+        .field("pid", 0)
+        .field("tid", rounds_tid)
+        .field("cat", "round");
+    json.end_object();
+  }
+
+  // Second pass: emit one complete ("X") slice per event; the next slot
+  // counter walks each window left to right in log order.
+  std::map<std::tuple<sim::Round, sim::ProcessIndex, int>, int> next_slot;
+  for (const trace::Event& event : log.events()) {
+    const auto window_key =
+        std::make_tuple(event.round, event.actor, static_cast<int>(event.kind));
+    const PhaseWindow window = phase_window(event.kind);
+    const int population = window_population[window_key];
+    const double slot_width = window.width / population;
+    const int slot = next_slot[window_key]++;
+    const double ts = (event.round - 1) * kRoundUs + window.start + slot * slot_width;
+
+    const char* category = event.kind == trace::Event::Kind::kSend      ? "send"
+                           : event.kind == trace::Event::Kind::kDeliver ? "deliver"
+                                                                        : "decide";
+    json.begin_object();
+    json.field("name", event_name(event))
+        .field("ph", "X")
+        .field("ts", ts)
+        .field("dur", std::max(slot_width * 0.95, 1.0))
+        .field("pid", 0)
+        .field("tid", event.actor)
+        .field("cat", event.byzantine_actor ? std::string(category) + ",byzantine" : category);
+    json.key("args").begin_object();
+    json.field("round", event.round).field("payload", event.payload);
+    if (event.byzantine_actor) json.field("byzantine", true);
+    if (event.kind == trace::Event::Kind::kDeliver) json.field("link", event.link);
+    json.end_object();
+    json.end_object();
+  }
+
+  json.end_array();
+  json.field("displayTimeUnit", "ms");
+  json.end_object();
+  os << '\n';
+  os.flush();
+}
+
+}  // namespace byzrename::obs

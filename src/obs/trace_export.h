@@ -1,0 +1,39 @@
+#ifndef BYZRENAME_OBS_TRACE_EXPORT_H
+#define BYZRENAME_OBS_TRACE_EXPORT_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/event_log.h"
+
+namespace byzrename::obs {
+
+/// Context for the trace-event exporter. Everything is optional: counts
+/// left at 0 are inferred from the event log, at the price of missing
+/// silent processes (a process that never sent nor received would get no
+/// track) — the harness knows the real N and passes it.
+struct TraceMeta {
+  std::string title;            ///< shown as the process name in the UI
+  int process_count = 0;        ///< tracks to render; 0 = infer from events
+  std::vector<bool> byzantine;  ///< per-process flag, marks tracks "[byz]"
+  int rounds = 0;               ///< round-boundary track length; 0 = infer
+};
+
+/// Renders an EventLog as Chrome trace-event JSON ("traceEvents" array
+/// of complete events), loadable in chrome://tracing and Perfetto.
+///
+/// Layout: the synchronous lockstep timeline is synthesized — round r
+/// occupies the window [(r-1)*1ms, r*1ms). Each process is one track
+/// (tid = physical index); its send slices fill the first half of the
+/// window, deliver slices the second half, and a decide slice closes the
+/// round in which the process first reported done(). A dedicated
+/// "rounds" track carries one slice per round so round boundaries stay
+/// visible at any zoom. Within a phase, a track's events split the phase
+/// window evenly, preserving log order.
+void write_chrome_trace(std::ostream& os, const trace::EventLog& log,
+                        const TraceMeta& meta = {});
+
+}  // namespace byzrename::obs
+
+#endif  // BYZRENAME_OBS_TRACE_EXPORT_H

@@ -15,39 +15,60 @@ struct RoundMetrics {
   std::size_t bits = 0;
   std::size_t correct_messages = 0;
   std::size_t correct_bits = 0;
+  /// Targeted sends by Byzantine processes — the capability equivocation
+  /// requires (correct processes may only broadcast).
+  std::size_t equivocating_sends = 0;
 };
 
-/// Aggregated communication metrics for a whole run.
-struct Metrics {
-  std::vector<RoundMetrics> per_round;
-  std::size_t max_message_bits = 0;          ///< largest single message (any sender)
-  std::size_t max_correct_message_bits = 0;  ///< largest single message from a correct sender
-
-  [[nodiscard]] std::size_t rounds() const noexcept { return per_round.size(); }
-
-  [[nodiscard]] std::size_t total_messages() const noexcept {
-    std::size_t sum = 0;
-    for (const RoundMetrics& r : per_round) sum += r.messages;
-    return sum;
+/// Aggregated communication metrics for a whole run. Totals are
+/// maintained incrementally as rounds are recorded, so the total_*()
+/// accessors are O(1) — benches call them inside sweep loops.
+class Metrics {
+ public:
+  /// Records one finished round and folds it into the running totals.
+  /// The only mutation path, so totals can never drift from per_round().
+  void add_round(const RoundMetrics& round) {
+    per_round_.push_back(round);
+    totals_.messages += round.messages;
+    totals_.bits += round.bits;
+    totals_.correct_messages += round.correct_messages;
+    totals_.correct_bits += round.correct_bits;
+    totals_.equivocating_sends += round.equivocating_sends;
   }
 
-  [[nodiscard]] std::size_t total_bits() const noexcept {
-    std::size_t sum = 0;
-    for (const RoundMetrics& r : per_round) sum += r.bits;
-    return sum;
+  /// Tracks the largest single message seen on the wire.
+  void note_message_bits(std::size_t bits, bool correct_sender) {
+    max_message_bits_ = std::max(max_message_bits_, bits);
+    if (correct_sender) {
+      max_correct_message_bits_ = std::max(max_correct_message_bits_, bits);
+    }
   }
 
+  [[nodiscard]] const std::vector<RoundMetrics>& per_round() const noexcept { return per_round_; }
+  [[nodiscard]] std::size_t rounds() const noexcept { return per_round_.size(); }
+
+  [[nodiscard]] std::size_t total_messages() const noexcept { return totals_.messages; }
+  [[nodiscard]] std::size_t total_bits() const noexcept { return totals_.bits; }
   [[nodiscard]] std::size_t total_correct_messages() const noexcept {
-    std::size_t sum = 0;
-    for (const RoundMetrics& r : per_round) sum += r.correct_messages;
-    return sum;
+    return totals_.correct_messages;
+  }
+  [[nodiscard]] std::size_t total_correct_bits() const noexcept { return totals_.correct_bits; }
+  [[nodiscard]] std::size_t total_equivocating_sends() const noexcept {
+    return totals_.equivocating_sends;
   }
 
-  [[nodiscard]] std::size_t total_correct_bits() const noexcept {
-    std::size_t sum = 0;
-    for (const RoundMetrics& r : per_round) sum += r.correct_bits;
-    return sum;
+  /// Largest single message (any sender).
+  [[nodiscard]] std::size_t max_message_bits() const noexcept { return max_message_bits_; }
+  /// Largest single message from a correct sender.
+  [[nodiscard]] std::size_t max_correct_message_bits() const noexcept {
+    return max_correct_message_bits_;
   }
+
+ private:
+  std::vector<RoundMetrics> per_round_;
+  RoundMetrics totals_;
+  std::size_t max_message_bits_ = 0;
+  std::size_t max_correct_message_bits_ = 0;
 };
 
 }  // namespace byzrename::sim

@@ -25,6 +25,7 @@ Network::Network(std::vector<std::unique_ptr<ProcessBehavior>> behaviors,
     throw std::invalid_argument("Network: byzantine flag count mismatch");
   }
   const std::size_t n = behaviors_.size();
+  done_.assign(n, false);
   link_of_sender_.resize(n);
   for (std::size_t receiver = 0; receiver < n; ++receiver) {
     std::vector<LinkIndex>& links = link_of_sender_[receiver];
@@ -52,6 +53,7 @@ void Network::run_round(Round round) {
       // Charge the exact size the binary codec produces, so the paper's
       // bit-complexity bounds are checked against a real encoding.
       const std::size_t payload_bits = encoded_bits(entry.payload);
+      if (entry.dest.has_value() && byzantine_[sender]) round_metrics.equivocating_sends += 1;
       auto deliver = [&](std::size_t receiver) {
         inboxes[receiver].push_back(
             {link_of_sender_[receiver][sender], entry.payload});
@@ -60,10 +62,8 @@ void Network::run_round(Round round) {
         if (!byzantine_[sender]) {
           round_metrics.correct_messages += 1;
           round_metrics.correct_bits += payload_bits;
-          metrics_.max_correct_message_bits =
-              std::max(metrics_.max_correct_message_bits, payload_bits);
         }
-        metrics_.max_message_bits = std::max(metrics_.max_message_bits, payload_bits);
+        metrics_.note_message_bits(payload_bits, !byzantine_[sender]);
       };
       if (entry.dest.has_value()) {
         const auto dest = static_cast<std::size_t>(*entry.dest);
@@ -74,7 +74,7 @@ void Network::run_round(Round round) {
       }
     }
   }
-  metrics_.per_round.push_back(round_metrics);
+  metrics_.add_round(round_metrics);
 
   for (std::size_t receiver = 0; receiver < n; ++receiver) {
     Inbox& inbox = inboxes[receiver];
@@ -89,6 +89,19 @@ void Network::run_round(Round round) {
       }
     }
     behaviors_[receiver]->on_receive(round, inbox);
+  }
+
+  // Decision transitions feed the trace (and the trace-event exporter's
+  // decide slices); byzantine behaviors have no meaningful done() state.
+  if (event_log_ != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (byzantine_[i] || done_[i] || !behaviors_[i]->done()) continue;
+      done_[i] = true;
+      const std::optional<Name> name = behaviors_[i]->decision();
+      event_log_->record({round, trace::Event::Kind::kDecide, static_cast<ProcessIndex>(i),
+                          std::nullopt, -1, false,
+                          name.has_value() ? "name=" + std::to_string(*name) : "(no name)"});
+    }
   }
 }
 

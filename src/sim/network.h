@@ -73,6 +73,8 @@ class Network {
  private:
   std::vector<std::unique_ptr<ProcessBehavior>> behaviors_;
   std::vector<bool> byzantine_;
+  /// Which processes have been observed done(); drives decide events.
+  std::vector<bool> done_;
   /// link_of_sender_[receiver][sender] -> link label at the receiver.
   std::vector<std::vector<LinkIndex>> link_of_sender_;
   Metrics metrics_;

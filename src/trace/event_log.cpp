@@ -19,9 +19,11 @@ void EventLog::render(std::ostream& os, const Filter& filter) const {
       } else {
         os << "all";
       }
-    } else {
+    } else if (event.kind == Event::Kind::kDeliver) {
       os << "  p" << event.actor << (event.byzantine_actor ? "*" : "") << " <- link "
          << event.link;
+    } else {
+      os << "  p" << event.actor << (event.byzantine_actor ? "*" : "") << " decides";
     }
     os << " : " << event.payload << '\n';
   }

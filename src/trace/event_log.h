@@ -15,9 +15,10 @@ namespace byzrename::trace {
 /// destination the simulator resolved; deliver events carry the link
 /// label the receiver saw — reflecting exactly the asymmetry of the
 /// model (the omniscient log knows who sent what; the receiver only
-/// knows the link).
+/// knows the link). Decide events mark the round in which a correct
+/// process first reported done(), with its decided name in the payload.
 struct Event {
-  enum class Kind { kSend, kDeliver };
+  enum class Kind { kSend, kDeliver, kDecide };
   sim::Round round = 0;
   Kind kind = Kind::kSend;
   sim::ProcessIndex actor = 0;  ///< sender (kSend) or receiver (kDeliver)

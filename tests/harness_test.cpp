@@ -91,7 +91,7 @@ TEST(Harness, MetricsArePopulated) {
   EXPECT_EQ(result.run.metrics.rounds(), static_cast<std::size_t>(result.run.rounds));
   EXPECT_GT(result.run.metrics.total_messages(), 0u);
   EXPECT_GT(result.run.metrics.total_bits(), 0u);
-  EXPECT_GT(result.run.metrics.max_correct_message_bits, 0u);
+  EXPECT_GT(result.run.metrics.max_correct_message_bits(), 0u);
 }
 
 TEST(Harness, MessageSizeStaysWithinPaperBound) {
@@ -107,7 +107,7 @@ TEST(Harness, MessageSizeStaysWithinPaperBound) {
     ASSERT_TRUE(result.report.all_ok()) << result.report.detail;
     const std::size_t bound =
         static_cast<std::size_t>(n + t) * (64 + static_cast<std::size_t>(ceil_log2(n)) + 40);
-    EXPECT_LE(result.run.metrics.max_correct_message_bits, bound) << "n=" << n;
+    EXPECT_LE(result.run.metrics.max_correct_message_bits(), bound) << "n=" << n;
   }
 }
 

@@ -143,11 +143,12 @@ TEST(Network, MetricsCountBroadcastAsNMessages) {
   Network net = make_network(4, 2);
   net.run_round(1);
   const Metrics& m = net.metrics();
-  ASSERT_EQ(m.per_round.size(), 1u);
+  ASSERT_EQ(m.per_round().size(), 1u);
   // 4 broadcasts x 4 receivers.
-  EXPECT_EQ(m.per_round[0].messages, 16u);
-  EXPECT_EQ(m.per_round[0].correct_messages, 16u);
-  EXPECT_GT(m.per_round[0].bits, 0u);
+  EXPECT_EQ(m.per_round()[0].messages, 16u);
+  EXPECT_EQ(m.per_round()[0].correct_messages, 16u);
+  EXPECT_GT(m.per_round()[0].bits, 0u);
+  EXPECT_EQ(m.per_round()[0].equivocating_sends, 0u);
   EXPECT_EQ(m.total_messages(), 16u);
 }
 
@@ -157,8 +158,49 @@ TEST(Network, MetricsSeparateByzantineTraffic) {
   behaviors.push_back(std::make_unique<TargetedSender>());
   Network net(std::move(behaviors), {false, true}, Rng(1));
   net.run_round(1);
-  EXPECT_EQ(net.metrics().per_round[0].messages, 3u);          // broadcast(2) + targeted(1)
-  EXPECT_EQ(net.metrics().per_round[0].correct_messages, 2u);  // broadcast only
+  EXPECT_EQ(net.metrics().per_round()[0].messages, 3u);          // broadcast(2) + targeted(1)
+  EXPECT_EQ(net.metrics().per_round()[0].correct_messages, 2u);  // broadcast only
+  EXPECT_EQ(net.metrics().per_round()[0].equivocating_sends, 1u);
+}
+
+TEST(Metrics, RunningTotalsMatchPerRoundSums) {
+  Metrics m;
+  m.add_round({.messages = 10, .bits = 800, .correct_messages = 7, .correct_bits = 560,
+               .equivocating_sends = 2});
+  m.add_round({.messages = 4, .bits = 100, .correct_messages = 4, .correct_bits = 100,
+               .equivocating_sends = 0});
+  m.note_message_bits(96, /*correct_sender=*/false);
+  m.note_message_bits(80, /*correct_sender=*/true);
+
+  std::size_t messages = 0, bits = 0, correct_messages = 0, correct_bits = 0, equivocating = 0;
+  for (const RoundMetrics& r : m.per_round()) {
+    messages += r.messages;
+    bits += r.bits;
+    correct_messages += r.correct_messages;
+    correct_bits += r.correct_bits;
+    equivocating += r.equivocating_sends;
+  }
+  EXPECT_EQ(m.rounds(), 2u);
+  EXPECT_EQ(m.total_messages(), messages);
+  EXPECT_EQ(m.total_bits(), bits);
+  EXPECT_EQ(m.total_correct_messages(), correct_messages);
+  EXPECT_EQ(m.total_correct_bits(), correct_bits);
+  EXPECT_EQ(m.total_equivocating_sends(), equivocating);
+  EXPECT_EQ(m.max_message_bits(), 96u);
+  EXPECT_EQ(m.max_correct_message_bits(), 80u);
+}
+
+TEST(Metrics, TotalsStayConsistentAfterRealRun) {
+  Network net = make_network(5, 3);
+  run_to_completion(net, 5);
+  const Metrics& m = net.metrics();
+  std::size_t messages = 0, bits = 0;
+  for (const RoundMetrics& r : m.per_round()) {
+    messages += r.messages;
+    bits += r.bits;
+  }
+  EXPECT_EQ(m.total_messages(), messages);
+  EXPECT_EQ(m.total_bits(), bits);
 }
 
 TEST(Network, RejectsMismatchedConstruction) {

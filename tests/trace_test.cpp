@@ -36,6 +36,21 @@ TEST(Csv, QuotesOnlyWhenNeeded) {
   EXPECT_EQ(out.str(), "x,y\nplain,\"with,comma\"\n\"with\"\"quote\",\"with\nnewline\"\n");
 }
 
+TEST(Csv, QuotesFieldsMixingCommasQuotesAndNewlines) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"v"});
+  csv.write_row({"a,\"b\"\nc"});
+  csv.write_row({""});
+  EXPECT_EQ(out.str(), "v\n\"a,\"\"b\"\"\nc\"\n\n");
+}
+
+TEST(Csv, HeaderCellsAreQuotedToo) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"plain", "needs,quoting"});
+  csv.write_row({"1", "2"});
+  EXPECT_EQ(out.str(), "plain,\"needs,quoting\"\n1,2\n");
+}
+
 TEST(Csv, RejectsColumnMismatch) {
   std::ostringstream out;
   CsvWriter csv(out, {"x"});
@@ -60,20 +75,51 @@ TEST(EventLog, CapturesSendsAndDeliveries) {
 
   int sends = 0;
   int deliveries = 0;
+  int decides = 0;
   for (const Event& event : log.events()) {
     if (event.kind == Event::Kind::kSend) {
       ++sends;
       EXPECT_FALSE(event.peer.has_value());  // correct processes broadcast
       EXPECT_FALSE(event.byzantine_actor);   // the silent one never sends
-    } else {
+    } else if (event.kind == Event::Kind::kDeliver) {
       ++deliveries;
       EXPECT_GE(event.link, 0);
       EXPECT_LT(event.link, 4);
+    } else {
+      ++decides;
+      EXPECT_FALSE(event.byzantine_actor);
     }
     EXPECT_FALSE(event.payload.empty());
   }
   // Every broadcast fans out to N deliveries.
   EXPECT_EQ(deliveries, sends * 4);
+  // Every correct process decides exactly once (n=4, t=1, one silent fault).
+  EXPECT_EQ(decides, 3);
+}
+
+TEST(EventLog, RecordsOneDecisionPerCorrectProcess) {
+  EventLog log;
+  core::ScenarioConfig config;
+  config.params = {.n = 5, .t = 1};
+  config.adversary = "idflood";
+  config.event_log = &log;
+  const core::ScenarioResult result = core::run_scenario(config);
+  ASSERT_TRUE(result.report.all_ok()) << result.report.detail;
+
+  std::vector<int> decide_counts(5, 0);
+  for (const Event& event : log.events()) {
+    if (event.kind != Event::Kind::kDecide) continue;
+    ++decide_counts[static_cast<std::size_t>(event.actor)];
+    EXPECT_NE(event.payload.find("name="), std::string::npos);
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(decide_counts[static_cast<std::size_t>(i)], 1);
+  EXPECT_EQ(decide_counts[4], 0);  // the Byzantine tail never decides
+
+  // The renderer spells decisions out and the decide filter composes with it.
+  std::ostringstream rendered;
+  log.render(rendered, [](const Event& event) { return event.kind == Event::Kind::kDecide; });
+  EXPECT_NE(rendered.str().find("decides"), std::string::npos);
+  EXPECT_EQ(rendered.str().find("->"), std::string::npos);
 }
 
 TEST(EventLog, FiltersSelectSubsets) {
@@ -97,6 +143,31 @@ TEST(EventLog, FiltersSelectSubsets) {
   log.render(actor_zero, EventLog::only_actor(0));
   EXPECT_NE(actor_zero.str().find("p0"), std::string::npos);
   EXPECT_EQ(actor_zero.str().find("p1 "), std::string::npos);
+}
+
+TEST(EventLog, ComposedFiltersIntersect) {
+  EventLog log;
+  core::ScenarioConfig config;
+  config.params = {.n = 4, .t = 1};
+  config.adversary = "split";
+  config.event_log = &log;
+  (void)core::run_scenario(config);
+
+  // AND-compose the stock filters by hand: round 1, actor 0 only.
+  const auto round_one = EventLog::only_round(1);
+  const auto actor_zero = EventLog::only_actor(0);
+  std::ostringstream both;
+  log.render(both, [&](const Event& event) { return round_one(event) && actor_zero(event); });
+  const std::string text = both.str();
+  EXPECT_NE(text.find("--- round 1 ---"), std::string::npos);
+  EXPECT_EQ(text.find("--- round 2 ---"), std::string::npos);
+  EXPECT_NE(text.find("p0"), std::string::npos);
+  EXPECT_EQ(text.find("p1 "), std::string::npos);
+
+  // A filter matching nothing renders nothing, not empty round banners.
+  std::ostringstream none;
+  log.render(none, [](const Event&) { return false; });
+  EXPECT_TRUE(none.str().empty());
 }
 
 TEST(EventLog, ByzantineTargetedSendsAreAttributed) {

@@ -4,12 +4,15 @@
 //   byzrename --algorithm op --n 13 --t 4 --adversary asymflood
 //   byzrename --algorithm fast --n 11 --t 2 --adversary suppress --seed 9
 //   byzrename --algorithm op --n 10 --t 3 --faults 1 --iterations 12 --trace
+//   byzrename --n 13 --t 4 --adversary asymflood --json out.jsonl --trace-out out.trace.json
 //   byzrename --list-adversaries
 //
-// Exit code 0 iff every renaming property held.
+// Exit code 0 iff every renaming property held; 2 on usage errors.
 
+#include <charconv>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -20,6 +23,10 @@
 #include "adversary/adversary.h"
 #include "core/harness.h"
 #include "core/op_renaming.h"
+#include "obs/run_report.h"
+#include "obs/telemetry.h"
+#include "obs/trace_export.h"
+#include "trace/event_log.h"
 #include "trace/table.h"
 
 namespace {
@@ -39,9 +46,14 @@ void print_usage() {
       "  --no-validation       ABLATION: disable the Alg. 2 isValid filter\n"
       "  --ids <a,b,c,...>     explicit correct-process ids\n"
       "  --trace               print per-round metrics\n"
+      "  --json <path>         write a JSONL run report (schema byzrename.run/1)\n"
+      "  --trace-out <path>    write a Chrome trace-event file (chrome://tracing, Perfetto)\n"
+      "  --report              print the JSON run report to stdout\n"
       "  --quiet               print only the verdict line\n"
       "  --list-adversaries    list registered strategies and exit\n"
-      "  --help                this text\n";
+      "  --help                this text\n"
+      "\n"
+      "Report schema and trace-loading instructions: docs/OBSERVABILITY.md\n";
 }
 
 std::optional<core::Algorithm> parse_algorithm(std::string_view name) {
@@ -59,6 +71,27 @@ std::optional<core::Algorithm> parse_algorithm(std::string_view name) {
   return it->second;
 }
 
+struct CliError {
+  std::string message;
+};
+
+/// Strict full-token integer parse: no std::stoll, so malformed input
+/// ("1x", "x", overflow) becomes a CliError with usage instead of an
+/// uncaught exception.
+template <typename Int>
+Int parse_number(std::string_view flag, std::string_view text) {
+  Int value{};
+  const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    throw CliError{std::string(flag) + ": value out of range: " + std::string(text)};
+  }
+  if (ec != std::errc{} || end != text.data() + text.size()) {
+    throw CliError{std::string(flag) + " expects an integer, got: " +
+                   (text.empty() ? std::string("(empty)") : std::string(text))};
+  }
+  return value;
+}
+
 std::vector<sim::Id> parse_ids(const std::string& csv) {
   std::vector<sim::Id> ids;
   std::size_t start = 0;
@@ -66,21 +99,21 @@ std::vector<sim::Id> parse_ids(const std::string& csv) {
     const std::size_t comma = csv.find(',', start);
     const std::string token =
         csv.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
-    if (!token.empty()) ids.push_back(std::stoll(token));
+    if (!token.empty()) ids.push_back(parse_number<sim::Id>("--ids", token));
     if (comma == std::string::npos) break;
     start = comma + 1;
   }
+  if (ids.empty()) throw CliError{"--ids expects a comma-separated id list"};
   return ids;
 }
-
-struct CliError {
-  std::string message;
-};
 
 struct Options {
   core::ScenarioConfig config;
   bool trace = false;
   bool quiet = false;
+  bool report = false;
+  std::string json_path;
+  std::string trace_out_path;
 };
 
 Options parse(int argc, char** argv) {
@@ -104,23 +137,29 @@ Options parse(int argc, char** argv) {
       if (!algorithm.has_value()) throw CliError{"unknown algorithm: " + value};
       options.config.algorithm = *algorithm;
     } else if (arg == "--n") {
-      options.config.params.n = std::stoi(next_value(i));
+      options.config.params.n = parse_number<int>(arg, next_value(i));
     } else if (arg == "--t") {
-      options.config.params.t = std::stoi(next_value(i));
+      options.config.params.t = parse_number<int>(arg, next_value(i));
     } else if (arg == "--faults") {
-      options.config.actual_faults = std::stoi(next_value(i));
+      options.config.actual_faults = parse_number<int>(arg, next_value(i));
     } else if (arg == "--adversary") {
       options.config.adversary = next_value(i);
     } else if (arg == "--seed") {
-      options.config.seed = std::stoull(next_value(i));
+      options.config.seed = parse_number<std::uint64_t>(arg, next_value(i));
     } else if (arg == "--iterations") {
-      options.config.options.approximation_iterations = std::stoi(next_value(i));
+      options.config.options.approximation_iterations = parse_number<int>(arg, next_value(i));
     } else if (arg == "--no-validation") {
       options.config.options.validate_votes = false;
     } else if (arg == "--ids") {
       options.config.correct_ids = parse_ids(next_value(i));
     } else if (arg == "--trace") {
       options.trace = true;
+    } else if (arg == "--json") {
+      options.json_path = next_value(i);
+    } else if (arg == "--trace-out") {
+      options.trace_out_path = next_value(i);
+    } else if (arg == "--report") {
+      options.report = true;
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else {
@@ -145,12 +184,57 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Telemetry wiring: a JSONL file sink, a stdout report sink, and a
+  // structured event log for the trace-event exporter — all optional.
+  obs::Telemetry telemetry;
+  std::ofstream json_out;
+  std::optional<obs::RunReportSink> json_sink;
+  if (!options.json_path.empty()) {
+    json_out.open(options.json_path, std::ios::trunc);
+    if (!json_out.is_open()) {
+      std::cerr << "byzrename: cannot open --json path: " << options.json_path << '\n';
+      return 2;
+    }
+    json_sink.emplace(json_out);
+    telemetry.add_sink(*json_sink);
+  }
+  std::optional<obs::RunReportSink> stdout_sink;
+  if (options.report) {
+    stdout_sink.emplace(std::cout);
+    telemetry.add_sink(*stdout_sink);
+  }
+  trace::EventLog event_log;
+  if (!options.trace_out_path.empty()) options.config.event_log = &event_log;
+  if (telemetry.active()) options.config.telemetry = &telemetry;
+
   core::ScenarioResult result;
   try {
     result = core::run_scenario(options.config);
   } catch (const std::exception& error) {
     std::cerr << "byzrename: " << error.what() << '\n';
     return 2;
+  }
+
+  if (!options.trace_out_path.empty()) {
+    std::ofstream trace_out(options.trace_out_path, std::ios::trunc);
+    if (!trace_out.is_open()) {
+      std::cerr << "byzrename: cannot open --trace-out path: " << options.trace_out_path << '\n';
+      return 2;
+    }
+    const int faults =
+        options.config.actual_faults >= 0 ? options.config.actual_faults : options.config.params.t;
+    obs::TraceMeta meta;
+    meta.title = std::string(core::to_string(options.config.algorithm)) +
+                 " N=" + std::to_string(options.config.params.n) +
+                 " t=" + std::to_string(options.config.params.t) + " adversary=" +
+                 options.config.adversary + " seed=" + std::to_string(options.config.seed);
+    meta.process_count = options.config.params.n;
+    meta.rounds = result.run.rounds;
+    meta.byzantine.assign(static_cast<std::size_t>(options.config.params.n), false);
+    for (int i = options.config.params.n - faults; i < options.config.params.n; ++i) {
+      meta.byzantine[static_cast<std::size_t>(i)] = true;
+    }
+    obs::write_chrome_trace(trace_out, event_log, meta);
   }
 
   if (!options.quiet) {
@@ -174,10 +258,10 @@ int main(int argc, char** argv) {
 
   if (options.trace) {
     trace::Table table({"round", "messages", "bytes"});
-    for (std::size_t r = 0; r < result.run.metrics.per_round.size(); ++r) {
+    for (std::size_t r = 0; r < result.run.metrics.per_round().size(); ++r) {
       table.add_row({std::to_string(r + 1),
-                     std::to_string(result.run.metrics.per_round[r].messages),
-                     std::to_string(result.run.metrics.per_round[r].bits / 8)});
+                     std::to_string(result.run.metrics.per_round()[r].messages),
+                     std::to_string(result.run.metrics.per_round()[r].bits / 8)});
     }
     table.print(std::cout);
     std::cout << '\n';
