@@ -6,11 +6,17 @@
 // The table reports measured counters next to the formulas. The message
 // constant shown is measured_messages / (N^2 * steps) — it should hover
 // around 1 plus the per-id Echo/Ready fan-out of the selection phase.
+//
+// Runs on the src/exp campaign engine: the 9-point diagonal executes in
+// parallel on the work-stealing pool, and bench_t4.jsonl carries the
+// per-run byzrename.run/1 lines plus deterministic byzrename.campaign/1
+// cell aggregates.
 
 #include <iostream>
 #include <string>
 
 #include "core/harness.h"
+#include "exp/campaign.h"
 #include "obs/bench_report.h"
 #include "trace/table.h"
 
@@ -18,25 +24,34 @@ int main() {
   using namespace byzrename;
   std::cout << "T4: Alg. 1 complexity — steps, messages, message size vs paper formulas\n\n";
   obs::BenchReporter reporter("bench_t4");
+
+  exp::CampaignSpec spec;
+  spec.name = "bench_t4";
+  spec.algorithms = {core::Algorithm::kOpRenaming};
+  spec.systems = {{.n = 4, .t = 1},   {.n = 7, .t = 2},   {.n = 10, .t = 3},
+                  {.n = 13, .t = 4},  {.n = 22, .t = 7},  {.n = 31, .t = 10},
+                  {.n = 40, .t = 13}, {.n = 52, .t = 17}, {.n = 64, .t = 21}};
+  spec.adversaries = {"split"};  // keeps the voting phase fully loaded
+  spec.master_seed = 11;
+
+  exp::CampaignOptions options;
+  options.sample_probes = true;
+  const exp::CampaignResult result = reporter.run_campaign(spec, options);
+
   trace::Table table({"N", "t", "steps", "3log(t)+7", "correct msgs", "N^2*steps",
                       "max msg bits", "(N+t)(64+log N) bits"});
-  for (const auto& [n, t] : std::vector<std::pair<int, int>>{
-           {4, 1}, {7, 2}, {10, 3}, {13, 4}, {22, 7}, {31, 10}, {40, 13}, {52, 17}, {64, 21}}) {
-    core::ScenarioConfig config;
-    config.params = {.n = n, .t = t};
-    config.adversary = "split";  // keeps the voting phase fully loaded
-    config.seed = 11;
-    const core::ScenarioResult result =
-        reporter.run(config, "N=" + std::to_string(n) + " t=" + std::to_string(t));
+  for (std::size_t slot = 0; slot < result.cells.size(); ++slot) {
+    const exp::CampaignCell& cell = result.cells[slot];
+    const exp::RunRecord& run = result.runs[slot];  // reps == 1: run slot == cell slot
+    const int n = cell.params.n;
+    const int t = cell.params.t;
     const int formula_steps = 3 * core::ceil_log2(t) + 7;
-    const long nn_steps = static_cast<long>(n) * n * result.run.rounds;
+    const long nn_steps = static_cast<long>(n) * n * run.rounds;
     const std::size_t size_bound =
         static_cast<std::size_t>(n + t) * (64 + static_cast<std::size_t>(core::ceil_log2(n)) + 40);
-    table.add_row({std::to_string(n), std::to_string(t), std::to_string(result.run.rounds),
-                   std::to_string(formula_steps),
-                   std::to_string(result.run.metrics.total_correct_messages()),
-                   std::to_string(nn_steps),
-                   std::to_string(result.run.metrics.max_correct_message_bits()),
+    table.add_row({std::to_string(n), std::to_string(t), std::to_string(run.rounds),
+                   std::to_string(formula_steps), std::to_string(run.correct_messages),
+                   std::to_string(nn_steps), std::to_string(run.max_correct_message_bits),
                    std::to_string(size_bound)});
   }
   table.print(std::cout);
@@ -44,6 +59,8 @@ int main() {
                "(the selection phase sends one Echo/Ready per id, adding a factor <= N+t-1 for\n"
                "4 of the steps); max message bits below the size bound. Rank encodings grow by\n"
                "~log2(N) bits per voting round (exact rationals), remaining O((N+t) log N).\n";
+  std::cout << "\n[campaign] " << result.executed << " runs on " << result.threads
+            << " thread(s) in " << result.wall_seconds << "s (" << result.steals << " steals)\n";
   reporter.announce(std::cout);
-  return 0;
+  return result.all_ok() ? 0 : 1;
 }

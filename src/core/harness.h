@@ -86,6 +86,28 @@ struct ScenarioResult {
 
 /// Assembles the network (correct processes at indices 0..n-f-1 in id
 /// order, faulty at the tail), runs it to completion, and scores it.
+///
+/// ## Re-entrancy contract (audited for the src/exp campaign engine)
+///
+/// run_scenario is safe to call concurrently from any number of threads
+/// with DISTINCT ScenarioConfig objects, and the result for a given
+/// config is bit-identical regardless of what runs next to it:
+///  - every piece of run state (network, behaviors, RNG streams, metrics,
+///    event log) is constructed inside the call and owned by its frame;
+///  - there are no mutable globals anywhere under src/{sim,core,
+///    adversary,aa,rbc,consensus,baselines,translate,numeric}: the only
+///    function-local static is the adversary registry's const map, whose
+///    initialization C++ magic statics make thread-safe;
+///  - all randomness flows from ScenarioConfig::seed through explicitly
+///    seeded sim::Rng instances local to the run.
+///
+/// The caller-supplied attachments are the exception: observer,
+/// event_log, and telemetry are invoked on the calling thread and must
+/// not be shared across concurrent runs unless they synchronize
+/// internally (obs::RunReportSink buffers per-run state — one sink per
+/// in-flight run; see obs/run_report.h). Anyone adding a cache or
+/// static to code under this call tree must keep it either const or
+/// thread-local, or the campaign engine's determinism guarantee breaks.
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config);
 
 }  // namespace byzrename::core

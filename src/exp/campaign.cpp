@@ -1,0 +1,226 @@
+#include "exp/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "exp/executor.h"
+#include "obs/run_report.h"
+#include "obs/telemetry.h"
+#include "sim/rng.h"
+
+namespace byzrename::exp {
+
+bool cell_valid(core::Algorithm algorithm, const sim::SystemParams& params) {
+  if (params.n < 1 || params.t < 0 || params.t >= params.n) return false;
+  switch (algorithm) {
+    case core::Algorithm::kOpRenaming:
+      return core::valid_for_op_renaming(params);
+    case core::Algorithm::kOpRenamingConstantTime:
+      return core::valid_for_constant_time(params);
+    case core::Algorithm::kFastRenaming:
+      return core::valid_for_fast_renaming(params);
+    case core::Algorithm::kConsensusRenaming:
+      return params.n > 4 * params.t;
+    case core::Algorithm::kCrashRenaming:
+    case core::Algorithm::kBitRenaming:
+    case core::Algorithm::kTranslatedRenaming:
+      return core::valid_for_op_renaming(params);
+    case core::Algorithm::kScalarAA:
+      return false;  // not a scenario algorithm (run_scenario rejects it)
+  }
+  return false;
+}
+
+std::vector<CampaignCell> expand_cells(const CampaignSpec& spec) {
+  std::vector<CampaignCell> cells;
+  std::vector<sim::SystemParams> grid_systems;
+  for (const int n : spec.n_values) {
+    for (const int t : spec.t_values) grid_systems.push_back({.n = n, .t = t});
+  }
+  grid_systems.insert(grid_systems.end(), spec.systems.begin(), spec.systems.end());
+
+  for (const core::Algorithm algorithm : spec.algorithms) {
+    for (const sim::SystemParams& params : grid_systems) {
+      if (spec.skip_invalid && !cell_valid(algorithm, params)) continue;
+      for (const std::string& adversary : spec.adversaries) {
+        cells.push_back({cells.size(), algorithm, params, adversary});
+      }
+    }
+  }
+  for (const CampaignScenario& scenario : spec.scenarios) {
+    cells.push_back({cells.size(), scenario.algorithm, scenario.params, scenario.adversary});
+  }
+  return cells;
+}
+
+std::uint64_t derive_seed(std::uint64_t master_seed, std::uint64_t cell, std::uint64_t rep) {
+  return sim::Rng::derive_stream(sim::Rng::derive_stream(master_seed, cell), rep);
+}
+
+std::string cell_key(const CampaignCell& cell) {
+  std::string key(core::to_string(cell.algorithm));
+  key += "/n" + std::to_string(cell.params.n);
+  key += "/t" + std::to_string(cell.params.t);
+  key += "/" + cell.adversary;
+  return key;
+}
+
+namespace {
+
+CellAggregate make_aggregate(const CampaignCell& cell) {
+  // Salting the reservoir hash with the global cell index makes the
+  // sample selection a pure function of (cell, rep): identical between
+  // the unsharded campaign and any shard that contains the cell.
+  const std::uint64_t salt = sim::splitmix64(cell.index);
+  CellAggregate aggregate;
+  aggregate.cell = cell.index;
+  aggregate.rounds = StreamingStats(StreamingStats::kDefaultReservoir, salt);
+  aggregate.messages = StreamingStats(StreamingStats::kDefaultReservoir, salt);
+  aggregate.correct_messages = StreamingStats(StreamingStats::kDefaultReservoir, salt);
+  aggregate.bits = StreamingStats(StreamingStats::kDefaultReservoir, salt);
+  aggregate.max_name = StreamingStats(StreamingStats::kDefaultReservoir, salt);
+  aggregate.rejected_votes = StreamingStats(StreamingStats::kDefaultReservoir, salt);
+  return aggregate;
+}
+
+void fold_run(CellAggregate& aggregate, const RunRecord& record) {
+  const auto rep = static_cast<std::uint64_t>(record.rep);
+  aggregate.executed += 1;
+  aggregate.ok += record.ok ? 1 : 0;
+  aggregate.terminated += record.terminated ? 1 : 0;
+  aggregate.rounds.add(rep, record.rounds);
+  aggregate.messages.add(rep, static_cast<std::int64_t>(record.messages));
+  aggregate.correct_messages.add(rep, static_cast<std::int64_t>(record.correct_messages));
+  aggregate.bits.add(rep, static_cast<std::int64_t>(record.bits));
+  aggregate.max_name.add(rep, record.max_name);
+  aggregate.rejected_votes.add(rep, record.rejected_votes);
+  aggregate.max_message_bits = std::max(aggregate.max_message_bits, record.max_message_bits);
+  if (!record.ok &&
+      (aggregate.first_violation_rep < 0 || record.rep < aggregate.first_violation_rep)) {
+    aggregate.first_violation_rep = record.rep;
+    aggregate.first_violation = record.detail;
+  }
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& options) {
+  if (spec.repetitions < 1) {
+    throw std::invalid_argument("run_campaign: repetitions must be >= 1");
+  }
+  if (options.shard_count < 1 || options.shard_index < 0 ||
+      options.shard_index >= options.shard_count) {
+    throw std::invalid_argument("run_campaign: shard index must satisfy 0 <= i < k");
+  }
+
+  CampaignResult result;
+  for (CampaignCell& cell : expand_cells(spec)) {
+    if (static_cast<int>(cell.index % static_cast<std::size_t>(options.shard_count)) ==
+        options.shard_index) {
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  const std::size_t reps = static_cast<std::size_t>(spec.repetitions);
+  const std::size_t total_runs = result.cells.size() * reps;
+  result.runs.resize(total_runs);
+  result.aggregates.reserve(result.cells.size());
+  for (const CampaignCell& cell : result.cells) result.aggregates.push_back(make_aggregate(cell));
+
+  Executor executor(options.threads);
+  result.threads = executor.threads();
+
+  // One mutex per cell guards its aggregate; a separate mutex serializes
+  // whole lines on the shared runs_out stream.
+  std::vector<std::mutex> cell_mutexes(result.cells.empty() ? 1 : result.cells.size());
+  std::mutex internal_runs_mutex;
+  std::mutex* runs_mutex =
+      options.runs_out_mutex != nullptr ? options.runs_out_mutex : &internal_runs_mutex;
+  std::atomic<std::size_t> violations{0};
+
+  const auto task = [&](std::size_t run_index) {
+    const std::size_t slot = run_index / reps;
+    const int rep = static_cast<int>(run_index % reps);
+    const CampaignCell& cell = result.cells[slot];
+    RunRecord& record = result.runs[run_index];
+    record.cell = cell.index;
+    record.rep = rep;
+    record.seed = derive_seed(spec.master_seed, cell.index, static_cast<std::uint64_t>(rep));
+
+    core::ScenarioConfig config;
+    config.params = cell.params;
+    config.algorithm = cell.algorithm;
+    config.adversary = cell.adversary;
+    config.actual_faults = spec.actual_faults;
+    config.seed = record.seed;
+    config.options = spec.options;
+    config.extra_rounds = spec.extra_rounds;
+
+    // Per-run telemetry stack on this worker's frame; the sinks write
+    // whole lines under runs_out_mutex, so parallel runs cannot
+    // interleave partial JSONL.
+    obs::Telemetry telemetry;
+    std::optional<obs::RunReportSink> sink;
+    if (options.runs_out != nullptr) {
+      sink.emplace(*options.runs_out, options.runs_bench, runs_mutex);
+      telemetry.add_sink(*sink);
+      telemetry.set_probes_enabled(options.sample_probes);
+      config.telemetry = &telemetry;
+      config.telemetry_label = cell_key(cell) + "/rep" + std::to_string(rep);
+    }
+    if (options.configure) options.configure(run_index, config);
+
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      const core::ScenarioResult scenario = core::run_scenario(config);
+      record.ok = scenario.report.all_ok();
+      record.terminated = scenario.run.terminated;
+      record.rounds = scenario.run.rounds;
+      record.max_name = scenario.report.max_name;
+      record.messages = scenario.run.metrics.total_messages();
+      record.bits = scenario.run.metrics.total_bits();
+      record.correct_messages = scenario.run.metrics.total_correct_messages();
+      record.correct_bits = scenario.run.metrics.total_correct_bits();
+      record.equivocating_sends = scenario.run.metrics.total_equivocating_sends();
+      record.max_message_bits = scenario.run.metrics.max_message_bits();
+      record.max_correct_message_bits = scenario.run.metrics.max_correct_message_bits();
+      record.min_accepted = scenario.min_accepted;
+      record.max_accepted = scenario.max_accepted;
+      record.rejected_votes = scenario.total_rejected;
+      if (!record.ok) record.detail = scenario.report.detail;
+      if (options.inspect) options.inspect(run_index, scenario);
+    } catch (const std::exception& error) {
+      record.ok = false;
+      record.detail = error.what();
+    }
+    record.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    record.executed = true;
+
+    {
+      const std::lock_guard<std::mutex> lock(cell_mutexes[slot]);
+      fold_run(result.aggregates[slot], record);
+    }
+    if (!record.ok) {
+      violations.fetch_add(1, std::memory_order_relaxed);
+      if (options.fail_fast) executor.cancel();
+    }
+  };
+
+  const auto campaign_start = std::chrono::steady_clock::now();
+  const Executor::Stats stats = executor.run(total_runs, task);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - campaign_start).count();
+  result.executed = stats.executed;
+  result.steals = stats.stolen;
+  result.violations = violations.load(std::memory_order_relaxed);
+  result.cancelled = executor.cancelled();
+  return result;
+}
+
+}  // namespace byzrename::exp

@@ -1,0 +1,108 @@
+#include "exp/campaign_io.h"
+
+#include <ostream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/schema.h"
+#include "trace/table.h"
+
+namespace byzrename::exp {
+
+namespace {
+
+void write_stat(obs::JsonWriter& json, std::string_view name, const StreamingStats& stats) {
+  json.key(name).begin_object();
+  json.field("count", stats.count())
+      .field("min", static_cast<long long>(stats.min()))
+      .field("max", static_cast<long long>(stats.max()))
+      .field("sum", static_cast<long long>(stats.sum()))
+      .field("mean", stats.mean())
+      .field("p50", static_cast<long long>(stats.quantile(0.50)))
+      .field("p95", static_cast<long long>(stats.quantile(0.95)))
+      .field("p99", static_cast<long long>(stats.quantile(0.99)));
+  json.end_object();
+}
+
+}  // namespace
+
+void write_campaign_cells(std::ostream& os, const CampaignSpec& spec,
+                          const CampaignResult& result) {
+  for (std::size_t slot = 0; slot < result.cells.size(); ++slot) {
+    const CampaignCell& cell = result.cells[slot];
+    const CellAggregate& aggregate = result.aggregates[slot];
+    obs::JsonWriter json(os);
+    json.begin_object();
+    json.field("schema", obs::kCampaignSchema)
+        .field("campaign", spec.name)
+        .field("cell", cell_key(cell))
+        .field("cell_index", aggregate.cell)
+        .field("algorithm", core::to_string(cell.algorithm))
+        .field("n", cell.params.n)
+        .field("t", cell.params.t)
+        .field("adversary", cell.adversary)
+        .field("reps", spec.repetitions)
+        .field("master_seed", static_cast<unsigned long long>(spec.master_seed))
+        .field("executed", aggregate.executed)
+        .field("ok", aggregate.ok)
+        .field("terminated", aggregate.terminated)
+        .field("max_message_bits", aggregate.max_message_bits);
+    json.key("stats").begin_object();
+    write_stat(json, "rounds", aggregate.rounds);
+    write_stat(json, "messages", aggregate.messages);
+    write_stat(json, "correct_messages", aggregate.correct_messages);
+    write_stat(json, "bits", aggregate.bits);
+    write_stat(json, "max_name", aggregate.max_name);
+    write_stat(json, "rejected_votes", aggregate.rejected_votes);
+    json.end_object();
+    if (aggregate.first_violation_rep >= 0) {
+      json.key("first_violation").begin_object();
+      json.field("rep", aggregate.first_violation_rep).field("detail", aggregate.first_violation);
+      json.end_object();
+    }
+    json.end_object();
+    os << '\n';
+  }
+  os.flush();
+}
+
+void write_campaign_summary(std::ostream& os, const CampaignSpec& spec,
+                            const CampaignResult& result) {
+  obs::JsonWriter json(os);
+  json.begin_object();
+  json.field("schema", obs::kCampaignSummarySchema)
+      .field("campaign", spec.name)
+      .field("cells", result.cells.size())
+      .field("runs", result.runs.size())
+      .field("executed", result.executed)
+      .field("violations", result.violations)
+      .field("cancelled", result.cancelled)
+      .field("threads", result.threads)
+      .field("steals", result.steals)
+      .field("wall_seconds", result.wall_seconds);
+  json.end_object();
+  os << '\n';
+  os.flush();
+}
+
+void print_campaign_table(std::ostream& os, const CampaignResult& result) {
+  trace::Table table(
+      {"cell", "runs", "ok", "rounds p50", "rounds max", "msgs mean", "max name", "rejected"});
+  for (std::size_t slot = 0; slot < result.cells.size(); ++slot) {
+    const CellAggregate& aggregate = result.aggregates[slot];
+    table.add_row({cell_key(result.cells[slot]), std::to_string(aggregate.executed),
+                   std::to_string(aggregate.ok), std::to_string(aggregate.rounds.quantile(0.5)),
+                   std::to_string(aggregate.rounds.max()),
+                   std::to_string(static_cast<long long>(aggregate.messages.mean())),
+                   std::to_string(aggregate.max_name.max()),
+                   std::to_string(aggregate.rejected_votes.max())});
+  }
+  table.print(os);
+  os << '\n'
+     << (result.cancelled ? "CANCELLED (fail-fast)" : "done") << ": " << result.executed << '/'
+     << result.runs.size() << " runs, " << result.violations << " violation(s), "
+     << result.threads << " thread(s), " << result.steals << " steal(s), "
+     << result.wall_seconds << "s\n";
+}
+
+}  // namespace byzrename::exp

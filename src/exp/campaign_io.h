@@ -1,0 +1,30 @@
+#ifndef BYZRENAME_EXP_CAMPAIGN_IO_H
+#define BYZRENAME_EXP_CAMPAIGN_IO_H
+
+#include <iosfwd>
+
+#include "exp/campaign.h"
+
+namespace byzrename::exp {
+
+/// Writes one byzrename.campaign/1 line per cell of @p result, in cell
+/// order. Every emitted field is deterministic — derived from counters
+/// and the spec, never from wall clocks — so the byte stream is
+/// identical at any thread count and the determinism CI gate can `cmp`
+/// two files outright. Field reference: obs/schema.h, docs/CAMPAIGNS.md.
+void write_campaign_cells(std::ostream& os, const CampaignSpec& spec,
+                          const CampaignResult& result);
+
+/// Writes the single byzrename.campaign-summary/1 line: totals plus the
+/// volatile execution facts (wall clock, threads, steals). Kept a
+/// separate schema precisely because it is NOT deterministic.
+void write_campaign_summary(std::ostream& os, const CampaignSpec& spec,
+                            const CampaignResult& result);
+
+/// Human-readable per-cell table plus a closing summary line, for the
+/// campaign CLI's default (non-quiet) output.
+void print_campaign_table(std::ostream& os, const CampaignResult& result);
+
+}  // namespace byzrename::exp
+
+#endif  // BYZRENAME_EXP_CAMPAIGN_IO_H

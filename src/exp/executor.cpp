@@ -1,0 +1,94 @@
+#include "exp/executor.h"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace byzrename::exp {
+
+namespace {
+
+struct WorkerDeque {
+  std::mutex mutex;
+  std::deque<std::size_t> tasks;
+
+  std::optional<std::size_t> pop_front() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (tasks.empty()) return std::nullopt;
+    const std::size_t task = tasks.front();
+    tasks.pop_front();
+    return task;
+  }
+
+  std::optional<std::size_t> steal_back() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (tasks.empty()) return std::nullopt;
+    const std::size_t task = tasks.back();
+    tasks.pop_back();
+    return task;
+  }
+};
+
+}  // namespace
+
+Executor::Executor(int threads) : threads_(threads) {
+  if (threads_ < 1) {
+    const unsigned hardware = std::thread::hardware_concurrency();
+    threads_ = hardware > 0 ? static_cast<int>(hardware) : 1;
+  }
+}
+
+Executor::Stats Executor::run(std::size_t count, const std::function<void(std::size_t)>& task) {
+  cancelled_.store(false, std::memory_order_relaxed);
+  Stats stats;
+  if (count == 0) return stats;
+
+  const std::size_t workers =
+      std::min(static_cast<std::size_t>(threads_), count);
+  std::vector<WorkerDeque> deques(workers);
+  // Contiguous blocks: worker w starts at its own slice, so with no
+  // stealing (threads=1, or uniform task durations) execution order is
+  // simply 0..count-1 and neighboring tasks share a worker.
+  for (std::size_t i = 0; i < count; ++i) {
+    deques[i * workers / count].tasks.push_back(i);
+  }
+
+  std::atomic<std::size_t> executed{0};
+  std::atomic<std::size_t> stolen{0};
+
+  const auto worker_loop = [&](std::size_t self) {
+    while (!cancelled()) {
+      std::optional<std::size_t> next = deques[self].pop_front();
+      if (!next.has_value()) {
+        // Sweep victims round-robin from our right-hand neighbor; one
+        // full empty sweep means the batch is drained (tasks are never
+        // re-enqueued, so emptiness is stable per deque).
+        for (std::size_t offset = 1; offset < workers && !next.has_value(); ++offset) {
+          next = deques[(self + offset) % workers].steal_back();
+          if (next.has_value()) stolen.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (!next.has_value()) return;
+      task(*next);
+      executed.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  if (workers == 1) {
+    worker_loop(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker_loop, w);
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  stats.executed = executed.load(std::memory_order_relaxed);
+  stats.stolen = stolen.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace byzrename::exp

@@ -1,0 +1,62 @@
+#ifndef BYZRENAME_EXP_EXECUTOR_H
+#define BYZRENAME_EXP_EXECUTOR_H
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+
+namespace byzrename::exp {
+
+/// Work-stealing executor for a fixed batch of independent tasks
+/// (campaign runs, CLI --repeat repetitions).
+///
+/// Each worker owns a deque preloaded with a contiguous block of task
+/// indices; it pops from the front of its own deque (preserving index
+/// order, which keeps caches and the threads=1 case sequential) and,
+/// when empty, steals from the BACK of a victim's deque — the classic
+/// split that keeps owners and thieves on opposite ends. Deques are
+/// mutex-guarded: lockstep simulations run for milliseconds per task, so
+/// queue operations are nowhere near the critical path and a lock-free
+/// Chase-Lev deque would buy nothing but TSan-audit surface.
+///
+/// Cancellation is cooperative: cancel() (typically from a task that
+/// observed a checker violation under fail-fast) stops workers from
+/// STARTING further tasks; in-flight tasks complete. Tasks are executed
+/// at most once; after a cancelled run, exactly the tasks that were never
+/// started remain unexecuted.
+class Executor {
+ public:
+  struct Stats {
+    std::size_t executed = 0;  ///< tasks actually run (== count unless cancelled)
+    std::size_t stolen = 0;    ///< tasks a worker took from another's deque
+  };
+
+  /// @param threads worker count; values < 1 select the hardware
+  ///        concurrency (at least 1).
+  explicit Executor(int threads = 0);
+
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+
+  /// Runs task(0) .. task(count-1), each exactly once, blocking until all
+  /// workers drain or cancellation stops the remainder. The task callable
+  /// is invoked concurrently from multiple threads and must be safe for
+  /// distinct indices. Resets the cancellation flag on entry; callable
+  /// again after it returns.
+  Stats run(std::size_t count, const std::function<void(std::size_t)>& task);
+
+  /// Requests cooperative cancellation of the current run() batch.
+  /// Callable from inside a task.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int threads_;
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace byzrename::exp
+
+#endif  // BYZRENAME_EXP_EXECUTOR_H

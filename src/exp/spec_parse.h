@@ -1,0 +1,35 @@
+#ifndef BYZRENAME_EXP_SPEC_PARSE_H
+#define BYZRENAME_EXP_SPEC_PARSE_H
+
+#include <string_view>
+
+#include "exp/campaign.h"
+
+namespace byzrename::exp {
+
+/// Parses the CLI grid mini-language into a CampaignSpec. The format is
+/// `key=values` clauses joined by ';':
+///
+///   algo=op,fast          algorithms (op|const|fast|crash|consensus|bit|translated)
+///   n=4,7,10..16          n axis; `a..b` and `a..b/step` expand ranges
+///   t=1..4                t axis
+///   nt=13:4,22:7          explicit (n, t) pairs, appended after the n x t grid
+///   adversary=split,hybrid  strategy names from the adversary registry
+///   reps=5                repetitions per cell (default 1)
+///   seed=42               master seed (default 1)
+///   faults=2              actual faulty processes (default t)
+///   iterations=12         voting-iterations override (default algorithmic)
+///   extra=1               extra rounds on the budget (default 0)
+///   keep-invalid          keep cells outside the algorithm's regime
+///   no-validation         ABLATION: disable the Alg. 2 isValid filter
+///   name=my-sweep         campaign name stamped into every output line
+///
+/// Defaults when a clause is absent: algo=op, adversary=silent. At least
+/// one of n/nt must be given (with n, t is required too). Throws
+/// std::invalid_argument with a human-readable message on any malformed
+/// clause; the CLI turns that into usage text.
+[[nodiscard]] CampaignSpec parse_campaign_spec(std::string_view text);
+
+}  // namespace byzrename::exp
+
+#endif  // BYZRENAME_EXP_SPEC_PARSE_H

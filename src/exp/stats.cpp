@@ -1,0 +1,82 @@
+#include "exp/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace byzrename::exp {
+
+StreamingStats::StreamingStats(std::size_t reservoir_capacity, std::uint64_t salt)
+    : capacity_(reservoir_capacity), salt_(salt) {
+  if (capacity_ == 0) throw std::invalid_argument("StreamingStats: capacity must be positive");
+  reservoir_.reserve(capacity_);
+}
+
+void StreamingStats::add(std::uint64_t index, std::int64_t value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  // The priority depends only on (salt, index): re-feeding the same
+  // sample set in any order reproduces the same reservoir.
+  offer({sim::splitmix64(salt_ ^ sim::splitmix64(index)), value});
+}
+
+void StreamingStats::offer(const Sample& sample) {
+  const auto heap_cmp = [](const Sample& a, const Sample& b) {
+    return a.priority < b.priority || (a.priority == b.priority && a.value < b.value);
+  };
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(sample);
+    std::push_heap(reservoir_.begin(), reservoir_.end(), heap_cmp);
+    return;
+  }
+  if (heap_cmp(sample, reservoir_.front())) {
+    std::pop_heap(reservoir_.begin(), reservoir_.end(), heap_cmp);
+    reservoir_.back() = sample;
+    std::push_heap(reservoir_.begin(), reservoir_.end(), heap_cmp);
+  }
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (capacity_ != other.capacity_ || salt_ != other.salt_) {
+    throw std::invalid_argument("StreamingStats::merge: incompatible accumulators");
+  }
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (const Sample& sample : other.reservoir_) offer(sample);
+}
+
+double StreamingStats::mean() const noexcept {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::int64_t StreamingStats::quantile(double q) const {
+  if (reservoir_.empty()) return 0;
+  std::vector<std::int64_t> values;
+  values.reserve(reservoir_.size());
+  for (const Sample& sample : reservoir_) values.push_back(sample.value);
+  std::sort(values.begin(), values.end());
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  // Nearest-rank: the ceil(q * n)-th smallest sample, 1-based.
+  std::size_t rank = static_cast<std::size_t>(std::ceil(clamped * static_cast<double>(values.size())));
+  if (rank == 0) rank = 1;
+  return values[rank - 1];
+}
+
+}  // namespace byzrename::exp

@@ -1,0 +1,77 @@
+#ifndef BYZRENAME_EXP_STATS_H
+#define BYZRENAME_EXP_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace byzrename::exp {
+
+/// Order-independent streaming accumulator for one integer-valued metric
+/// of a campaign cell (decide rounds, messages, bits, max name, ...).
+///
+/// The campaign engine feeds it from many worker threads in whatever
+/// order runs happen to finish, yet the emitted aggregate must be
+/// bit-identical at any thread count. Every operation is therefore
+/// commutative by construction:
+///  - count/min/max over integers are order-independent;
+///  - the mean is computed at emission time from the exact integer sum
+///    (no floating-point accumulation, whose rounding depends on order);
+///  - quantiles come from a bounded reservoir whose membership is decided
+///    by a per-sample priority hash of (salt, sample index) — a function
+///    of the sample's canonical index only, never of arrival order. The
+///    reservoir keeps the capacity samples of smallest priority, which is
+///    a uniform random subset, exact whenever count <= capacity.
+///
+/// Thread safety: add() and merge() are NOT internally synchronized; the
+/// engine guards each cell's accumulators with a per-cell mutex.
+class StreamingStats {
+ public:
+  static constexpr std::size_t kDefaultReservoir = 256;
+
+  explicit StreamingStats(std::size_t reservoir_capacity = kDefaultReservoir,
+                          std::uint64_t salt = 0);
+
+  /// Folds in one sample. @p index is the sample's canonical position
+  /// (e.g. the repetition number); feeding the same (index, value) set in
+  /// any order yields the same state. Indices must be distinct.
+  void add(std::uint64_t index, std::int64_t value);
+
+  /// Union of two accumulators over disjoint index sets (per-shard or
+  /// per-worker partials). Requires equal capacity and salt.
+  void merge(const StreamingStats& other);
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] std::int64_t min() const noexcept { return min_; }
+  [[nodiscard]] std::int64_t max() const noexcept { return max_; }
+  [[nodiscard]] std::int64_t sum() const noexcept { return sum_; }
+  /// Exact integer sum divided once; deterministic for a fixed sample set.
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Nearest-rank quantile (q in [0, 1]) over the reservoir: an actual
+  /// sample value, never an interpolation. Exact when count <= capacity.
+  [[nodiscard]] std::int64_t quantile(double q) const;
+
+  [[nodiscard]] std::size_t reservoir_size() const noexcept { return reservoir_.size(); }
+
+ private:
+  struct Sample {
+    std::uint64_t priority = 0;
+    std::int64_t value = 0;
+  };
+
+  std::size_t capacity_;
+  std::uint64_t salt_;
+  std::size_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  std::int64_t sum_ = 0;
+  /// Max-heap on priority: top() is the eviction candidate.
+  std::vector<Sample> reservoir_;
+
+  void offer(const Sample& sample);
+};
+
+}  // namespace byzrename::exp
+
+#endif  // BYZRENAME_EXP_STATS_H

@@ -4,13 +4,14 @@
 #include <ostream>
 #include <system_error>
 
+#include "exp/campaign_io.h"
 #include "obs/json.h"
 #include "obs/schema.h"
 
 namespace byzrename::obs {
 
 BenchReporter::BenchReporter(std::string bench_name, std::string out_dir)
-    : bench_(std::move(bench_name)), sink_(out_, bench_) {
+    : bench_(std::move(bench_name)), sink_(out_, bench_, &write_mutex_) {
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
   if (ec) return;
@@ -20,14 +21,33 @@ BenchReporter::BenchReporter(std::string bench_name, std::string out_dir)
 }
 
 core::ScenarioResult BenchReporter::run(core::ScenarioConfig config, std::string label) {
+  // The shared sink buffers one run's rounds between start and end, so
+  // whole scenarios are serialized; parallel throughput lives in
+  // run_campaign(), which hands each worker a private sink.
+  const std::lock_guard<std::mutex> lock(run_mutex_);
   config.telemetry = &telemetry_;
   config.telemetry_label = std::move(label);
   return core::run_scenario(config);
 }
 
+exp::CampaignResult BenchReporter::run_campaign(const exp::CampaignSpec& spec,
+                                                exp::CampaignOptions options) {
+  if (enabled()) {
+    options.runs_out = &out_;
+    options.runs_bench = bench_;
+    options.runs_out_mutex = &write_mutex_;
+  } else {
+    options.runs_out = nullptr;
+  }
+  exp::CampaignResult result = exp::run_campaign(spec, options);
+  if (enabled()) exp::write_campaign_cells(out_, spec, result);
+  return result;
+}
+
 void BenchReporter::write_series(const std::string& label,
                                  const std::vector<std::pair<std::string, double>>& values) {
   if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(write_mutex_);
   JsonWriter json(out_);
   json.begin_object();
   json.field("schema", kSeriesSchema).field("bench", bench_).field("label", label);

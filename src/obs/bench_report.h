@@ -2,11 +2,13 @@
 #define BYZRENAME_OBS_BENCH_REPORT_H
 
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/harness.h"
+#include "exp/campaign.h"
 #include "obs/run_report.h"
 #include "obs/telemetry.h"
 
@@ -20,13 +22,28 @@ namespace byzrename::obs {
 ///
 /// Filesystem failures (read-only checkout, exotic CI sandbox) disable
 /// reporting instead of failing the bench: the tables still print.
+///
+/// Thread safety: run() serializes whole scenarios behind an internal
+/// mutex (the shared sink buffers per-run state) — correct but serial.
+/// Parallel benches go through run_campaign(), which gives every worker
+/// its own sink and only shares the mutex-guarded line writes.
 class BenchReporter {
  public:
   explicit BenchReporter(std::string bench_name, std::string out_dir = "bench/out");
 
   /// run_scenario with telemetry attached; @p label lands in the
-  /// report's `label` field (use the table row's coordinates).
+  /// report's `label` field (use the table row's coordinates). Safe to
+  /// call from multiple threads, but runs back-to-back; use
+  /// run_campaign() when throughput matters.
   core::ScenarioResult run(core::ScenarioConfig config, std::string label = {});
+
+  /// Runs a campaign through the src/exp engine with this reporter's
+  /// file as the destination: one byzrename.run/1 line per run (written
+  /// concurrently, never interleaved) followed by the deterministic
+  /// byzrename.campaign/1 cell lines. @p options::runs_out/runs_bench
+  /// are overridden to point here.
+  exp::CampaignResult run_campaign(const exp::CampaignSpec& spec,
+                                   exp::CampaignOptions options = {});
 
   /// Emits a byzrename.series/1 line for measurements that are not
   /// scenario runs (e.g. the scalar-AA contraction series of F3).
@@ -45,6 +62,8 @@ class BenchReporter {
   std::string bench_;
   std::string path_;
   std::ofstream out_;
+  std::mutex write_mutex_;  ///< guards whole-line appends to out_
+  std::mutex run_mutex_;    ///< serializes run() scenarios (shared sink state)
   RunReportSink sink_;
   Telemetry telemetry_;
 };

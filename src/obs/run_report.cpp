@@ -1,6 +1,8 @@
 #include "obs/run_report.h"
 
+#include <mutex>
 #include <ostream>
+#include <sstream>
 #include <utility>
 
 #include "core/harness.h"
@@ -9,8 +11,8 @@
 
 namespace byzrename::obs {
 
-RunReportSink::RunReportSink(std::ostream& os, std::string bench)
-    : os_(os), bench_(std::move(bench)) {}
+RunReportSink::RunReportSink(std::ostream& os, std::string bench, std::mutex* write_mutex)
+    : os_(os), bench_(std::move(bench)), write_mutex_(write_mutex) {}
 
 void RunReportSink::on_run_start(const RunInfo& info) {
   info_ = info;
@@ -23,7 +25,10 @@ void RunReportSink::on_run_end(const RunSummary& summary) {
   const core::ScenarioResult& result = summary.result;
   const sim::Metrics& metrics = result.run.metrics;
 
-  JsonWriter json(os_);
+  // Render into a private buffer first: the stream sees exactly one
+  // append per run, which the optional mutex turns into an atomic line.
+  std::ostringstream line;
+  JsonWriter json(line);
   json.begin_object();
   json.field("schema", kRunSchema);
   if (!bench_.empty()) json.field("bench", bench_);
@@ -103,8 +108,15 @@ void RunReportSink::on_run_end(const RunSummary& summary) {
   json.end_array();
 
   json.end_object();
-  os_ << '\n';
-  os_.flush();
+  line << '\n';
+  if (write_mutex_ != nullptr) {
+    const std::lock_guard<std::mutex> lock(*write_mutex_);
+    os_ << line.str();
+    os_.flush();
+  } else {
+    os_ << line.str();
+    os_.flush();
+  }
 }
 
 }  // namespace byzrename::obs

@@ -2,6 +2,7 @@
 #define BYZRENAME_OBS_RUN_REPORT_H
 
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,10 +14,20 @@ namespace byzrename::obs {
 /// (schema byzrename.run/1, documented in obs/schema.h). Rounds are
 /// buffered between on_run_start and on_run_end; the line is written and
 /// flushed on run end, so a killed sweep keeps every completed run.
+///
+/// One sink instance serves ONE run at a time (it buffers per-run state
+/// between start and end). For parallel campaigns, give each worker its
+/// own sink over the shared stream and pass the same @p write_mutex to
+/// all of them: each line is rendered privately and written in a single
+/// guarded append, so concurrent writers can never interleave partial
+/// JSONL lines.
 class RunReportSink final : public TelemetrySink {
  public:
   /// @param bench optional emitting-binary name stamped into each line.
-  explicit RunReportSink(std::ostream& os, std::string bench = {});
+  /// @param write_mutex optional mutex shared by every sink writing to
+  ///        @p os; nullptr for single-threaded use.
+  explicit RunReportSink(std::ostream& os, std::string bench = {},
+                         std::mutex* write_mutex = nullptr);
 
   void on_run_start(const RunInfo& info) override;
   void on_round(const RoundSample& sample) override;
@@ -25,6 +36,7 @@ class RunReportSink final : public TelemetrySink {
  private:
   std::ostream& os_;
   std::string bench_;
+  std::mutex* write_mutex_;
   RunInfo info_;
   std::vector<RoundSample> rounds_;
 };

@@ -65,8 +65,41 @@ namespace byzrename::obs {
 ///   bench    string  emitting bench binary
 ///   label    string  row label
 ///   values   object  string -> double measurement map
+///
+/// ## byzrename.campaign/1 — one campaign cell aggregate per line
+///
+/// Produced by the src/exp campaign engine (docs/CAMPAIGNS.md). Every
+/// field is DETERMINISTIC — a pure function of the spec and the per-run
+/// counters, never of wall clocks or thread scheduling — so two files
+/// from the same spec compare byte-for-byte regardless of --threads and
+/// the union of --shard i/k outputs equals the unsharded file.
+///
+///   schema            string   "byzrename.campaign/1"
+///   campaign          string   CampaignSpec::name
+///   cell              string   "algorithm/nN/tT/adversary" join key
+///   cell_index        int      position in the full (unsharded) expansion
+///   algorithm n t adversary    the cell coordinates, as separate fields
+///   reps              int      repetitions requested per cell
+///   master_seed       uint64   campaign master seed
+///   executed ok terminated int  run counts (executed < reps after fail-fast)
+///   max_message_bits  uint64   largest message over the cell's runs
+///   stats             object   per-metric aggregate objects, each
+///                              {count,min,max,sum,mean,p50,p95,p99} with
+///                              integer quantiles (nearest-rank samples):
+///     .rounds .messages .correct_messages .bits .max_name .rejected_votes
+///   first_violation   object?  {rep, detail} of the lowest-rep failing
+///                              run; absent when the cell is clean
+///
+/// ## byzrename.campaign-summary/1 — one closing line per execution
+///
+/// The volatile counterpart (wall clock, thread count, steal count);
+/// separate schema precisely because it is NOT deterministic:
+///   schema cells runs executed violations cancelled threads steals
+///   wall_seconds
 inline constexpr const char* kRunSchema = "byzrename.run/1";
 inline constexpr const char* kSeriesSchema = "byzrename.series/1";
+inline constexpr const char* kCampaignSchema = "byzrename.campaign/1";
+inline constexpr const char* kCampaignSummarySchema = "byzrename.campaign-summary/1";
 
 }  // namespace byzrename::obs
 

@@ -103,7 +103,10 @@ void write_chrome_trace(std::ostream& os, const trace::EventLog& log, const Trac
   const int rounds_tid = process_count;
   write_thread_name(json, rounds_tid, "rounds", -1);
   for (int i = 0; i < process_count; ++i) {
-    std::string name = "p" + std::to_string(i);
+    // Built by append, not operator+(const char*, string&&): GCC 12's
+    // -Wrestrict misfires on that overload under -O2 (PR 105651 family).
+    std::string name = "p";
+    name += std::to_string(i);
     if (static_cast<std::size_t>(i) < meta.byzantine.size() && meta.byzantine[static_cast<std::size_t>(i)]) {
       name += " [byz]";
     }

@@ -6,6 +6,18 @@
 
 namespace byzrename::sim {
 
+/// SplitMix64 finalizer (Steele, Lea & Flood 2014). Bijective on 64-bit
+/// words with strong avalanche behavior, which makes it the standard way
+/// to derive independent seed streams from one master seed: nearby inputs
+/// (consecutive cell/repetition indices) land on statistically unrelated
+/// outputs.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 /// Deterministic random source. Every randomized component of the
 /// simulator (link-label scrambling, randomized adversaries, workload
 /// generators) draws from an explicitly seeded Rng so that runs are
@@ -29,6 +41,16 @@ class Rng {
   /// Derives an independent child generator; use to hand sub-components
   /// their own streams without sharing state.
   [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+  /// Splits @p seed into the seed of stream @p stream without consuming
+  /// any generator state: a pure function of (seed, stream), so callers
+  /// (the campaign engine, CLI --repeat) can hand out per-run seeds from
+  /// any thread in any order and always derive the same values. Unlike
+  /// fork(), which advances the parent engine, this is stateless.
+  [[nodiscard]] static constexpr std::uint64_t derive_stream(std::uint64_t seed,
+                                                             std::uint64_t stream) noexcept {
+    return splitmix64(splitmix64(seed) ^ (0xd1b54a32d192ed03ull * (stream + 1)));
+  }
 
   /// Underlying engine for use with standard algorithms (std::shuffle).
   [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }

@@ -1,0 +1,197 @@
+// byzrename-campaign — parallel experiment campaign driver.
+//
+// Expands a declarative sweep spec into (cell, repetition) runs, executes
+// them on a work-stealing thread pool, and emits deterministic per-cell
+// aggregates (schema byzrename.campaign/1). The aggregate file is
+// bit-identical at any --threads value, and --shard i/k outputs union to
+// the full grid, so big campaigns can be split across machines and the
+// pieces concatenated. See docs/CAMPAIGNS.md.
+//
+// Examples:
+//   byzrename-campaign --grid "algo=op;n=10,13,22;t=3,4,7;adversary=split,asymflood;reps=5"
+//   byzrename-campaign --preset table4 --threads 8 --out t4.jsonl
+//   byzrename-campaign --grid "nt=13:4;adversary=orderbreak;reps=100" --fail-fast
+//   byzrename-campaign --grid "..." --shard 0/4 --out part0.jsonl
+//
+// Exit code 0 iff every run's renaming properties held; 2 on usage errors.
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "exp/campaign.h"
+#include "exp/campaign_io.h"
+#include "exp/spec_parse.h"
+
+namespace {
+
+using namespace byzrename;
+
+void print_usage() {
+  std::cout <<
+      "usage: byzrename-campaign [options]\n"
+      "  --grid <spec>         sweep spec, e.g. \"algo=op;n=10,13;t=3,4;adversary=split;reps=5\"\n"
+      "                        (clauses: algo,n,t,nt,adversary,reps,seed,faults,iterations,\n"
+      "                        extra,keep-invalid,no-validation,name; ranges like n=4..16/3)\n"
+      "  --preset <name>       built-in grid: table4 (T4 complexity diagonal),\n"
+      "                        smoke (tiny 2x2 sanity grid)\n"
+      "  --threads <int>       worker threads (default: hardware concurrency)\n"
+      "  --out <path>          deterministic byzrename.campaign/1 cell lines\n"
+      "  --runs-out <path>     one byzrename.run/1 line per run (parallel writers,\n"
+      "                        whole-line atomic)\n"
+      "  --summary-out <path>  volatile byzrename.campaign-summary/1 line\n"
+      "  --fail-fast           cancel outstanding runs on the first violation\n"
+      "  --shard <i>/<k>       execute only cells with index %% k == i\n"
+      "  --quiet               suppress the human table\n"
+      "  --help                this text\n"
+      "\n"
+      "Spec format and schema reference: docs/CAMPAIGNS.md\n";
+}
+
+struct CliError {
+  std::string message;
+};
+
+exp::CampaignSpec preset_spec(std::string_view name) {
+  if (name == "table4") {
+    // The T4 complexity diagonal (Section IV-D formulas) under the
+    // selection-loading split adversary — the acceptance grid for the
+    // parallel engine.
+    return exp::parse_campaign_spec(
+        "name=table4;algo=op;nt=4:1,7:2,10:3,13:4,22:7,31:10,40:13,52:17,64:21;"
+        "adversary=split;reps=3;seed=11");
+  }
+  if (name == "smoke") {
+    return exp::parse_campaign_spec(
+        "name=smoke;algo=op;n=7,10;t=2,3;adversary=silent,idflood;reps=2;seed=7");
+  }
+  throw CliError{"unknown preset: " + std::string(name)};
+}
+
+struct Options {
+  exp::CampaignSpec spec;
+  bool have_spec = false;
+  exp::CampaignOptions run;
+  std::string out_path;
+  std::string runs_out_path;
+  std::string summary_out_path;
+  bool quiet = false;
+};
+
+Options parse(int argc, char** argv) {
+  Options options;
+  auto next_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) throw CliError{std::string(argv[i]) + " needs a value"};
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help") {
+      print_usage();
+      std::exit(0);
+    } else if (arg == "--grid") {
+      options.spec = exp::parse_campaign_spec(next_value(i));
+      options.have_spec = true;
+    } else if (arg == "--preset") {
+      options.spec = preset_spec(next_value(i));
+      options.have_spec = true;
+    } else if (arg == "--threads") {
+      try {
+        options.run.threads = std::stoi(next_value(i));
+      } catch (const std::exception&) {
+        throw CliError{"--threads expects an integer"};
+      }
+    } else if (arg == "--out") {
+      options.out_path = next_value(i);
+    } else if (arg == "--runs-out") {
+      options.runs_out_path = next_value(i);
+    } else if (arg == "--summary-out") {
+      options.summary_out_path = next_value(i);
+    } else if (arg == "--fail-fast") {
+      options.run.fail_fast = true;
+    } else if (arg == "--shard") {
+      const std::string value = next_value(i);
+      const std::size_t slash = value.find('/');
+      if (slash == std::string::npos) throw CliError{"--shard expects i/k"};
+      try {
+        options.run.shard_index = std::stoi(value.substr(0, slash));
+        options.run.shard_count = std::stoi(value.substr(slash + 1));
+      } catch (const std::exception&) {
+        throw CliError{"--shard expects integers i/k"};
+      }
+      if (options.run.shard_count < 1 || options.run.shard_index < 0 ||
+          options.run.shard_index >= options.run.shard_count) {
+        throw CliError{"--shard requires 0 <= i < k"};
+      }
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else {
+      throw CliError{"unknown option: " + std::string(arg)};
+    }
+  }
+  if (!options.have_spec) throw CliError{"--grid or --preset is required"};
+  return options;
+}
+
+std::optional<std::ofstream> open_out(const std::string& path, const char* flag) {
+  if (path.empty()) return std::nullopt;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    throw CliError{std::string("cannot open ") + flag + " path: " + path};
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::optional<std::ofstream> out;
+  std::optional<std::ofstream> runs_out;
+  std::optional<std::ofstream> summary_out;
+  try {
+    options = parse(argc, argv);
+    out = open_out(options.out_path, "--out");
+    runs_out = open_out(options.runs_out_path, "--runs-out");
+    summary_out = open_out(options.summary_out_path, "--summary-out");
+  } catch (const CliError& error) {
+    std::cerr << "byzrename-campaign: " << error.message << "\n\n";
+    print_usage();
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "byzrename-campaign: " << error.what() << "\n\n";
+    print_usage();
+    return 2;
+  }
+
+  if (runs_out.has_value()) {
+    options.run.runs_out = &*runs_out;
+    options.run.runs_bench = options.spec.name;
+  }
+
+  exp::CampaignResult result;
+  try {
+    result = exp::run_campaign(options.spec, options.run);
+  } catch (const std::exception& error) {
+    std::cerr << "byzrename-campaign: " << error.what() << '\n';
+    return 2;
+  }
+
+  if (out.has_value()) exp::write_campaign_cells(*out, options.spec, result);
+  if (summary_out.has_value()) exp::write_campaign_summary(*summary_out, options.spec, result);
+
+  if (!options.quiet) {
+    std::cout << "campaign " << options.spec.name << ": " << result.cells.size() << " cell(s) x "
+              << options.spec.repetitions << " rep(s)";
+    if (options.run.shard_count > 1) {
+      std::cout << "  [shard " << options.run.shard_index << '/' << options.run.shard_count << ']';
+    }
+    std::cout << "\n\n";
+    exp::print_campaign_table(std::cout, result);
+    if (out.has_value()) std::cout << "\n[campaign] cell aggregates: " << options.out_path << '\n';
+    if (runs_out.has_value()) std::cout << "[campaign] run reports: " << options.runs_out_path << '\n';
+  }
+  return result.all_ok() ? 0 : 1;
+}

@@ -23,6 +23,7 @@
 #include "adversary/adversary.h"
 #include "core/harness.h"
 #include "core/op_renaming.h"
+#include "exp/campaign.h"
 #include "obs/run_report.h"
 #include "obs/telemetry.h"
 #include "obs/trace_export.h"
@@ -45,6 +46,9 @@ void print_usage() {
       "  --iterations <int>    voting iterations override (Alg. 1 only)\n"
       "  --no-validation       ABLATION: disable the Alg. 2 isValid filter\n"
       "  --ids <a,b,c,...>     explicit correct-process ids\n"
+      "  --repeat <int>        run the scenario K times under derived seeds and print\n"
+      "                        aggregate decide-round stats (campaign engine)\n"
+      "  --threads <int>       worker threads for --repeat (default: hardware)\n"
       "  --trace               print per-round metrics\n"
       "  --json <path>         write a JSONL run report (schema byzrename.run/1)\n"
       "  --trace-out <path>    write a Chrome trace-event file (chrome://tracing, Perfetto)\n"
@@ -112,6 +116,8 @@ struct Options {
   bool trace = false;
   bool quiet = false;
   bool report = false;
+  int repeat = 1;
+  int threads = 0;
   std::string json_path;
   std::string trace_out_path;
 };
@@ -152,6 +158,11 @@ Options parse(int argc, char** argv) {
       options.config.options.validate_votes = false;
     } else if (arg == "--ids") {
       options.config.correct_ids = parse_ids(next_value(i));
+    } else if (arg == "--repeat") {
+      options.repeat = parse_number<int>(arg, next_value(i));
+      if (options.repeat < 1) throw CliError{"--repeat must be >= 1"};
+    } else if (arg == "--threads") {
+      options.threads = parse_number<int>(arg, next_value(i));
     } else if (arg == "--trace") {
       options.trace = true;
     } else if (arg == "--json") {
@@ -182,6 +193,82 @@ int main(int argc, char** argv) {
   } catch (const std::exception& error) {
     std::cerr << "byzrename: bad argument: " << error.what() << '\n';
     return 2;
+  }
+
+  if (options.repeat > 1) {
+    // Repeat mode: the same scenario K times under derived seeds, on the
+    // campaign engine's work-stealing pool. Aggregate stats replace the
+    // single-run name table; --json/--report stream per-run reports.
+    if (!options.trace_out_path.empty() || options.trace) {
+      std::cerr << "byzrename: --trace/--trace-out describe a single run; not valid with --repeat\n";
+      return 2;
+    }
+    exp::CampaignSpec spec;
+    spec.name = "cli-repeat";
+    spec.scenarios.push_back(
+        {options.config.algorithm, options.config.params, options.config.adversary});
+    spec.repetitions = options.repeat;
+    spec.master_seed = options.config.seed;
+    spec.options = options.config.options;
+    spec.actual_faults = options.config.actual_faults;
+
+    exp::CampaignOptions run;
+    run.threads = options.threads;
+    std::ofstream repeat_json;
+    if (!options.json_path.empty()) {
+      repeat_json.open(options.json_path, std::ios::trunc);
+      if (!repeat_json.is_open()) {
+        std::cerr << "byzrename: cannot open --json path: " << options.json_path << '\n';
+        return 2;
+      }
+      run.runs_out = &repeat_json;
+    } else if (options.report) {
+      run.runs_out = &std::cout;
+    }
+    if (!options.config.correct_ids.empty()) {
+      const std::vector<sim::Id>& ids = options.config.correct_ids;
+      run.configure = [&ids](std::size_t, core::ScenarioConfig& config) {
+        config.correct_ids = ids;
+      };
+    }
+
+    exp::CampaignResult result;
+    try {
+      result = exp::run_campaign(spec, run);
+    } catch (const std::exception& error) {
+      std::cerr << "byzrename: " << error.what() << '\n';
+      return 2;
+    }
+    const exp::CellAggregate& stats = result.aggregates.at(0);
+    if (!options.quiet) {
+      std::cout << "algorithm   " << core::to_string(options.config.algorithm) << '\n'
+                << "system      N=" << options.config.params.n
+                << " t=" << options.config.params.t
+                << " adversary=" << options.config.adversary
+                << " master seed=" << options.config.seed << '\n'
+                << "runs        " << stats.executed << " x derived seeds, " << result.threads
+                << " thread(s), " << result.wall_seconds << "s\n\n";
+      trace::Table table({"metric", "min", "mean", "p50", "p95", "p99", "max"});
+      const auto stat_row = [&table](const std::string& name, const exp::StreamingStats& s) {
+        table.add_row({name, std::to_string(s.min()), std::to_string(s.mean()),
+                       std::to_string(s.quantile(0.5)), std::to_string(s.quantile(0.95)),
+                       std::to_string(s.quantile(0.99)), std::to_string(s.max())});
+      };
+      stat_row("decide rounds", stats.rounds);
+      stat_row("messages", stats.messages);
+      stat_row("max name", stats.max_name);
+      stat_row("rejected votes", stats.rejected_votes);
+      table.print(std::cout);
+      std::cout << '\n';
+    }
+    std::cout << "verdict: " << stats.ok << '/' << stats.executed
+              << " runs hold all renaming properties";
+    if (stats.first_violation_rep >= 0) {
+      std::cout << " (first violation at rep " << stats.first_violation_rep << ": "
+                << stats.first_violation << ')';
+    }
+    std::cout << '\n';
+    return result.all_ok() ? 0 : 1;
   }
 
   // Telemetry wiring: a JSONL file sink, a stdout report sink, and a
