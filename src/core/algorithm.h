@@ -1,6 +1,7 @@
 #ifndef BYZRENAME_CORE_ALGORITHM_H
 #define BYZRENAME_CORE_ALGORITHM_H
 
+#include <optional>
 #include <string_view>
 
 namespace byzrename::core {
@@ -32,6 +33,42 @@ enum class Algorithm {
     case Algorithm::kScalarAA: return "scalar-aa";
   }
   return "unknown";
+}
+
+/// Short user-facing token, as accepted by the CLI's --algorithm flag and
+/// the campaign grid's algo= clause. Kept distinct from to_string (the
+/// stable telemetry/report name) so schemas never change when the CLI
+/// vocabulary does.
+[[nodiscard]] constexpr std::string_view cli_token(Algorithm algorithm) noexcept {
+  switch (algorithm) {
+    case Algorithm::kOpRenaming: return "op";
+    case Algorithm::kOpRenamingConstantTime: return "const";
+    case Algorithm::kFastRenaming: return "fast";
+    case Algorithm::kCrashRenaming: return "crash";
+    case Algorithm::kConsensusRenaming: return "consensus";
+    case Algorithm::kBitRenaming: return "bit";
+    case Algorithm::kTranslatedRenaming: return "translated";
+    case Algorithm::kScalarAA: return "scalar-aa";
+  }
+  return "unknown";
+}
+
+/// Parses a short token (as printed by cli_token) back to its Algorithm.
+/// kScalarAA is a substrate, not a user-facing renaming protocol, so its
+/// token is deliberately not accepted here. The single parser both the
+/// CLI and the campaign grid language dispatch through.
+[[nodiscard]] constexpr std::optional<Algorithm> algorithm_from_token(
+    std::string_view token) noexcept {
+  constexpr Algorithm kUserFacing[] = {
+      Algorithm::kOpRenaming,       Algorithm::kOpRenamingConstantTime,
+      Algorithm::kFastRenaming,     Algorithm::kCrashRenaming,
+      Algorithm::kConsensusRenaming, Algorithm::kBitRenaming,
+      Algorithm::kTranslatedRenaming,
+  };
+  for (const Algorithm algorithm : kUserFacing) {
+    if (token == cli_token(algorithm)) return algorithm;
+  }
+  return std::nullopt;
 }
 
 }  // namespace byzrename::core

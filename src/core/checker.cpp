@@ -6,10 +6,50 @@
 
 namespace byzrename::core {
 
+namespace {
+
+/// Renders the "(p2, r7)" provenance suffix; omits fields that are
+/// unknown (hand-built checker inputs carry neither) and renders nothing
+/// when both are.
+std::string provenance(const NamedProcess& p) {
+  std::ostringstream out;
+  const bool has_pid = p.index >= 0;
+  const bool has_round = p.decided_round > 0;
+  if (!has_pid && !has_round) return {};
+  out << " (";
+  if (has_pid) out << "p" << p.index;
+  if (has_pid && has_round) out << ", ";
+  if (has_round) out << "r" << p.decided_round;
+  out << ")";
+  return out.str();
+}
+
+}  // namespace
+
+std::string CheckReport::classes() const {
+  std::string out;
+  for (int c = 0; c < kViolationClassCount; ++c) {
+    const auto cls = static_cast<ViolationClass>(c);
+    if (!has(cls)) continue;
+    if (!out.empty()) out += ',';
+    out += to_string(cls);
+  }
+  return out;
+}
+
 CheckReport check_renaming(const std::vector<NamedProcess>& processes,
                            sim::Name namespace_size) {
   CheckReport report;
   std::ostringstream detail;
+
+  // First violation of each class goes into the one-line summary; every
+  // violation becomes a provenance record.
+  auto record = [&](ViolationClass cls, const NamedProcess& p, bool first_of_class,
+                    std::string message) {
+    if (first_of_class) detail << message << "; ";
+    report.violations.push_back(
+        {cls, p.original_id, p.index, p.decided_round, std::move(message)});
+  };
 
   std::vector<NamedProcess> sorted = processes;
   std::sort(sorted.begin(), sorted.end(),
@@ -24,9 +64,9 @@ CheckReport check_renaming(const std::vector<NamedProcess>& processes,
   const NamedProcess* previous = nullptr;
   for (const NamedProcess& p : sorted) {
     if (!p.new_name.has_value()) {
-      if (report.termination) {
-        detail << "process with id " << p.original_id << " did not decide; ";
-      }
+      std::ostringstream msg;
+      msg << "process with id " << p.original_id << " did not decide" << provenance(p);
+      record(ViolationClass::kTermination, p, report.termination, msg.str());
       report.termination = false;
       continue;
     }
@@ -36,17 +76,17 @@ CheckReport check_renaming(const std::vector<NamedProcess>& processes,
     report.max_name = std::max(report.max_name, name);
 
     if (name < 1 || name > namespace_size) {
-      if (report.validity) {
-        detail << "id " << p.original_id << " got name " << name << " outside [1.."
-               << namespace_size << "]; ";
-      }
+      std::ostringstream msg;
+      msg << "id " << p.original_id << " got name " << name << " outside [1.."
+          << namespace_size << "]" << provenance(p);
+      record(ViolationClass::kRange, p, report.validity, msg.str());
       report.validity = false;
     }
     if (previous != nullptr && previous->new_name.has_value() && *previous->new_name >= name) {
-      if (report.order_preservation) {
-        detail << "id order " << previous->original_id << " < " << p.original_id
-               << " but names " << *previous->new_name << " >= " << name << "; ";
-      }
+      std::ostringstream msg;
+      msg << "id order " << previous->original_id << " < " << p.original_id
+          << " but names " << *previous->new_name << " >= " << name << provenance(p);
+      record(ViolationClass::kOrder, p, report.order_preservation, msg.str());
       report.order_preservation = false;
     }
     previous = &p;
@@ -54,15 +94,24 @@ CheckReport check_renaming(const std::vector<NamedProcess>& processes,
 
   // Uniqueness is checked independently of id order so a duplicate is
   // reported as a uniqueness failure even when it also breaks ordering.
-  std::vector<sim::Name> names;
-  names.reserve(sorted.size());
+  // Pairs carry both holders so the record names a concrete collision.
+  std::vector<const NamedProcess*> named;
+  named.reserve(sorted.size());
   for (const NamedProcess& p : sorted) {
-    if (p.new_name.has_value()) names.push_back(*p.new_name);
+    if (p.new_name.has_value()) named.push_back(&p);
   }
-  std::sort(names.begin(), names.end());
-  for (std::size_t i = 1; i < names.size(); ++i) {
-    if (names[i - 1] == names[i]) {
-      if (report.uniqueness) detail << "name " << names[i] << " assigned twice; ";
+  std::sort(named.begin(), named.end(),
+            [](const NamedProcess* a, const NamedProcess* b) {
+              if (*a->new_name != *b->new_name) return *a->new_name < *b->new_name;
+              return a->original_id < b->original_id;
+            });
+  for (std::size_t i = 1; i < named.size(); ++i) {
+    if (*named[i - 1]->new_name == *named[i]->new_name) {
+      std::ostringstream msg;
+      msg << "name " << *named[i]->new_name << " assigned twice, to id "
+          << named[i - 1]->original_id << provenance(*named[i - 1]) << " and id "
+          << named[i]->original_id << provenance(*named[i]);
+      record(ViolationClass::kUniqueness, *named[i], report.uniqueness, msg.str());
       report.uniqueness = false;
     }
   }

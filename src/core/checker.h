@@ -3,16 +3,58 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/types.h"
 
 namespace byzrename::core {
 
-/// One correct process's input/output pair as seen by the checker.
+/// One correct process's input/output pair as seen by the checker, plus
+/// the provenance the violation records report: the process's physical
+/// index in the simulator (-1 = unknown, e.g. hand-built checker inputs)
+/// and the round it decided in (0 = unknown or never decided).
 struct NamedProcess {
   sim::Id original_id = 0;
   std::optional<sim::Name> new_name;
+  sim::ProcessIndex index = -1;
+  sim::Round decided_round = 0;
+};
+
+/// The four guarantees of Section II, as a classification rather than a
+/// single bit: under deliberate model violations (sim/fault.h) an
+/// experiment wants to know WHICH guarantee degraded first, not just that
+/// one did. Declaration order is the canonical reporting order.
+enum class ViolationClass {
+  kTermination,  ///< a correct process never decided within the budget
+  kRange,        ///< a name fell outside [1 .. namespace_size] (validity)
+  kUniqueness,   ///< two correct processes share a name
+  kOrder,        ///< names not ordered like original ids
+};
+
+inline constexpr int kViolationClassCount = 4;
+
+[[nodiscard]] constexpr std::string_view to_string(ViolationClass cls) noexcept {
+  switch (cls) {
+    case ViolationClass::kTermination: return "termination";
+    case ViolationClass::kRange: return "range";
+    case ViolationClass::kUniqueness: return "uniqueness";
+    case ViolationClass::kOrder: return "order";
+  }
+  return "unknown";
+}
+
+/// One concrete guarantee violation with full provenance, so quarantine
+/// logs and shrinker output point at an actual (round, process) instead
+/// of a bare boolean.
+struct ViolationRecord {
+  ViolationClass cls = ViolationClass::kTermination;
+  /// Original id of the offending process (for pairwise violations, the
+  /// later/second process of the pair).
+  sim::Id id = 0;
+  sim::ProcessIndex pid = -1;  ///< physical index, -1 when unknown
+  sim::Round round = 0;        ///< decide round, 0 when unknown
+  std::string message;         ///< human-readable, provenance included
 };
 
 /// Independent verdict on a renaming run, checking exactly the four
@@ -25,11 +67,29 @@ struct CheckReport {
   bool order_preservation = true; ///< names ordered like original ids
   sim::Name max_name = 0;         ///< largest name actually used
   sim::Name min_name = 0;         ///< smallest name actually used
-  std::string detail;             ///< human-readable description of the first violation
+  /// First violation per class, joined — the one-line summary.
+  std::string detail;
+  /// Every violation found, in checking order, with provenance.
+  std::vector<ViolationRecord> violations;
 
   [[nodiscard]] bool all_ok() const noexcept {
     return validity && termination && uniqueness && order_preservation;
   }
+
+  [[nodiscard]] bool has(ViolationClass cls) const noexcept {
+    switch (cls) {
+      case ViolationClass::kTermination: return !termination;
+      case ViolationClass::kRange: return !validity;
+      case ViolationClass::kUniqueness: return !uniqueness;
+      case ViolationClass::kOrder: return !order_preservation;
+    }
+    return false;
+  }
+
+  /// Canonical comma-joined list of violated classes, in declaration
+  /// order ("termination,order"); empty when all_ok(). The join key for
+  /// degradation curves and the shrinker's same-failure predicate.
+  [[nodiscard]] std::string classes() const;
 };
 
 /// Scores a run against the target namespace [1 .. namespace_size].

@@ -1,6 +1,7 @@
 #include "core/harness.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <utility>
@@ -143,9 +144,20 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   if (config.algorithm == Algorithm::kScalarAA) {
     throw std::invalid_argument("run_scenario: drive scalar AA directly, not via scenarios");
   }
-  const int faults = config.actual_faults >= 0 ? config.actual_faults : params.t;
-  if (faults > params.t || faults >= params.n) {
+  // Base faults respect the model (<= t); the fault plan's overshoot is
+  // the sanctioned way to exceed t — it is a deliberate model violation,
+  // and the checker classifies which guarantee gives way first.
+  const int base_faults = config.actual_faults >= 0 ? config.actual_faults : params.t;
+  if (base_faults > params.t || base_faults >= params.n) {
     throw std::invalid_argument("run_scenario: invalid fault count");
+  }
+  if (config.fault_plan.fault_overshoot < 0) {
+    throw std::invalid_argument("run_scenario: fault overshoot must be >= 0");
+  }
+  const int faults = base_faults + config.fault_plan.fault_overshoot;
+  if (faults >= params.n) {
+    throw std::invalid_argument(
+        "run_scenario: fault overshoot leaves no correct process");
   }
   const int correct_count = params.n - faults;
 
@@ -213,6 +225,16 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
                        sim::Rng(config.seed ^ 0x9e3779b97f4a7c15ull), scramble);
   if (config.event_log != nullptr) network.attach_event_log(config.event_log);
 
+  // The injector's stream is split off the run seed, so the same seed
+  // with and without a plan shares all protocol randomness, and a faulted
+  // run replays bit-for-bit from (seed, plan) alone.
+  std::optional<sim::FaultInjector> injector;
+  if (!config.fault_plan.empty()) {
+    injector.emplace(config.fault_plan,
+                     sim::Rng::derive_stream(config.seed, 0xFA017ull));
+    network.attach_fault_injector(&*injector);
+  }
+
   ScenarioResult result;
   result.target_namespace = namespace_size(config.algorithm, params);
   const int budget = expected_steps(config.algorithm, params, options) + config.extra_rounds;
@@ -243,14 +265,16 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     info.target_namespace = result.target_namespace;
     info.round_budget = budget;
     info.label = config.telemetry_label;
+    if (!config.fault_plan.empty()) info.fault_plan = sim::to_spec(config.fault_plan);
     telemetry->begin_run(std::move(info));
     hub.add(telemetry->round_observer());
   }
   result.run = sim::run_to_completion(network, budget, hub.as_observer());
 
   for (int i = 0; i < correct_count; ++i) {
-    result.named.push_back(
-        {correct_ids[static_cast<std::size_t>(i)], result.run.decisions[static_cast<std::size_t>(i)]});
+    const auto slot = static_cast<std::size_t>(i);
+    result.named.push_back({correct_ids[slot], result.run.decisions[slot],
+                            static_cast<sim::ProcessIndex>(i), result.run.decide_rounds[slot]});
   }
   result.report = check_renaming(result.named, result.target_namespace);
 

@@ -9,6 +9,7 @@
 #include "core/algorithm.h"
 #include "core/checker.h"
 #include "core/params.h"
+#include "sim/fault.h"
 #include "sim/process.h"
 #include "sim/runner.h"
 #include "trace/event_log.h"
@@ -44,8 +45,15 @@ struct ScenarioConfig {
   /// Strategy name from the adversary registry ("silent", "idflood", ...).
   std::string adversary = "silent";
   /// Number of actually faulty processes, <= params.t. -1 means t.
+  /// FaultPlan::fault_overshoot adds on top of this, deliberately past t.
   int actual_faults = -1;
   std::uint64_t seed = 1;
+  /// Declarative model-violation plan (sim/fault.h): link drops /
+  /// duplicates / delays, crash-recovery windows, transient partitions,
+  /// and fault-count overshoot. Empty (the default) runs the paper's
+  /// reliable lockstep model exactly. Injection randomness derives from
+  /// the run seed, so faulted runs stay bit-reproducible.
+  sim::FaultPlan fault_plan;
   /// Original ids of correct processes; generated from the seed if empty.
   std::vector<sim::Id> correct_ids;
   RenamingOptions options;

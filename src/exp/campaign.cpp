@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "exp/executor.h"
+#include "exp/repro.h"
 #include "obs/run_report.h"
 #include "obs/telemetry.h"
 #include "sim/rng.h"
@@ -90,8 +91,18 @@ CellAggregate make_aggregate(const CampaignCell& cell) {
 }
 
 void fold_run(CellAggregate& aggregate, const RunRecord& record) {
+  if (record.quarantined) {
+    // Quarantined runs never enter the deterministic aggregate: their
+    // outcome is an infrastructure failure, not a measurement.
+    aggregate.quarantined += 1;
+    return;
+  }
   const auto rep = static_cast<std::uint64_t>(record.rep);
   aggregate.executed += 1;
+  aggregate.degraded_termination += record.violated_termination ? 1 : 0;
+  aggregate.degraded_range += record.violated_range ? 1 : 0;
+  aggregate.degraded_uniqueness += record.violated_uniqueness ? 1 : 0;
+  aggregate.degraded_order += record.violated_order ? 1 : 0;
   aggregate.ok += record.ok ? 1 : 0;
   aggregate.terminated += record.terminated ? 1 : 0;
   aggregate.rounds.add(rep, record.rounds);
@@ -142,6 +153,7 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
   std::mutex* runs_mutex =
       options.runs_out_mutex != nullptr ? options.runs_out_mutex : &internal_runs_mutex;
   std::atomic<std::size_t> violations{0};
+  std::atomic<std::size_t> quarantined{0};
 
   const auto task = [&](std::size_t run_index) {
     const std::size_t slot = run_index / reps;
@@ -152,52 +164,84 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
     record.rep = rep;
     record.seed = derive_seed(spec.master_seed, cell.index, static_cast<std::uint64_t>(rep));
 
-    core::ScenarioConfig config;
-    config.params = cell.params;
-    config.algorithm = cell.algorithm;
-    config.adversary = cell.adversary;
-    config.actual_faults = spec.actual_faults;
-    config.seed = record.seed;
-    config.options = spec.options;
-    config.extra_rounds = spec.extra_rounds;
+    core::ScenarioConfig base_config;
+    base_config.params = cell.params;
+    base_config.algorithm = cell.algorithm;
+    base_config.adversary = cell.adversary;
+    base_config.actual_faults = spec.actual_faults;
+    base_config.seed = record.seed;
+    base_config.options = spec.options;
+    base_config.extra_rounds = spec.extra_rounds;
+    base_config.fault_plan = spec.fault_plan;
+    if (options.configure) options.configure(run_index, base_config);
 
-    // Per-run telemetry stack on this worker's frame; the sinks write
-    // whole lines under runs_out_mutex, so parallel runs cannot
-    // interleave partial JSONL.
-    obs::Telemetry telemetry;
-    std::optional<obs::RunReportSink> sink;
-    if (options.runs_out != nullptr) {
-      sink.emplace(*options.runs_out, options.runs_bench, runs_mutex);
-      telemetry.add_sink(*sink);
-      telemetry.set_probes_enabled(options.sample_probes);
-      config.telemetry = &telemetry;
-      config.telemetry_label = cell_key(cell) + "/rep" + std::to_string(rep);
-    }
-    if (options.configure) options.configure(run_index, config);
-
+    // Retry-then-quarantine: exceptions and watchdog timeouts are
+    // infrastructure failures, so the run gets fresh attempts; a checker
+    // violation is a RESULT and is recorded on the first attempt. A run
+    // still failing after all attempts is quarantined — the sweep itself
+    // always survives individual run failures.
+    const int max_attempts = 1 + std::max(0, options.quarantine_retries);
     const auto start = std::chrono::steady_clock::now();
-    try {
-      const core::ScenarioResult scenario = core::run_scenario(config);
-      record.ok = scenario.report.all_ok();
-      record.terminated = scenario.run.terminated;
-      record.rounds = scenario.run.rounds;
-      record.max_name = scenario.report.max_name;
-      record.messages = scenario.run.metrics.total_messages();
-      record.bits = scenario.run.metrics.total_bits();
-      record.correct_messages = scenario.run.metrics.total_correct_messages();
-      record.correct_bits = scenario.run.metrics.total_correct_bits();
-      record.equivocating_sends = scenario.run.metrics.total_equivocating_sends();
-      record.max_message_bits = scenario.run.metrics.max_message_bits();
-      record.max_correct_message_bits = scenario.run.metrics.max_correct_message_bits();
-      record.min_accepted = scenario.min_accepted;
-      record.max_accepted = scenario.max_accepted;
-      record.rejected_votes = scenario.total_rejected;
-      if (!record.ok) record.detail = scenario.report.detail;
-      if (options.inspect) options.inspect(run_index, scenario);
-    } catch (const std::exception& error) {
-      record.ok = false;
-      record.detail = error.what();
+    for (record.attempts = 1; record.attempts <= max_attempts; ++record.attempts) {
+      core::ScenarioConfig config = base_config;
+      // The watchdog wraps whatever observer `configure` installed, so a
+      // hang inside a caller-attached probe is caught too. The deadline
+      // starts per attempt.
+      if (options.run_timeout_seconds > 0.0) {
+        config.observer = with_deadline(std::move(config.observer),
+                                        options.run_timeout_seconds);
+      }
+      // Per-attempt telemetry stack on this worker's frame; the sinks
+      // write whole lines under runs_out_mutex, so parallel runs cannot
+      // interleave partial JSONL.
+      obs::Telemetry telemetry;
+      std::optional<obs::RunReportSink> sink;
+      if (options.runs_out != nullptr) {
+        sink.emplace(*options.runs_out, options.runs_bench, runs_mutex);
+        telemetry.add_sink(*sink);
+        telemetry.set_probes_enabled(options.sample_probes);
+        config.telemetry = &telemetry;
+        config.telemetry_label = cell_key(cell) + "/rep" + std::to_string(rep);
+      }
+      try {
+        const core::ScenarioResult scenario = core::run_scenario(config);
+        record.ok = scenario.report.all_ok();
+        record.failure = record.ok ? FailureKind::kNone : FailureKind::kViolation;
+        record.terminated = scenario.run.terminated;
+        record.rounds = scenario.run.rounds;
+        record.max_name = scenario.report.max_name;
+        record.messages = scenario.run.metrics.total_messages();
+        record.bits = scenario.run.metrics.total_bits();
+        record.correct_messages = scenario.run.metrics.total_correct_messages();
+        record.correct_bits = scenario.run.metrics.total_correct_bits();
+        record.equivocating_sends = scenario.run.metrics.total_equivocating_sends();
+        record.max_message_bits = scenario.run.metrics.max_message_bits();
+        record.max_correct_message_bits = scenario.run.metrics.max_correct_message_bits();
+        record.min_accepted = scenario.min_accepted;
+        record.max_accepted = scenario.max_accepted;
+        record.rejected_votes = scenario.total_rejected;
+        record.violation_classes = scenario.report.classes();
+        record.violated_termination = !scenario.report.termination;
+        record.violated_range = !scenario.report.validity;
+        record.violated_uniqueness = !scenario.report.uniqueness;
+        record.violated_order = !scenario.report.order_preservation;
+        if (!record.ok) record.detail = scenario.report.detail;
+        record.quarantined = false;
+        if (options.inspect) options.inspect(run_index, scenario);
+        break;
+      } catch (const RunTimeoutError& error) {
+        record.ok = false;
+        record.failure = FailureKind::kTimeout;
+        record.detail = error.what();
+        record.quarantined = true;
+      } catch (const std::exception& error) {
+        record.ok = false;
+        record.failure = FailureKind::kException;
+        record.detail = error.what();
+        record.quarantined = true;
+      }
     }
+    record.attempts = std::min(record.attempts, max_attempts);
     record.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     record.executed = true;
@@ -206,7 +250,10 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
       const std::lock_guard<std::mutex> lock(cell_mutexes[slot]);
       fold_run(result.aggregates[slot], record);
     }
-    if (!record.ok) {
+    if (record.quarantined) {
+      quarantined.fetch_add(1, std::memory_order_relaxed);
+      if (options.fail_fast) executor.cancel();
+    } else if (!record.ok) {
       violations.fetch_add(1, std::memory_order_relaxed);
       if (options.fail_fast) executor.cancel();
     }
@@ -219,6 +266,7 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
   result.executed = stats.executed;
   result.steals = stats.stolen;
   result.violations = violations.load(std::memory_order_relaxed);
+  result.quarantined = quarantined.load(std::memory_order_relaxed);
   result.cancelled = executor.cancelled();
   return result;
 }

@@ -12,7 +12,9 @@
 #include "core/algorithm.h"
 #include "core/harness.h"
 #include "core/params.h"
+#include "exp/repro.h"
 #include "exp/stats.h"
+#include "sim/fault.h"
 #include "sim/types.h"
 
 namespace byzrename::exp {
@@ -56,6 +58,10 @@ struct CampaignSpec {
   core::RenamingOptions options;
   int actual_faults = -1;
   int extra_rounds = 0;
+  /// Fault-injection plan applied to every run (sim/fault.h); empty runs
+  /// the clean model. Injection randomness derives from each run's seed,
+  /// so the bit-determinism guarantee is unaffected.
+  sim::FaultPlan fault_plan;
 
   /// Drop grid cells that violate the algorithm's resilience
   /// precondition (e.g. n <= 3t for Alg. 1) instead of erroring at run
@@ -119,6 +125,23 @@ struct RunRecord {
   double wall_seconds = 0.0;
   /// First checker violation or the run's exception message.
   std::string detail;
+  /// How the run concluded: kNone/kViolation are normal results;
+  /// kException/kTimeout mark infrastructure failures that went through
+  /// the retry-then-quarantine path.
+  FailureKind failure = FailureKind::kNone;
+  /// Canonical comma-joined violated property classes ("" when ok).
+  std::string violation_classes;
+  /// Per-class verdict breakdown (a run can violate several at once).
+  bool violated_termination = false;
+  bool violated_range = false;
+  bool violated_uniqueness = false;
+  bool violated_order = false;
+  /// True: the run failed (threw or timed out) on every attempt and was
+  /// excluded from the cell's aggregate. The sweep continues regardless.
+  bool quarantined = false;
+  /// Evaluation attempts consumed (1 = first try succeeded or was a
+  /// normal verdict; > 1 = retries happened).
+  int attempts = 0;
 };
 
 /// Deterministic per-cell aggregate, built online as runs finish (any
@@ -138,6 +161,16 @@ struct CellAggregate {
   /// detail of the first violating repetition (lowest rep index).
   int first_violation_rep = -1;
   std::string first_violation;
+  /// Runs excluded after exhausting retries; NOT part of `executed` and
+  /// never folded into the stats, so the deterministic aggregate stays a
+  /// pure function of the runs that actually completed.
+  std::size_t quarantined = 0;
+  /// Degradation curve: runs violating each property class. A run can
+  /// count toward several classes at once.
+  std::size_t degraded_termination = 0;
+  std::size_t degraded_range = 0;
+  std::size_t degraded_uniqueness = 0;
+  std::size_t degraded_order = 0;
 };
 
 /// Execution knobs, separate from the spec so the same spec can run
@@ -164,6 +197,14 @@ struct CampaignOptions {
   /// Sample exact-rational probes into runs_out lines (costly; off by
   /// default for sweep throughput).
   bool sample_probes = false;
+  /// Per-run cooperative watchdog (exp/repro.h with_deadline); 0
+  /// disables. A timed-out run is retried, then quarantined. NOTE:
+  /// timeouts depend on wall clocks, so a campaign recorded for
+  /// byte-comparison must run without one.
+  double run_timeout_seconds = 0.0;
+  /// Extra attempts after a run throws or times out, before it is
+  /// quarantined. Checker violations are results, never retried.
+  int quarantine_retries = 1;
   /// Per-run hooks, invoked from worker threads. `configure` may attach
   /// observers or tweak the config before the run; `inspect` sees the
   /// full ScenarioResult right after it. Both are called concurrently
@@ -186,10 +227,14 @@ struct CampaignResult {
   double wall_seconds = 0.0;  ///< volatile whole-campaign wall clock
   std::size_t executed = 0;
   std::size_t violations = 0;
+  /// Runs that failed every attempt and were excluded from aggregates.
+  std::size_t quarantined = 0;
   std::size_t steals = 0;
   bool cancelled = false;
 
-  [[nodiscard]] bool all_ok() const noexcept { return violations == 0 && !cancelled; }
+  [[nodiscard]] bool all_ok() const noexcept {
+    return violations == 0 && quarantined == 0 && !cancelled;
+  }
 };
 
 /// Expands the spec, runs every (cell, repetition) through

@@ -46,7 +46,15 @@ void write_campaign_cells(std::ostream& os, const CampaignSpec& spec,
         .field("executed", aggregate.executed)
         .field("ok", aggregate.ok)
         .field("terminated", aggregate.terminated)
+        .field("quarantined", aggregate.quarantined)
         .field("max_message_bits", aggregate.max_message_bits);
+    if (!spec.fault_plan.empty()) json.field("fault_plan", sim::to_spec(spec.fault_plan));
+    json.key("degradation").begin_object();
+    json.field("termination", aggregate.degraded_termination)
+        .field("range", aggregate.degraded_range)
+        .field("uniqueness", aggregate.degraded_uniqueness)
+        .field("order", aggregate.degraded_order);
+    json.end_object();
     json.key("stats").begin_object();
     write_stat(json, "rounds", aggregate.rounds);
     write_stat(json, "messages", aggregate.messages);
@@ -76,10 +84,33 @@ void write_campaign_summary(std::ostream& os, const CampaignSpec& spec,
       .field("runs", result.runs.size())
       .field("executed", result.executed)
       .field("violations", result.violations)
+      .field("quarantined", result.quarantined)
       .field("cancelled", result.cancelled)
       .field("threads", result.threads)
       .field("steals", result.steals)
       .field("wall_seconds", result.wall_seconds);
+  if (result.quarantined > 0) {
+    // Enough context per quarantined run to rebuild and replay it by
+    // hand (or via a repro bundle): coordinates, exact seed, failure
+    // kind, attempts spent, and the final error message.
+    json.key("quarantined_runs").begin_array();
+    const std::size_t reps =
+        result.cells.empty() ? 1 : result.runs.size() / result.cells.size();
+    for (std::size_t i = 0; i < result.runs.size(); ++i) {
+      const RunRecord& record = result.runs[i];
+      if (!record.quarantined) continue;
+      json.begin_object();
+      json.field("cell", cell_key(result.cells[i / reps]))
+          .field("cell_index", record.cell)
+          .field("rep", record.rep)
+          .field("seed", static_cast<unsigned long long>(record.seed))
+          .field("kind", to_string(record.failure))
+          .field("attempts", record.attempts)
+          .field("detail", record.detail);
+      json.end_object();
+    }
+    json.end_array();
+  }
   json.end_object();
   os << '\n';
   os.flush();
@@ -101,8 +132,8 @@ void print_campaign_table(std::ostream& os, const CampaignResult& result) {
   os << '\n'
      << (result.cancelled ? "CANCELLED (fail-fast)" : "done") << ": " << result.executed << '/'
      << result.runs.size() << " runs, " << result.violations << " violation(s), "
-     << result.threads << " thread(s), " << result.steals << " steal(s), "
-     << result.wall_seconds << "s\n";
+     << result.quarantined << " quarantined, " << result.threads << " thread(s), "
+     << result.steals << " steal(s), " << result.wall_seconds << "s\n";
 }
 
 }  // namespace byzrename::exp

@@ -1,0 +1,192 @@
+#include "exp/shrink.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/params.h"
+#include "exp/campaign.h"
+
+namespace byzrename::exp {
+
+std::size_t scenario_size(const ReproScenario& scenario) {
+  // Weights order the search: a process is the most expensive thing to
+  // keep (every process multiplies the trace a human must read), then
+  // fault-plan events, then budgets. Any strict decrease in any term
+  // lowers the total, so the greedy loop terminates.
+  std::size_t size = static_cast<std::size_t>(scenario.params.n) * 16;
+  size += static_cast<std::size_t>(scenario.params.t) * 8;
+  const int base_faults =
+      scenario.actual_faults >= 0 ? scenario.actual_faults : scenario.params.t;
+  size += static_cast<std::size_t>(base_faults) * 4;
+  size += scenario.iterations >= 0
+              ? static_cast<std::size_t>(scenario.iterations)
+              : static_cast<std::size_t>(
+                    core::default_approximation_iterations(scenario.params.t));
+  size += static_cast<std::size_t>(scenario.extra_rounds);
+  size += scenario.fault_plan.event_count() * 12;
+  size += static_cast<std::size_t>(scenario.fault_plan.fault_overshoot) * 4;
+  for (const sim::LinkFaultRule& rule : scenario.fault_plan.links) {
+    if (rule.kind == sim::LinkFaultKind::kDelay && rule.delay_rounds > 1) {
+      size += static_cast<std::size_t>(rule.delay_rounds);
+    }
+  }
+  if (scenario.adversary != "silent") size += 24;
+  return size;
+}
+
+namespace {
+
+/// Would run_scenario even accept this candidate? Mirrors the harness's
+/// validation so invalid candidates are skipped for free instead of
+/// burning an attempt on a guaranteed kException verdict.
+bool candidate_valid(const ReproScenario& scenario) {
+  if (scenario.params.n < 1 || scenario.params.t < 0) return false;
+  const int base = scenario.actual_faults >= 0 ? scenario.actual_faults : scenario.params.t;
+  if (base > scenario.params.t || base >= scenario.params.n) return false;
+  if (scenario.fault_plan.fault_overshoot < 0) return false;
+  if (base + scenario.fault_plan.fault_overshoot >= scenario.params.n) return false;
+  return cell_valid(scenario.algorithm, scenario.params);
+}
+
+/// Clamp follower fields after a (n, t) reduction so a candidate is
+/// rejected for being uninteresting, not for being inconsistent.
+void clamp(ReproScenario& scenario) {
+  if (scenario.actual_faults > scenario.params.t) {
+    scenario.actual_faults = scenario.params.t;
+  }
+}
+
+}  // namespace
+
+std::vector<ReproScenario> shrink_candidates(const ReproScenario& scenario) {
+  std::vector<ReproScenario> candidates;
+  auto propose = [&](ReproScenario candidate) {
+    clamp(candidate);
+    candidates.push_back(std::move(candidate));
+  };
+
+  // Aggressive simplifications first: a single accepted big step saves
+  // dozens of one-step passes.
+  if (scenario.adversary != "silent") {
+    ReproScenario candidate = scenario;
+    candidate.adversary = "silent";
+    propose(std::move(candidate));
+  }
+  if (!scenario.fault_plan.empty()) {
+    ReproScenario candidate = scenario;
+    candidate.fault_plan = {};
+    propose(std::move(candidate));
+  }
+  if (scenario.params.n > 1) {
+    ReproScenario halved = scenario;
+    halved.params.n = scenario.params.n / 2;
+    propose(std::move(halved));
+    ReproScenario stepped = scenario;
+    stepped.params.n = scenario.params.n - 1;
+    propose(std::move(stepped));
+  }
+  if (scenario.params.t > 0) {
+    ReproScenario halved = scenario;
+    halved.params.t = scenario.params.t / 2;
+    propose(std::move(halved));
+    ReproScenario stepped = scenario;
+    stepped.params.t = scenario.params.t - 1;
+    propose(std::move(stepped));
+  }
+  {
+    const int base = scenario.actual_faults >= 0 ? scenario.actual_faults : scenario.params.t;
+    if (base > 0) {
+      ReproScenario none = scenario;
+      none.actual_faults = 0;
+      propose(std::move(none));
+      ReproScenario halved = scenario;
+      halved.actual_faults = base / 2;
+      propose(std::move(halved));
+    }
+  }
+  if (scenario.iterations > 0) {
+    ReproScenario candidate = scenario;
+    candidate.iterations = scenario.iterations / 2;
+    propose(std::move(candidate));
+  }
+  if (scenario.extra_rounds > 0) {
+    ReproScenario zeroed = scenario;
+    zeroed.extra_rounds = 0;
+    propose(std::move(zeroed));
+    ReproScenario halved = scenario;
+    halved.extra_rounds = scenario.extra_rounds / 2;
+    propose(std::move(halved));
+  }
+
+  // Fault-plan event deltas: drop each event individually, soften what
+  // remains.
+  for (std::size_t i = 0; i < scenario.fault_plan.links.size(); ++i) {
+    ReproScenario candidate = scenario;
+    candidate.fault_plan.links.erase(candidate.fault_plan.links.begin() +
+                                     static_cast<std::ptrdiff_t>(i));
+    propose(std::move(candidate));
+  }
+  for (std::size_t i = 0; i < scenario.fault_plan.crashes.size(); ++i) {
+    ReproScenario candidate = scenario;
+    candidate.fault_plan.crashes.erase(candidate.fault_plan.crashes.begin() +
+                                       static_cast<std::ptrdiff_t>(i));
+    propose(std::move(candidate));
+  }
+  for (std::size_t i = 0; i < scenario.fault_plan.partitions.size(); ++i) {
+    ReproScenario candidate = scenario;
+    candidate.fault_plan.partitions.erase(candidate.fault_plan.partitions.begin() +
+                                          static_cast<std::ptrdiff_t>(i));
+    propose(std::move(candidate));
+  }
+  if (scenario.fault_plan.fault_overshoot > 0) {
+    ReproScenario candidate = scenario;
+    candidate.fault_plan.fault_overshoot = scenario.fault_plan.fault_overshoot / 2;
+    propose(std::move(candidate));
+  }
+  for (std::size_t i = 0; i < scenario.fault_plan.links.size(); ++i) {
+    const sim::LinkFaultRule& rule = scenario.fault_plan.links[i];
+    if (rule.kind == sim::LinkFaultKind::kDelay && rule.delay_rounds > 1) {
+      ReproScenario candidate = scenario;
+      candidate.fault_plan.links[i].delay_rounds = rule.delay_rounds / 2;
+      propose(std::move(candidate));
+    }
+  }
+  return candidates;
+}
+
+ShrinkResult shrink_scenario(const ReproScenario& scenario, const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.original_size = scenario_size(scenario);
+  result.scenario = scenario;
+  result.verdict = evaluate_scenario(scenario, options.run_timeout_seconds);
+  if (!result.verdict.failed()) {
+    throw std::invalid_argument("shrink: scenario does not fail — nothing to minimize");
+  }
+  const ReproVerdict reference = result.verdict;
+
+  bool progress = true;
+  while (progress && result.attempts < options.max_attempts) {
+    progress = false;
+    for (const ReproScenario& candidate : shrink_candidates(result.scenario)) {
+      if (result.attempts >= options.max_attempts) break;
+      if (!candidate_valid(candidate)) continue;
+      const std::size_t candidate_size = scenario_size(candidate);
+      if (candidate_size >= scenario_size(result.scenario)) continue;
+      ++result.attempts;
+      const ReproVerdict verdict = evaluate_scenario(candidate, options.run_timeout_seconds);
+      if (!verdict.failed() || !same_failure(reference, verdict)) continue;
+      result.scenario = candidate;
+      result.verdict = verdict;
+      ++result.accepted_shrinks;
+      progress = true;
+      if (options.on_shrink) options.on_shrink(result.scenario, candidate_size);
+      // Restart the pass from the smaller scenario: its candidate list
+      // is different, and the aggressive steps come first again.
+      break;
+    }
+  }
+  result.final_size = scenario_size(result.scenario);
+  return result;
+}
+
+}  // namespace byzrename::exp

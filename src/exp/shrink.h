@@ -1,0 +1,61 @@
+#ifndef BYZRENAME_EXP_SHRINK_H
+#define BYZRENAME_EXP_SHRINK_H
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exp/repro.h"
+
+namespace byzrename::exp {
+
+/// Scenario-size metric the shrinker strictly decreases: a weighted sum
+/// of everything a human has to hold in their head while debugging —
+/// processes, fault budget, round budget, iterations, plan events, and
+/// adversary complexity. Smaller is simpler.
+[[nodiscard]] std::size_t scenario_size(const ReproScenario& scenario);
+
+struct ShrinkOptions {
+  /// Evaluation budget: total candidate runs the shrinker may spend.
+  int max_attempts = 200;
+  /// Watchdog per candidate evaluation; 0 disables. A shrink candidate
+  /// may hang where the original did not, so a budget here keeps the
+  /// shrinker itself from hanging.
+  double run_timeout_seconds = 0.0;
+  /// Progress hook (accepted candidates only); called with the new
+  /// scenario and its size. Used by the CLI's -v mode.
+  std::function<void(const ReproScenario&, std::size_t)> on_shrink;
+};
+
+struct ShrinkResult {
+  /// Smallest scenario found that still fails the same way.
+  ReproScenario scenario;
+  /// Verdict of that scenario (same failure class set as the original's).
+  ReproVerdict verdict;
+  std::size_t original_size = 0;
+  std::size_t final_size = 0;
+  int attempts = 0;         ///< candidate evaluations spent
+  int accepted_shrinks = 0; ///< candidates that were kept
+
+  [[nodiscard]] bool shrank() const noexcept { return final_size < original_size; }
+};
+
+/// Greedy delta-debugging over one failing scenario: propose simpler
+/// candidates (fewer processes, smaller budgets, silent adversary,
+/// dropped fault-plan events, ...), keep a candidate iff it still fails
+/// with the SAME failure (same_failure), repeat until a whole pass
+/// accepts nothing or the attempt budget runs out. The input scenario
+/// must fail (evaluate to a non-kNone verdict); throws
+/// std::invalid_argument otherwise. Deterministic: candidate order is
+/// fixed and evaluation is seeded, so the same input shrinks to the same
+/// output everywhere (timeout verdicts excepted).
+[[nodiscard]] ShrinkResult shrink_scenario(const ReproScenario& scenario,
+                                           const ShrinkOptions& options = {});
+
+/// The candidate scenarios one shrink pass proposes for @p scenario, in
+/// the deterministic order they are tried. Exposed for tests.
+[[nodiscard]] std::vector<ReproScenario> shrink_candidates(const ReproScenario& scenario);
+
+}  // namespace byzrename::exp
+
+#endif  // BYZRENAME_EXP_SHRINK_H

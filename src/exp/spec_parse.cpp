@@ -1,10 +1,13 @@
 #include "exp/spec_parse.h"
 
 #include <charconv>
-#include <map>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "core/algorithm.h"
+#include "sim/fault.h"
 
 namespace byzrename::exp {
 
@@ -41,6 +44,9 @@ Int parse_int(std::string_view key, std::string_view token) {
 
 /// One value token of an integer axis: `7`, `4..16`, or `4..64/4`.
 void expand_axis_token(std::string_view key, std::string_view token, std::vector<int>& out) {
+  if (token.empty()) {
+    fail(std::string(key) + ": empty value in list (stray comma?)");
+  }
   const std::size_t dots = token.find("..");
   if (dots == std::string_view::npos) {
     out.push_back(parse_int<int>(key, token));
@@ -61,18 +67,9 @@ void expand_axis_token(std::string_view key, std::string_view token, std::vector
 }
 
 core::Algorithm parse_algorithm(std::string_view name) {
-  static const std::map<std::string_view, core::Algorithm> table = {
-      {"op", core::Algorithm::kOpRenaming},
-      {"const", core::Algorithm::kOpRenamingConstantTime},
-      {"fast", core::Algorithm::kFastRenaming},
-      {"crash", core::Algorithm::kCrashRenaming},
-      {"consensus", core::Algorithm::kConsensusRenaming},
-      {"bit", core::Algorithm::kBitRenaming},
-      {"translated", core::Algorithm::kTranslatedRenaming},
-  };
-  const auto it = table.find(name);
-  if (it == table.end()) fail("unknown algorithm '" + std::string(name) + "'");
-  return it->second;
+  const std::optional<core::Algorithm> algorithm = core::algorithm_from_token(name);
+  if (!algorithm.has_value()) fail("unknown algorithm '" + std::string(name) + "'");
+  return *algorithm;
 }
 
 }  // namespace
@@ -91,6 +88,7 @@ CampaignSpec parse_campaign_spec(std::string_view text) {
 
     if (key == "algo" || key == "algorithm") {
       for (const std::string_view token : split(value, ',')) {
+        if (token.empty()) fail("algo: empty value in list (stray comma?)");
         spec.algorithms.push_back(parse_algorithm(token));
       }
     } else if (key == "n") {
@@ -103,6 +101,7 @@ CampaignSpec parse_campaign_spec(std::string_view text) {
       }
     } else if (key == "nt") {
       for (const std::string_view token : split(value, ',')) {
+        if (token.empty()) fail("nt: empty value in list (stray comma?)");
         const std::size_t colon = token.find(':');
         if (colon == std::string_view::npos) {
           fail("nt expects n:t pairs, got '" + std::string(token) + "'");
@@ -126,6 +125,12 @@ CampaignSpec parse_campaign_spec(std::string_view text) {
       spec.options.approximation_iterations = parse_int<int>(key, value);
     } else if (key == "extra") {
       spec.extra_rounds = parse_int<int>(key, value);
+    } else if (key == "fault" || key == "fault-plan") {
+      try {
+        spec.fault_plan = sim::parse_fault_plan(value);
+      } catch (const std::invalid_argument& error) {
+        fail(error.what());
+      }
     } else if (key == "keep-invalid") {
       spec.skip_invalid = false;
     } else if (key == "no-validation") {

@@ -1,0 +1,82 @@
+#ifndef BYZRENAME_OBS_JSON_PARSE_H
+#define BYZRENAME_OBS_JSON_PARSE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace byzrename::obs {
+
+/// Minimal JSON document tree — the reading counterpart of JsonWriter,
+/// added for the repro-bundle loader (exp/repro.h). Deliberately small:
+/// the repo reads only documents it wrote itself, so there is no need
+/// for streaming, comments, or tolerance of malformed input.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  /// std::map: deterministic iteration order for anything re-emitting.
+  using Object = std::map<std::string, JsonValue, std::less<>>;
+
+  JsonValue() = default;
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(std::int64_t n)
+      : kind_(Kind::kInt), int_(n), uint_(static_cast<std::uint64_t>(n)), int_fits_(true),
+        uint_fits_(n >= 0) {}
+  explicit JsonValue(std::uint64_t n)
+      : kind_(Kind::kInt), int_(static_cast<std::int64_t>(n)), uint_(n),
+        int_fits_(n <= 0x7fffffffffffffffull), uint_fits_(true) {}
+  explicit JsonValue(double d) : kind_(Kind::kDouble), double_(d) {}
+  explicit JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit JsonValue(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+  explicit JsonValue(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; throw std::invalid_argument on a kind mismatch so
+  /// a malformed bundle fails loudly instead of yielding zeros.
+  [[nodiscard]] bool as_bool() const;
+  /// Accepts kInt in int64 range; numbers parsed with a '.', 'e', or 'E'
+  /// are kDouble and must be read with as_double.
+  [[nodiscard]] std::int64_t as_int() const;
+  /// Accepts non-negative kInt; exact across the full uint64 range
+  /// (seeds are uint64 and must round-trip bit-for-bit).
+  [[nodiscard]] std::uint64_t as_uint() const;
+  /// Accepts kInt or kDouble.
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; throws std::invalid_argument when this is not
+  /// an object or the key is absent. Use find() for optional members.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  /// nullptr when this is not an object or the key is absent.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  bool int_fits_ = false;
+  bool uint_fits_ = false;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace, unpaired
+/// surrogates, or any other malformation throws std::invalid_argument
+/// with a byte offset in the message.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace byzrename::obs
+
+#endif  // BYZRENAME_OBS_JSON_PARSE_H

@@ -45,6 +45,7 @@ void RunReportSink::on_run_end(const RunSummary& summary) {
       .field("validate_votes", info_.validate_votes)
       .field("target_namespace", static_cast<std::int64_t>(info_.target_namespace))
       .field("round_budget", info_.round_budget);
+  if (!info_.fault_plan.empty()) json.field("fault_plan", info_.fault_plan);
   json.end_object();
 
   json.key("outcome").begin_object();
@@ -63,6 +64,7 @@ void RunReportSink::on_run_end(const RunSummary& summary) {
       .field("uniqueness", result.report.uniqueness)
       .field("order_preservation", result.report.order_preservation)
       .field("all_ok", result.report.all_ok())
+      .field("classes", result.report.classes())
       .field("detail", result.report.detail);
   json.end_object();
   json.end_object();
@@ -74,7 +76,10 @@ void RunReportSink::on_run_end(const RunSummary& summary) {
       .field("correct_bits", metrics.total_correct_bits())
       .field("equivocating_sends", metrics.total_equivocating_sends())
       .field("max_message_bits", metrics.max_message_bits())
-      .field("max_correct_message_bits", metrics.max_correct_message_bits());
+      .field("max_correct_message_bits", metrics.max_correct_message_bits())
+      .field("injected_drops", metrics.total_injected_drops())
+      .field("injected_duplicates", metrics.total_injected_duplicates())
+      .field("injected_delays", metrics.total_injected_delays());
   json.end_object();
 
   json.key("per_round").begin_array();

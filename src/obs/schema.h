@@ -35,11 +35,15 @@ namespace byzrename::obs {
 ///     .rejected_votes   int      votes/echoes killed by validation
 ///     .verdict          object   CheckReport: validity, termination,
 ///                                uniqueness, order_preservation, all_ok,
+///                                classes (canonical comma-joined violated
+///                                property classes, "" when all_ok),
 ///                                detail (string, empty when all_ok)
 ///   totals            object   whole-run communication counters:
 ///     .messages .bits .correct_messages .correct_bits   uint64
 ///     .equivocating_sends uint64  targeted sends by Byzantine processes
 ///     .max_message_bits .max_correct_message_bits       uint64
+///     .injected_drops .injected_duplicates .injected_delays  uint64
+///         fault-injector interventions (0 on clean-model runs)
 ///   per_round         array    one object per round, in order:
 ///     .round            int      1-based, matches the paper's "Step r"
 ///     .messages .bits .correct_messages .correct_bits .equivocating_sends
@@ -48,6 +52,8 @@ namespace byzrename::obs {
 /// Optional fields (present when the producer had them):
 ///   bench             string   emitting bench binary
 ///   label             string   free-form row label from the bench
+///   scenario.fault_plan string canonical fault-plan spec (sim/fault.h);
+///                              present only on fault-injected runs
 ///   per_round[i].accepted        object {min,max}, Alg. 1/4 runs only
 ///   per_round[i].rejected_votes  int, cumulative up to this round
 ///   per_round[i].rank_spread / .rank_spread_exact    double / string
@@ -82,6 +88,14 @@ namespace byzrename::obs {
 ///   reps              int      repetitions requested per cell
 ///   master_seed       uint64   campaign master seed
 ///   executed ok terminated int  run counts (executed < reps after fail-fast)
+///   quarantined       int      runs excluded after exhausting retries.
+///                              DETERMINISTIC only for exception-kind
+///                              quarantines; with a run timeout configured
+///                              the count may vary across machines — CI's
+///                              byte-compare gate runs without timeouts
+///   degradation       object   {termination,range,uniqueness,order}: runs
+///                              violating each property class (a run can
+///                              count toward several)
 ///   max_message_bits  uint64   largest message over the cell's runs
 ///   stats             object   per-metric aggregate objects, each
 ///                              {count,min,max,sum,mean,p50,p95,p99} with
@@ -94,12 +108,49 @@ namespace byzrename::obs {
 ///
 /// The volatile counterpart (wall clock, thread count, steal count);
 /// separate schema precisely because it is NOT deterministic:
-///   schema cells runs executed violations cancelled threads steals
-///   wall_seconds
+///   schema cells runs executed violations quarantined cancelled threads
+///   steals wall_seconds
+///   quarantined_runs  array  one object per quarantined run:
+///     {cell, cell_index, rep, seed, kind, attempts, detail}
+///   (quarantine lives here, not in campaign/1 cell lines, because
+///   timeout-kind quarantines depend on wall clocks)
+///
+/// ## byzrename.repro/1 — one self-contained failure reproduction
+///
+/// Written by the shrinker (tools/byzrename-shrink) and by the campaign
+/// engine's quarantine path; replayed by `byzrename --repro`. One JSON
+/// document (not JSONL):
+///   schema            string   "byzrename.repro/1"
+///   campaign cell rep string/int?  provenance of the original failure
+///   scenario          object   the portable scenario:
+///     .algorithm        string   CLI token ("op", "fast", ...)
+///     .n .t .faults     int      system; faults == -1 means t
+///     .adversary        string   registry name
+///     .seed             uint64   exact run seed (NOT campaign-derived)
+///     .iterations       int      -1 = algorithm default
+///     .validate_votes   bool
+///     .extra_rounds     int
+///     .fault_plan       string   sim/fault.h spec grammar; "" = clean
+///   expected          object   the verdict the scenario must reproduce:
+///     .kind             string   none|violation|exception|timeout
+///     .classes          string   comma-joined violated property classes
+///     .detail .rounds .terminated .max_name
+///
+/// ## byzrename.repro-verdict/1 — outcome of one --repro replay
+///
+/// Deterministic: no wall clock, no thread count — two replays of one
+/// bundle compare byte-for-byte regardless of --threads:
+///   schema scenario expected   as in byzrename.repro/1
+///   observed          object   verdict of this replay (same shape)
+///   replays           int      how many times the scenario was run
+///   consistent        bool     all replays produced identical verdicts
+///   matches_expected  bool     observed == expected
 inline constexpr const char* kRunSchema = "byzrename.run/1";
 inline constexpr const char* kSeriesSchema = "byzrename.series/1";
 inline constexpr const char* kCampaignSchema = "byzrename.campaign/1";
 inline constexpr const char* kCampaignSummarySchema = "byzrename.campaign-summary/1";
+inline constexpr const char* kReproSchema = "byzrename.repro/1";
+inline constexpr const char* kReproVerdictSchema = "byzrename.repro-verdict/1";
 
 }  // namespace byzrename::obs
 

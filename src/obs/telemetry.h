@@ -32,6 +32,8 @@ struct RunInfo {
   int round_budget = 0;
   /// Free-form row label propagated from ScenarioConfig::telemetry_label.
   std::string label;
+  /// Canonical fault-plan spec (sim::to_spec); empty = clean model.
+  std::string fault_plan;
 };
 
 /// Everything the telemetry layer measures about one synchronous round:

@@ -1,0 +1,240 @@
+#include "sim/fault.h"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace byzrename::sim {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument("fault plan: " + message);
+}
+
+std::vector<std::string_view> split(std::string_view text, char separator) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t pos = text.find(separator, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+template <typename Number>
+Number parse_number(std::string_view what, std::string_view token) {
+  Number value{};
+  const auto [end, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || end != token.data() + token.size()) {
+    fail(std::string(what) + " expects a number, got '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+double parse_probability(std::string_view what, std::string_view token) {
+  const double p = parse_number<double>(what, token);
+  if (p < 0.0 || p > 1.0) fail(std::string(what) + ": probability must be in [0, 1]");
+  return p;
+}
+
+/// Splits "body@r1..r2" into the body and an optional window.
+struct Window {
+  Round from = 1;
+  Round to = 0;
+  bool given = false;
+};
+
+Window parse_window(std::string_view what, std::string_view text, bool to_required) {
+  Window window;
+  if (text.empty()) return window;
+  window.given = true;
+  const std::size_t dots = text.find("..");
+  if (dots == std::string_view::npos) {
+    if (to_required) fail(std::string(what) + ": window needs r1..r2, got '" + std::string(text) + "'");
+    window.from = parse_number<Round>(what, text);
+    window.to = 0;
+  } else {
+    window.from = parse_number<Round>(what, text.substr(0, dots));
+    window.to = parse_number<Round>(what, text.substr(dots + 2));
+    if (window.to < window.from) fail(std::string(what) + ": empty round window");
+  }
+  if (window.from < 1) fail(std::string(what) + ": rounds start at 1");
+  return window;
+}
+
+void parse_event(std::string_view event, FaultPlan& plan) {
+  const std::size_t colon = event.find(':');
+  if (colon == std::string_view::npos) {
+    fail("event '" + std::string(event) + "' needs kind:value");
+  }
+  const std::string_view kind = event.substr(0, colon);
+  std::string_view body = event.substr(colon + 1);
+  std::string_view window_text;
+  if (const std::size_t at = body.find('@'); at != std::string_view::npos) {
+    window_text = body.substr(at + 1);
+    body = body.substr(0, at);
+  }
+
+  if (kind == "drop" || kind == "dup") {
+    const Window window = parse_window(kind, window_text, /*to_required=*/true);
+    plan.links.push_back({kind == "drop" ? LinkFaultKind::kDrop : LinkFaultKind::kDuplicate,
+                          parse_probability(kind, body), window.from, window.to, 1});
+  } else if (kind == "delay") {
+    const std::size_t x = body.find('x');
+    if (x == std::string_view::npos) fail("delay expects P x K, got '" + std::string(body) + "'");
+    const double p = parse_probability(kind, body.substr(0, x));
+    const int delay = parse_number<int>(kind, body.substr(x + 1));
+    if (delay < 1) fail("delay: K must be >= 1");
+    const Window window = parse_window(kind, window_text, /*to_required=*/true);
+    plan.links.push_back({LinkFaultKind::kDelay, p, window.from, window.to, delay});
+  } else if (kind == "crash") {
+    if (window_text.empty()) fail("crash expects PID@r1[..r2]");
+    const Window window = parse_window(kind, window_text, /*to_required=*/false);
+    plan.crashes.push_back({parse_number<ProcessIndex>(kind, body), window.from, window.to});
+  } else if (kind == "part") {
+    const std::size_t dash = body.find('-');
+    if (dash == std::string_view::npos || window_text.empty()) {
+      fail("part expects LO-HI@r1..r2");
+    }
+    const Window window = parse_window(kind, window_text, /*to_required=*/true);
+    PartitionEvent part;
+    part.lo = parse_number<ProcessIndex>(kind, body.substr(0, dash));
+    part.hi = parse_number<ProcessIndex>(kind, body.substr(dash + 1));
+    if (part.hi < part.lo) fail("part: island HI must be >= LO");
+    part.from_round = window.from;
+    part.to_round = window.to;
+    plan.partitions.push_back(part);
+  } else if (kind == "overshoot") {
+    const int k = parse_number<int>(kind, body);
+    if (k < 1) fail("overshoot: K must be >= 1");
+    plan.fault_overshoot += k;
+  } else {
+    fail("unknown event kind '" + std::string(kind) + "'");
+  }
+}
+
+void append_window(std::ostringstream& out, Round from, Round to) {
+  if (from == 1 && to == 0) return;
+  out << '@' << from << ".." << (to == 0 ? from : to);
+}
+
+bool in_window(Round round, Round from, Round to) noexcept {
+  return round >= from && (to == 0 || round <= to);
+}
+
+/// Uniform double in [0, 1) from a hash chain over the decision
+/// coordinates — a pure function, never sequential generator state.
+double decision_uniform(std::uint64_t seed, Round round, ProcessIndex sender,
+                        ProcessIndex receiver, std::size_t rule) noexcept {
+  std::uint64_t h = seed;
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(round)) << 1));
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(sender)) << 17));
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(receiver)) << 33));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(rule));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(std::string_view spec) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+  for (const std::string_view event : split(spec, '+')) {
+    if (event.empty()) fail("empty event (doubled '+'?)");
+    parse_event(event, plan);
+  }
+  return plan;
+}
+
+std::string to_spec(const FaultPlan& plan) {
+  std::ostringstream out;
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << '+';
+    first = false;
+  };
+  for (const LinkFaultRule& rule : plan.links) {
+    sep();
+    switch (rule.kind) {
+      case LinkFaultKind::kDrop:
+        out << "drop:" << rule.probability;
+        break;
+      case LinkFaultKind::kDuplicate:
+        out << "dup:" << rule.probability;
+        break;
+      case LinkFaultKind::kDelay:
+        out << "delay:" << rule.probability << 'x' << rule.delay_rounds;
+        break;
+    }
+    append_window(out, rule.from_round, rule.to_round);
+  }
+  for (const CrashEvent& crash : plan.crashes) {
+    sep();
+    out << "crash:" << crash.process << '@' << crash.from_round;
+    if (crash.to_round != 0) out << ".." << crash.to_round;
+  }
+  for (const PartitionEvent& part : plan.partitions) {
+    sep();
+    out << "part:" << part.lo << '-' << part.hi << '@' << part.from_round << ".."
+        << (part.to_round == 0 ? part.from_round : part.to_round);
+  }
+  if (plan.fault_overshoot > 0) {
+    sep();
+    out << "overshoot:" << plan.fault_overshoot;
+  }
+  return out.str();
+}
+
+bool FaultInjector::crashed(ProcessIndex process, Round round) const noexcept {
+  for (const CrashEvent& crash : plan_.crashes) {
+    if (crash.process == process && in_window(round, crash.from_round, crash.to_round)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::Fate FaultInjector::fate(Round round, ProcessIndex sender,
+                                        ProcessIndex receiver) const {
+  Fate fate;
+  if (crashed(receiver, round)) {
+    fate.drop = true;
+    return fate;
+  }
+  for (const PartitionEvent& part : plan_.partitions) {
+    if (!in_window(round, part.from_round, part.to_round)) continue;
+    const bool sender_inside = sender >= part.lo && sender <= part.hi;
+    const bool receiver_inside = receiver >= part.lo && receiver <= part.hi;
+    if (sender_inside != receiver_inside) {
+      fate.drop = true;
+      return fate;
+    }
+  }
+  for (std::size_t i = 0; i < plan_.links.size(); ++i) {
+    const LinkFaultRule& rule = plan_.links[i];
+    if (!in_window(round, rule.from_round, rule.to_round)) continue;
+    if (decision_uniform(seed_, round, sender, receiver, i) >= rule.probability) continue;
+    switch (rule.kind) {
+      case LinkFaultKind::kDrop:
+        fate.drop = true;
+        return fate;
+      case LinkFaultKind::kDuplicate:
+        fate.copies += 1;
+        break;
+      case LinkFaultKind::kDelay:
+        fate.delay += rule.delay_rounds;
+        break;
+    }
+  }
+  return fate;
+}
+
+}  // namespace byzrename::sim

@@ -1,0 +1,136 @@
+#ifndef BYZRENAME_SIM_FAULT_H
+#define BYZRENAME_SIM_FAULT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace byzrename::sim {
+
+/// The paper's model (Section II) assumes reliable lockstep links and at
+/// most t faulty processes. The fault injector deliberately violates that
+/// model at the link layer so experiments can measure *which* guarantee
+/// degrades first and how gracefully (ISSUE 3; cf. Okun's channel-level
+/// impersonation model, arXiv:1007.1086). Every decision is a pure
+/// function of (seed, round, sender, receiver, rule), so a FaultPlan plus
+/// a seed names the exact same perturbed execution on every machine and
+/// composes deterministically with the Byzantine adversary strategies.
+
+/// Probabilistic per-delivery fault applied while a round window is open.
+enum class LinkFaultKind {
+  kDrop,       ///< the delivery silently vanishes
+  kDuplicate,  ///< the delivery arrives twice in the same round
+  kDelay,      ///< the delivery is postponed by delay_rounds rounds
+};
+
+struct LinkFaultRule {
+  LinkFaultKind kind = LinkFaultKind::kDrop;
+  /// Per-(round, sender, receiver) application probability in [0, 1].
+  double probability = 0.0;
+  /// Active window, inclusive; to_round == 0 leaves the window open.
+  Round from_round = 1;
+  Round to_round = 0;
+  /// kDelay only: rounds the delivery is postponed by (>= 1).
+  int delay_rounds = 1;
+
+  friend bool operator==(const LinkFaultRule&, const LinkFaultRule&) = default;
+};
+
+/// Crash-recovery: the process neither sends nor receives during
+/// [from_round, to_round] and resumes afterwards (to_round == 0 means it
+/// never recovers). Applies to any physical index, so crashes compose
+/// with Byzantine team members too.
+struct CrashEvent {
+  ProcessIndex process = 0;
+  Round from_round = 1;
+  Round to_round = 0;
+
+  friend bool operator==(const CrashEvent&, const CrashEvent&) = default;
+};
+
+/// Transient partition: during [from_round, to_round] the island of
+/// processes [lo, hi] exchanges no messages with the rest of the system
+/// (traffic inside the island, and inside the complement, still flows).
+struct PartitionEvent {
+  ProcessIndex lo = 0;
+  ProcessIndex hi = 0;
+  Round from_round = 1;
+  Round to_round = 0;
+
+  friend bool operator==(const PartitionEvent&, const PartitionEvent&) = default;
+};
+
+/// Declarative model-violation plan. Compact spec grammar (see
+/// docs/FAULTS.md), events joined by '+':
+///
+///   drop:P[@r1..r2]      drop each delivery with probability P
+///   dup:P[@r1..r2]       duplicate each delivery with probability P
+///   delay:PxK[@r1..r2]   postpone each delivery by K rounds with prob. P
+///   crash:PID@r1[..r2]   process PID down for rounds r1..r2 (or forever)
+///   part:LO-HI@r1..r2    island [LO..HI] partitioned off during r1..r2
+///   overshoot:K          K extra Byzantine processes beyond the declared
+///                        budget — the f > t model violation
+struct FaultPlan {
+  std::vector<LinkFaultRule> links;
+  std::vector<CrashEvent> crashes;
+  std::vector<PartitionEvent> partitions;
+  /// Extra faulty processes beyond ScenarioConfig::actual_faults; the
+  /// harness converts that many more correct processes to Byzantine,
+  /// deliberately exceeding t.
+  int fault_overshoot = 0;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return links.empty() && crashes.empty() && partitions.empty() && fault_overshoot == 0;
+  }
+  /// Number of declared events; the shrinker's size contribution.
+  [[nodiscard]] std::size_t event_count() const noexcept {
+    return links.size() + crashes.size() + partitions.size() +
+           static_cast<std::size_t>(fault_overshoot > 0 ? 1 : 0);
+  }
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+/// Parses the compact spec grammar above. Throws std::invalid_argument
+/// with a human-readable message on malformed input. An empty string is
+/// the empty plan.
+[[nodiscard]] FaultPlan parse_fault_plan(std::string_view spec);
+
+/// Canonical spec string; parse_fault_plan(to_spec(p)) == p.
+[[nodiscard]] std::string to_spec(const FaultPlan& plan);
+
+/// Applies a FaultPlan at the link layer of the lockstep network. All
+/// methods are const and decisions are hash-derived, never drawn from
+/// sequential RNG state, so fate(round, s, r) is independent of the order
+/// deliveries are evaluated in — the property the campaign engine's
+/// bit-determinism gate relies on.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint64_t seed)
+      : plan_(std::move(plan)), seed_(seed) {}
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// True while @p process is inside a crash window at @p round.
+  [[nodiscard]] bool crashed(ProcessIndex process, Round round) const noexcept;
+
+  /// Combined fate of one delivery. Drop dominates; duplication and delay
+  /// from multiple matching rules accumulate.
+  struct Fate {
+    bool drop = false;  ///< partition cut, crashed receiver, or drop rule
+    int copies = 1;     ///< 1 + accepted duplication rules
+    int delay = 0;      ///< summed delay rounds of accepted delay rules
+  };
+  [[nodiscard]] Fate fate(Round round, ProcessIndex sender, ProcessIndex receiver) const;
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t seed_;
+};
+
+}  // namespace byzrename::sim
+
+#endif  // BYZRENAME_SIM_FAULT_H

@@ -18,6 +18,12 @@ struct RoundMetrics {
   /// Targeted sends by Byzantine processes — the capability equivocation
   /// requires (correct processes may only broadcast).
   std::size_t equivocating_sends = 0;
+  /// Model-violation counters (sim/fault.h): deliveries the injector
+  /// dropped (link rule, partition cut, or crashed endpoint), extra
+  /// copies it delivered, and deliveries it postponed to a later round.
+  std::size_t injected_drops = 0;
+  std::size_t injected_duplicates = 0;
+  std::size_t injected_delays = 0;
 };
 
 /// Aggregated communication metrics for a whole run. Totals are
@@ -34,6 +40,9 @@ class Metrics {
     totals_.correct_messages += round.correct_messages;
     totals_.correct_bits += round.correct_bits;
     totals_.equivocating_sends += round.equivocating_sends;
+    totals_.injected_drops += round.injected_drops;
+    totals_.injected_duplicates += round.injected_duplicates;
+    totals_.injected_delays += round.injected_delays;
   }
 
   /// Tracks the largest single message seen on the wire.
@@ -55,6 +64,15 @@ class Metrics {
   [[nodiscard]] std::size_t total_correct_bits() const noexcept { return totals_.correct_bits; }
   [[nodiscard]] std::size_t total_equivocating_sends() const noexcept {
     return totals_.equivocating_sends;
+  }
+  [[nodiscard]] std::size_t total_injected_drops() const noexcept {
+    return totals_.injected_drops;
+  }
+  [[nodiscard]] std::size_t total_injected_duplicates() const noexcept {
+    return totals_.injected_duplicates;
+  }
+  [[nodiscard]] std::size_t total_injected_delays() const noexcept {
+    return totals_.injected_delays;
   }
 
   /// Largest single message (any sender).

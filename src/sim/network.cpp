@@ -26,6 +26,7 @@ Network::Network(std::vector<std::unique_ptr<ProcessBehavior>> behaviors,
   }
   const std::size_t n = behaviors_.size();
   done_.assign(n, false);
+  decided_round_.assign(n, 0);
   link_of_sender_.resize(n);
   for (std::size_t receiver = 0; receiver < n; ++receiver) {
     std::vector<LinkIndex>& links = link_of_sender_[receiver];
@@ -41,7 +42,28 @@ void Network::run_round(Round round) {
   std::vector<Inbox> inboxes(n);
   RoundMetrics round_metrics;
 
+  // Deliveries a delay rule postponed to this round. Their message/bit
+  // cost was charged in the round they were sent; a receiver that has
+  // crashed in the meantime loses them for good.
+  if (const auto due = delayed_.find(round); due != delayed_.end()) {
+    for (auto& [receiver, delivery] : due->second) {
+      if (fault_injector_ != nullptr &&
+          fault_injector_->crashed(static_cast<ProcessIndex>(receiver), round)) {
+        round_metrics.injected_drops += 1;
+        continue;
+      }
+      inboxes[receiver].push_back(std::move(delivery));
+    }
+    delayed_.erase(due);
+  }
+
   for (std::size_t sender = 0; sender < n; ++sender) {
+    // A crashed process takes no send action at all; on recovery it
+    // resumes the protocol from its pre-crash state.
+    if (fault_injector_ != nullptr &&
+        fault_injector_->crashed(static_cast<ProcessIndex>(sender), round)) {
+      continue;
+    }
     Outbox out(byzantine_[sender]);
     behaviors_[sender]->on_send(round, out);
     for (const Outbox::Entry& entry : out.entries()) {
@@ -55,8 +77,15 @@ void Network::run_round(Round round) {
       const std::size_t payload_bits = encoded_bits(entry.payload);
       if (entry.dest.has_value() && byzantine_[sender]) round_metrics.equivocating_sends += 1;
       auto deliver = [&](std::size_t receiver) {
-        inboxes[receiver].push_back(
-            {link_of_sender_[receiver][sender], entry.payload});
+        FaultInjector::Fate fate;
+        if (fault_injector_ != nullptr) {
+          fate = fault_injector_->fate(round, static_cast<ProcessIndex>(sender),
+                                       static_cast<ProcessIndex>(receiver));
+        }
+        if (fate.drop) {
+          round_metrics.injected_drops += 1;
+          return;
+        }
         round_metrics.messages += 1;
         round_metrics.bits += payload_bits;
         if (!byzantine_[sender]) {
@@ -64,6 +93,17 @@ void Network::run_round(Round round) {
           round_metrics.correct_bits += payload_bits;
         }
         metrics_.note_message_bits(payload_bits, !byzantine_[sender]);
+        const Delivery delivery{link_of_sender_[receiver][sender], entry.payload};
+        if (fate.delay > 0) {
+          round_metrics.injected_delays += 1;
+          delayed_[round + fate.delay].emplace_back(receiver, delivery);
+          return;
+        }
+        inboxes[receiver].push_back(delivery);
+        for (int copy = 1; copy < fate.copies; ++copy) {
+          round_metrics.injected_duplicates += 1;
+          inboxes[receiver].push_back(delivery);
+        }
       };
       if (entry.dest.has_value()) {
         const auto dest = static_cast<std::size_t>(*entry.dest);
@@ -77,6 +117,12 @@ void Network::run_round(Round round) {
   metrics_.add_round(round_metrics);
 
   for (std::size_t receiver = 0; receiver < n; ++receiver) {
+    // A crashed process takes no receive action either; its (empty)
+    // inbox for this round is gone for good.
+    if (fault_injector_ != nullptr &&
+        fault_injector_->crashed(static_cast<ProcessIndex>(receiver), round)) {
+      continue;
+    }
     Inbox& inbox = inboxes[receiver];
     // Stable order by link label: receiver-local, carries no sender info.
     std::stable_sort(inbox.begin(), inbox.end(),
@@ -91,12 +137,15 @@ void Network::run_round(Round round) {
     behaviors_[receiver]->on_receive(round, inbox);
   }
 
-  // Decision transitions feed the trace (and the trace-event exporter's
-  // decide slices); byzantine behaviors have no meaningful done() state.
-  if (event_log_ != nullptr) {
-    for (std::size_t i = 0; i < n; ++i) {
-      if (byzantine_[i] || done_[i] || !behaviors_[i]->done()) continue;
-      done_[i] = true;
+  // Decision transitions: always tracked (the checker's provenance needs
+  // decide rounds) and additionally fed to the trace (the trace-event
+  // exporter's decide slices) when a log is attached; byzantine behaviors
+  // have no meaningful done() state.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (byzantine_[i] || done_[i] || !behaviors_[i]->done()) continue;
+    done_[i] = true;
+    decided_round_[i] = round;
+    if (event_log_ != nullptr) {
       const std::optional<Name> name = behaviors_[i]->decision();
       event_log_->record({round, trace::Event::Kind::kDecide, static_cast<ProcessIndex>(i),
                           std::nullopt, -1, false,

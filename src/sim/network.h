@@ -1,9 +1,12 @@
 #ifndef BYZRENAME_SIM_NETWORK_H
 #define BYZRENAME_SIM_NETWORK_H
 
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "sim/fault.h"
 #include "sim/metrics.h"
 #include "sim/payload.h"
 #include "sim/process.h"
@@ -65,20 +68,39 @@ class Network {
 
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
 
+  /// Round in which process @p i was first observed done(), or 0 if it
+  /// never decided. Feeds the checker's violation provenance.
+  [[nodiscard]] Round decided_round(ProcessIndex i) const {
+    return decided_round_.at(static_cast<std::size_t>(i));
+  }
+
   /// Attaches a structured event trace (sends and deliveries); pass
   /// nullptr to detach. The log sees physical indices — it is the
   /// omniscient observer's view, not any process's.
   void attach_event_log(trace::EventLog* log) noexcept { event_log_ = log; }
+
+  /// Attaches a model-violation injector (sim/fault.h); pass nullptr to
+  /// detach. Non-owning — the injector must outlive the run. With none
+  /// attached (the default) the network realizes the paper's reliable
+  /// lockstep model exactly.
+  void attach_fault_injector(const FaultInjector* injector) noexcept {
+    fault_injector_ = injector;
+  }
 
  private:
   std::vector<std::unique_ptr<ProcessBehavior>> behaviors_;
   std::vector<bool> byzantine_;
   /// Which processes have been observed done(); drives decide events.
   std::vector<bool> done_;
+  /// Round of each process's done() transition (0 = not yet).
+  std::vector<Round> decided_round_;
   /// link_of_sender_[receiver][sender] -> link label at the receiver.
   std::vector<std::vector<LinkIndex>> link_of_sender_;
+  /// Deliveries the injector postponed, keyed by their delivery round.
+  std::map<Round, std::vector<std::pair<std::size_t, Delivery>>> delayed_;
   Metrics metrics_;
   trace::EventLog* event_log_ = nullptr;
+  const FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace byzrename::sim

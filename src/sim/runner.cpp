@@ -14,12 +14,14 @@ RunResult run_to_completion(Network& network, int max_rounds, const RoundObserve
     }
   }
   result.decisions.reserve(static_cast<std::size_t>(network.size()));
+  result.decide_rounds.reserve(static_cast<std::size_t>(network.size()));
   for (ProcessIndex i = 0; i < network.size(); ++i) {
     if (network.is_byzantine(i)) {
       result.decisions.emplace_back(std::nullopt);
     } else {
       result.decisions.push_back(network.behavior(i).decision());
     }
+    result.decide_rounds.push_back(network.is_byzantine(i) ? 0 : network.decided_round(i));
   }
   result.metrics = network.metrics();
   return result;

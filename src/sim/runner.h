@@ -20,6 +20,9 @@ struct RunResult {
   /// decision()[i] for each process i (nullopt for Byzantine processes
   /// and for correct processes that did not decide).
   std::vector<std::optional<Name>> decisions;
+  /// Round in which process i was first observed done() (0 = never);
+  /// provenance for the checker's violation records.
+  std::vector<Round> decide_rounds;
   Metrics metrics;
 };
 

@@ -30,6 +30,8 @@ using Round = int;
 struct SystemParams {
   int n = 0;  ///< number of processes
   int t = 0;  ///< upper bound on the number of Byzantine faults
+
+  friend bool operator==(const SystemParams&, const SystemParams&) = default;
 };
 
 }  // namespace byzrename::sim

@@ -1,5 +1,7 @@
 #include "core/checker.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 namespace byzrename::core {
@@ -67,6 +69,99 @@ TEST(Checker, UndecidedProcessesDoNotBreakOtherChecks) {
 
 TEST(Checker, NegativeNameIsInvalid) {
   EXPECT_FALSE(check_renaming({{10, -5}}, 3).validity);
+}
+
+TEST(Checker, ClassifiesViolationsCanonically) {
+  // Termination + order break together; classes() lists them in the
+  // canonical declaration order regardless of detection order.
+  const CheckReport report = check_renaming({{10, 3}, {20, std::nullopt}, {30, 1}}, 3);
+  EXPECT_FALSE(report.termination);
+  EXPECT_FALSE(report.order_preservation);
+  EXPECT_TRUE(report.has(ViolationClass::kTermination));
+  EXPECT_TRUE(report.has(ViolationClass::kOrder));
+  EXPECT_FALSE(report.has(ViolationClass::kUniqueness));
+  EXPECT_FALSE(report.has(ViolationClass::kRange));
+  EXPECT_EQ(report.classes(), "termination,order");
+}
+
+TEST(Checker, CleanRunHasNoViolationRecords) {
+  const CheckReport report = check_renaming({{10, 1}, {20, 2}}, 3);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.classes(), "");
+}
+
+TEST(Checker, ViolationRecordsCarryProvenance) {
+  // Process with index/decided_round set: the record and its message
+  // must carry both.
+  NamedProcess undecided;
+  undecided.original_id = 20;
+  undecided.new_name = std::nullopt;
+  undecided.index = 2;
+  NamedProcess ok;
+  ok.original_id = 10;
+  ok.new_name = 1;
+  ok.index = 0;
+  ok.decided_round = 7;
+  const CheckReport report = check_renaming({ok, undecided}, 3);
+  ASSERT_EQ(report.violations.size(), 1u);
+  const ViolationRecord& rec = report.violations.front();
+  EXPECT_EQ(rec.cls, ViolationClass::kTermination);
+  EXPECT_EQ(rec.id, 20);
+  EXPECT_EQ(rec.pid, 2);
+  EXPECT_NE(rec.message.find("did not decide"), std::string::npos);
+  EXPECT_NE(rec.message.find("(p2)"), std::string::npos);
+}
+
+TEST(Checker, UniquenessRecordNamesBothHolders) {
+  NamedProcess a{10, 2, 0, 3};
+  NamedProcess b{20, 2, 1, 4};
+  // A duplicate also breaks ordering (equal names, ascending ids), so two
+  // records result; pick out the uniqueness one.
+  const CheckReport report = check_renaming({a, b}, 3);
+  ASSERT_EQ(report.violations.size(), 2u);
+  const auto it = std::find_if(report.violations.begin(), report.violations.end(),
+                               [](const ViolationRecord& r) {
+                                 return r.cls == ViolationClass::kUniqueness;
+                               });
+  ASSERT_NE(it, report.violations.end());
+  const ViolationRecord& rec = *it;
+  EXPECT_EQ(rec.id, 20);
+  EXPECT_EQ(rec.pid, 1);
+  EXPECT_EQ(rec.round, 4);
+  EXPECT_NE(rec.message.find("assigned twice"), std::string::npos);
+  EXPECT_NE(rec.message.find("id 10"), std::string::npos);
+  EXPECT_NE(rec.message.find("id 20"), std::string::npos);
+  EXPECT_NE(rec.message.find("(p0, r3)"), std::string::npos);
+  EXPECT_NE(rec.message.find("(p1, r4)"), std::string::npos);
+}
+
+TEST(Checker, AllViolationsRecordedNotJustFirstPerClass) {
+  // Three undecided processes: detail keeps only the first, but every
+  // one gets a record (degradation curves count them all).
+  const CheckReport report =
+      check_renaming({{10, std::nullopt}, {20, std::nullopt}, {30, std::nullopt}}, 3);
+  EXPECT_EQ(report.violations.size(), 3u);
+  for (const ViolationRecord& rec : report.violations) {
+    EXPECT_EQ(rec.cls, ViolationClass::kTermination);
+  }
+}
+
+TEST(Checker, ProvenanceOmittedWhenUnknown) {
+  // Bare brace-init inputs have no index/round; messages stay clean.
+  const CheckReport report = check_renaming({{10, 2}, {20, 2}}, 3);
+  ASSERT_FALSE(report.violations.empty());
+  for (const ViolationRecord& rec : report.violations) {
+    EXPECT_EQ(rec.message.find("(p"), std::string::npos);
+    EXPECT_EQ(rec.pid, -1);
+    EXPECT_EQ(rec.round, 0);
+  }
+}
+
+TEST(Checker, ViolationClassNames) {
+  EXPECT_EQ(to_string(ViolationClass::kTermination), "termination");
+  EXPECT_EQ(to_string(ViolationClass::kRange), "range");
+  EXPECT_EQ(to_string(ViolationClass::kUniqueness), "uniqueness");
+  EXPECT_EQ(to_string(ViolationClass::kOrder), "order");
 }
 
 }  // namespace

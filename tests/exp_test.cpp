@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -23,6 +24,7 @@
 #include "exp/spec_parse.h"
 #include "exp/stats.h"
 #include "core/harness.h"
+#include "obs/json_parse.h"
 #include "obs/run_report.h"
 #include "obs/telemetry.h"
 #include "sim/rng.h"
@@ -413,6 +415,179 @@ TEST(RunReportSink, SharedMutexSerialisesManualWriters) {
     EXPECT_EQ(line.back(), '}') << line;
   }
   EXPECT_EQ(lines, static_cast<std::size_t>(kThreads) * kRunsPerThread);
+}
+
+
+// --- StreamingStats edge cases ---------------------------------------------
+
+TEST(StreamingStats, ZeroSamplesYieldNeutralAggregate) {
+  const StreamingStats stats(16, /*salt=*/3);
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.sum(), 0);
+  EXPECT_EQ(stats.min(), 0);
+  EXPECT_EQ(stats.max(), 0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.quantile(0.5), 0);  // empty reservoir, not a crash
+  EXPECT_EQ(stats.reservoir_size(), 0u);
+}
+
+TEST(StreamingStats, SingleSampleIsEveryStatistic) {
+  StreamingStats stats(16, /*salt=*/3);
+  stats.add(0, -42);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.min(), -42);
+  EXPECT_EQ(stats.max(), -42);
+  EXPECT_EQ(stats.sum(), -42);
+  EXPECT_DOUBLE_EQ(stats.mean(), -42.0);
+  for (const double q : {0.0, 0.5, 0.95, 1.0}) EXPECT_EQ(stats.quantile(q), -42);
+}
+
+TEST(StreamingStats, MergingAnEmptyAccumulatorIsIdentity) {
+  StreamingStats stats(16, /*salt=*/3);
+  stats.add(0, 5);
+  stats.add(1, 9);
+  const StreamingStats empty(16, /*salt=*/3);
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_EQ(stats.sum(), 14);
+  StreamingStats other(16, /*salt=*/3);
+  other.merge(stats);  // merge INTO empty works too
+  EXPECT_EQ(other.count(), 2u);
+  EXPECT_EQ(other.min(), 5);
+  EXPECT_EQ(other.max(), 9);
+}
+
+// --- retry-then-quarantine containment -------------------------------------
+
+CampaignSpec throwing_spec() {
+  // Every run of this cell throws inside run_scenario (unknown adversary
+  // name), standing in for an assert-failure in protocol code.
+  CampaignSpec spec;
+  spec.name = "quarantine-test";
+  spec.algorithms = {core::Algorithm::kOpRenaming};
+  spec.n_values = {7};
+  spec.t_values = {2};
+  spec.adversaries = {"no-such-strategy"};
+  spec.repetitions = 3;
+  spec.master_seed = 5;
+  return spec;
+}
+
+TEST(Campaign, ThrowingRunsAreRetriedThenQuarantinedSweepSurvives) {
+  CampaignOptions options;
+  options.threads = 2;
+  options.quarantine_retries = 1;
+  const CampaignResult result = run_campaign(throwing_spec(), options);
+  EXPECT_EQ(result.quarantined, 3u);
+  EXPECT_EQ(result.violations, 0u);  // infrastructure failures are not verdicts
+  EXPECT_FALSE(result.cancelled);
+  EXPECT_FALSE(result.all_ok());
+  ASSERT_EQ(result.runs.size(), 3u);
+  for (const RunRecord& record : result.runs) {
+    EXPECT_TRUE(record.quarantined);
+    EXPECT_EQ(record.failure, FailureKind::kException);
+    EXPECT_EQ(record.attempts, 2);  // 1 try + 1 retry, then quarantine
+    EXPECT_NE(record.detail.find("no-such-strategy"), std::string::npos);
+  }
+  // Quarantined runs never enter the deterministic aggregates.
+  EXPECT_EQ(result.aggregates.at(0).executed, 0u);
+  EXPECT_EQ(result.aggregates.at(0).quarantined, 3u);
+  EXPECT_EQ(result.aggregates.at(0).rounds.count(), 0u);
+}
+
+TEST(Campaign, HangingRunIsQuarantinedByWatchdog) {
+  CampaignSpec spec = small_spec();
+  spec.n_values = {7};
+  spec.adversaries = {"silent"};
+  spec.repetitions = 2;
+  CampaignOptions options;
+  options.threads = 2;
+  options.quarantine_retries = 0;
+  options.run_timeout_seconds = 0.02;
+  // The injected hang: every round of rep 0 sleeps past the watchdog
+  // deadline. Rep 1 runs clean and must be unaffected.
+  options.configure = [](std::size_t run_index, core::ScenarioConfig& config) {
+    if (run_index % 2 == 0) {
+      config.observer = [](sim::Round, const sim::Network&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      };
+    }
+  };
+  const CampaignResult result = run_campaign(spec, options);
+  ASSERT_EQ(result.runs.size(), 2u);
+  EXPECT_TRUE(result.runs[0].quarantined);
+  EXPECT_EQ(result.runs[0].failure, FailureKind::kTimeout);
+  EXPECT_EQ(result.runs[0].attempts, 1);
+  EXPECT_FALSE(result.runs[1].quarantined);
+  EXPECT_TRUE(result.runs[1].ok);
+  EXPECT_EQ(result.quarantined, 1u);
+}
+
+TEST(Campaign, AllQuarantinedCellEmitsSchemaValidDeterministicOutput) {
+  const CampaignSpec spec = throwing_spec();
+  CampaignOptions serial;
+  serial.threads = 1;
+  CampaignOptions parallel;
+  parallel.threads = 4;
+  const CampaignResult a = run_campaign(spec, serial);
+  const CampaignResult b = run_campaign(spec, parallel);
+  // Exception-kind quarantines are deterministic, so the cell lines stay
+  // bit-identical across thread counts even when every run failed.
+  EXPECT_EQ(cells_text(spec, a), cells_text(spec, b));
+
+  // Both documents parse as JSON and carry the quarantine accounting.
+  std::istringstream lines(cells_text(spec, a));
+  std::size_t cell_lines = 0;
+  for (std::string line; std::getline(lines, line); ++cell_lines) {
+    const obs::JsonValue cell = obs::parse_json(line);
+    EXPECT_EQ(cell.at("schema").as_string(), "byzrename.campaign/1");
+    EXPECT_EQ(cell.at("quarantined").as_int(), 3);
+    EXPECT_EQ(cell.at("executed").as_int(), 0);
+    EXPECT_EQ(cell.at("stats").at("rounds").at("count").as_int(), 0);
+  }
+  EXPECT_EQ(cell_lines, 1u);
+
+  std::ostringstream summary_os;
+  write_campaign_summary(summary_os, spec, a);
+  const obs::JsonValue summary = obs::parse_json(summary_os.str());
+  EXPECT_EQ(summary.at("schema").as_string(), "byzrename.campaign-summary/1");
+  EXPECT_EQ(summary.at("quarantined").as_int(), 3);
+  const obs::JsonValue::Array& quarantined_runs = summary.at("quarantined_runs").as_array();
+  ASSERT_EQ(quarantined_runs.size(), 3u);
+  for (const obs::JsonValue& entry : quarantined_runs) {
+    EXPECT_EQ(entry.at("kind").as_string(), "exception");
+    EXPECT_EQ(entry.at("attempts").as_int(), 2);
+    EXPECT_EQ(entry.at("cell").as_string(), "op-renaming/n7/t2/no-such-strategy");
+    (void)entry.at("seed").as_uint();  // present and integral
+  }
+}
+
+TEST(Campaign, ViolationsAreResultsNeverRetried) {
+  // orderbreak with validation disabled produces checker violations; the
+  // engine must record them on attempt 1, not burn retries.
+  CampaignSpec spec;
+  spec.name = "violation-test";
+  spec.algorithms = {core::Algorithm::kOpRenaming};
+  spec.n_values = {10};
+  spec.t_values = {3};
+  spec.adversaries = {"orderbreak"};
+  spec.repetitions = 6;
+  spec.master_seed = 3;
+  spec.options.validate_votes = false;
+  CampaignOptions options;
+  options.threads = 2;
+  options.quarantine_retries = 3;
+  const CampaignResult result = run_campaign(spec, options);
+  EXPECT_EQ(result.quarantined, 0u);
+  EXPECT_GT(result.violations, 0u);
+  for (const RunRecord& record : result.runs) {
+    EXPECT_EQ(record.attempts, 1);
+    EXPECT_FALSE(record.quarantined);
+    if (!record.ok) {
+      EXPECT_EQ(record.failure, FailureKind::kViolation);
+      EXPECT_FALSE(record.violation_classes.empty());
+    }
+  }
 }
 
 }  // namespace

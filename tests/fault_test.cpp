@@ -1,0 +1,227 @@
+// Fault-injection substrate: plan grammar, deterministic link fates,
+// harness composition with Byzantine adversaries, and degradation-aware
+// checker verdicts under injected model violations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "core/harness.h"
+#include "sim/fault.h"
+
+namespace byzrename {
+namespace {
+
+TEST(FaultPlan, ParsesEveryEventKind) {
+  const sim::FaultPlan plan = sim::parse_fault_plan(
+      "drop:0.25@2..5+dup:0.5+delay:0.75x3@1..9+crash:2@3..6+part:0-2@4..7+overshoot:1");
+  ASSERT_EQ(plan.links.size(), 3u);
+  EXPECT_EQ(plan.links[0].kind, sim::LinkFaultKind::kDrop);
+  EXPECT_DOUBLE_EQ(plan.links[0].probability, 0.25);
+  EXPECT_EQ(plan.links[0].from_round, 2);
+  EXPECT_EQ(plan.links[0].to_round, 5);
+  EXPECT_EQ(plan.links[1].kind, sim::LinkFaultKind::kDuplicate);
+  EXPECT_EQ(plan.links[1].from_round, 1);
+  EXPECT_EQ(plan.links[1].to_round, 0);  // open window
+  EXPECT_EQ(plan.links[2].kind, sim::LinkFaultKind::kDelay);
+  EXPECT_EQ(plan.links[2].delay_rounds, 3);
+  ASSERT_EQ(plan.crashes.size(), 1u);
+  EXPECT_EQ(plan.crashes[0].process, 2);
+  EXPECT_EQ(plan.crashes[0].from_round, 3);
+  EXPECT_EQ(plan.crashes[0].to_round, 6);
+  ASSERT_EQ(plan.partitions.size(), 1u);
+  EXPECT_EQ(plan.partitions[0].lo, 0);
+  EXPECT_EQ(plan.partitions[0].hi, 2);
+  EXPECT_EQ(plan.fault_overshoot, 1);
+  EXPECT_EQ(plan.event_count(), 6u);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlan, EmptySpecIsEmptyPlan) {
+  const sim::FaultPlan plan = sim::parse_fault_plan("");
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(sim::to_spec(plan), "");
+}
+
+TEST(FaultPlan, SpecRoundTripsThroughToSpec) {
+  const char* specs[] = {
+      "drop:0.25@2..5",
+      "dup:0.5",
+      "delay:0.75x3@1..9",
+      "crash:2@3..6",
+      "crash:4@2",
+      "part:0-2@4..7",
+      "overshoot:2",
+      "drop:0.1+dup:0.2+crash:0@1+overshoot:1",
+  };
+  for (const char* spec : specs) {
+    const sim::FaultPlan plan = sim::parse_fault_plan(spec);
+    EXPECT_EQ(sim::parse_fault_plan(sim::to_spec(plan)), plan) << spec;
+  }
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "drop",              // no kind:value separator
+      "drop:x",            // non-numeric probability
+      "drop:1.5",          // probability out of [0, 1]
+      "drop:0.5@3",        // link windows need r1..r2
+      "delay:0.5",         // missing xK
+      "delay:0.5x0",       // delay must be >= 1
+      "crash:3",           // crash needs @r1
+      "crash:3@0",         // rounds start at 1
+      "part:0-2",          // partition needs a window
+      "part:5-2@1..3",     // HI < LO
+      "overshoot:0",       // overshoot must be >= 1
+      "bogus:1",           // unknown kind
+      "drop:0.5++dup:0.5", // doubled separator
+  };
+  for (const char* spec : bad) {
+    EXPECT_THROW((void)sim::parse_fault_plan(spec), std::invalid_argument) << spec;
+  }
+}
+
+TEST(FaultInjector, FateIsDeterministicPerSeed) {
+  const sim::FaultPlan plan = sim::parse_fault_plan("drop:0.5");
+  const sim::FaultInjector a(plan, 42);
+  const sim::FaultInjector b(plan, 42);
+  const sim::FaultInjector other(plan, 43);
+  int drops = 0;
+  int differs = 0;
+  for (sim::Round round = 1; round <= 10; ++round) {
+    for (sim::ProcessIndex s = 0; s < 8; ++s) {
+      for (sim::ProcessIndex r = 0; r < 8; ++r) {
+        const auto fate_a = a.fate(round, s, r);
+        EXPECT_EQ(fate_a.drop, b.fate(round, s, r).drop);
+        drops += fate_a.drop ? 1 : 0;
+        differs += fate_a.drop != other.fate(round, s, r).drop ? 1 : 0;
+      }
+    }
+  }
+  // A 50% rule must actually fire, and a different seed must pick a
+  // different subset of deliveries.
+  EXPECT_GT(drops, 0);
+  EXPECT_LT(drops, 640);
+  EXPECT_GT(differs, 0);
+}
+
+TEST(FaultInjector, CrashWindowDropsAllTrafficToProcess) {
+  const sim::FaultInjector injector(sim::parse_fault_plan("crash:2@3..5"), 1);
+  EXPECT_FALSE(injector.crashed(2, 2));
+  EXPECT_TRUE(injector.crashed(2, 3));
+  EXPECT_TRUE(injector.crashed(2, 5));
+  EXPECT_FALSE(injector.crashed(2, 6));  // recovery
+  EXPECT_FALSE(injector.crashed(1, 4));
+  EXPECT_TRUE(injector.fate(4, 0, 2).drop);
+  EXPECT_FALSE(injector.fate(6, 0, 2).drop);
+}
+
+TEST(FaultInjector, PartitionCutsOnlyCrossIslandLinks) {
+  const sim::FaultInjector injector(sim::parse_fault_plan("part:0-2@2..4"), 1);
+  EXPECT_TRUE(injector.fate(3, 0, 5).drop);   // island -> rest
+  EXPECT_TRUE(injector.fate(3, 5, 1).drop);   // rest -> island
+  EXPECT_FALSE(injector.fate(3, 0, 1).drop);  // inside the island
+  EXPECT_FALSE(injector.fate(3, 4, 5).drop);  // inside the complement
+  EXPECT_FALSE(injector.fate(5, 0, 5).drop);  // window closed
+}
+
+TEST(FaultInjector, DuplicationAndDelayAccumulate) {
+  const sim::FaultInjector injector(
+      sim::parse_fault_plan("dup:1.0+delay:1.0x2+delay:1.0x3"), 9);
+  const auto fate = injector.fate(1, 0, 1);
+  EXPECT_FALSE(fate.drop);
+  EXPECT_EQ(fate.copies, 2);
+  EXPECT_EQ(fate.delay, 5);
+}
+
+TEST(FaultHarness, DropAllViolatesTerminationWithProvenance) {
+  core::ScenarioConfig config;
+  config.params = {.n = 7, .t = 2};
+  config.seed = 11;
+  config.fault_plan = sim::parse_fault_plan("drop:1.0");
+  const core::ScenarioResult result = core::run_scenario(config);
+  EXPECT_FALSE(result.report.all_ok());
+  EXPECT_TRUE(result.report.has(core::ViolationClass::kTermination));
+  ASSERT_FALSE(result.report.violations.empty());
+  for (const core::ViolationRecord& record : result.report.violations) {
+    if (record.cls != core::ViolationClass::kTermination) continue;
+    EXPECT_GE(record.pid, 0);  // provenance: which process starved
+  }
+  EXPECT_NE(result.report.classes().find("termination"), std::string::npos);
+}
+
+TEST(FaultHarness, CrashingAFaultyProcessIsBenign) {
+  core::ScenarioConfig config;
+  config.params = {.n = 10, .t = 3};
+  config.seed = 3;
+  // Index 9 is on the Byzantine tail under the silent adversary; crashing
+  // it changes nothing observable.
+  config.fault_plan = sim::parse_fault_plan("crash:9@1");
+  const core::ScenarioResult result = core::run_scenario(config);
+  EXPECT_TRUE(result.report.all_ok()) << result.report.detail;
+}
+
+TEST(FaultHarness, FaultedRunIsBitReproducible) {
+  core::ScenarioConfig config;
+  config.params = {.n = 10, .t = 3};
+  config.adversary = "idflood";
+  config.seed = 77;
+  config.fault_plan = sim::parse_fault_plan("drop:0.15+dup:0.1");
+  const core::ScenarioResult first = core::run_scenario(config);
+  const core::ScenarioResult second = core::run_scenario(config);
+  EXPECT_EQ(first.report.all_ok(), second.report.all_ok());
+  EXPECT_EQ(first.report.classes(), second.report.classes());
+  EXPECT_EQ(first.run.rounds, second.run.rounds);
+  EXPECT_EQ(first.run.decisions, second.run.decisions);
+  EXPECT_EQ(first.run.decide_rounds, second.run.decide_rounds);
+  EXPECT_EQ(first.run.metrics.total_messages(), second.run.metrics.total_messages());
+}
+
+TEST(FaultHarness, OvershootExceedsDeclaredBudget) {
+  core::ScenarioConfig config;
+  config.params = {.n = 13, .t = 2};
+  config.seed = 5;
+  config.fault_plan = sim::parse_fault_plan("overshoot:1");
+  // 3 actual faults against a declared budget of t=2: the run must
+  // complete (whatever the verdict) rather than throw.
+  const core::ScenarioResult result = core::run_scenario(config);
+  EXPECT_EQ(result.named.size(), 10u);  // n - (t + overshoot) correct processes
+}
+
+TEST(FaultHarness, OvershootLeavingNoCorrectProcessThrows) {
+  core::ScenarioConfig config;
+  config.params = {.n = 4, .t = 1};
+  config.fault_plan = sim::parse_fault_plan("overshoot:3");
+  EXPECT_THROW((void)core::run_scenario(config), std::invalid_argument);
+}
+
+TEST(AdversaryRegistry, EveryListedNameResolvesAndUnknownThrows) {
+  const std::vector<std::string> names = adversary::adversary_names();
+  ASSERT_FALSE(names.empty());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const std::string& name : names) {
+    EXPECT_NO_THROW((void)adversary::find_adversary(name)) << name;
+  }
+  EXPECT_THROW((void)adversary::find_adversary("no-such-strategy"), std::out_of_range);
+}
+
+TEST(AdversaryRegistry, EveryStrategyComposesWithAFaultPlan) {
+  for (const std::string& name : adversary::adversary_names()) {
+    core::ScenarioConfig config;
+    config.params = {.n = 13, .t = 4};
+    config.adversary = name;
+    config.seed = 21;
+    config.fault_plan = sim::parse_fault_plan("drop:0.05+dup:0.05+crash:1@2..3");
+    core::ScenarioResult result;
+    ASSERT_NO_THROW(result = core::run_scenario(config)) << name;
+    // decide_rounds provenance is populated for every physical process.
+    EXPECT_EQ(result.run.decide_rounds.size(), 13u) << name;
+    EXPECT_EQ(result.named.size(), 9u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace byzrename

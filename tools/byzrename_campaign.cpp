@@ -15,6 +15,8 @@
 //
 // Exit code 0 iff every run's renaming properties held; 2 on usage errors.
 
+#include <charconv>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -23,6 +25,7 @@
 
 #include "exp/campaign.h"
 #include "exp/campaign_io.h"
+#include "exp/repro.h"
 #include "exp/spec_parse.h"
 
 namespace {
@@ -34,25 +37,44 @@ void print_usage() {
       "usage: byzrename-campaign [options]\n"
       "  --grid <spec>         sweep spec, e.g. \"algo=op;n=10,13;t=3,4;adversary=split;reps=5\"\n"
       "                        (clauses: algo,n,t,nt,adversary,reps,seed,faults,iterations,\n"
-      "                        extra,keep-invalid,no-validation,name; ranges like n=4..16/3)\n"
+      "                        extra,fault,keep-invalid,no-validation,name; ranges like\n"
+      "                        n=4..16/3; fault=drop:0.2+crash:1@2 injects link/crash faults)\n"
       "  --preset <name>       built-in grid: table4 (T4 complexity diagonal),\n"
       "                        smoke (tiny 2x2 sanity grid)\n"
-      "  --threads <int>       worker threads (default: hardware concurrency)\n"
+      "  --threads <int>       worker threads, >= 1 (default: hardware concurrency)\n"
       "  --out <path>          deterministic byzrename.campaign/1 cell lines\n"
       "  --runs-out <path>     one byzrename.run/1 line per run (parallel writers,\n"
       "                        whole-line atomic)\n"
       "  --summary-out <path>  volatile byzrename.campaign-summary/1 line\n"
+      "  --timeout <seconds>   per-run cooperative watchdog; expired runs are retried,\n"
+      "                        then quarantined (0 = off)\n"
+      "  --retries <int>       extra attempts before a throwing/hanging run is\n"
+      "                        quarantined (default 1)\n"
+      "  --quarantine-dir <d>  write one byzrename.repro/1 bundle per quarantined run\n"
+      "                        into <d> (replayable via byzrename --repro)\n"
       "  --fail-fast           cancel outstanding runs on the first violation\n"
       "  --shard <i>/<k>       execute only cells with index %% k == i\n"
       "  --quiet               suppress the human table\n"
       "  --help                this text\n"
       "\n"
-      "Spec format and schema reference: docs/CAMPAIGNS.md\n";
+      "Spec format and schema reference: docs/CAMPAIGNS.md, docs/FAULTS.md\n";
 }
 
 struct CliError {
   std::string message;
 };
+
+/// Strict whole-token numeric parse: no leading/trailing junk, no silent
+/// truncation (unlike std::stoi, which accepts "8abc").
+template <typename Number>
+Number parse_number(std::string_view flag, std::string_view token) {
+  Number value{};
+  const auto [end, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || end != token.data() + token.size()) {
+    throw CliError{std::string(flag) + " expects a number, got '" + std::string(token) + "'"};
+  }
+  return value;
+}
 
 exp::CampaignSpec preset_spec(std::string_view name) {
   if (name == "table4") {
@@ -77,6 +99,7 @@ struct Options {
   std::string out_path;
   std::string runs_out_path;
   std::string summary_out_path;
+  std::string quarantine_dir;
   bool quiet = false;
 };
 
@@ -98,10 +121,9 @@ Options parse(int argc, char** argv) {
       options.spec = preset_spec(next_value(i));
       options.have_spec = true;
     } else if (arg == "--threads") {
-      try {
-        options.run.threads = std::stoi(next_value(i));
-      } catch (const std::exception&) {
-        throw CliError{"--threads expects an integer"};
+      options.run.threads = parse_number<int>("--threads", next_value(i));
+      if (options.run.threads < 1) {
+        throw CliError{"--threads must be >= 1 (omit the flag for hardware concurrency)"};
       }
     } else if (arg == "--out") {
       options.out_path = next_value(i);
@@ -109,18 +131,25 @@ Options parse(int argc, char** argv) {
       options.runs_out_path = next_value(i);
     } else if (arg == "--summary-out") {
       options.summary_out_path = next_value(i);
+    } else if (arg == "--timeout") {
+      options.run.run_timeout_seconds = parse_number<double>("--timeout", next_value(i));
+      if (options.run.run_timeout_seconds < 0.0) {
+        throw CliError{"--timeout must be >= 0 (0 disables the watchdog)"};
+      }
+    } else if (arg == "--retries") {
+      options.run.quarantine_retries = parse_number<int>("--retries", next_value(i));
+      if (options.run.quarantine_retries < 0) throw CliError{"--retries must be >= 0"};
+    } else if (arg == "--quarantine-dir") {
+      options.quarantine_dir = next_value(i);
+      if (options.quarantine_dir.empty()) throw CliError{"--quarantine-dir needs a path"};
     } else if (arg == "--fail-fast") {
       options.run.fail_fast = true;
     } else if (arg == "--shard") {
       const std::string value = next_value(i);
       const std::size_t slash = value.find('/');
       if (slash == std::string::npos) throw CliError{"--shard expects i/k"};
-      try {
-        options.run.shard_index = std::stoi(value.substr(0, slash));
-        options.run.shard_count = std::stoi(value.substr(slash + 1));
-      } catch (const std::exception&) {
-        throw CliError{"--shard expects integers i/k"};
-      }
+      options.run.shard_index = parse_number<int>("--shard", value.substr(0, slash));
+      options.run.shard_count = parse_number<int>("--shard", value.substr(slash + 1));
       if (options.run.shard_count < 1 || options.run.shard_index < 0 ||
           options.run.shard_index >= options.run.shard_count) {
         throw CliError{"--shard requires 0 <= i < k"};
@@ -142,6 +171,45 @@ std::optional<std::ofstream> open_out(const std::string& path, const char* flag)
     throw CliError{std::string("cannot open ") + flag + " path: " + path};
   }
   return out;
+}
+
+/// Writes one byzrename.repro/1 bundle per quarantined run so CI (or a
+/// human) can replay the exact failing execution with `byzrename --repro`.
+/// Returns the number of bundles written.
+std::size_t write_quarantine_bundles(const std::string& dir, const exp::CampaignSpec& spec,
+                                     const exp::CampaignResult& result) {
+  std::size_t written = 0;
+  const std::size_t reps =
+      result.cells.empty() ? 1 : result.runs.size() / result.cells.size();
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    const exp::RunRecord& record = result.runs[i];
+    if (!record.quarantined) continue;
+    if (written == 0) std::filesystem::create_directories(dir);
+    const exp::CampaignCell& cell = result.cells[i / reps];
+    exp::ReproBundle bundle;
+    bundle.campaign = spec.name;
+    bundle.cell = exp::cell_key(cell);
+    bundle.rep = record.rep;
+    bundle.scenario.algorithm = cell.algorithm;
+    bundle.scenario.params = cell.params;
+    bundle.scenario.adversary = cell.adversary;
+    bundle.scenario.actual_faults = spec.actual_faults;
+    bundle.scenario.seed = record.seed;
+    bundle.scenario.iterations = spec.options.approximation_iterations;
+    bundle.scenario.validate_votes = spec.options.validate_votes;
+    bundle.scenario.extra_rounds = spec.extra_rounds;
+    bundle.scenario.fault_plan = spec.fault_plan;
+    bundle.expected.kind = record.failure;
+    bundle.expected.classes = record.violation_classes;
+    bundle.expected.detail = record.detail;
+    const std::string path = dir + "/quarantine-" + std::to_string(record.cell) + "-rep" +
+                             std::to_string(record.rep) + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out.is_open()) throw CliError{"cannot write quarantine bundle: " + path};
+    exp::write_repro_bundle(out, bundle);
+    written += 1;
+  }
+  return written;
 }
 
 }  // namespace
@@ -182,6 +250,19 @@ int main(int argc, char** argv) {
   if (out.has_value()) exp::write_campaign_cells(*out, options.spec, result);
   if (summary_out.has_value()) exp::write_campaign_summary(*summary_out, options.spec, result);
 
+  std::size_t bundles = 0;
+  if (!options.quarantine_dir.empty()) {
+    try {
+      bundles = write_quarantine_bundles(options.quarantine_dir, options.spec, result);
+    } catch (const CliError& error) {
+      std::cerr << "byzrename-campaign: " << error.message << '\n';
+      return 2;
+    } catch (const std::exception& error) {
+      std::cerr << "byzrename-campaign: " << error.what() << '\n';
+      return 2;
+    }
+  }
+
   if (!options.quiet) {
     std::cout << "campaign " << options.spec.name << ": " << result.cells.size() << " cell(s) x "
               << options.spec.repetitions << " rep(s)";
@@ -192,6 +273,10 @@ int main(int argc, char** argv) {
     exp::print_campaign_table(std::cout, result);
     if (out.has_value()) std::cout << "\n[campaign] cell aggregates: " << options.out_path << '\n';
     if (runs_out.has_value()) std::cout << "[campaign] run reports: " << options.runs_out_path << '\n';
+    if (bundles > 0) {
+      std::cout << "[campaign] quarantine bundles: " << bundles << " in "
+                << options.quarantine_dir << '\n';
+    }
   }
   return result.all_ok() ? 0 : 1;
 }

@@ -9,13 +9,14 @@
 //
 // Exit code 0 iff every renaming property held; 2 on usage errors.
 
+#include <algorithm>
 #include <charconv>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,6 +25,9 @@
 #include "core/harness.h"
 #include "core/op_renaming.h"
 #include "exp/campaign.h"
+#include "exp/executor.h"
+#include "exp/repro.h"
+#include "sim/fault.h"
 #include "obs/run_report.h"
 #include "obs/telemetry.h"
 #include "obs/trace_export.h"
@@ -46,9 +50,15 @@ void print_usage() {
       "  --iterations <int>    voting iterations override (Alg. 1 only)\n"
       "  --no-validation       ABLATION: disable the Alg. 2 isValid filter\n"
       "  --ids <a,b,c,...>     explicit correct-process ids\n"
+      "  --fault-plan <spec>   inject link/crash/partition faults, e.g.\n"
+      "                        \"drop:0.2+crash:3@2..5\" (grammar: docs/FAULTS.md)\n"
+      "  --repro <path>        replay a byzrename.repro/1 bundle (--repeat K replays it\n"
+      "                        K times; exit 0 iff all verdicts match the bundle)\n"
+      "  --repro-out <path>    write the byzrename.repro-verdict/1 replay outcome\n"
       "  --repeat <int>        run the scenario K times under derived seeds and print\n"
       "                        aggregate decide-round stats (campaign engine)\n"
-      "  --threads <int>       worker threads for --repeat (default: hardware)\n"
+      "  --threads <int>       worker threads for --repeat/--repro, >= 1\n"
+      "                        (default: hardware concurrency)\n"
       "  --trace               print per-round metrics\n"
       "  --json <path>         write a JSONL run report (schema byzrename.run/1)\n"
       "  --trace-out <path>    write a Chrome trace-event file (chrome://tracing, Perfetto)\n"
@@ -58,21 +68,6 @@ void print_usage() {
       "  --help                this text\n"
       "\n"
       "Report schema and trace-loading instructions: docs/OBSERVABILITY.md\n";
-}
-
-std::optional<core::Algorithm> parse_algorithm(std::string_view name) {
-  static const std::map<std::string_view, core::Algorithm> table = {
-      {"op", core::Algorithm::kOpRenaming},
-      {"const", core::Algorithm::kOpRenamingConstantTime},
-      {"fast", core::Algorithm::kFastRenaming},
-      {"crash", core::Algorithm::kCrashRenaming},
-      {"consensus", core::Algorithm::kConsensusRenaming},
-      {"bit", core::Algorithm::kBitRenaming},
-      {"translated", core::Algorithm::kTranslatedRenaming},
-  };
-  const auto it = table.find(name);
-  if (it == table.end()) return std::nullopt;
-  return it->second;
 }
 
 struct CliError {
@@ -120,6 +115,8 @@ struct Options {
   int threads = 0;
   std::string json_path;
   std::string trace_out_path;
+  std::string repro_path;
+  std::string repro_out_path;
 };
 
 Options parse(int argc, char** argv) {
@@ -139,7 +136,7 @@ Options parse(int argc, char** argv) {
       std::exit(0);
     } else if (arg == "--algorithm") {
       const std::string value = next_value(i);
-      const auto algorithm = parse_algorithm(value);
+      const auto algorithm = core::algorithm_from_token(value);
       if (!algorithm.has_value()) throw CliError{"unknown algorithm: " + value};
       options.config.algorithm = *algorithm;
     } else if (arg == "--n") {
@@ -158,11 +155,24 @@ Options parse(int argc, char** argv) {
       options.config.options.validate_votes = false;
     } else if (arg == "--ids") {
       options.config.correct_ids = parse_ids(next_value(i));
+    } else if (arg == "--fault-plan") {
+      try {
+        options.config.fault_plan = sim::parse_fault_plan(next_value(i));
+      } catch (const std::invalid_argument& error) {
+        throw CliError{error.what()};
+      }
+    } else if (arg == "--repro") {
+      options.repro_path = next_value(i);
+    } else if (arg == "--repro-out") {
+      options.repro_out_path = next_value(i);
     } else if (arg == "--repeat") {
       options.repeat = parse_number<int>(arg, next_value(i));
       if (options.repeat < 1) throw CliError{"--repeat must be >= 1"};
     } else if (arg == "--threads") {
       options.threads = parse_number<int>(arg, next_value(i));
+      if (options.threads < 1) {
+        throw CliError{"--threads must be >= 1 (omit the flag for hardware concurrency)"};
+      }
     } else if (arg == "--trace") {
       options.trace = true;
     } else if (arg == "--json") {
@@ -195,6 +205,62 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!options.repro_path.empty()) {
+    // Repro mode: replay a byzrename.repro/1 bundle bit-for-bit. The
+    // bundle's own seed is used verbatim (no campaign derivation), so the
+    // replay IS the original execution; --repeat K runs it K times on the
+    // work-stealing pool and demands identical verdicts at any --threads.
+    std::ifstream in(options.repro_path);
+    if (!in.is_open()) {
+      std::cerr << "byzrename: cannot open --repro bundle: " << options.repro_path << '\n';
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    exp::ReproBundle bundle;
+    try {
+      bundle = exp::parse_repro_bundle(buffer.str());
+    } catch (const std::exception& error) {
+      std::cerr << "byzrename: " << options.repro_path << ": " << error.what() << '\n';
+      return 2;
+    }
+
+    const std::size_t replays = static_cast<std::size_t>(options.repeat);
+    std::vector<exp::ReproVerdict> verdicts(replays);
+    exp::Executor executor(options.threads);
+    executor.run(replays, [&](std::size_t index) {
+      verdicts[index] = exp::evaluate_scenario(bundle.scenario);
+    });
+    const exp::ReproVerdict& observed = verdicts.front();
+    const bool consistent = std::all_of(
+        verdicts.begin(), verdicts.end(),
+        [&observed](const exp::ReproVerdict& v) { return v == observed; });
+    const bool matches = observed == bundle.expected;
+
+    if (!options.repro_out_path.empty()) {
+      std::ofstream verdict_out(options.repro_out_path, std::ios::trunc);
+      if (!verdict_out.is_open()) {
+        std::cerr << "byzrename: cannot open --repro-out path: " << options.repro_out_path
+                  << '\n';
+        return 2;
+      }
+      exp::write_repro_verdict(verdict_out, bundle, observed, options.repeat, consistent);
+    }
+    if (options.report || options.repro_out_path.empty()) {
+      exp::write_repro_verdict(std::cout, bundle, observed, options.repeat, consistent);
+    }
+    if (!options.quiet) {
+      std::cout << "repro: " << options.repro_path << " replayed " << replays << "x on "
+                << executor.threads() << " thread(s): observed "
+                << exp::to_string(observed.kind)
+                << (observed.classes.empty() ? "" : " [" + observed.classes + "]") << ", "
+                << (consistent ? "consistent" : "INCONSISTENT") << ", "
+                << (matches ? "matches expected verdict" : "DOES NOT match expected verdict")
+                << '\n';
+    }
+    return matches && consistent ? 0 : 1;
+  }
+
   if (options.repeat > 1) {
     // Repeat mode: the same scenario K times under derived seeds, on the
     // campaign engine's work-stealing pool. Aggregate stats replace the
@@ -211,6 +277,7 @@ int main(int argc, char** argv) {
     spec.master_seed = options.config.seed;
     spec.options = options.config.options;
     spec.actual_faults = options.config.actual_faults;
+    spec.fault_plan = options.config.fault_plan;
 
     exp::CampaignOptions run;
     run.threads = options.threads;

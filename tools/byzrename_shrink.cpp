@@ -1,0 +1,212 @@
+// byzrename-shrink — delta-debugging minimizer for failing scenarios.
+//
+// Takes a failing scenario (either scenario flags like the byzrename CLI,
+// or an existing byzrename.repro/1 bundle) and greedily shrinks it to the
+// smallest scenario that still fails the SAME way (same violation class
+// set / exception message). Emits the minimized scenario as a
+// self-contained repro bundle that `byzrename --repro` replays exactly.
+//
+// Examples:
+//   byzrename-shrink --n 16 --t 5 --fault-plan drop:0.6 --seed 3 --out min.json
+//   byzrename-shrink --bundle quarantine/quarantine-2-rep0.json --out min.json
+//   byzrename-shrink --n 10 --t 3 --adversary orderbreak --no-validation -v
+//
+// Exit code 0 iff the input failed and a bundle was written (even when no
+// candidate was smaller); 2 on usage errors or a non-failing input.
+
+#include <charconv>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "core/algorithm.h"
+#include "exp/repro.h"
+#include "exp/shrink.h"
+#include "sim/fault.h"
+
+namespace {
+
+using namespace byzrename;
+
+void print_usage() {
+  std::cout <<
+      "usage: byzrename-shrink [options]\n"
+      "  --bundle <path>       start from an existing byzrename.repro/1 bundle\n"
+      "                        (scenario flags below then override its fields)\n"
+      "  --algorithm <name>    protocol (default op)\n"
+      "  --n <int>             number of processes (default 10)\n"
+      "  --t <int>             fault budget (default 3)\n"
+      "  --faults <int>        actual faulty processes, <= t (default t)\n"
+      "  --adversary <name>    Byzantine strategy (default silent)\n"
+      "  --seed <uint64>       run seed (default 1)\n"
+      "  --iterations <int>    voting iterations override (Alg. 1 only)\n"
+      "  --extra <int>         extra post-decision rounds\n"
+      "  --no-validation       disable the Alg. 2 isValid filter\n"
+      "  --fault-plan <spec>   injected faults, e.g. \"drop:0.4+crash:3@2..5\"\n"
+      "  --max-attempts <int>  candidate-evaluation budget (default 200)\n"
+      "  --timeout <seconds>   watchdog per candidate evaluation (0 = off)\n"
+      "  --out <path>          minimized bundle path (default: stdout)\n"
+      "  -v, --verbose         print each accepted shrink step\n"
+      "  --help                this text\n"
+      "\n"
+      "Shrinker semantics and bundle schema: docs/FAULTS.md\n";
+}
+
+struct CliError {
+  std::string message;
+};
+
+template <typename Number>
+Number parse_number(std::string_view flag, std::string_view token) {
+  Number value{};
+  const auto [end, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || end != token.data() + token.size()) {
+    throw CliError{std::string(flag) + " expects a number, got '" + std::string(token) + "'"};
+  }
+  return value;
+}
+
+struct Options {
+  exp::ReproScenario scenario;
+  exp::ShrinkOptions shrink;
+  std::string bundle_path;
+  std::string out_path;
+  bool verbose = false;
+};
+
+Options parse(int argc, char** argv) {
+  Options options;
+  options.scenario.params = {.n = 10, .t = 3};
+  auto next_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) throw CliError{std::string(argv[i]) + " needs a value"};
+    return argv[++i];
+  };
+  // First pass: load the bundle (if any) so explicit flags override it.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--bundle") {
+      options.bundle_path = next_value(i);
+      std::ifstream in(options.bundle_path);
+      if (!in.is_open()) throw CliError{"cannot open --bundle: " + options.bundle_path};
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      try {
+        options.scenario = exp::parse_repro_bundle(buffer.str()).scenario;
+      } catch (const std::exception& error) {
+        throw CliError{options.bundle_path + ": " + error.what()};
+      }
+    }
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help") {
+      print_usage();
+      std::exit(0);
+    } else if (arg == "--bundle") {
+      ++i;  // consumed by the first pass
+    } else if (arg == "--algorithm") {
+      const std::string value = next_value(i);
+      const auto algorithm = core::algorithm_from_token(value);
+      if (!algorithm.has_value()) throw CliError{"unknown algorithm: " + value};
+      options.scenario.algorithm = *algorithm;
+    } else if (arg == "--n") {
+      options.scenario.params.n = parse_number<int>(arg, next_value(i));
+    } else if (arg == "--t") {
+      options.scenario.params.t = parse_number<int>(arg, next_value(i));
+    } else if (arg == "--faults") {
+      options.scenario.actual_faults = parse_number<int>(arg, next_value(i));
+    } else if (arg == "--adversary") {
+      options.scenario.adversary = next_value(i);
+    } else if (arg == "--seed") {
+      options.scenario.seed = parse_number<std::uint64_t>(arg, next_value(i));
+    } else if (arg == "--iterations") {
+      options.scenario.iterations = parse_number<int>(arg, next_value(i));
+    } else if (arg == "--extra") {
+      options.scenario.extra_rounds = parse_number<int>(arg, next_value(i));
+    } else if (arg == "--no-validation") {
+      options.scenario.validate_votes = false;
+    } else if (arg == "--fault-plan") {
+      try {
+        options.scenario.fault_plan = sim::parse_fault_plan(next_value(i));
+      } catch (const std::invalid_argument& error) {
+        throw CliError{error.what()};
+      }
+    } else if (arg == "--max-attempts") {
+      options.shrink.max_attempts = parse_number<int>(arg, next_value(i));
+      if (options.shrink.max_attempts < 1) throw CliError{"--max-attempts must be >= 1"};
+    } else if (arg == "--timeout") {
+      options.shrink.run_timeout_seconds = parse_number<double>(arg, next_value(i));
+      if (options.shrink.run_timeout_seconds < 0.0) throw CliError{"--timeout must be >= 0"};
+    } else if (arg == "--out") {
+      options.out_path = next_value(i);
+    } else if (arg == "-v" || arg == "--verbose") {
+      options.verbose = true;
+    } else {
+      throw CliError{"unknown option: " + std::string(arg)};
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  try {
+    options = parse(argc, argv);
+  } catch (const CliError& error) {
+    std::cerr << "byzrename-shrink: " << error.message << "\n\n";
+    print_usage();
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "byzrename-shrink: " << error.what() << '\n';
+    return 2;
+  }
+
+  if (options.verbose) {
+    options.shrink.on_shrink = [](const exp::ReproScenario& scenario, std::size_t size) {
+      std::cerr << "[shrink] size " << size << ": n=" << scenario.params.n
+                << " t=" << scenario.params.t << " adversary=" << scenario.adversary
+                << " faults=" << scenario.actual_faults
+                << " plan=" << (scenario.fault_plan.empty() ? std::string("(none)")
+                                                            : sim::to_spec(scenario.fault_plan))
+                << '\n';
+    };
+  }
+
+  exp::ShrinkResult result;
+  try {
+    result = exp::shrink_scenario(options.scenario, options.shrink);
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "byzrename-shrink: " << error.what() << '\n';
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "byzrename-shrink: " << error.what() << '\n';
+    return 2;
+  }
+
+  exp::ReproBundle bundle;
+  bundle.campaign = "shrink";
+  bundle.scenario = result.scenario;
+  bundle.expected = result.verdict;
+  if (options.out_path.empty()) {
+    exp::write_repro_bundle(std::cout, bundle);
+  } else {
+    std::ofstream out(options.out_path, std::ios::trunc);
+    if (!out.is_open()) {
+      std::cerr << "byzrename-shrink: cannot open --out path: " << options.out_path << '\n';
+      return 2;
+    }
+    exp::write_repro_bundle(out, bundle);
+  }
+
+  std::cerr << "shrink: size " << result.original_size << " -> " << result.final_size << " ("
+            << result.accepted_shrinks << " accepted / " << result.attempts
+            << " attempts), failure " << exp::to_string(result.verdict.kind)
+            << (result.verdict.classes.empty() ? "" : " [" + result.verdict.classes + "]")
+            << (result.shrank() ? "" : "; already minimal") << '\n';
+  return 0;
+}
