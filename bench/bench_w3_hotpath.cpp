@@ -1,0 +1,207 @@
+// W3 — hot-path benchmark with allocation accounting (engineering).
+//
+// Pins the two measured hot paths of EXPERIMENTS.md W1 — broadcast
+// fan-out in sim::Network and exact-rational trimmed averaging — plus
+// full Alg. 1 runs, and emits BENCH_hotpath.json at the repo root via
+// BenchReporter so every future PR can diff its perf against this one.
+// CI compares the N=64 macro case against bench/baseline/ (>25%
+// regression fails the job; see docs/PERFORMANCE.md).
+//
+// Heap allocations are counted by overriding global operator new in
+// this translation unit, which makes allocs_per_round/allocs_per_run
+// exact and hardware-independent — the stable half of the baseline.
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/harness.h"
+#include "core/rank_approx.h"
+#include "numeric/rational.h"
+#include "obs/bench_report.h"
+#include "sim/network.h"
+#include "sim/process.h"
+#include "sim/rng.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace byzrename;
+using numeric::Rational;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Measurement {
+  double unit_seconds = 0;  ///< wall-clock per round / step / run
+  double unit_allocs = 0;   ///< heap allocations per round / step / run
+};
+
+/// Broadcasts a realistic voting-phase payload every round: N rank
+/// entries with exact-rational ranks, the message shape Alg. 1 floods
+/// N-to-N during its entire voting phase.
+class FanoutBehavior final : public sim::ProcessBehavior {
+ public:
+  explicit FanoutBehavior(int n) {
+    const Rational d = core::delta({.n = n, .t = n / 4});
+    msg_.entries.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      msg_.entries.push_back({i + 1, Rational(i + 1) * d});
+    }
+  }
+
+  void on_send(sim::Round, sim::Outbox& out) override { out.broadcast(msg_); }
+  void on_receive(sim::Round, const sim::Inbox& inbox) override { delivered_ += inbox.size(); }
+  [[nodiscard]] bool done() const override { return false; }
+
+ private:
+  sim::RanksMsg msg_;
+  std::size_t delivered_ = 0;
+};
+
+/// One synchronous round of all-to-all RanksMsg broadcast: N sends,
+/// N^2 deliveries, the per-receiver link ordering pass.
+Measurement bench_fanout(int n, int rounds) {
+  std::vector<std::unique_ptr<sim::ProcessBehavior>> behaviors;
+  behaviors.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) behaviors.push_back(std::make_unique<FanoutBehavior>(n));
+  sim::Network network(std::move(behaviors), std::vector<bool>(static_cast<std::size_t>(n), false),
+                       sim::Rng(7));
+  // Warm one round so pooled buffers reach steady state before counting.
+  network.run_round(1);
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  for (int r = 0; r < rounds; ++r) network.run_round(r + 2);
+  const double elapsed = seconds_since(start);
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  return {elapsed / rounds, static_cast<double>(allocs) / rounds};
+}
+
+/// One Alg. 3 voting step over N validated rank arrays — the exact
+/// rational kernel W1 blames for the ms-per-step cost at N=64.
+Measurement bench_trimmed_mean(int n, int steps) {
+  const int t = n / 4;
+  const sim::SystemParams params{.n = n, .t = t};
+  const Rational d = core::delta(params);
+
+  core::RankMap mine;
+  std::set<sim::Id> accepted;
+  for (int i = 0; i < n; ++i) {
+    accepted.insert(i + 1);
+    mine.emplace(i + 1, Rational(i + 1) * d);
+  }
+  const std::vector<core::RankMap> votes(static_cast<std::size_t>(n), mine);
+
+  {  // warm-up
+    std::set<sim::Id> working = accepted;
+    (void)core::approximate(params, working, mine, votes);
+  }
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  for (int s = 0; s < steps; ++s) {
+    std::set<sim::Id> working = accepted;
+    const core::ApproximateResult result = core::approximate(params, working, mine, votes);
+    if (result.new_ranks.empty()) std::abort();  // defeat dead-code elimination
+  }
+  const double elapsed = seconds_since(start);
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  return {elapsed / steps, static_cast<double>(allocs) / steps};
+}
+
+/// Full Alg. 1 run (selection + voting + decision) under the split-world
+/// adversary — the macro case the CI perf gate tracks at N=64.
+Measurement bench_macro_op(int n, int reps) {
+  core::ScenarioConfig config;
+  config.params = {.n = n, .t = (n - 1) / 3};
+  config.adversary = "split";
+  config.seed = 21;
+
+  // Deterministic alloc count from a single scored rep.
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  {
+    const core::ScenarioResult result = core::run_scenario(config);
+    if (!result.report.all_ok()) std::abort();
+  }
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+
+  double best = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = Clock::now();
+    const core::ScenarioResult result = core::run_scenario(config);
+    const double elapsed = seconds_since(start);
+    if (!result.report.all_ok()) std::abort();
+    if (rep == 0 || elapsed < best) best = elapsed;
+  }
+  return {best, static_cast<double>(allocs)};
+}
+
+}  // namespace
+
+int main() {
+  obs::BenchReporter reporter("BENCH_hotpath.json", ".");
+
+  std::printf("W3 — hot-path baseline (fan-out, trimmed mean, full Alg. 1)\n");
+  std::printf("%-22s %14s %16s\n", "case", "time/unit", "allocs/unit");
+
+  const auto emit = [&](const std::string& label, const Measurement& m, const char* unit,
+                        double scale) {
+    std::printf("%-22s %11.3f %s %16.1f\n", label.c_str(), m.unit_seconds * scale, unit,
+                m.unit_allocs);
+    reporter.write_series(label, {{"seconds_per_unit", m.unit_seconds},
+                                  {"allocs_per_unit", m.unit_allocs}});
+  };
+
+  for (const int n : {16, 64, 128}) {
+    emit("fanout_n" + std::to_string(n), bench_fanout(n, n >= 128 ? 20 : 50), "ms/round", 1e3);
+  }
+  for (const int n : {16, 64}) {
+    emit("trimmed_mean_n" + std::to_string(n), bench_trimmed_mean(n, n >= 64 ? 10 : 40),
+         "ms/step", 1e3);
+  }
+  for (const int n : {16, 64, 128}) {
+    emit("macro_op_n" + std::to_string(n), bench_macro_op(n, n >= 128 ? 1 : 3), "s/run ", 1.0);
+  }
+
+  reporter.announce(std::cout);
+  return 0;
+}

@@ -35,7 +35,7 @@ void ByzantineAAProcess::on_receive(sim::Round, const sim::Inbox& inbox) {
   // the wire budget (Byzantine denominator inflation).
   std::map<sim::LinkIndex, Rational> per_link;
   for (const sim::Delivery& d : inbox) {
-    const auto* msg = std::get_if<sim::AAValueMsg>(&d.payload);
+    const auto* msg = std::get_if<sim::AAValueMsg>(&*d.payload);
     if (msg == nullptr) continue;
     if (msg->value.encoded_bits() > max_value_bits_) continue;
     per_link.emplace(d.link, msg->value);

@@ -21,7 +21,7 @@ void CrashAAProcess::on_receive(sim::Round, const sim::Inbox& inbox) {
   if (done()) return;
   std::map<sim::LinkIndex, Rational> per_link;
   for (const sim::Delivery& d : inbox) {
-    const auto* msg = std::get_if<sim::AAValueMsg>(&d.payload);
+    const auto* msg = std::get_if<sim::AAValueMsg>(&*d.payload);
     if (msg == nullptr) continue;
     per_link.emplace(d.link, msg->value);
   }

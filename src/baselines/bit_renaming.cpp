@@ -69,7 +69,7 @@ void BitRenamingProcess::on_receive(Round round, const Inbox& inbox) {
     echo_links_.clear();
     std::set<sim::LinkIndex> claimed_links;  // one claim per link per phase
     for (const Delivery& d : inbox) {
-      const auto* msg = std::get_if<WordMsg>(&d.payload);
+      const auto* msg = std::get_if<WordMsg>(&*d.payload);
       if (msg == nullptr || msg->tag != kClaimBase + phase || msg->words.size() != 3) continue;
       if (!claimed_links.insert(d.link).second) continue;
       const Id id = msg->words[0];
@@ -86,7 +86,7 @@ void BitRenamingProcess::on_receive(Round round, const Inbox& inbox) {
 
   // Echo round: count confirmations per claim over distinct links.
   for (const Delivery& d : inbox) {
-    const auto* msg = std::get_if<WordMsg>(&d.payload);
+    const auto* msg = std::get_if<WordMsg>(&*d.payload);
     if (msg == nullptr || msg->tag != kEchoBase + phase || msg->words.size() % 3 != 0) continue;
     for (std::size_t i = 0; i < msg->words.size(); i += 3) {
       const Id id = msg->words[i];

@@ -54,7 +54,7 @@ void ConsensusRenamingProcess::on_receive(Round round, const Inbox& inbox) {
     // is whatever arrived on link j.
     std::vector<std::int64_t> claims(n, PhaseKingInstance::kBottom);
     for (const Delivery& d : inbox) {
-      const auto* msg = std::get_if<sim::IdMsg>(&d.payload);
+      const auto* msg = std::get_if<sim::IdMsg>(&*d.payload);
       if (msg == nullptr) continue;
       if (claims[static_cast<std::size_t>(d.link)] == PhaseKingInstance::kBottom) {
         claims[static_cast<std::size_t>(d.link)] = msg->id;
@@ -71,7 +71,7 @@ void ConsensusRenamingProcess::on_receive(Round round, const Inbox& inbox) {
   if (is_round_a) {
     std::map<sim::LinkIndex, std::vector<std::int64_t>> per_link;
     for (const Delivery& d : inbox) {
-      const auto* msg = std::get_if<WordMsg>(&d.payload);
+      const auto* msg = std::get_if<WordMsg>(&*d.payload);
       if (msg == nullptr || msg->tag != round || msg->words.size() != n) continue;
       per_link.emplace(d.link, msg->words);
     }
@@ -88,7 +88,7 @@ void ConsensusRenamingProcess::on_receive(Round round, const Inbox& inbox) {
   std::optional<std::vector<std::int64_t>> king_words;
   for (const Delivery& d : inbox) {
     if (d.link != phase) continue;
-    const auto* msg = std::get_if<WordMsg>(&d.payload);
+    const auto* msg = std::get_if<WordMsg>(&*d.payload);
     if (msg == nullptr || msg->tag != round || msg->words.size() != n) continue;
     king_words = msg->words;
     break;

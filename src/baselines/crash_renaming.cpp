@@ -34,7 +34,7 @@ void CrashRenamingProcess::on_receive(Round round, const Inbox& inbox) {
   if (round == 1) {
     std::set<sim::LinkIndex> seen_links;
     for (const sim::Delivery& d : inbox) {
-      const auto* msg = std::get_if<sim::IdMsg>(&d.payload);
+      const auto* msg = std::get_if<sim::IdMsg>(&*d.payload);
       if (msg == nullptr) continue;
       if (!seen_links.insert(d.link).second) continue;
       accepted_.insert(msg->id);
@@ -50,7 +50,7 @@ void CrashRenamingProcess::on_receive(Round round, const Inbox& inbox) {
 
   std::map<sim::LinkIndex, core::RankMap> per_link;
   for (const sim::Delivery& d : inbox) {
-    const auto* msg = std::get_if<sim::RanksMsg>(&d.payload);
+    const auto* msg = std::get_if<sim::RanksMsg>(&*d.payload);
     if (msg == nullptr) continue;
     core::RankMap vote;
     if (!core::decode_vote(*msg, params_, options_, vote)) continue;

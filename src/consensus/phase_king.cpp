@@ -71,7 +71,7 @@ void PhaseKingProcess::on_receive(Round round, const Inbox& inbox) {
     // One value per link; link label == sender index in this model.
     std::map<sim::LinkIndex, std::int64_t> per_link;
     for (const Delivery& d : inbox) {
-      const auto* msg = std::get_if<WordMsg>(&d.payload);
+      const auto* msg = std::get_if<WordMsg>(&*d.payload);
       if (msg == nullptr || msg->tag != round || msg->words.size() != 1) continue;
       per_link.emplace(d.link, msg->words[0]);
     }
@@ -83,7 +83,7 @@ void PhaseKingProcess::on_receive(Round round, const Inbox& inbox) {
     std::optional<std::int64_t> king_value;
     for (const Delivery& d : inbox) {
       if (d.link != phase) continue;  // only the phase king's link counts
-      const auto* msg = std::get_if<WordMsg>(&d.payload);
+      const auto* msg = std::get_if<WordMsg>(&*d.payload);
       if (msg == nullptr || msg->tag != round || msg->words.size() != 1) continue;
       king_value = msg->words[0];
       break;

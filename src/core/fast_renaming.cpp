@@ -47,7 +47,7 @@ void FastRenamingProcess::on_receive(Round round, const Inbox& inbox) {
   if (decided_) return;
   if (round == 1) {
     for (const Delivery& d : inbox) {
-      const auto* msg = std::get_if<IdMsg>(&d.payload);
+      const auto* msg = std::get_if<IdMsg>(&*d.payload);
       if (msg == nullptr) continue;
       if (link_id_.contains(d.link)) continue;  // one announcement per link
       link_id_.emplace(d.link, msg->id);
@@ -59,7 +59,7 @@ void FastRenamingProcess::on_receive(Round round, const Inbox& inbox) {
 
   std::set<LinkIndex> echoed_links;
   for (const Delivery& d : inbox) {
-    const auto* msg = std::get_if<MultiEchoMsg>(&d.payload);
+    const auto* msg = std::get_if<MultiEchoMsg>(&*d.payload);
     if (msg == nullptr) continue;
     if (!echoed_links.insert(d.link).second) continue;  // one MultiEcho per link
     // Treat the id list as a set: repeating an id inside one message must

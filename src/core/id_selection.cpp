@@ -54,7 +54,7 @@ void IdSelection::on_receive(Round step, const Inbox& inbox) {
       std::set<LinkIndex> seen_links;
       ids_.clear();
       for (const Delivery& d : inbox) {
-        const auto* msg = std::get_if<IdMsg>(&d.payload);
+        const auto* msg = std::get_if<IdMsg>(&*d.payload);
         if (msg == nullptr) continue;
         if (!seen_links.insert(d.link).second) continue;
         ids_.insert(msg->id);
@@ -63,7 +63,7 @@ void IdSelection::on_receive(Round step, const Inbox& inbox) {
     }
     case 2: {
       for (const Delivery& d : inbox) {
-        const auto* msg = std::get_if<EchoMsg>(&d.payload);
+        const auto* msg = std::get_if<EchoMsg>(&*d.payload);
         if (msg == nullptr) continue;
         echo_links_[msg->id].insert(d.link);
       }
@@ -75,7 +75,7 @@ void IdSelection::on_receive(Round step, const Inbox& inbox) {
     }
     case 3: {
       for (const Delivery& d : inbox) {
-        const auto* msg = std::get_if<ReadyMsg>(&d.payload);
+        const auto* msg = std::get_if<ReadyMsg>(&*d.payload);
         if (msg == nullptr) continue;
         ready_links_[msg->id].insert(d.link);
       }
@@ -92,7 +92,7 @@ void IdSelection::on_receive(Round step, const Inbox& inbox) {
     case 4: {
       // Ready counts accumulate over steps 3 and 4 (paper, lines 24-25).
       for (const Delivery& d : inbox) {
-        const auto* msg = std::get_if<ReadyMsg>(&d.payload);
+        const auto* msg = std::get_if<ReadyMsg>(&*d.payload);
         if (msg == nullptr) continue;
         ready_links_[msg->id].insert(d.link);
       }

@@ -50,7 +50,7 @@ void OpRenamingProcess::on_receive(Round round, const Inbox& inbox) {
   // Byzantine process outvote the trim).
   std::map<sim::LinkIndex, RankMap> per_link;
   for (const sim::Delivery& d : inbox) {
-    const auto* msg = std::get_if<sim::RanksMsg>(&d.payload);
+    const auto* msg = std::get_if<sim::RanksMsg>(&*d.payload);
     if (msg == nullptr) continue;
     if (per_link.contains(d.link)) {
       ++rejected_votes_;

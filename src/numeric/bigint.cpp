@@ -1,15 +1,31 @@
 #include "numeric/bigint.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 namespace byzrename::numeric {
 
 namespace {
 
 constexpr std::uint64_t kLimbBase = 1ull << 32;
+
+// Portable 64x64->128 multiply for the small-value fast paths. GCC/Clang
+// lower this to a single mulx/umulh pair; the __extension__ keeps
+// -Wpedantic quiet about the non-ISO type.
+__extension__ typedef unsigned __int128 u128;
+
+std::uint64_t gcd_u64(std::uint64_t a, std::uint64_t b) noexcept {
+  while (b != 0) {
+    const std::uint64_t r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
 
 }  // namespace
 
@@ -46,6 +62,41 @@ BigInt BigInt::from_string(std::string_view text) {
   return result;
 }
 
+std::uint64_t BigInt::mag64() const noexcept {
+  switch (limbs_.size()) {
+    case 0:
+      return 0;
+    case 1:
+      return limbs_[0];
+    default:
+      return (static_cast<std::uint64_t>(limbs_[1]) << kLimbBits) | limbs_[0];
+  }
+}
+
+void BigInt::set_mag128(std::uint64_t lo, std::uint64_t hi) {
+  limbs_.clear();
+  const Limb parts[4] = {static_cast<Limb>(lo & 0xFFFFFFFFu), static_cast<Limb>(lo >> kLimbBits),
+                         static_cast<Limb>(hi & 0xFFFFFFFFu), static_cast<Limb>(hi >> kLimbBits)};
+  std::size_t count = 4;
+  while (count > 0 && parts[count - 1] == 0) --count;
+  for (std::size_t i = 0; i < count; ++i) limbs_.push_back(parts[i]);
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::from_mag_parts(std::uint64_t lo, std::uint64_t hi, bool negative) {
+  BigInt value;
+  value.set_mag128(lo, hi);
+  value.negative_ = negative && !value.limbs_.empty();
+  return value;
+}
+
+unsigned BigInt::trailing_zero_bits() const noexcept {
+  std::size_t i = 0;
+  while (limbs_[i] == 0) ++i;
+  return static_cast<unsigned>(i) * kLimbBits +
+         static_cast<unsigned>(std::countr_zero(limbs_[i]));
+}
+
 void BigInt::trim() noexcept {
   while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
   if (limbs_.empty()) negative_ = false;
@@ -53,16 +104,11 @@ void BigInt::trim() noexcept {
 
 std::size_t BigInt::bit_length() const noexcept {
   if (limbs_.empty()) return 0;
-  std::size_t bits = (limbs_.size() - 1) * kLimbBits;
-  Limb top = limbs_.back();
-  while (top != 0) {
-    ++bits;
-    top >>= 1;
-  }
-  return bits;
+  return (limbs_.size() - 1) * kLimbBits +
+         static_cast<std::size_t>(std::bit_width(limbs_.back()));
 }
 
-int BigInt::compare_magnitude(const std::vector<Limb>& a, const std::vector<Limb>& b) noexcept {
+int BigInt::compare_magnitude(const LimbVec& a, const LimbVec& b) noexcept {
   if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
   for (std::size_t i = a.size(); i-- > 0;) {
     if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
@@ -88,10 +134,7 @@ bool BigInt::fits_int64() const noexcept {
 
 std::int64_t BigInt::to_int64() const {
   if (!fits_int64()) throw std::overflow_error("BigInt::to_int64: out of range");
-  std::uint64_t magnitude = 0;
-  for (std::size_t i = limbs_.size(); i-- > 0;) {
-    magnitude = (magnitude << kLimbBits) | limbs_[i];
-  }
+  const std::uint64_t magnitude = mag64();
   if (negative_) return static_cast<std::int64_t>(~magnitude + 1);
   return static_cast<std::int64_t>(magnitude);
 }
@@ -116,11 +159,11 @@ BigInt BigInt::abs() const {
   return result;
 }
 
-std::vector<BigInt::Limb> BigInt::add_magnitude(const std::vector<Limb>& a,
-                                                const std::vector<Limb>& b) {
-  const std::vector<Limb>& longer = a.size() >= b.size() ? a : b;
-  const std::vector<Limb>& shorter = a.size() >= b.size() ? b : a;
-  std::vector<Limb> out(longer.size());
+BigInt::LimbVec BigInt::add_magnitude(const LimbVec& a, const LimbVec& b) {
+  const LimbVec& longer = a.size() >= b.size() ? a : b;
+  const LimbVec& shorter = a.size() >= b.size() ? b : a;
+  LimbVec out;
+  out.resize(longer.size());
   WideLimb carry = 0;
   for (std::size_t i = 0; i < longer.size(); ++i) {
     WideLimb sum = carry + longer[i];
@@ -132,9 +175,9 @@ std::vector<BigInt::Limb> BigInt::add_magnitude(const std::vector<Limb>& a,
   return out;
 }
 
-std::vector<BigInt::Limb> BigInt::sub_magnitude(const std::vector<Limb>& a,
-                                                const std::vector<Limb>& b) {
-  std::vector<Limb> out(a.size());
+BigInt::LimbVec BigInt::sub_magnitude(const LimbVec& a, const LimbVec& b) {
+  LimbVec out;
+  out.resize(a.size());
   std::int64_t borrow = 0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow;
@@ -151,10 +194,10 @@ std::vector<BigInt::Limb> BigInt::sub_magnitude(const std::vector<Limb>& a,
   return out;
 }
 
-std::vector<BigInt::Limb> BigInt::mul_magnitude(const std::vector<Limb>& a,
-                                                const std::vector<Limb>& b) {
-  if (a.empty() || b.empty()) return {};
-  std::vector<Limb> out(a.size() + b.size(), 0);
+BigInt::LimbVec BigInt::mul_magnitude(const LimbVec& a, const LimbVec& b) {
+  LimbVec out;
+  if (a.empty() || b.empty()) return out;
+  out.resize(a.size() + b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     WideLimb carry = 0;
     for (std::size_t j = 0; j < b.size(); ++j) {
@@ -175,8 +218,8 @@ std::vector<BigInt::Limb> BigInt::mul_magnitude(const std::vector<Limb>& a,
 }
 
 // Knuth TAOCP vol. 2, Algorithm D, specialized to 32-bit limbs.
-void BigInt::div_mod_magnitude(const std::vector<Limb>& num, const std::vector<Limb>& den,
-                               std::vector<Limb>& quot, std::vector<Limb>& rem) {
+void BigInt::div_mod_magnitude(const LimbVec& num, const LimbVec& den, LimbVec& quot,
+                               LimbVec& rem) {
   quot.clear();
   rem.clear();
   if (den.empty()) throw std::domain_error("BigInt: division by zero");
@@ -208,16 +251,17 @@ void BigInt::div_mod_magnitude(const std::vector<Limb>& num, const std::vector<L
       ++shift;
     }
   }
-  auto shifted_left = [](const std::vector<Limb>& v, unsigned s) {
-    std::vector<Limb> out(v.size() + 1, 0);
+  auto shifted_left = [](const LimbVec& v, unsigned s) {
+    LimbVec out;
+    out.resize(v.size() + 1);
     for (std::size_t i = 0; i < v.size(); ++i) {
       out[i] |= static_cast<Limb>((static_cast<WideLimb>(v[i]) << s) & 0xFFFFFFFFu);
       if (s != 0) out[i + 1] = static_cast<Limb>(static_cast<WideLimb>(v[i]) >> (kLimbBits - s));
     }
     return out;
   };
-  std::vector<Limb> u = shifted_left(num, shift);  // size m+n+1 (keeps the extra top limb)
-  std::vector<Limb> v = shifted_left(den, shift);
+  LimbVec u = shifted_left(num, shift);  // size m+n+1 (keeps the extra top limb)
+  LimbVec v = shifted_left(den, shift);
   while (!v.empty() && v.back() == 0) v.pop_back();
   const std::size_t n = v.size();
   const std::size_t m = u.size() - n - 1;
@@ -287,26 +331,53 @@ void BigInt::div_mod_magnitude(const std::vector<Limb>& num, const std::vector<L
   while (!rem.empty() && rem.back() == 0) rem.pop_back();
 }
 
-BigInt& BigInt::operator+=(const BigInt& rhs) {
-  if (negative_ == rhs.negative_) {
+BigInt& BigInt::add_signed(const BigInt& rhs, bool rhs_negative) {
+  // Fast path: both magnitudes fit a 64-bit word, so the whole signed
+  // addition is one hardware add/sub plus a possible 65th carry bit.
+  if (small() && rhs.small()) {
+    const std::uint64_t a = mag64();
+    const std::uint64_t b = rhs.mag64();
+    if (negative_ == rhs_negative) {
+      const std::uint64_t sum = a + b;
+      set_mag128(sum, sum < a ? 1 : 0);
+    } else if (a >= b) {
+      set_mag128(a - b, 0);
+    } else {
+      set_mag128(b - a, 0);
+      negative_ = rhs_negative;
+    }
+    if (limbs_.empty()) negative_ = false;
+    return *this;
+  }
+  if (negative_ == rhs_negative) {
     limbs_ = add_magnitude(limbs_, rhs.limbs_);
   } else if (compare_magnitude(limbs_, rhs.limbs_) >= 0) {
     limbs_ = sub_magnitude(limbs_, rhs.limbs_);
   } else {
     limbs_ = sub_magnitude(rhs.limbs_, limbs_);
-    negative_ = rhs.negative_;
+    negative_ = rhs_negative;
   }
   trim();
   return *this;
 }
 
+BigInt& BigInt::operator+=(const BigInt& rhs) { return add_signed(rhs, rhs.negative_); }
+
 BigInt& BigInt::operator-=(const BigInt& rhs) {
-  BigInt negated = rhs;
-  if (!negated.is_zero()) negated.negative_ = !negated.negative_;
-  return *this += negated;
+  // Flipping the sign at the call, instead of copying-and-negating rhs,
+  // keeps subtraction allocation-free. A zero rhs is harmless: both
+  // add_signed branches leave *this unchanged for a zero magnitude.
+  return add_signed(rhs, !rhs.negative_);
 }
 
 BigInt& BigInt::operator*=(const BigInt& rhs) {
+  if (small() && rhs.small()) {
+    const u128 product = static_cast<u128>(mag64()) * rhs.mag64();
+    negative_ = negative_ != rhs.negative_;
+    set_mag128(static_cast<std::uint64_t>(product), static_cast<std::uint64_t>(product >> 64));
+    if (limbs_.empty()) negative_ = false;
+    return *this;
+  }
   negative_ = negative_ != rhs.negative_;
   limbs_ = mul_magnitude(limbs_, rhs.limbs_);
   trim();
@@ -314,8 +385,20 @@ BigInt& BigInt::operator*=(const BigInt& rhs) {
 }
 
 void BigInt::div_mod(const BigInt& num, const BigInt& den, BigInt& quot, BigInt& rem) {
-  std::vector<Limb> q;
-  std::vector<Limb> r;
+  if (num.small() && den.small()) {
+    const std::uint64_t d = den.mag64();
+    if (d == 0) throw std::domain_error("BigInt: division by zero");
+    const std::uint64_t a = num.mag64();
+    const bool quot_negative = num.negative_ != den.negative_;
+    const bool rem_negative = num.negative_;
+    quot.set_mag128(a / d, 0);
+    quot.negative_ = quot_negative && !quot.limbs_.empty();
+    rem.set_mag128(a % d, 0);
+    rem.negative_ = rem_negative && !rem.limbs_.empty();
+    return;
+  }
+  LimbVec q;
+  LimbVec r;
   div_mod_magnitude(num.limbs_, den.limbs_, q, r);
   quot.limbs_ = std::move(q);
   quot.negative_ = num.negative_ != den.negative_;
@@ -345,7 +428,7 @@ BigInt& BigInt::operator<<=(unsigned bits) {
   if (is_zero() || bits == 0) return *this;
   const unsigned limb_shift = bits / kLimbBits;
   const unsigned bit_shift = bits % kLimbBits;
-  limbs_.insert(limbs_.begin(), limb_shift, 0);
+  limbs_.prepend_zeros(limb_shift);
   if (bit_shift != 0) {
     Limb carry = 0;
     for (std::size_t i = limb_shift; i < limbs_.size(); ++i) {
@@ -367,7 +450,7 @@ BigInt& BigInt::operator>>=(unsigned bits) {
     negative_ = false;
     return *this;
   }
-  limbs_.erase(limbs_.begin(), limbs_.begin() + static_cast<std::ptrdiff_t>(limb_shift));
+  limbs_.erase_front(limb_shift);
   if (bit_shift != 0) {
     for (std::size_t i = 0; i < limbs_.size(); ++i) {
       limbs_[i] >>= bit_shift;
@@ -384,14 +467,34 @@ BigInt& BigInt::operator>>=(unsigned bits) {
 BigInt BigInt::gcd(BigInt a, BigInt b) {
   a.negative_ = false;
   b.negative_ = false;
-  while (!b.is_zero()) {
-    BigInt quot;
-    BigInt rem;
-    div_mod(a, b, quot, rem);
-    a = std::move(b);
-    b = std::move(rem);
+  if (a.is_zero()) return b;
+  if (b.is_zero()) return a;
+  if (a.small() && b.small()) {
+    return from_mag_parts(gcd_u64(a.mag64(), b.mag64()), 0, false);
   }
-  return a;
+  // Binary (Stein) GCD: strip common powers of two, then subtract-and-
+  // shift. Each subtraction of two odd values produces an even result,
+  // so every iteration removes at least one bit — no multi-limb division
+  // (the dominant cost of the Euclidean form) is ever performed, and the
+  // loop drops into the hardware-division path as soon as both values
+  // shrink to 64 bits.
+  const unsigned common = std::min(a.trailing_zero_bits(), b.trailing_zero_bits());
+  a >>= a.trailing_zero_bits();
+  b >>= b.trailing_zero_bits();
+  for (;;) {
+    if (a.small() && b.small()) {
+      BigInt result = from_mag_parts(gcd_u64(a.mag64(), b.mag64()), 0, false);
+      result <<= common;
+      return result;
+    }
+    if (compare_magnitude(a.limbs_, b.limbs_) > 0) std::swap(a, b);
+    b -= a;  // both non-negative with |b| >= |a|
+    if (b.is_zero()) {
+      a <<= common;
+      return a;
+    }
+    b >>= b.trailing_zero_bits();
+  }
 }
 
 std::vector<std::uint8_t> BigInt::magnitude_bytes() const {
@@ -409,7 +512,7 @@ std::vector<std::uint8_t> BigInt::magnitude_bytes() const {
 
 BigInt BigInt::from_magnitude_bytes(const std::vector<std::uint8_t>& bytes, bool negative) {
   BigInt value;
-  value.limbs_.resize((bytes.size() + 3) / 4, 0);
+  value.limbs_.resize((bytes.size() + 3) / 4);
   for (std::size_t i = 0; i < bytes.size(); ++i) {
     value.limbs_[i / 4] |= static_cast<Limb>(bytes[i]) << (8 * (i % 4));
   }

@@ -1,7 +1,9 @@
 #ifndef BYZRENAME_NUMERIC_BIGINT_H
 #define BYZRENAME_NUMERIC_BIGINT_H
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -13,8 +15,13 @@ namespace byzrename::numeric {
 ///
 /// Representation is sign-magnitude with base-2^32 limbs stored
 /// little-endian (limb 0 is least significant). Zero is canonically the
-/// empty limb vector with a non-negative sign. All operations produce
+/// empty limb sequence with a non-negative sign. All operations produce
 /// canonical values (no leading zero limbs, no negative zero).
+///
+/// Limbs use a small-buffer store: magnitudes up to 128 bits — which
+/// covers every rank numerator/denominator a converged Alg. 3 voting
+/// phase produces, and all int64 workloads — live inline in the object
+/// with no heap allocation; only genuinely large values spill.
 ///
 /// This class exists because the renaming algorithm's correctness proofs
 /// (Lemmas IV.4-IV.9 of the paper) are statements about *exact* rational
@@ -32,6 +39,11 @@ class BigInt {
   /// Parses a decimal string with optional leading '-'.
   /// Throws std::invalid_argument on malformed input.
   static BigInt from_string(std::string_view text);
+
+  /// Builds a value from a 128-bit magnitude split into 64-bit halves.
+  /// Zero magnitudes ignore the sign. This is the no-allocation bridge
+  /// the Rational fast paths use to store 128-bit intermediate results.
+  static BigInt from_mag_parts(std::uint64_t lo, std::uint64_t hi, bool negative);
 
   /// True iff the value is zero.
   [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
@@ -84,7 +96,9 @@ class BigInt {
   friend bool operator>(const BigInt& a, const BigInt& b) noexcept { return a.compare(b) > 0; }
   friend bool operator>=(const BigInt& a, const BigInt& b) noexcept { return a.compare(b) >= 0; }
 
-  /// Greatest common divisor of |a| and |b|; gcd(0, 0) == 0.
+  /// Greatest common divisor of |a| and |b|; gcd(0, 0) == 0. Uses
+  /// hardware division while both magnitudes fit 64 bits and binary
+  /// (Stein) reduction — shifts and subtractions only — beyond that.
   static BigInt gcd(BigInt a, BigInt b);
 
   /// Quotient and remainder in one division pass.
@@ -109,17 +123,142 @@ class BigInt {
   using WideLimb = std::uint64_t;
   static constexpr unsigned kLimbBits = 32;
 
-  std::vector<Limb> limbs_;
+  /// Vector of limbs with a small-buffer store: the first kInlineLimbs
+  /// limbs live inside the object; larger magnitudes spill to the heap
+  /// (and stay there until destruction — shrinking back would only add
+  /// branches to the hot paths).
+  class LimbVec {
+   public:
+    static constexpr std::size_t kInlineLimbs = 4;
+
+    LimbVec() noexcept = default;
+    LimbVec(const LimbVec& other) { append(other.data(), other.size_); }
+    LimbVec(LimbVec&& other) noexcept { steal(other); }
+    LimbVec& operator=(const LimbVec& other) {
+      if (this != &other) {
+        size_ = 0;
+        append(other.data(), other.size_);
+      }
+      return *this;
+    }
+    LimbVec& operator=(LimbVec&& other) noexcept {
+      if (this != &other) {
+        delete[] heap_;
+        heap_ = nullptr;
+        steal(other);
+      }
+      return *this;
+    }
+    ~LimbVec() { delete[] heap_; }
+
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] Limb* data() noexcept { return heap_ != nullptr ? heap_ : inline_; }
+    [[nodiscard]] const Limb* data() const noexcept { return heap_ != nullptr ? heap_ : inline_; }
+    [[nodiscard]] Limb& operator[](std::size_t i) noexcept { return data()[i]; }
+    [[nodiscard]] const Limb& operator[](std::size_t i) const noexcept { return data()[i]; }
+    [[nodiscard]] Limb& back() noexcept { return data()[size_ - 1]; }
+    [[nodiscard]] const Limb& back() const noexcept { return data()[size_ - 1]; }
+    [[nodiscard]] Limb* begin() noexcept { return data(); }
+    [[nodiscard]] Limb* end() noexcept { return data() + size_; }
+    [[nodiscard]] const Limb* begin() const noexcept { return data(); }
+    [[nodiscard]] const Limb* end() const noexcept { return data() + size_; }
+
+    void clear() noexcept { size_ = 0; }
+    void pop_back() noexcept { --size_; }
+    void push_back(Limb v) {
+      if (size_ == capacity_) grow(size_ + 1);
+      data()[size_++] = v;
+    }
+    void resize(std::size_t n) {
+      if (n > size_) {
+        if (n > capacity_) grow(n);
+        std::fill(data() + size_, data() + n, Limb{0});
+      }
+      size_ = static_cast<std::uint32_t>(n);
+    }
+    void assign(std::size_t n, Limb v) {
+      if (n > capacity_) grow(n);
+      std::fill(data(), data() + n, v);
+      size_ = static_cast<std::uint32_t>(n);
+    }
+    void assign(const Limb* first, const Limb* last) {
+      size_ = 0;
+      append(first, static_cast<std::size_t>(last - first));
+    }
+    /// Inserts @p k zero limbs at the front (limb-granular left shift).
+    void prepend_zeros(std::size_t k) {
+      if (k == 0) return;
+      const std::size_t n = size_ + k;
+      if (n > capacity_) grow(n);
+      Limb* p = data();
+      std::copy_backward(p, p + size_, p + n);
+      std::fill(p, p + k, Limb{0});
+      size_ = static_cast<std::uint32_t>(n);
+    }
+    /// Removes the @p k least significant limbs (limb-granular right shift).
+    void erase_front(std::size_t k) {
+      if (k == 0) return;
+      Limb* p = data();
+      std::copy(p + k, p + size_, p);
+      size_ -= static_cast<std::uint32_t>(k);
+    }
+
+   private:
+    void append(const Limb* src, std::size_t count) {
+      const std::size_t n = size_ + count;
+      if (n > capacity_) grow(n);
+      std::copy(src, src + count, data() + size_);
+      size_ = static_cast<std::uint32_t>(n);
+    }
+    void grow(std::size_t need) {
+      std::size_t cap = static_cast<std::size_t>(capacity_) * 2;
+      if (cap < need) cap = need;
+      Limb* fresh = new Limb[cap];
+      std::copy(data(), data() + size_, fresh);
+      delete[] heap_;
+      heap_ = fresh;
+      capacity_ = static_cast<std::uint32_t>(cap);
+    }
+    void steal(LimbVec& other) noexcept {
+      heap_ = other.heap_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      if (heap_ == nullptr) std::copy(other.inline_, other.inline_ + size_, inline_);
+      other.heap_ = nullptr;
+      other.size_ = 0;
+      other.capacity_ = kInlineLimbs;
+    }
+
+    Limb inline_[kInlineLimbs];
+    Limb* heap_ = nullptr;
+    std::uint32_t size_ = 0;
+    std::uint32_t capacity_ = kInlineLimbs;
+  };
+
+  LimbVec limbs_;
   bool negative_ = false;
 
+  /// True when the magnitude fits one 64-bit word — the gate for every
+  /// hardware-arithmetic fast path.
+  [[nodiscard]] bool small() const noexcept { return limbs_.size() <= 2; }
+  /// Magnitude as uint64; requires small().
+  [[nodiscard]] std::uint64_t mag64() const noexcept;
+  /// Replaces the magnitude with a 128-bit value, canonically trimmed.
+  void set_mag128(std::uint64_t lo, std::uint64_t hi);
+  /// Count of trailing zero bits; requires a non-zero value.
+  [[nodiscard]] unsigned trailing_zero_bits() const noexcept;
+  /// Shared signed-addition core: *this += (rhs with rhs_negative sign).
+  BigInt& add_signed(const BigInt& rhs, bool rhs_negative);
+
   void trim() noexcept;
-  static int compare_magnitude(const std::vector<Limb>& a, const std::vector<Limb>& b) noexcept;
-  static std::vector<Limb> add_magnitude(const std::vector<Limb>& a, const std::vector<Limb>& b);
+  static int compare_magnitude(const LimbVec& a, const LimbVec& b) noexcept;
+  static LimbVec add_magnitude(const LimbVec& a, const LimbVec& b);
   /// Requires |a| >= |b|.
-  static std::vector<Limb> sub_magnitude(const std::vector<Limb>& a, const std::vector<Limb>& b);
-  static std::vector<Limb> mul_magnitude(const std::vector<Limb>& a, const std::vector<Limb>& b);
-  static void div_mod_magnitude(const std::vector<Limb>& num, const std::vector<Limb>& den,
-                                std::vector<Limb>& quot, std::vector<Limb>& rem);
+  static LimbVec sub_magnitude(const LimbVec& a, const LimbVec& b);
+  static LimbVec mul_magnitude(const LimbVec& a, const LimbVec& b);
+  static void div_mod_magnitude(const LimbVec& num, const LimbVec& den, LimbVec& quot,
+                                LimbVec& rem);
 };
 
 }  // namespace byzrename::numeric

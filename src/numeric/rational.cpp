@@ -1,10 +1,72 @@
 #include "numeric/rational.h"
 
+#include <cstdint>
 #include <ostream>
 #include <stdexcept>
 #include <utility>
 
 namespace byzrename::numeric {
+
+namespace {
+
+// The renaming workload's ranks overwhelmingly fit int64 numerators and
+// denominators (they start as small integers and are repeatedly averaged
+// over ≤ N values). When both operands fit, every arithmetic operator
+// below runs entirely in 128-bit machine words: cross products bounded by
+// 2^63 * (2^63 - 1) < 2^126 never overflow, and the gcd reduction uses
+// hardware division instead of multi-limb Algorithm D. The __extension__
+// keeps -Wpedantic quiet about the non-ISO type.
+__extension__ typedef unsigned __int128 u128;
+__extension__ typedef __int128 i128;
+
+u128 u128_abs(i128 value) noexcept {
+  // Two's complement negate through the unsigned type: safe for the most
+  // negative value, where -value would overflow.
+  return value < 0 ? ~static_cast<u128>(value) + 1 : static_cast<u128>(value);
+}
+
+std::uint64_t gcd_u64(std::uint64_t a, std::uint64_t b) noexcept {
+  while (b != 0) {
+    const std::uint64_t r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+u128 gcd_u128(u128 a, u128 b) noexcept {
+  while (b != 0) {
+    const u128 r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+bool both_fit_int64(const BigInt& a, const BigInt& b) noexcept {
+  return a.fits_int64() && b.fits_int64();
+}
+
+struct Parts {
+  BigInt num;
+  BigInt den;
+};
+
+/// Canonicalizes num/den (den > 0) computed in 128-bit words into
+/// reduced BigInt numerator/denominator without touching the heap.
+Parts reduce_i128(i128 num, u128 den) {
+  if (num == 0) return {BigInt(0), BigInt(1)};
+  const u128 mag = u128_abs(num);
+  const u128 g = gcd_u128(mag, den);
+  const u128 rn = mag / g;
+  const u128 rd = den / g;
+  return {BigInt::from_mag_parts(static_cast<std::uint64_t>(rn),
+                                 static_cast<std::uint64_t>(rn >> 64), num < 0),
+          BigInt::from_mag_parts(static_cast<std::uint64_t>(rd),
+                                 static_cast<std::uint64_t>(rd >> 64), false)};
+}
+
+}  // namespace
 
 Rational::Rational(BigInt numerator, BigInt denominator)
     : num_(std::move(numerator)), den_(std::move(denominator)) {
@@ -25,6 +87,18 @@ void Rational::normalize() {
     den_ = BigInt(1);
     return;
   }
+  if (both_fit_int64(num_, den_)) {
+    const std::int64_t n = num_.to_int64();
+    const auto d = static_cast<std::uint64_t>(den_.to_int64());
+    const std::uint64_t mag =
+        n < 0 ? ~static_cast<std::uint64_t>(n) + 1 : static_cast<std::uint64_t>(n);
+    const std::uint64_t g = gcd_u64(mag, d);
+    if (g > 1) {
+      num_ = BigInt::from_mag_parts(mag / g, 0, n < 0);
+      den_ = BigInt::from_mag_parts(d / g, 0, false);
+    }
+    return;
+  }
   const BigInt g = BigInt::gcd(num_, den_);
   if (g != BigInt(1)) {
     num_ /= g;
@@ -33,6 +107,12 @@ void Rational::normalize() {
 }
 
 int Rational::compare(const Rational& other) const {
+  if (both_fit_int64(num_, den_) && both_fit_int64(other.num_, other.den_)) {
+    const i128 lhs = static_cast<i128>(num_.to_int64()) * other.den_.to_int64();
+    const i128 rhs = static_cast<i128>(other.num_.to_int64()) * den_.to_int64();
+    if (lhs != rhs) return lhs < rhs ? -1 : 1;
+    return 0;
+  }
   // Cross-multiplication is safe: denominators are positive.
   return (num_ * other.den_).compare(other.num_ * den_);
 }
@@ -50,6 +130,16 @@ Rational Rational::abs() const {
 }
 
 Rational& Rational::operator+=(const Rational& rhs) {
+  if (both_fit_int64(num_, den_) && both_fit_int64(rhs.num_, rhs.den_)) {
+    const i128 an = num_.to_int64();
+    const i128 ad = den_.to_int64();
+    const i128 bn = rhs.num_.to_int64();
+    const i128 bd = rhs.den_.to_int64();
+    Parts parts = reduce_i128(an * bd + bn * ad, static_cast<u128>(ad * bd));
+    num_ = std::move(parts.num);
+    den_ = std::move(parts.den);
+    return *this;
+  }
   num_ = num_ * rhs.den_ + rhs.num_ * den_;
   den_ *= rhs.den_;
   normalize();
@@ -57,6 +147,16 @@ Rational& Rational::operator+=(const Rational& rhs) {
 }
 
 Rational& Rational::operator-=(const Rational& rhs) {
+  if (both_fit_int64(num_, den_) && both_fit_int64(rhs.num_, rhs.den_)) {
+    const i128 an = num_.to_int64();
+    const i128 ad = den_.to_int64();
+    const i128 bn = rhs.num_.to_int64();
+    const i128 bd = rhs.den_.to_int64();
+    Parts parts = reduce_i128(an * bd - bn * ad, static_cast<u128>(ad * bd));
+    num_ = std::move(parts.num);
+    den_ = std::move(parts.den);
+    return *this;
+  }
   num_ = num_ * rhs.den_ - rhs.num_ * den_;
   den_ *= rhs.den_;
   normalize();
@@ -64,6 +164,16 @@ Rational& Rational::operator-=(const Rational& rhs) {
 }
 
 Rational& Rational::operator*=(const Rational& rhs) {
+  if (both_fit_int64(num_, den_) && both_fit_int64(rhs.num_, rhs.den_)) {
+    const i128 an = num_.to_int64();
+    const i128 ad = den_.to_int64();
+    const i128 bn = rhs.num_.to_int64();
+    const i128 bd = rhs.den_.to_int64();
+    Parts parts = reduce_i128(an * bn, static_cast<u128>(ad * bd));
+    num_ = std::move(parts.num);
+    den_ = std::move(parts.den);
+    return *this;
+  }
   num_ *= rhs.num_;
   den_ *= rhs.den_;
   normalize();
@@ -72,6 +182,22 @@ Rational& Rational::operator*=(const Rational& rhs) {
 
 Rational& Rational::operator/=(const Rational& rhs) {
   if (rhs.num_.is_zero()) throw std::domain_error("Rational: division by zero");
+  if (both_fit_int64(num_, den_) && both_fit_int64(rhs.num_, rhs.den_)) {
+    const i128 an = num_.to_int64();
+    const i128 ad = den_.to_int64();
+    const i128 bn = rhs.num_.to_int64();
+    const i128 bd = rhs.den_.to_int64();
+    i128 n = an * bd;
+    i128 d = ad * bn;
+    if (d < 0) {
+      n = -n;
+      d = -d;
+    }
+    Parts parts = reduce_i128(n, static_cast<u128>(d));
+    num_ = std::move(parts.num);
+    den_ = std::move(parts.den);
+    return *this;
+  }
   num_ *= rhs.den_;
   den_ *= rhs.num_;
   normalize();

@@ -10,12 +10,26 @@
 
 namespace byzrename::obs {
 
+namespace {
+
+// A bench name carrying an explicit .json/.jsonl extension names the
+// output file verbatim (the perf baseline lands at the repo root as
+// BENCH_hotpath.json); the schema's `bench` field always drops it.
+std::string strip_report_extension(std::string name) {
+  if (name.ends_with(".jsonl")) name.resize(name.size() - 6);
+  else if (name.ends_with(".json")) name.resize(name.size() - 5);
+  return name;
+}
+
+}  // namespace
+
 BenchReporter::BenchReporter(std::string bench_name, std::string out_dir)
-    : bench_(std::move(bench_name)), sink_(out_, bench_, &write_mutex_) {
+    : bench_(strip_report_extension(bench_name)), sink_(out_, bench_, &write_mutex_) {
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
   if (ec) return;
-  path_ = out_dir + "/" + bench_ + ".jsonl";
+  const bool explicit_file = bench_name.size() != bench_.size();
+  path_ = out_dir + "/" + (explicit_file ? bench_name : bench_ + ".jsonl");
   out_.open(path_, std::ios::trunc);
   if (out_.is_open()) telemetry_.add_sink(sink_);
 }

@@ -69,7 +69,7 @@ void SyncRbcProcess::on_send(Round round, Outbox& out) {
 void SyncRbcProcess::on_receive(Round round, const Inbox& inbox) {
   round_ = round;
   for (const Delivery& d : inbox) {
-    const auto* msg = std::get_if<WordMsg>(&d.payload);
+    const auto* msg = std::get_if<WordMsg>(&*d.payload);
     if (msg == nullptr || msg->words.size() != 1) continue;
     const std::int64_t value = msg->words[0];
     switch (msg->tag) {

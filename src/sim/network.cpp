@@ -10,7 +10,7 @@
 
 namespace byzrename::sim {
 
-void Outbox::send_to(ProcessIndex dest, Payload payload) {
+void Outbox::send_to(ProcessIndex dest, PayloadRef payload) {
   if (!targeted_allowed_) {
     throw std::logic_error("Outbox::send_to: correct processes may only broadcast");
   }
@@ -35,26 +35,33 @@ Network::Network(std::vector<std::unique_ptr<ProcessBehavior>> behaviors,
     // Scramble so a link label reveals nothing about the peer behind it.
     if (scramble_links) std::shuffle(links.begin(), links.end(), rng.engine());
   }
+  inboxes_.resize(n);
+  link_offsets_.resize(n + 1);
 }
 
 void Network::run_round(Round round) {
   const std::size_t n = behaviors_.size();
-  std::vector<Inbox> inboxes(n);
+  // Reuse the per-receiver buffers: clear drops last round's payload refs
+  // but keeps each vector's capacity, so steady-state rounds perform no
+  // inbox (re)allocation at all.
+  for (Inbox& inbox : inboxes_) inbox.clear();
   RoundMetrics round_metrics;
 
   // Deliveries a delay rule postponed to this round. Their message/bit
   // cost was charged in the round they were sent; a receiver that has
   // crashed in the meantime loses them for good.
-  if (const auto due = delayed_.find(round); due != delayed_.end()) {
-    for (auto& [receiver, delivery] : due->second) {
+  for (auto it = delayed_.begin(); it != delayed_.end(); ++it) {
+    if (it->due != round) continue;
+    for (auto& [receiver, delivery] : it->entries) {
       if (fault_injector_ != nullptr &&
           fault_injector_->crashed(static_cast<ProcessIndex>(receiver), round)) {
         round_metrics.injected_drops += 1;
         continue;
       }
-      inboxes[receiver].push_back(std::move(delivery));
+      inboxes_[receiver].push_back(std::move(delivery));
     }
-    delayed_.erase(due);
+    delayed_.erase(it);
+    break;  // at most one batch per round by construction
   }
 
   for (std::size_t sender = 0; sender < n; ++sender) {
@@ -70,11 +77,11 @@ void Network::run_round(Round round) {
       if (event_log_ != nullptr) {
         event_log_->record({round, trace::Event::Kind::kSend,
                             static_cast<ProcessIndex>(sender), entry.dest, -1,
-                            byzantine_[sender], describe(entry.payload)});
+                            byzantine_[sender], describe(*entry.payload)});
       }
       // Charge the exact size the binary codec produces, so the paper's
       // bit-complexity bounds are checked against a real encoding.
-      const std::size_t payload_bits = encoded_bits(entry.payload);
+      const std::size_t payload_bits = encoded_bits(*entry.payload);
       if (entry.dest.has_value() && byzantine_[sender]) round_metrics.equivocating_sends += 1;
       auto deliver = [&](std::size_t receiver) {
         FaultInjector::Fate fate;
@@ -93,16 +100,35 @@ void Network::run_round(Round round) {
           round_metrics.correct_bits += payload_bits;
         }
         metrics_.note_message_bits(payload_bits, !byzantine_[sender]);
+        // Sharing, not copying: the delivery aliases the sender's single
+        // payload object behind a refcount bump.
         const Delivery delivery{link_of_sender_[receiver][sender], entry.payload};
         if (fate.delay > 0) {
           round_metrics.injected_delays += 1;
-          delayed_[round + fate.delay].emplace_back(receiver, delivery);
+          std::vector<std::pair<std::size_t, Delivery>>* batch = nullptr;
+          for (DelayedBatch& candidate : delayed_) {
+            if (candidate.due == round + fate.delay) {
+              batch = &candidate.entries;
+              break;
+            }
+          }
+          if (batch == nullptr) {
+            delayed_.push_back({round + fate.delay, {}});
+            batch = &delayed_.back().entries;
+          }
+          // A delivery that is both duplicated and delayed keeps its
+          // extra copies: they travel with the delayed message.
+          batch->emplace_back(receiver, delivery);
+          for (int copy = 1; copy < fate.copies; ++copy) {
+            round_metrics.injected_duplicates += 1;
+            batch->emplace_back(receiver, delivery);
+          }
           return;
         }
-        inboxes[receiver].push_back(delivery);
+        inboxes_[receiver].push_back(delivery);
         for (int copy = 1; copy < fate.copies; ++copy) {
           round_metrics.injected_duplicates += 1;
-          inboxes[receiver].push_back(delivery);
+          inboxes_[receiver].push_back(delivery);
         }
       };
       if (entry.dest.has_value()) {
@@ -123,15 +149,28 @@ void Network::run_round(Round round) {
         fault_injector_->crashed(static_cast<ProcessIndex>(receiver), round)) {
       continue;
     }
-    Inbox& inbox = inboxes[receiver];
+    Inbox& inbox = inboxes_[receiver];
     // Stable order by link label: receiver-local, carries no sender info.
-    std::stable_sort(inbox.begin(), inbox.end(),
-                     [](const Delivery& a, const Delivery& b) { return a.link < b.link; });
+    // Link labels live in [0, N), so a counting sort places each delivery
+    // in O(1) — O(N + M) total versus stable_sort's O(M log M) compares —
+    // and the scratch buffer is pooled across rounds like the inboxes.
+    if (inbox.size() > 1) {
+      std::fill(link_offsets_.begin(), link_offsets_.end(), 0u);
+      for (const Delivery& d : inbox) {
+        link_offsets_[static_cast<std::size_t>(d.link) + 1] += 1;
+      }
+      for (std::size_t l = 1; l <= n; ++l) link_offsets_[l] += link_offsets_[l - 1];
+      sort_scratch_.resize(inbox.size());
+      for (Delivery& d : inbox) {
+        sort_scratch_[link_offsets_[static_cast<std::size_t>(d.link)]++] = std::move(d);
+      }
+      inbox.swap(sort_scratch_);
+    }
     if (event_log_ != nullptr) {
       for (const Delivery& d : inbox) {
         event_log_->record({round, trace::Event::Kind::kDeliver,
                             static_cast<ProcessIndex>(receiver), std::nullopt, d.link,
-                            byzantine_[receiver], describe(d.payload)});
+                            byzantine_[receiver], describe(*d.payload)});
       }
     }
     behaviors_[receiver]->on_receive(round, inbox);

@@ -1,7 +1,6 @@
 #ifndef BYZRENAME_SIM_NETWORK_H
 #define BYZRENAME_SIM_NETWORK_H
 
-#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -61,9 +60,11 @@ class Network {
   }
 
   /// Link label on which @p receiver hears from @p sender. Exposed for
-  /// tests and full-information adversaries only.
+  /// tests and full-information adversaries; the latter call this inside
+  /// per-message loops, so indexing is unchecked (both tables are built
+  /// and validated once in the constructor).
   [[nodiscard]] LinkIndex link_of(ProcessIndex receiver, ProcessIndex sender) const {
-    return link_of_sender_.at(static_cast<std::size_t>(receiver)).at(static_cast<std::size_t>(sender));
+    return link_of_sender_[static_cast<std::size_t>(receiver)][static_cast<std::size_t>(sender)];
   }
 
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
@@ -96,8 +97,21 @@ class Network {
   std::vector<Round> decided_round_;
   /// link_of_sender_[receiver][sender] -> link label at the receiver.
   std::vector<std::vector<LinkIndex>> link_of_sender_;
-  /// Deliveries the injector postponed, keyed by their delivery round.
-  std::map<Round, std::vector<std::pair<std::size_t, Delivery>>> delayed_;
+  /// Deliveries the injector postponed to one future round. Batches are
+  /// few (delay rules are rare), so a flat vector with linear lookup
+  /// beats std::map's node allocations on the per-round fast path.
+  struct DelayedBatch {
+    Round due = 0;
+    std::vector<std::pair<std::size_t, Delivery>> entries;
+  };
+  std::vector<DelayedBatch> delayed_;
+  /// Per-receiver inbox buffers, pooled across rounds: cleared (capacity
+  /// kept) rather than reallocated, so steady-state rounds do not touch
+  /// the heap for delivery storage.
+  std::vector<Inbox> inboxes_;
+  /// Scratch for the counting sort that orders each inbox by link label.
+  std::vector<Delivery> sort_scratch_;
+  std::vector<std::uint32_t> link_offsets_;
   Metrics metrics_;
   trace::EventLog* event_log_ = nullptr;
   const FaultInjector* fault_injector_ = nullptr;

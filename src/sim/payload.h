@@ -1,8 +1,11 @@
 #ifndef BYZRENAME_SIM_PAYLOAD_H
 #define BYZRENAME_SIM_PAYLOAD_H
 
+#include <concepts>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -99,10 +102,48 @@ using Payload = std::variant<IdMsg, EchoMsg, ReadyMsg, RanksMsg, MultiEchoMsg, A
 /// Human-readable payload summary for traces and test diagnostics.
 [[nodiscard]] std::string describe(const Payload& payload);
 
-/// One delivered message: the receiver learns only the link label.
+/// Immutable, ref-counted handle to a payload. A broadcast materializes
+/// its payload exactly once; every Delivery then shares that one object,
+/// so the N-receiver fan-out costs N refcount bumps instead of N deep
+/// copies of (potentially O(N)-entry) message bodies. Receivers only
+/// ever see `const Payload&`, which is what makes the sharing sound:
+/// nothing downstream can mutate a delivered message.
+class PayloadRef {
+ public:
+  /// Empty handle; the network fills every Delivery it hands out, so a
+  /// default-constructed ref only exists inside pooled scratch buffers.
+  PayloadRef() = default;
+
+  /// Wraps a payload (or any message alternative) in a shared object.
+  /// Implicit so existing `{link, SomeMsg{...}}` construction keeps
+  /// working; wrapping is the point of the type.
+  template <typename T>
+    requires std::constructible_from<Payload, T&&> &&
+             (!std::same_as<std::remove_cvref_t<T>, PayloadRef>)
+  PayloadRef(T&& payload)  // NOLINT(google-explicit-constructor)
+      : ptr_(std::make_shared<const Payload>(std::forward<T>(payload))) {}
+
+  [[nodiscard]] const Payload& operator*() const noexcept { return *ptr_; }
+  [[nodiscard]] const Payload* operator->() const noexcept { return ptr_.get(); }
+  [[nodiscard]] explicit operator bool() const noexcept { return ptr_ != nullptr; }
+
+  /// Deep value equality (used by tests; Byzantine equivocation makes
+  /// pointer identity meaningless on the wire).
+  friend bool operator==(const PayloadRef& a, const PayloadRef& b) {
+    if (a.ptr_ == b.ptr_) return true;
+    if (a.ptr_ == nullptr || b.ptr_ == nullptr) return false;
+    return *a.ptr_ == *b.ptr_;
+  }
+
+ private:
+  std::shared_ptr<const Payload> ptr_;
+};
+
+/// One delivered message: the receiver learns only the link label. The
+/// payload handle aliases the sender's single broadcast object.
 struct Delivery {
   LinkIndex link = 0;
-  Payload payload;
+  PayloadRef payload;
 };
 
 /// All messages delivered to one process in one round.

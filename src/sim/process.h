@@ -19,17 +19,20 @@ class Outbox {
   explicit Outbox(bool targeted_allowed) : targeted_allowed_(targeted_allowed) {}
 
   /// Sends the payload to every process, including the sender itself via
-  /// the self-loop link (paper, Section II).
-  void broadcast(Payload payload) { entries_.push_back({std::nullopt, std::move(payload)}); }
+  /// the self-loop link (paper, Section II). The payload is materialized
+  /// (ref-counted) at most once here; the network fans the same shared
+  /// object out to all N receivers copy-free, and re-broadcasting an
+  /// already materialized PayloadRef shares it outright.
+  void broadcast(PayloadRef payload) { entries_.push_back({std::nullopt, std::move(payload)}); }
 
   /// Byzantine-only: sends a payload to one specific destination. Allows
   /// a faulty process to equivocate by sending different content on each
   /// link. Throws std::logic_error if invoked by a correct process.
-  void send_to(ProcessIndex dest, Payload payload);
+  void send_to(ProcessIndex dest, PayloadRef payload);
 
   struct Entry {
     std::optional<ProcessIndex> dest;  ///< nullopt = broadcast
-    Payload payload;
+    PayloadRef payload;
   };
 
   [[nodiscard]] const std::vector<Entry>& entries() const noexcept { return entries_; }

@@ -28,7 +28,7 @@ void TranslatedProcess::on_send(Round round, Outbox& out) {
     sim::Outbox inner_out(/*targeted_allowed=*/false);
     inner_->on_send(sim_round, inner_out);
     for (const Outbox::Entry& entry : inner_out.entries()) {
-      out.broadcast(WrappedCastMsg{sim_round, sim::encode(entry.payload)});
+      out.broadcast(WrappedCastMsg{sim_round, sim::encode(*entry.payload)});
     }
     return;
   }
@@ -48,7 +48,7 @@ void TranslatedProcess::on_receive(Round round, const Inbox& inbox) {
     heard_casts_.clear();
     echo_links_.clear();
     for (const Delivery& d : inbox) {
-      const auto* cast = std::get_if<WrappedCastMsg>(&d.payload);
+      const auto* cast = std::get_if<WrappedCastMsg>(&*d.payload);
       if (cast == nullptr || cast->sim_round != sim_round) continue;
       // Authenticated model: the arrival link IS the sender index.
       heard_casts_.insert({d.link, cast->blob});
@@ -57,7 +57,7 @@ void TranslatedProcess::on_receive(Round round, const Inbox& inbox) {
   }
 
   for (const Delivery& d : inbox) {
-    const auto* echo = std::get_if<WrappedEchoMsg>(&d.payload);
+    const auto* echo = std::get_if<WrappedEchoMsg>(&*d.payload);
     if (echo == nullptr || echo->sim_round != sim_round) continue;
     if (echo->sender < 0 || echo->sender >= params_.n) continue;
     echo_links_[{static_cast<sim::ProcessIndex>(echo->sender), echo->blob}].insert(d.link);

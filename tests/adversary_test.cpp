@@ -80,7 +80,7 @@ TEST(IdFlood, PlansDistinctFakeIds) {
   team[0]->on_send(1, out);
   for (const auto& entry : out.entries()) {
     ASSERT_TRUE(entry.dest.has_value());
-    const auto* msg = std::get_if<sim::IdMsg>(&entry.payload);
+    const auto* msg = std::get_if<sim::IdMsg>(&*entry.payload);
     ASSERT_NE(msg, nullptr);
     // Fake ids never collide with real ones.
     for (const auto& [index, id] : env.correct) EXPECT_NE(msg->id, id);

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <random>
+#include <string>
+#include <utility>
 
 namespace byzrename::numeric {
 namespace {
@@ -258,6 +261,154 @@ TEST(BigInt, RandomizedAlgebraicIdentities) {
     EXPECT_EQ(a * (b + c), a * b + a * c);
     EXPECT_EQ(a - a, BigInt(0));
   }
+}
+
+// --- Small-buffer storage edge cases -----------------------------------
+// The limb store keeps up to 4 limbs (128 bits) inline; these tests pin
+// the behavior exactly at and across that boundary, where a bug in the
+// inline/heap transition would silently corrupt magnitudes.
+
+TEST(BigInt, CarryAcrossInlineHeapBoundary) {
+  // 2^128 - 1 occupies all four inline limbs; + 1 must carry into a
+  // fifth limb, spilling to the heap.
+  const BigInt all_ones = (BigInt(1) << 128) - BigInt(1);
+  EXPECT_EQ(all_ones.bit_length(), 128u);
+  EXPECT_EQ(all_ones.to_string(), "340282366920938463463374607431768211455");
+  const BigInt spilled = all_ones + BigInt(1);
+  EXPECT_EQ(spilled.bit_length(), 129u);
+  EXPECT_EQ(spilled.to_string(), "340282366920938463463374607431768211456");
+  // And back: the borrow must walk down from the heap limb again.
+  EXPECT_EQ(spilled - BigInt(1), all_ones);
+  EXPECT_EQ(spilled - all_ones, BigInt(1));
+  // Multiplication spills too: 2^64 * 2^64 = 2^128.
+  const BigInt two64 = BigInt(1) << 64;
+  EXPECT_EQ(two64 * two64, all_ones + BigInt(1));
+  // Squaring the spilled value and dividing back round-trips through a
+  // genuinely heap-resident intermediate (257 bits).
+  EXPECT_EQ((spilled * spilled) / spilled, spilled);
+}
+
+TEST(BigInt, NegationOfMostNegativeInlineValue) {
+  const std::int64_t min64 = std::numeric_limits<std::int64_t>::min();
+  const BigInt lowest(min64);
+  EXPECT_EQ(lowest.to_int64(), min64);
+  EXPECT_EQ(lowest.to_string(), "-9223372036854775808");
+  // |INT64_MIN| = 2^63 does not fit int64, so negation must widen.
+  const BigInt negated = -lowest;
+  EXPECT_FALSE(negated.fits_int64());
+  EXPECT_THROW((void)negated.to_int64(), std::overflow_error);
+  EXPECT_EQ(negated.to_string(), "9223372036854775808");
+  EXPECT_EQ(negated + lowest, BigInt(0));
+  EXPECT_EQ(lowest + lowest, -(BigInt(1) << 64));
+  EXPECT_EQ(lowest - lowest, BigInt(0));
+  EXPECT_FALSE((lowest - lowest).is_negative());
+}
+
+TEST(BigInt, FromMagPartsCanonicalizes) {
+  EXPECT_TRUE(BigInt::from_mag_parts(0, 0, true).is_zero());
+  EXPECT_FALSE(BigInt::from_mag_parts(0, 0, true).is_negative());
+  EXPECT_EQ(BigInt::from_mag_parts(42, 0, false), BigInt(42));
+  EXPECT_EQ(BigInt::from_mag_parts(42, 0, true), BigInt(-42));
+  // hi = 1 contributes exactly 2^64.
+  EXPECT_EQ(BigInt::from_mag_parts(0, 1, false), BigInt(1) << 64);
+  const BigInt wide = BigInt::from_mag_parts(0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull, false);
+  EXPECT_EQ(wide, (BigInt(1) << 128) - BigInt(1));
+  // Wire round-trip preserves value and sign.
+  const BigInt reloaded = BigInt::from_magnitude_bytes(wide.magnitude_bytes(), true);
+  EXPECT_EQ(reloaded, -wide);
+}
+
+// Reference conversion: hardware 128-bit arithmetic is the independent
+// oracle for everything the fast paths compute (the same role the old
+// all-vector implementation played before the small-buffer rewrite).
+__extension__ typedef __int128 RefInt128;
+__extension__ typedef unsigned __int128 RefUint128;
+
+std::string ref_to_string(RefInt128 value) {
+  if (value == 0) return "0";
+  const bool negative = value < 0;
+  RefUint128 mag = negative ? ~static_cast<RefUint128>(value) + 1 : static_cast<RefUint128>(value);
+  std::string digits;
+  while (mag != 0) {
+    digits.push_back(static_cast<char>('0' + static_cast<int>(mag % 10)));
+    mag /= 10;
+  }
+  if (negative) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+TEST(BigInt, RandomizedCrossCheckAgainstHardwareInt128) {
+  std::mt19937_64 rng(20260805);
+  for (int i = 0; i < 500; ++i) {
+    const auto raw_a = static_cast<std::int64_t>(rng());
+    const auto raw_b = static_cast<std::int64_t>(rng());
+    const BigInt a(raw_a);
+    const BigInt b(raw_b);
+    const RefInt128 ra = raw_a;
+    const RefInt128 rb = raw_b;
+    EXPECT_EQ((a + b).to_string(), ref_to_string(ra + rb));
+    EXPECT_EQ((a - b).to_string(), ref_to_string(ra - rb));
+    EXPECT_EQ((a * b).to_string(), ref_to_string(ra * rb));
+    if (raw_b != 0) {
+      EXPECT_EQ((a / b).to_string(), ref_to_string(ra / rb));
+      EXPECT_EQ((a % b).to_string(), ref_to_string(ra % rb));
+    }
+    EXPECT_EQ(a.compare(b), raw_a < raw_b ? -1 : (raw_a > raw_b ? 1 : 0));
+  }
+}
+
+TEST(BigInt, RandomizedWideOperandsCrossInlineBoundary) {
+  // 128-bit operands fill the inline store exactly; sums reach 129 bits
+  // and products 256 bits, so every identity here exercises the
+  // inline-to-heap transition in both directions.
+  std::mt19937_64 rng(424242);
+  for (int i = 0; i < 200; ++i) {
+    const BigInt a = BigInt::from_mag_parts(rng(), rng(), (rng() & 1) != 0);
+    const BigInt b = BigInt::from_mag_parts(rng(), rng() | 1, (rng() & 1) != 0);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a - b) + b, a);
+    EXPECT_EQ(a * b, b * a);
+    BigInt quot;
+    BigInt rem;
+    BigInt::div_mod(a, b, quot, rem);
+    EXPECT_EQ(quot * b + rem, a);
+    EXPECT_LT(rem.abs(), b.abs());
+    EXPECT_EQ(((a * b) / b), a);
+    EXPECT_TRUE(((a * b) % b).is_zero());
+  }
+}
+
+TEST(BigInt, BinaryGcdMatchesEuclidReference) {
+  // The Euclidean loop the implementation used before the binary-GCD
+  // rewrite, kept here as the reference oracle.
+  const auto euclid = [](BigInt a, BigInt b) {
+    a = a.abs();
+    b = b.abs();
+    while (!b.is_zero()) {
+      BigInt r = a % b;
+      a = std::move(b);
+      b = std::move(r);
+    }
+    return a;
+  };
+  std::mt19937_64 rng(171717);
+  for (int i = 0; i < 60; ++i) {
+    // Build operands with a planted common factor and trailing zeros so
+    // the binary algorithm's shift bookkeeping is actually exercised.
+    const BigInt base = BigInt::from_mag_parts(rng() | 1, rng(), false);
+    const BigInt a = (base * BigInt(static_cast<std::int64_t>(rng() % 1000 + 1)))
+                     << static_cast<unsigned>(rng() % 70);
+    const BigInt b = (base * BigInt(static_cast<std::int64_t>(rng() % 1000 + 1)))
+                     << static_cast<unsigned>(rng() % 70);
+    const BigInt g = BigInt::gcd(a, b);
+    EXPECT_EQ(g, euclid(a, b));
+    EXPECT_TRUE((a % g).is_zero());
+    EXPECT_TRUE((b % g).is_zero());
+  }
+  // Pure powers of two reduce entirely through the common-shift factor.
+  EXPECT_EQ(BigInt::gcd(BigInt(1) << 100, BigInt(1) << 64), BigInt(1) << 64);
+  EXPECT_EQ(BigInt::gcd(BigInt(1) << 130, -(BigInt(1) << 130)), BigInt(1) << 130);
 }
 
 }  // namespace

@@ -57,7 +57,7 @@ TEST(BitRenamingUnit, ClaimsCarryIdAndFullInterval) {
   sim::Outbox claim_out(false);
   p.on_send(5, claim_out);  // first claim round
   ASSERT_EQ(claim_out.entries().size(), 1u);
-  const auto& msg = std::get<sim::WordMsg>(claim_out.entries()[0].payload);
+  const auto& msg = std::get<sim::WordMsg>(*claim_out.entries()[0].payload);
   EXPECT_EQ(msg.tag, kClaimTag);
   ASSERT_EQ(msg.words.size(), 3u);
   EXPECT_EQ(msg.words[0], 10);  // my id
@@ -77,7 +77,7 @@ TEST(BitRenamingUnit, UnselectedIdsCannotClaim) {
   sim::Outbox echo_out(false);
   p.on_send(6, echo_out);
   ASSERT_EQ(echo_out.entries().size(), 1u);
-  const auto& echo = std::get<sim::WordMsg>(echo_out.entries()[0].payload);
+  const auto& echo = std::get<sim::WordMsg>(*echo_out.entries()[0].payload);
   EXPECT_EQ(echo.tag, kEchoTag);
   EXPECT_EQ(echo.words.size(), 3u);  // only the claim by id 10 echoed
   EXPECT_EQ(echo.words[0], 10);
@@ -125,7 +125,7 @@ TEST(BitRenamingUnit, SplitsByConfirmedRank) {
   // Rank of id 10 among {10, 20} is 1 <= half=4: go left.
   sim::Outbox next_claim(false);
   p.on_send(7, next_claim);
-  const auto& msg = std::get<sim::WordMsg>(next_claim.entries()[0].payload);
+  const auto& msg = std::get<sim::WordMsg>(*next_claim.entries()[0].payload);
   EXPECT_EQ(msg.words[1], 0);  // lo unchanged
   EXPECT_EQ(msg.words[2], 4);  // hi halved
 }
@@ -148,7 +148,7 @@ TEST(BitRenamingUnit, UnconfirmedClaimsDoNotAffectRank) {
   p.on_receive(6, echoes);
   sim::Outbox next_claim(false);
   p.on_send(7, next_claim);
-  const auto& msg = std::get<sim::WordMsg>(next_claim.entries()[0].payload);
+  const auto& msg = std::get<sim::WordMsg>(*next_claim.entries()[0].payload);
   EXPECT_EQ(msg.words[1], 0);
   EXPECT_EQ(msg.words[2], 4);
 }

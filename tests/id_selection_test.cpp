@@ -36,7 +36,7 @@ TEST(IdSelectionUnit, AcceptsIdEchoedByQuorum) {
   sim::Outbox out1(false);
   sel.on_send(1, out1);
   ASSERT_EQ(out1.entries().size(), 1u);
-  EXPECT_EQ(std::get<sim::IdMsg>(out1.entries()[0].payload).id, 10);
+  EXPECT_EQ(std::get<sim::IdMsg>(*out1.entries()[0].payload).id, 10);
 
   // Step 1: hear ids 10..16 from 7 distinct links.
   sel.on_receive(1, inbox_from_links(7, [](int link) {
@@ -57,7 +57,7 @@ TEST(IdSelectionUnit, AcceptsIdEchoedByQuorum) {
   sim::Outbox out3(false);
   sel.on_send(3, out3);
   ASSERT_EQ(out3.entries().size(), 1u);
-  EXPECT_EQ(std::get<sim::ReadyMsg>(out3.entries()[0].payload).id, 10);
+  EXPECT_EQ(std::get<sim::ReadyMsg>(*out3.entries()[0].payload).id, 10);
 
   sel.on_receive(3, inbox_from_links(7, [](int) { return sim::Payload(sim::ReadyMsg{10}); }));
   EXPECT_TRUE(sel.timely().contains(10));
@@ -81,7 +81,7 @@ TEST(IdSelectionUnit, OneIdPerLinkInStepOne) {
   sim::Outbox out(false);
   sel.on_send(2, out);
   ASSERT_EQ(out.entries().size(), 1u);
-  EXPECT_EQ(std::get<sim::EchoMsg>(out.entries()[0].payload).id, 5);
+  EXPECT_EQ(std::get<sim::EchoMsg>(*out.entries()[0].payload).id, 5);
 }
 
 TEST(IdSelectionUnit, DuplicateEchoesFromSameLinkCountOnce) {
@@ -111,7 +111,7 @@ TEST(IdSelectionUnit, WeakReadyQuorumTriggersStepFourAmplification) {
   sim::Outbox out4(false);
   sel.on_send(4, out4);
   ASSERT_EQ(out4.entries().size(), 1u);
-  EXPECT_EQ(std::get<sim::ReadyMsg>(out4.entries()[0].payload).id, 42);
+  EXPECT_EQ(std::get<sim::ReadyMsg>(*out4.entries()[0].payload).id, 42);
   // Two more Readys in step 4 complete the N-t quorum: accepted.
   Inbox more;
   more.push_back({3, sim::ReadyMsg{42}});

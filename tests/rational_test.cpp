@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <random>
 
 namespace byzrename::numeric {
@@ -138,6 +140,36 @@ TEST(Rational, RandomizedFieldAxioms) {
       EXPECT_EQ((a / b) * b, a);
     }
   }
+}
+
+TEST(Rational, Int64FastPathBoundary) {
+  // Components at the int64 limit: cross products need the full 128-bit
+  // intermediate range, and results legitimately outgrow int64 — the
+  // switch between the machine-word fast path and the BigInt slow path
+  // must be value-invisible. Reference values computed with Python's
+  // fractions module.
+  const std::int64_t m = std::numeric_limits<std::int64_t>::max();
+  const Rational a = Rational::of(m, m - 1);
+  const Rational b = Rational::of(m - 2, m);
+  EXPECT_EQ((a + b).to_string(),
+            "170141183460469231667123699457900675079/85070591730234615838173535747377725442");
+  EXPECT_EQ((a * b).to_string(), "9223372036854775805/9223372036854775806");
+  EXPECT_EQ((a / b).to_string(),
+            "85070591730234615847396907784232501249/85070591730234615819726791673668173830");
+  EXPECT_LT(b, a);
+  EXPECT_EQ((a - a).to_string(), "0");
+  // A value that no longer fits int64 must take the slow path and still
+  // compose with small values.
+  const Rational big = Rational(BigInt(m) * BigInt(m), BigInt(1));
+  EXPECT_EQ((big + Rational::of(1, 3)).to_string(),
+            "255211775190703847542190723352697503748/3");
+  EXPECT_GT(big, a);
+  // INT64_MIN numerators sit exactly on the fits_int64 edge.
+  const std::int64_t lowest = std::numeric_limits<std::int64_t>::lowest();
+  const Rational edge = Rational::of(lowest, 3);
+  EXPECT_EQ((edge + edge).to_string(), "-18446744073709551616/3");
+  EXPECT_EQ((edge - edge).to_string(), "0");
+  EXPECT_EQ((edge / edge).to_string(), "1");
 }
 
 }  // namespace

@@ -73,7 +73,7 @@ TEST(Network, BroadcastReachesEveryProcessIncludingSelf) {
     EXPECT_EQ(recorder.inboxes[0].size(), 5u);  // all peers + self-loop
     std::set<Id> ids;
     for (const Delivery& d : recorder.inboxes[0]) {
-      ids.insert(std::get<IdMsg>(d.payload).id);
+      ids.insert(std::get<IdMsg>(*d.payload).id);
     }
     EXPECT_EQ(ids.size(), 5u);
   }
@@ -96,10 +96,10 @@ TEST(Network, LinkLabelsAreDistinctAndStable) {
     // Stability: the same id arrives on the same link in both rounds.
     std::map<LinkIndex, Id> first_round;
     for (const Delivery& d : recorder.inboxes[0]) {
-      first_round[d.link] = std::get<IdMsg>(d.payload).id;
+      first_round[d.link] = std::get<IdMsg>(*d.payload).id;
     }
     for (const Delivery& d : recorder.inboxes[1]) {
-      EXPECT_EQ(first_round.at(d.link), std::get<IdMsg>(d.payload).id);
+      EXPECT_EQ(first_round.at(d.link), std::get<IdMsg>(*d.payload).id);
     }
   }
 }

@@ -136,7 +136,7 @@ TEST(Translation, EquivocatingCastsNeverSplitDeliveries) {
   translated.on_receive(4, echo_round_2);
   ASSERT_EQ(probe_view->received.size(), 1u);
   EXPECT_EQ(probe_view->received[0].link, 2);
-  EXPECT_EQ(std::get<sim::IdMsg>(probe_view->received[0].payload).id, 111);
+  EXPECT_EQ(std::get<sim::IdMsg>(*probe_view->received[0].payload).id, 111);
 }
 
 TEST(Translation, GarbageBlobsWithQuorumAreDropped) {
