@@ -2,10 +2,11 @@
 //
 // Pins the two measured hot paths of EXPERIMENTS.md W1 — broadcast
 // fan-out in sim::Network and exact-rational trimmed averaging — plus
-// full Alg. 1 runs, and emits BENCH_hotpath.json at the repo root via
-// BenchReporter so every future PR can diff its perf against this one.
-// CI compares the N=64 macro case against bench/baseline/ (>25%
-// regression fails the job; see docs/PERFORMANCE.md).
+// full Alg. 1 runs, and emits bench/out/BENCH_hotpath.json (gitignored
+// live output) via BenchReporter so every future PR can diff its perf
+// against this one. The single tracked copy is the committed baseline
+// bench/baseline/BENCH_hotpath.json; CI compares the N=64 macro case
+// against it (>25% regression fails the job; see docs/PERFORMANCE.md).
 //
 // Heap allocations are counted by overriding global operator new in
 // this translation unit, which makes allocs_per_round/allocs_per_run
@@ -178,7 +179,7 @@ Measurement bench_macro_op(int n, int reps) {
 }  // namespace
 
 int main() {
-  obs::BenchReporter reporter("BENCH_hotpath.json", ".");
+  obs::BenchReporter reporter("BENCH_hotpath.json");
 
   std::printf("W3 — hot-path baseline (fan-out, trimmed mean, full Alg. 1)\n");
   std::printf("%-22s %14s %16s\n", "case", "time/unit", "allocs/unit");

@@ -1,0 +1,86 @@
+#ifndef BYZRENAME_CORE_PHASE_H
+#define BYZRENAME_CORE_PHASE_H
+
+#include <string>
+
+#include "core/algorithm.h"
+#include "sim/types.h"
+
+namespace byzrename::core {
+
+/// Protocol phase a synchronous round belongs to — the taxonomy the
+/// metrics registry labels its per-phase counters with (Prometheus
+/// `phase` label, trace phase lane, byzrename.metrics/1 `phase` field).
+///
+/// The op-renaming phases follow Alg. 1's structure: steps 1..4 run the
+/// Echo/Ready id-selection (step 1 announces, step 2 echoes, steps 3-4
+/// run the ready extension), steps 5 .. 4+iterations run the AA voting
+/// loop, and the final voting step doubles as the decision step. Fast
+/// renaming (Alg. 4) announces in step 1 and echo+decides in step 2.
+/// Baseline protocols with internal structure this header does not model
+/// classify as kProtocol.
+enum class Phase {
+  kSelection,  ///< id-selection announce (op/const step 1; fast step 1)
+  kEcho,       ///< id-selection echo (op/const step 2)
+  kReady,      ///< id-selection ready + extension (op/const steps 3-4)
+  kVoting,     ///< AA voting iteration (op/const steps 5 .. 3+iterations)
+  kDecision,   ///< the deciding step (op/const step 4+iterations; fast step 2)
+  kProtocol,   ///< baseline algorithms without a modeled phase structure
+};
+
+[[nodiscard]] constexpr const char* to_string(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kSelection: return "selection";
+    case Phase::kEcho: return "echo";
+    case Phase::kReady: return "ready";
+    case Phase::kVoting: return "voting";
+    case Phase::kDecision: return "decision";
+    case Phase::kProtocol: return "protocol";
+  }
+  return "unknown";
+}
+
+/// Classification of one round: its phase and, inside the voting loop,
+/// the 1-based iteration k (the `r` of Lemma IV.8's Delta_r); 0 outside.
+struct RoundPhase {
+  Phase phase = Phase::kProtocol;
+  int voting_iteration = 0;
+};
+
+/// Maps a round to its phase. @p iterations is the resolved voting
+/// iteration count (RunInfo::iterations); pass <= 0 when not applicable.
+/// Pure and total: any (algorithm, round) yields a classification, so
+/// callers never need to special-case baselines.
+[[nodiscard]] inline RoundPhase round_phase(Algorithm algorithm, sim::Round round,
+                                            int iterations) noexcept {
+  switch (algorithm) {
+    case Algorithm::kOpRenaming:
+    case Algorithm::kOpRenamingConstantTime:
+      if (round <= 1) return {Phase::kSelection, 0};
+      if (round == 2) return {Phase::kEcho, 0};
+      if (round <= 4) return {Phase::kReady, 0};
+      if (iterations > 0 && round == 4 + iterations) return {Phase::kDecision, iterations};
+      return {Phase::kVoting, round - 4};
+    case Algorithm::kFastRenaming:
+      if (round <= 1) return {Phase::kSelection, 0};
+      return {Phase::kDecision, 0};
+    default:
+      return {Phase::kProtocol, 0};
+  }
+}
+
+/// Human label for one round, e.g. "voting k=2" — used by the trace
+/// exporter's phase lane and the docs' worked examples.
+[[nodiscard]] inline std::string phase_label(const RoundPhase& classified) {
+  std::string label = to_string(classified.phase);
+  if (classified.phase == Phase::kVoting || classified.phase == Phase::kDecision) {
+    if (classified.voting_iteration > 0) {
+      label += " k=" + std::to_string(classified.voting_iteration);
+    }
+  }
+  return label;
+}
+
+}  // namespace byzrename::core
+
+#endif  // BYZRENAME_CORE_PHASE_H

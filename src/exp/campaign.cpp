@@ -81,6 +81,7 @@ CellAggregate make_aggregate(const CampaignCell& cell) {
   const std::uint64_t salt = sim::splitmix64(cell.index);
   CellAggregate aggregate;
   aggregate.cell = cell.index;
+  aggregate.salt = salt;
   aggregate.rounds = StreamingStats(StreamingStats::kDefaultReservoir, salt);
   aggregate.messages = StreamingStats(StreamingStats::kDefaultReservoir, salt);
   aggregate.correct_messages = StreamingStats(StreamingStats::kDefaultReservoir, salt);
@@ -116,6 +117,37 @@ void fold_run(CellAggregate& aggregate, const RunRecord& record) {
       (aggregate.first_violation_rep < 0 || record.rep < aggregate.first_violation_rep)) {
     aggregate.first_violation_rep = record.rep;
     aggregate.first_violation = record.detail;
+  }
+}
+
+/// Folds one run's per-round series into the cell's round-resolved
+/// aggregates, growing the vector to the longest run seen so far. The
+/// growth is deterministic: the final length is max(rounds) over the
+/// cell's runs and every new accumulator starts from the cell salt, so
+/// neither depends on which run arrived first.
+void fold_round_stats(CellAggregate& aggregate, const RunRecord& record,
+                      const std::vector<sim::RoundMetrics>& per_round) {
+  if (per_round.size() > aggregate.per_round.size()) {
+    aggregate.per_round.reserve(per_round.size());
+    while (aggregate.per_round.size() < per_round.size()) {
+      CellAggregate::RoundStats stats;
+      stats.messages = StreamingStats(StreamingStats::kDefaultReservoir, aggregate.salt);
+      stats.bits = StreamingStats(StreamingStats::kDefaultReservoir, aggregate.salt);
+      stats.correct_messages =
+          StreamingStats(StreamingStats::kDefaultReservoir, aggregate.salt);
+      stats.equivocating_sends =
+          StreamingStats(StreamingStats::kDefaultReservoir, aggregate.salt);
+      aggregate.per_round.push_back(std::move(stats));
+    }
+  }
+  const auto rep = static_cast<std::uint64_t>(record.rep);
+  for (std::size_t i = 0; i < per_round.size(); ++i) {
+    const sim::RoundMetrics& m = per_round[i];
+    CellAggregate::RoundStats& stats = aggregate.per_round[i];
+    stats.messages.add(rep, static_cast<std::int64_t>(m.messages));
+    stats.bits.add(rep, static_cast<std::int64_t>(m.bits));
+    stats.correct_messages.add(rep, static_cast<std::int64_t>(m.correct_messages));
+    stats.equivocating_sends.add(rep, static_cast<std::int64_t>(m.equivocating_sends));
   }
 }
 
@@ -175,6 +207,11 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
     base_config.fault_plan = spec.fault_plan;
     if (options.configure) options.configure(run_index, base_config);
 
+    // Per-round series of the successful attempt, kept on this worker's
+    // frame until the cell mutex is held (RunRecord deliberately does
+    // not carry per-round vectors).
+    std::vector<sim::RoundMetrics> per_round_copy;
+
     // Retry-then-quarantine: exceptions and watchdog timeouts are
     // infrastructure failures, so the run gets fresh attempts; a checker
     // violation is a RESULT and is recorded on the first attempt. A run
@@ -205,6 +242,7 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
       }
       try {
         const core::ScenarioResult scenario = core::run_scenario(config);
+        if (options.round_stats) per_round_copy = scenario.run.metrics.per_round();
         record.ok = scenario.report.all_ok();
         record.failure = record.ok ? FailureKind::kNone : FailureKind::kViolation;
         record.terminated = scenario.run.terminated;
@@ -249,6 +287,9 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
     {
       const std::lock_guard<std::mutex> lock(cell_mutexes[slot]);
       fold_run(result.aggregates[slot], record);
+      if (options.round_stats && !record.quarantined) {
+        fold_round_stats(result.aggregates[slot], record, per_round_copy);
+      }
     }
     if (record.quarantined) {
       quarantined.fetch_add(1, std::memory_order_relaxed);

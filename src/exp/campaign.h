@@ -147,7 +147,24 @@ struct RunRecord {
 /// Deterministic per-cell aggregate, built online as runs finish (any
 /// order, any thread count — see StreamingStats for why that is sound).
 struct CellAggregate {
+  /// Round-resolved aggregates across the cell's runs: entry i covers
+  /// round i+1. Populated only with CampaignOptions::round_stats; grows
+  /// to the longest run seen, so a stats object's count is less than
+  /// `executed` for rounds some runs never reached. Deterministic like
+  /// everything else here: the final length is the max over runs and
+  /// each accumulator's state is a pure function of its (rep, value)
+  /// sample set, neither depending on completion order.
+  struct RoundStats {
+    StreamingStats messages;
+    StreamingStats bits;
+    StreamingStats correct_messages;
+    StreamingStats equivocating_sends;
+  };
+
   std::size_t cell = 0;
+  /// Reservoir salt shared by every accumulator of this cell (including
+  /// per_round entries created later), splitmix64(cell index).
+  std::uint64_t salt = 0;
   std::size_t executed = 0;
   std::size_t ok = 0;
   std::size_t terminated = 0;
@@ -171,6 +188,8 @@ struct CellAggregate {
   std::size_t degraded_range = 0;
   std::size_t degraded_uniqueness = 0;
   std::size_t degraded_order = 0;
+  /// See RoundStats; empty unless CampaignOptions::round_stats.
+  std::vector<RoundStats> per_round;
 };
 
 /// Execution knobs, separate from the spec so the same spec can run
@@ -197,6 +216,12 @@ struct CampaignOptions {
   /// Sample exact-rational probes into runs_out lines (costly; off by
   /// default for sweep throughput).
   bool sample_probes = false;
+  /// Aggregate per-round metric series into CellAggregate::per_round
+  /// (emitted as the campaign/1 `per_round` array). Off by default so
+  /// existing campaign outputs stay byte-identical; when on, the series
+  /// are as deterministic as the cell stats — CI diffs --threads 1
+  /// against --threads 8 byte-for-byte.
+  bool round_stats = false;
   /// Per-run cooperative watchdog (exp/repro.h with_deadline); 0
   /// disables. A timed-out run is retried, then quarantined. NOTE:
   /// timeouts depend on wall clocks, so a campaign recorded for

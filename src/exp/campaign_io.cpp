@@ -68,6 +68,20 @@ void write_campaign_cells(std::ostream& os, const CampaignSpec& spec,
       json.field("rep", aggregate.first_violation_rep).field("detail", aggregate.first_violation);
       json.end_object();
     }
+    if (!aggregate.per_round.empty()) {
+      json.key("per_round").begin_array();
+      for (std::size_t i = 0; i < aggregate.per_round.size(); ++i) {
+        const CellAggregate::RoundStats& stats = aggregate.per_round[i];
+        json.begin_object();
+        json.field("round", i + 1);
+        write_stat(json, "messages", stats.messages);
+        write_stat(json, "bits", stats.bits);
+        write_stat(json, "correct_messages", stats.correct_messages);
+        write_stat(json, "equivocating_sends", stats.equivocating_sends);
+        json.end_object();
+      }
+      json.end_array();
+    }
     json.end_object();
     os << '\n';
   }

@@ -91,6 +91,8 @@ void RunReportSink::on_run_end(const RunSummary& summary) {
         .field("correct_messages", sample.metrics.correct_messages)
         .field("correct_bits", sample.metrics.correct_bits)
         .field("equivocating_sends", sample.metrics.equivocating_sends)
+        .field("max_message_bits", sample.metrics.max_message_bits)
+        .field("max_correct_message_bits", sample.metrics.max_correct_message_bits)
         .field("wall_seconds", sample.wall_seconds);
     if (sample.has_acceptance) {
       json.key("accepted").begin_object();

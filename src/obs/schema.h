@@ -47,6 +47,8 @@ namespace byzrename::obs {
 ///   per_round         array    one object per round, in order:
 ///     .round            int      1-based, matches the paper's "Step r"
 ///     .messages .bits .correct_messages .correct_bits .equivocating_sends
+///     .max_message_bits .max_correct_message_bits   uint64  largest single
+///         message charged in this round (added within major 1)
 ///     .wall_seconds     double   wall clock of this round
 ///
 /// Optional fields (present when the producer had them):
@@ -103,6 +105,14 @@ namespace byzrename::obs {
 ///     .rounds .messages .correct_messages .bits .max_name .rejected_votes
 ///   first_violation   object?  {rep, detail} of the lowest-rep failing
 ///                              run; absent when the cell is clean
+///   per_round         array?   present only with round-level aggregation
+///                              enabled (--round-stats). One object per
+///                              round index across the cell's runs:
+///                              {round, messages, bits, correct_messages,
+///                              equivocating_sends}, each the same
+///                              deterministic aggregate object as stats.*
+///                              (count < executed when some runs ended
+///                              before this round). Added within major 1.
 ///
 /// ## byzrename.campaign-summary/1 — one closing line per execution
 ///
@@ -114,6 +124,59 @@ namespace byzrename::obs {
 ///     {cell, cell_index, rep, seed, kind, attempts, detail}
 ///   (quarantine lives here, not in campaign/1 cell lines, because
 ///   timeout-kind quarantines depend on wall clocks)
+///
+/// ## byzrename.metrics/1 — one protocol round per line
+///
+/// The round-resolved timeseries produced by obs::MetricsSink
+/// (--metrics-jsonl). Fully DETERMINISTIC — no wall clocks — so a file
+/// is golden-file comparable across machines and thread counts.
+///
+/// Stable fields (always present):
+///   schema            string   "byzrename.metrics/1"
+///   run               object   run identity:
+///     .algorithm        string   core::to_string(Algorithm)
+///     .n .t .faults     int
+///     .adversary        string
+///     .seed             uint64
+///     .iterations       int      resolved voting iterations (-1 = n/a)
+///   round             int      1-based synchronous round
+///   phase             string   core/phase.h taxonomy: selection | echo |
+///                              ready | voting | decision | protocol
+///   voting_iteration  int      k of Lemma IV.8's Delta_r inside the
+///                              voting loop; 0 outside it
+///   messages bits correct_messages correct_bits equivocating_sends
+///   max_message_bits max_correct_message_bits     uint64 round counters
+///   injected_drops injected_duplicates injected_delays  uint64
+///
+/// Optional fields (same guards as byzrename.run/1 per_round entries):
+///   label             string   free-form row label
+///   accepted          object   {min,max}, Alg. 1/4 runs only
+///   rejected_votes    int      cumulative up to this round
+///   rank_spread / rank_spread_exact      double / string   Delta_r
+///   adjacent_gap / adjacent_gap_exact    double / string
+///   fast_max_discrepancy / fast_min_gap  int    Alg. 4 probes
+///
+/// ## byzrename.audit/1 — one complexity verdict per run
+///
+/// Produced by obs::ComplexityAuditor (--audit / --audit-out): the
+/// paper's closed-form budgets evaluated against the finished run.
+/// Deterministic (no wall clock enters any bound).
+///
+///   schema            string   "byzrename.audit/1"
+///   label             string?  free-form row label
+///   run               object   algorithm n t faults adversary seed
+///                              iterations round_budget
+///   verdict           object   {complete, all_ok, bounds_checked,
+///                              violations}
+///   bounds            array    one object per evaluated bound:
+///     .bound            string   stable id: steps | messages | bit_size |
+///                                rank_contraction | fast_discrepancy |
+///                                fast_gap
+///     .formula          string   the paper's closed form, as text
+///     .direction        string   "upper" (observed <= limit) or "lower"
+///     .limit .observed  double
+///     .ok               bool
+///     .detail           string?  where the extreme was seen
 ///
 /// ## byzrename.repro/1 — one self-contained failure reproduction
 ///
@@ -147,6 +210,8 @@ namespace byzrename::obs {
 ///   matches_expected  bool     observed == expected
 inline constexpr const char* kRunSchema = "byzrename.run/1";
 inline constexpr const char* kSeriesSchema = "byzrename.series/1";
+inline constexpr const char* kMetricsSchema = "byzrename.metrics/1";
+inline constexpr const char* kAuditSchema = "byzrename.audit/1";
 inline constexpr const char* kCampaignSchema = "byzrename.campaign/1";
 inline constexpr const char* kCampaignSummarySchema = "byzrename.campaign-summary/1";
 inline constexpr const char* kReproSchema = "byzrename.repro/1";

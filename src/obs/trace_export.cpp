@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "obs/json.h"
+#include "sim/metrics.h"
 
 namespace byzrename::obs {
 
@@ -34,6 +35,9 @@ PhaseWindow phase_window(trace::Event::Kind kind) {
     case trace::Event::Kind::kSend: return {kSendStartUs, kSendWidthUs};
     case trace::Event::Kind::kDeliver: return {kDeliverStartUs, kDeliverWidthUs};
     case trace::Event::Kind::kDecide: return {kDecideStartUs, kDecideWidthUs};
+    // Fault instants spread over the whole round window: drops/dups/
+    // delays conceptually replace deliveries, crashes span both halves.
+    case trace::Event::Kind::kFault: return {0.0, kRoundUs};
   }
   return {0.0, kRoundUs};
 }
@@ -47,6 +51,8 @@ std::string event_name(const trace::Event& event) {
       return "recv link " + std::to_string(event.link);
     case trace::Event::Kind::kDecide:
       return "decide " + event.payload;
+    case trace::Event::Kind::kFault:
+      return "fault: " + event.payload;
   }
   return "?";
 }
@@ -99,9 +105,12 @@ void write_chrome_trace(std::ostream& os, const trace::EventLog& log, const Trac
   json.end_object();
   json.end_object();
 
-  // The rounds track sits above the per-process tracks.
+  // The rounds track sits above the per-process tracks; the phase lane
+  // (when labels were provided) sits above the rounds track.
   const int rounds_tid = process_count;
+  const int phase_tid = process_count + 1;
   write_thread_name(json, rounds_tid, "rounds", -1);
+  if (!meta.phase_labels.empty()) write_thread_name(json, phase_tid, "phase", -2);
   for (int i = 0; i < process_count; ++i) {
     // Built by append, not operator+(const char*, string&&): GCC 12's
     // -Wrestrict misfires on that overload under -O2 (PR 105651 family).
@@ -123,6 +132,50 @@ void write_chrome_trace(std::ostream& os, const trace::EventLog& log, const Trac
         .field("tid", rounds_tid)
         .field("cat", "round");
     json.end_object();
+    if (static_cast<std::size_t>(r) <= meta.phase_labels.size()) {
+      json.begin_object();
+      json.field("name", meta.phase_labels[static_cast<std::size_t>(r - 1)])
+          .field("ph", "X")
+          .field("ts", (r - 1) * kRoundUs)
+          .field("dur", kRoundUs)
+          .field("pid", 0)
+          .field("tid", phase_tid)
+          .field("cat", "phase");
+      json.end_object();
+    }
+  }
+
+  // Counter tracks: one sample per round at the round's start, rendered
+  // by the trace UI as stacked area charts under the slice tracks.
+  if (meta.metrics != nullptr) {
+    const auto& per_round = meta.metrics->per_round();
+    for (std::size_t i = 0; i < per_round.size(); ++i) {
+      const sim::RoundMetrics& m = per_round[i];
+      const double ts = static_cast<double>(i) * kRoundUs;
+      const auto counter = [&](const char* name, auto emit_args) {
+        json.begin_object();
+        json.field("name", name).field("ph", "C").field("ts", ts).field("pid", 0);
+        json.key("args").begin_object();
+        emit_args();
+        json.end_object();
+        json.end_object();
+      };
+      counter("messages", [&] {
+        json.field("correct", m.correct_messages)
+            .field("byzantine", m.messages - m.correct_messages);
+      });
+      counter("bits", [&] {
+        json.field("correct", m.correct_bits).field("byzantine", m.bits - m.correct_bits);
+      });
+      counter("equivocating sends", [&] { json.field("sends", m.equivocating_sends); });
+      if (m.injected_drops + m.injected_duplicates + m.injected_delays > 0) {
+        counter("injected faults", [&] {
+          json.field("drops", m.injected_drops)
+              .field("dups", m.injected_duplicates)
+              .field("delays", m.injected_delays);
+        });
+      }
+    }
   }
 
   // Second pass: emit one complete ("X") slice per event; the next slot
@@ -139,19 +192,28 @@ void write_chrome_trace(std::ostream& os, const trace::EventLog& log, const Trac
 
     const char* category = event.kind == trace::Event::Kind::kSend      ? "send"
                            : event.kind == trace::Event::Kind::kDeliver ? "deliver"
+                           : event.kind == trace::Event::Kind::kFault   ? "fault"
                                                                         : "decide";
     json.begin_object();
-    json.field("name", event_name(event))
-        .field("ph", "X")
-        .field("ts", ts)
-        .field("dur", std::max(slot_width * 0.95, 1.0))
-        .field("pid", 0)
+    json.field("name", event_name(event));
+    if (event.kind == trace::Event::Kind::kFault) {
+      // Injector decisions are instants, not durations: they mark the
+      // point on the affected track where a delivery was dropped,
+      // duplicated, delayed, or lost to a crash.
+      json.field("ph", "i").field("ts", ts).field("s", "t");
+    } else {
+      json.field("ph", "X").field("ts", ts).field("dur", std::max(slot_width * 0.95, 1.0));
+    }
+    json.field("pid", 0)
         .field("tid", event.actor)
         .field("cat", event.byzantine_actor ? std::string(category) + ",byzantine" : category);
     json.key("args").begin_object();
     json.field("round", event.round).field("payload", event.payload);
     if (event.byzantine_actor) json.field("byzantine", true);
     if (event.kind == trace::Event::Kind::kDeliver) json.field("link", event.link);
+    if (event.kind == trace::Event::Kind::kFault && event.link >= 0) {
+      json.field("link", event.link);
+    }
     json.end_object();
     json.end_object();
   }

@@ -7,6 +7,10 @@
 
 #include "trace/event_log.h"
 
+namespace byzrename::sim {
+class Metrics;
+}  // namespace byzrename::sim
+
 namespace byzrename::obs {
 
 /// Context for the trace-event exporter. Everything is optional: counts
@@ -18,6 +22,14 @@ struct TraceMeta {
   int process_count = 0;        ///< tracks to render; 0 = infer from events
   std::vector<bool> byzantine;  ///< per-process flag, marks tracks "[byz]"
   int rounds = 0;               ///< round-boundary track length; 0 = infer
+  /// Per-round phase labels (core::phase_label), phase_labels[r-1] naming
+  /// round r — rendered as a dedicated "phase" lane above the round
+  /// track. Empty = no phase lane.
+  std::vector<std::string> phase_labels;
+  /// Per-round communication counters; when attached the exporter emits
+  /// Chrome counter ("C") tracks — messages, bits, equivocating sends,
+  /// injected faults — aligned with the round windows. Non-owning.
+  const sim::Metrics* metrics = nullptr;
 };
 
 /// Renders an EventLog as Chrome trace-event JSON ("traceEvents" array
@@ -31,6 +43,13 @@ struct TraceMeta {
 /// "rounds" track carries one slice per round so round boundaries stay
 /// visible at any zoom. Within a phase, a track's events split the phase
 /// window evenly, preserving log order.
+///
+/// Fault-injection decisions (trace::Event::Kind::kFault) render as
+/// instant ("i") events on the affected endpoint's track, so a dropped
+/// or delayed delivery is visible exactly where the message would have
+/// landed. With TraceMeta::phase_labels a "phase" lane names each
+/// round's protocol phase; with TraceMeta::metrics counter ("C") tracks
+/// plot the per-round message/bit/fault series under the slices.
 void write_chrome_trace(std::ostream& os, const trace::EventLog& log,
                         const TraceMeta& meta = {});
 

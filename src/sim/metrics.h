@@ -24,6 +24,11 @@ struct RoundMetrics {
   std::size_t injected_drops = 0;
   std::size_t injected_duplicates = 0;
   std::size_t injected_delays = 0;
+  /// Largest single message charged in this round (any sender / correct
+  /// senders only). Per-round so the bit-size trajectory of the voting
+  /// phase is observable, not just the whole-run maximum.
+  std::size_t max_message_bits = 0;
+  std::size_t max_correct_message_bits = 0;
 };
 
 /// Aggregated communication metrics for a whole run. Totals are
@@ -43,6 +48,11 @@ class Metrics {
     totals_.injected_drops += round.injected_drops;
     totals_.injected_duplicates += round.injected_duplicates;
     totals_.injected_delays += round.injected_delays;
+    // Max folds are idempotent with note_message_bits, so rounds built
+    // either way (per-message notes or per-round maxima) agree.
+    max_message_bits_ = std::max(max_message_bits_, round.max_message_bits);
+    max_correct_message_bits_ =
+        std::max(max_correct_message_bits_, round.max_correct_message_bits);
   }
 
   /// Tracks the largest single message seen on the wire.

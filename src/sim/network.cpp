@@ -56,6 +56,12 @@ void Network::run_round(Round round) {
       if (fault_injector_ != nullptr &&
           fault_injector_->crashed(static_cast<ProcessIndex>(receiver), round)) {
         round_metrics.injected_drops += 1;
+        if (event_log_ != nullptr) {
+          event_log_->record({round, trace::Event::Kind::kFault,
+                              static_cast<ProcessIndex>(receiver), std::nullopt,
+                              delivery.link, byzantine_[receiver],
+                              "crash: delayed delivery lost"});
+        }
         continue;
       }
       inboxes_[receiver].push_back(std::move(delivery));
@@ -69,6 +75,11 @@ void Network::run_round(Round round) {
     // resumes the protocol from its pre-crash state.
     if (fault_injector_ != nullptr &&
         fault_injector_->crashed(static_cast<ProcessIndex>(sender), round)) {
+      if (event_log_ != nullptr) {
+        event_log_->record({round, trace::Event::Kind::kFault,
+                            static_cast<ProcessIndex>(sender), std::nullopt, -1,
+                            byzantine_[sender], "crash: no send"});
+      }
       continue;
     }
     Outbox out(byzantine_[sender]);
@@ -91,18 +102,37 @@ void Network::run_round(Round round) {
         }
         if (fate.drop) {
           round_metrics.injected_drops += 1;
+          if (event_log_ != nullptr) {
+            event_log_->record({round, trace::Event::Kind::kFault,
+                                static_cast<ProcessIndex>(receiver), std::nullopt,
+                                link_of_sender_[receiver][sender], byzantine_[receiver],
+                                "drop"});
+          }
           return;
         }
         round_metrics.messages += 1;
         round_metrics.bits += payload_bits;
+        round_metrics.max_message_bits = std::max(round_metrics.max_message_bits, payload_bits);
         if (!byzantine_[sender]) {
           round_metrics.correct_messages += 1;
           round_metrics.correct_bits += payload_bits;
+          round_metrics.max_correct_message_bits =
+              std::max(round_metrics.max_correct_message_bits, payload_bits);
         }
-        metrics_.note_message_bits(payload_bits, !byzantine_[sender]);
         // Sharing, not copying: the delivery aliases the sender's single
         // payload object behind a refcount bump.
         const Delivery delivery{link_of_sender_[receiver][sender], entry.payload};
+        if (event_log_ != nullptr && (fate.delay > 0 || fate.copies > 1)) {
+          std::string note;
+          if (fate.copies > 1) note = "dup x" + std::to_string(fate.copies);
+          if (fate.delay > 0) {
+            if (!note.empty()) note += ", ";
+            note += "delay +" + std::to_string(fate.delay);
+          }
+          event_log_->record({round, trace::Event::Kind::kFault,
+                              static_cast<ProcessIndex>(receiver), std::nullopt,
+                              delivery.link, byzantine_[receiver], std::move(note)});
+        }
         if (fate.delay > 0) {
           round_metrics.injected_delays += 1;
           std::vector<std::pair<std::size_t, Delivery>>* batch = nullptr;
@@ -147,6 +177,11 @@ void Network::run_round(Round round) {
     // inbox for this round is gone for good.
     if (fault_injector_ != nullptr &&
         fault_injector_->crashed(static_cast<ProcessIndex>(receiver), round)) {
+      if (event_log_ != nullptr) {
+        event_log_->record({round, trace::Event::Kind::kFault,
+                            static_cast<ProcessIndex>(receiver), std::nullopt, -1,
+                            byzantine_[receiver], "crash: no receive"});
+      }
       continue;
     }
     Inbox& inbox = inboxes_[receiver];

@@ -22,6 +22,9 @@ void EventLog::render(std::ostream& os, const Filter& filter) const {
     } else if (event.kind == Event::Kind::kDeliver) {
       os << "  p" << event.actor << (event.byzantine_actor ? "*" : "") << " <- link "
          << event.link;
+    } else if (event.kind == Event::Kind::kFault) {
+      os << "  p" << event.actor << (event.byzantine_actor ? "*" : "") << " !fault";
+      if (event.link >= 0) os << " link " << event.link;
     } else {
       os << "  p" << event.actor << (event.byzantine_actor ? "*" : "") << " decides";
     }

@@ -17,11 +17,15 @@ namespace byzrename::trace {
 /// model (the omniscient log knows who sent what; the receiver only
 /// knows the link). Decide events mark the round in which a correct
 /// process first reported done(), with its decided name in the payload.
+/// Fault events record the injector's model violations (sim/fault.h):
+/// the payload names the decision ("drop", "dup x2", "delay +3",
+/// "crash"), actor is the affected endpoint, and link the receiver-side
+/// link label when the fault hit a delivery (-1 for crashes).
 struct Event {
-  enum class Kind { kSend, kDeliver, kDecide };
+  enum class Kind { kSend, kDeliver, kDecide, kFault };
   sim::Round round = 0;
   Kind kind = Kind::kSend;
-  sim::ProcessIndex actor = 0;  ///< sender (kSend) or receiver (kDeliver)
+  sim::ProcessIndex actor = 0;  ///< sender (kSend) or receiver (kDeliver/kFault)
   std::optional<sim::ProcessIndex> peer;  ///< destination (kSend only; nullopt = broadcast)
   sim::LinkIndex link = -1;               ///< arrival link (kDeliver only)
   bool byzantine_actor = false;

@@ -590,5 +590,74 @@ TEST(Campaign, ViolationsAreResultsNeverRetried) {
   }
 }
 
+// --- Per-round cell aggregation (--round-stats) ---------------------------
+
+TEST(Campaign, RoundStatsOffByDefaultKeepsOutputUnchanged) {
+  const CampaignSpec spec = small_spec();
+  const CampaignResult result = run_campaign(spec, {});
+  for (const CellAggregate& aggregate : result.aggregates) {
+    EXPECT_TRUE(aggregate.per_round.empty());
+  }
+  EXPECT_EQ(cells_text(spec, result).find("per_round"), std::string::npos);
+}
+
+TEST(Campaign, RoundStatsAggregateByteIdenticalAcrossThreadCounts) {
+  const CampaignSpec spec = small_spec();
+  CampaignOptions serial;
+  serial.threads = 1;
+  serial.round_stats = true;
+  CampaignOptions parallel;
+  parallel.threads = 8;
+  parallel.round_stats = true;
+  const CampaignResult a = run_campaign(spec, serial);
+  const CampaignResult b = run_campaign(spec, parallel);
+  const std::string text_a = cells_text(spec, a);
+  EXPECT_EQ(text_a, cells_text(spec, b));
+  EXPECT_NE(text_a.find("\"per_round\""), std::string::npos);
+}
+
+TEST(Campaign, RoundStatsSeriesAreConsistentWithCellTotals) {
+  const CampaignSpec spec = small_spec();
+  CampaignOptions options;
+  options.round_stats = true;
+  const CampaignResult result = run_campaign(spec, options);
+  ASSERT_FALSE(result.aggregates.empty());
+  for (std::size_t slot = 0; slot < result.aggregates.size(); ++slot) {
+    const CellAggregate& aggregate = result.aggregates[slot];
+    ASSERT_FALSE(aggregate.per_round.empty());
+    // The per-round message series sums back to the cell's total message
+    // aggregate exactly (integer sums, no averaging involved). A round
+    // some runs never reached carries count < executed, never more.
+    std::int64_t sum_over_rounds = 0;
+    for (const CellAggregate::RoundStats& round : aggregate.per_round) {
+      ASSERT_GE(round.messages.count(), 1u);
+      ASSERT_LE(round.messages.count(), aggregate.executed);
+      sum_over_rounds += round.messages.sum();
+    }
+    EXPECT_EQ(sum_over_rounds, aggregate.messages.sum());
+  }
+
+  // The emitted JSONL carries one per_round entry per executed round,
+  // parseable by the production JSON reader.
+  std::istringstream lines(cells_text(spec, result));
+  std::string line;
+  std::size_t checked = 0;
+  while (std::getline(lines, line)) {
+    const obs::JsonValue record = obs::parse_json(line);
+    const obs::JsonValue& per_round = record.at("per_round");
+    ASSERT_FALSE(per_round.as_array().empty());
+    std::int64_t expected_round = 1;
+    for (const obs::JsonValue& entry : per_round.as_array()) {
+      EXPECT_EQ(entry.at("round").as_int(), expected_round++);
+      EXPECT_GE(entry.at("messages").at("count").as_int(), 1);
+      EXPECT_TRUE(entry.find("bits") != nullptr);
+      EXPECT_TRUE(entry.find("correct_messages") != nullptr);
+      EXPECT_TRUE(entry.find("equivocating_sends") != nullptr);
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, result.aggregates.size());
+}
+
 }  // namespace
 }  // namespace byzrename::exp

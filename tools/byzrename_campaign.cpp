@@ -52,6 +52,8 @@ void print_usage() {
       "                        quarantined (default 1)\n"
       "  --quarantine-dir <d>  write one byzrename.repro/1 bundle per quarantined run\n"
       "                        into <d> (replayable via byzrename --repro)\n"
+      "  --round-stats         aggregate per-round metric series into the cell lines\n"
+      "                        (per_round array; deterministic at any --threads)\n"
       "  --fail-fast           cancel outstanding runs on the first violation\n"
       "  --shard <i>/<k>       execute only cells with index %% k == i\n"
       "  --quiet               suppress the human table\n"
@@ -142,6 +144,8 @@ Options parse(int argc, char** argv) {
     } else if (arg == "--quarantine-dir") {
       options.quarantine_dir = next_value(i);
       if (options.quarantine_dir.empty()) throw CliError{"--quarantine-dir needs a path"};
+    } else if (arg == "--round-stats") {
+      options.run.round_stats = true;
     } else if (arg == "--fail-fast") {
       options.run.fail_fast = true;
     } else if (arg == "--shard") {

@@ -24,10 +24,13 @@
 #include "adversary/adversary.h"
 #include "core/harness.h"
 #include "core/op_renaming.h"
+#include "core/phase.h"
 #include "exp/campaign.h"
 #include "exp/executor.h"
 #include "exp/repro.h"
 #include "sim/fault.h"
+#include "obs/complexity_audit.h"
+#include "obs/metrics_registry.h"
 #include "obs/run_report.h"
 #include "obs/telemetry.h"
 #include "obs/trace_export.h"
@@ -62,6 +65,12 @@ void print_usage() {
       "  --trace               print per-round metrics\n"
       "  --json <path>         write a JSONL run report (schema byzrename.run/1)\n"
       "  --trace-out <path>    write a Chrome trace-event file (chrome://tracing, Perfetto)\n"
+      "  --metrics-out <path>  write a Prometheus text dump of the run's metrics registry\n"
+      "  --metrics-jsonl <path> write the round-resolved timeseries (byzrename.metrics/1)\n"
+      "  --audit               check the paper's complexity budgets (steps, messages,\n"
+      "                        bit sizes, Delta_r contraction) and print the verdict;\n"
+      "                        exit 1 if any bound is violated\n"
+      "  --audit-out <path>    write the byzrename.audit/1 verdict record (implies --audit)\n"
       "  --report              print the JSON run report to stdout\n"
       "  --quiet               print only the verdict line\n"
       "  --list-adversaries    list registered strategies and exit\n"
@@ -117,6 +126,10 @@ struct Options {
   std::string trace_out_path;
   std::string repro_path;
   std::string repro_out_path;
+  std::string metrics_out_path;
+  std::string metrics_jsonl_path;
+  std::string audit_out_path;
+  bool audit = false;
 };
 
 Options parse(int argc, char** argv) {
@@ -179,6 +192,15 @@ Options parse(int argc, char** argv) {
       options.json_path = next_value(i);
     } else if (arg == "--trace-out") {
       options.trace_out_path = next_value(i);
+    } else if (arg == "--metrics-out") {
+      options.metrics_out_path = next_value(i);
+    } else if (arg == "--metrics-jsonl") {
+      options.metrics_jsonl_path = next_value(i);
+    } else if (arg == "--audit") {
+      options.audit = true;
+    } else if (arg == "--audit-out") {
+      options.audit_out_path = next_value(i);
+      options.audit = true;
     } else if (arg == "--report") {
       options.report = true;
     } else if (arg == "--quiet") {
@@ -269,6 +291,11 @@ int main(int argc, char** argv) {
       std::cerr << "byzrename: --trace/--trace-out describe a single run; not valid with --repeat\n";
       return 2;
     }
+    if (options.audit || !options.metrics_out_path.empty() ||
+        !options.metrics_jsonl_path.empty()) {
+      std::cerr << "byzrename: --metrics-*/--audit describe a single run; not valid with --repeat\n";
+      return 2;
+    }
     exp::CampaignSpec spec;
     spec.name = "cli-repeat";
     spec.scenarios.push_back(
@@ -357,6 +384,16 @@ int main(int argc, char** argv) {
     stdout_sink.emplace(std::cout);
     telemetry.add_sink(*stdout_sink);
   }
+  std::optional<obs::MetricsSink> metrics_sink;
+  if (!options.metrics_out_path.empty() || !options.metrics_jsonl_path.empty()) {
+    metrics_sink.emplace();
+    telemetry.add_sink(*metrics_sink);
+  }
+  std::optional<obs::ComplexityAuditor> auditor;
+  if (options.audit) {
+    auditor.emplace();
+    telemetry.add_sink(*auditor);
+  }
   trace::EventLog event_log;
   if (!options.trace_out_path.empty()) options.config.event_log = &event_log;
   if (telemetry.active()) options.config.telemetry = &telemetry;
@@ -388,7 +425,70 @@ int main(int argc, char** argv) {
     for (int i = options.config.params.n - faults; i < options.config.params.n; ++i) {
       meta.byzantine[static_cast<std::size_t>(i)] = true;
     }
+    // Phase lane + counter tracks: the resolved iteration count follows
+    // from expected_steps (op/const run exactly 4 + iterations rounds).
+    int iterations = -1;
+    if (options.config.algorithm == core::Algorithm::kOpRenaming ||
+        options.config.algorithm == core::Algorithm::kOpRenamingConstantTime) {
+      iterations = core::expected_steps(options.config.algorithm, options.config.params,
+                                        options.config.options) - 4;
+    }
+    meta.phase_labels.reserve(static_cast<std::size_t>(result.run.rounds));
+    for (int r = 1; r <= result.run.rounds; ++r) {
+      meta.phase_labels.push_back(
+          core::phase_label(core::round_phase(options.config.algorithm, r, iterations)));
+    }
+    meta.metrics = &result.run.metrics;
     obs::write_chrome_trace(trace_out, event_log, meta);
+  }
+
+  if (metrics_sink.has_value()) {
+    if (!options.metrics_out_path.empty()) {
+      std::ofstream metrics_out(options.metrics_out_path, std::ios::trunc);
+      if (!metrics_out.is_open()) {
+        std::cerr << "byzrename: cannot open --metrics-out path: " << options.metrics_out_path
+                  << '\n';
+        return 2;
+      }
+      metrics_sink->write_prometheus(metrics_out);
+    }
+    if (!options.metrics_jsonl_path.empty()) {
+      std::ofstream metrics_jsonl(options.metrics_jsonl_path, std::ios::trunc);
+      if (!metrics_jsonl.is_open()) {
+        std::cerr << "byzrename: cannot open --metrics-jsonl path: "
+                  << options.metrics_jsonl_path << '\n';
+        return 2;
+      }
+      metrics_sink->write_metrics_jsonl(metrics_jsonl);
+    }
+  }
+
+  bool audit_ok = true;
+  if (auditor.has_value()) {
+    audit_ok = auditor->all_ok();
+    if (!options.audit_out_path.empty()) {
+      std::ofstream audit_out(options.audit_out_path, std::ios::trunc);
+      if (!audit_out.is_open()) {
+        std::cerr << "byzrename: cannot open --audit-out path: " << options.audit_out_path
+                  << '\n';
+        return 2;
+      }
+      auditor->write_audit_jsonl(audit_out);
+    }
+    if (!options.quiet || !audit_ok) {
+      if (audit_ok) {
+        std::cout << "audit: " << auditor->bounds().size()
+                  << " complexity bound(s) checked, all hold\n";
+      } else {
+        for (const obs::AuditBound& bound : auditor->bounds()) {
+          if (bound.ok) continue;
+          std::cout << "audit: VIOLATED " << bound.bound << " [" << bound.formula
+                    << "]: observed " << bound.observed << (bound.upper ? " > " : " < ")
+                    << "limit " << bound.limit
+                    << (bound.detail.empty() ? "" : " (" + bound.detail + ")") << '\n';
+        }
+      }
+    }
   }
 
   if (!options.quiet) {
@@ -424,5 +524,5 @@ int main(int argc, char** argv) {
   std::cout << "verdict: "
             << (result.report.all_ok() ? "all renaming properties hold" : result.report.detail)
             << '\n';
-  return result.report.all_ok() ? 0 : 1;
+  return result.report.all_ok() && audit_ok ? 0 : 1;
 }
