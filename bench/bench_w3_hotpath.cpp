@@ -26,8 +26,11 @@
 
 #include "core/harness.h"
 #include "core/rank_approx.h"
+#include "exp/progress.h"
 #include "numeric/rational.h"
 #include "obs/bench_report.h"
+#include "obs/http/exposition.h"
+#include "obs/http/http_server.h"
 #include "sim/network.h"
 #include "sim/process.h"
 #include "sim/rng.h"
@@ -201,6 +204,28 @@ int main() {
   }
   for (const int n : {16, 64, 128}) {
     emit("macro_op_n" + std::to_string(n), bench_macro_op(n, n >= 128 ? 1 : 3), "s/run ", 1.0);
+  }
+
+  {
+    // The live-telemetry overhead row (docs/OBSERVABILITY.md): the N=64
+    // macro case again, but with an idle obs/http server thread holding
+    // the full exposition plane (hub + /metrics + /healthz + /progress)
+    // on an ephemeral port. The server only poll()s between scrapes, so
+    // this should track macro_op_n64 within noise — the acceptance bound
+    // is <= +3%, and the alloc count is identical by construction (an
+    // idle accept loop allocates nothing).
+    exp::ProgressTracker progress;
+    obs::ExpositionHub hub;
+    hub.add_writer([&progress](std::ostream& os) { progress.write_prometheus(os); });
+    hub.add_writer([](std::ostream& os) { obs::write_process_metrics(os); });
+    obs::HttpServer server;
+    obs::mount_prometheus(server, hub);
+    obs::mount_healthz(server);
+    obs::mount_json(server, "/progress",
+                    [&progress](std::ostream& os) { progress.write_progress_json(os); });
+    server.start(0);
+    emit("macro_op_serve_n64", bench_macro_op(64, 3), "s/run ", 1.0);
+    server.stop();
   }
 
   reporter.announce(std::cout);

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "exp/executor.h"
+#include "exp/progress.h"
 #include "exp/repro.h"
 #include "obs/run_report.h"
 #include "obs/telemetry.h"
@@ -177,6 +178,9 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
 
   Executor executor(options.threads);
   result.threads = executor.threads();
+  if (options.progress != nullptr) {
+    options.progress->begin(spec.name, result.cells, reps, executor.threads());
+  }
 
   // One mutex per cell guards its aggregate; a separate mutex serializes
   // whole lines on the shared runs_out stream.
@@ -186,8 +190,20 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
       options.runs_out_mutex != nullptr ? options.runs_out_mutex : &internal_runs_mutex;
   std::atomic<std::size_t> violations{0};
   std::atomic<std::size_t> quarantined{0};
+  // Tasks dequeued but skipped by an external interrupt: the executor
+  // counts them as executed (it ran the callable), the campaign must not.
+  std::atomic<std::size_t> skipped{0};
 
   const auto task = [&](std::size_t run_index) {
+    // External interrupt (SIGINT via the campaign CLI): stop starting
+    // runs. This run was already dequeued, so it is skipped outright —
+    // its record keeps executed=false, same as never-started tasks.
+    if (options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed)) {
+      executor.cancel();
+      skipped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (options.progress != nullptr) options.progress->task_started();
     const std::size_t slot = run_index / reps;
     const int rep = static_cast<int>(run_index % reps);
     const CampaignCell& cell = result.cells[slot];
@@ -298,17 +314,23 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
       violations.fetch_add(1, std::memory_order_relaxed);
       if (options.fail_fast) executor.cancel();
     }
+    if (options.progress != nullptr) {
+      options.progress->task_finished(slot, record.ok, record.quarantined);
+    }
   };
 
   const auto campaign_start = std::chrono::steady_clock::now();
   const Executor::Stats stats = executor.run(total_runs, task);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - campaign_start).count();
-  result.executed = stats.executed;
+  result.executed = stats.executed - skipped.load(std::memory_order_relaxed);
   result.steals = stats.stolen;
   result.violations = violations.load(std::memory_order_relaxed);
   result.quarantined = quarantined.load(std::memory_order_relaxed);
   result.cancelled = executor.cancelled();
+  result.interrupted =
+      options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed);
+  if (options.progress != nullptr) options.progress->finish(result.interrupted);
   return result;
 }
 

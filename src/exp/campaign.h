@@ -1,6 +1,7 @@
 #ifndef BYZRENAME_EXP_CAMPAIGN_H
 #define BYZRENAME_EXP_CAMPAIGN_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -18,6 +19,8 @@
 #include "sim/types.h"
 
 namespace byzrename::exp {
+
+class ProgressTracker;
 
 /// One explicit (algorithm, system, adversary) scenario, for sweeps that
 /// are not cartesian (each case pairs its own system with its own
@@ -230,6 +233,16 @@ struct CampaignOptions {
   /// Extra attempts after a run throws or times out, before it is
   /// quarantined. Checker violations are results, never retried.
   int quarantine_retries = 1;
+  /// Live progress observer (exp/progress.h), fed from worker threads
+  /// and scraped by the obs/http /progress endpoint. Strictly read-only
+  /// with respect to results: attaching one cannot change any
+  /// deterministic output. Must outlive run_campaign. Null = off.
+  ProgressTracker* progress = nullptr;
+  /// Cooperative external cancellation (the campaign CLI's SIGINT
+  /// path): when non-null and set, workers stop STARTING runs —
+  /// in-flight runs complete, sinks stay flushed whole-line, and the
+  /// partial result returns with cancelled (and interrupted) set.
+  const std::atomic<bool>* cancel = nullptr;
   /// Per-run hooks, invoked from worker threads. `configure` may attach
   /// observers or tweak the config before the run; `inspect` sees the
   /// full ScenarioResult right after it. Both are called concurrently
@@ -256,6 +269,10 @@ struct CampaignResult {
   std::size_t quarantined = 0;
   std::size_t steals = 0;
   bool cancelled = false;
+  /// True iff cancellation came from CampaignOptions::cancel (an
+  /// operator interrupt) rather than fail-fast; the summary line
+  /// carries it as `interrupted`.
+  bool interrupted = false;
 
   [[nodiscard]] bool all_ok() const noexcept {
     return violations == 0 && quarantined == 0 && !cancelled;

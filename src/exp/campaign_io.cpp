@@ -100,6 +100,7 @@ void write_campaign_summary(std::ostream& os, const CampaignSpec& spec,
       .field("violations", result.violations)
       .field("quarantined", result.quarantined)
       .field("cancelled", result.cancelled)
+      .field("interrupted", result.interrupted)
       .field("threads", result.threads)
       .field("steals", result.steals)
       .field("wall_seconds", result.wall_seconds);
@@ -144,7 +145,10 @@ void print_campaign_table(std::ostream& os, const CampaignResult& result) {
   }
   table.print(os);
   os << '\n'
-     << (result.cancelled ? "CANCELLED (fail-fast)" : "done") << ": " << result.executed << '/'
+     << (result.interrupted  ? "INTERRUPTED (partial results flushed)"
+         : result.cancelled ? "CANCELLED (fail-fast)"
+                            : "done")
+     << ": " << result.executed << '/'
      << result.runs.size() << " runs, " << result.violations << " violation(s), "
      << result.quarantined << " quarantined, " << result.threads << " thread(s), "
      << result.steals << " steal(s), " << result.wall_seconds << "s\n";

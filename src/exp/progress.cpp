@@ -1,0 +1,233 @@
+#include "exp/progress.h"
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <ostream>
+
+#include "obs/json.h"
+#include "obs/schema.h"
+
+namespace byzrename::exp {
+
+namespace {
+
+/// EWMA time constant: completions older than a few tau contribute
+/// almost nothing, so the rate tracks the current regime of a sweep
+/// whose cells have very different per-run costs.
+constexpr double kEwmaTauSeconds = 5.0;
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void ProgressTracker::begin(std::string campaign, const std::vector<CampaignCell>& cells,
+                            std::size_t repetitions, int workers) {
+  campaign_ = std::move(campaign);
+  cell_count_ = cells.size();
+  cells_ = std::make_unique<CellCounters[]>(cell_count_);
+  for (std::size_t slot = 0; slot < cell_count_; ++slot) {
+    cells_[slot].key = cell_key(cells[slot]);
+    cells_[slot].total = repetitions;
+  }
+  total_runs_ = cell_count_ * repetitions;
+  workers_ = workers;
+  done_.store(false, std::memory_order_relaxed);
+  interrupted_.store(false, std::memory_order_relaxed);
+  end_ns_.store(0, std::memory_order_relaxed);
+  start_ns_.store(now_ns(), std::memory_order_relaxed);
+  // Release-publish the table: a scrape that observes started_ == true
+  // also observes the initialized cells.
+  started_.store(true, std::memory_order_release);
+}
+
+void ProgressTracker::task_started() noexcept {
+  busy_workers_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ProgressTracker::task_finished(std::size_t cell_slot, bool ok,
+                                    bool quarantined) noexcept {
+  busy_workers_.fetch_sub(1, std::memory_order_relaxed);
+  if (cell_slot < cell_count_) {
+    CellCounters& cell = cells_[cell_slot];
+    cell.completed.fetch_add(1, std::memory_order_relaxed);
+    if (quarantined) {
+      cell.quarantined.fetch_add(1, std::memory_order_relaxed);
+    } else if (ok) {
+      cell.ok.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      cell.violations.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (quarantined) {
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
+  } else if (ok) {
+    ok_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    violations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Throughput EWMA over completion inter-arrival times, measured
+  // across ALL workers (the aggregate campaign rate, not a per-worker
+  // one). exchange + CAS keeps the update lock-free; a lost race
+  // between two simultaneous completions only blurs one sample.
+  const std::int64_t now = now_ns();
+  const std::int64_t previous = last_finish_ns_.exchange(now, std::memory_order_relaxed);
+  if (previous != 0 && now > previous) {
+    const double dt = static_cast<double>(now - previous) * 1e-9;
+    const double instantaneous = 1.0 / dt;
+    const double alpha = -std::expm1(-dt / kEwmaTauSeconds);  // 1 - e^(-dt/tau)
+    std::uint64_t expected = ewma_rate_bits_.load(std::memory_order_relaxed);
+    for (;;) {
+      const double current = std::bit_cast<double>(expected);
+      const double next =
+          current <= 0.0 ? instantaneous : current + alpha * (instantaneous - current);
+      if (ewma_rate_bits_.compare_exchange_weak(expected, std::bit_cast<std::uint64_t>(next),
+                                                std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ProgressTracker::finish(bool interrupted) noexcept {
+  end_ns_.store(now_ns(), std::memory_order_relaxed);
+  interrupted_.store(interrupted, std::memory_order_relaxed);
+  done_.store(true, std::memory_order_release);
+}
+
+double ProgressTracker::elapsed_seconds_now() const noexcept {
+  const std::int64_t start = start_ns_.load(std::memory_order_relaxed);
+  if (start == 0) return 0.0;
+  const std::int64_t end = end_ns_.load(std::memory_order_relaxed);
+  const std::int64_t reference = end != 0 ? end : now_ns();
+  return static_cast<double>(reference - start) * 1e-9;
+}
+
+ProgressTracker::Snapshot ProgressTracker::snapshot() const {
+  Snapshot snap;
+  snap.started = started_.load(std::memory_order_acquire);
+  if (!snap.started) return snap;
+  snap.campaign = campaign_;
+  snap.done = done_.load(std::memory_order_acquire);
+  snap.interrupted = interrupted_.load(std::memory_order_relaxed);
+  snap.total_runs = total_runs_;
+  snap.completed = completed_.load(std::memory_order_relaxed);
+  snap.ok = ok_.load(std::memory_order_relaxed);
+  snap.violations = violations_.load(std::memory_order_relaxed);
+  snap.quarantined = quarantined_.load(std::memory_order_relaxed);
+  snap.workers = workers_;
+  snap.workers_busy = busy_workers_.load(std::memory_order_relaxed);
+  snap.elapsed_seconds = elapsed_seconds_now();
+  snap.runs_per_second =
+      std::bit_cast<double>(ewma_rate_bits_.load(std::memory_order_relaxed));
+  snap.runs_per_second_mean = snap.elapsed_seconds > 0.0
+                                  ? static_cast<double>(snap.completed) / snap.elapsed_seconds
+                                  : 0.0;
+  const std::size_t remaining =
+      snap.total_runs > snap.completed ? snap.total_runs - snap.completed : 0;
+  if (snap.done || remaining == 0) {
+    snap.eta_seconds = 0.0;
+  } else {
+    // Prefer the EWMA (tracks the current cell mix); until it has a
+    // sample, the campaign mean is the only estimate available.
+    const double rate =
+        snap.runs_per_second > 0.0 ? snap.runs_per_second : snap.runs_per_second_mean;
+    snap.eta_seconds = rate > 0.0 ? static_cast<double>(remaining) / rate : -1.0;
+  }
+  snap.cells.reserve(cell_count_);
+  for (std::size_t slot = 0; slot < cell_count_; ++slot) {
+    const CellCounters& cell = cells_[slot];
+    CellSnapshot cell_snap;
+    cell_snap.key = cell.key;
+    cell_snap.total = cell.total;
+    cell_snap.completed = cell.completed.load(std::memory_order_relaxed);
+    cell_snap.ok = cell.ok.load(std::memory_order_relaxed);
+    cell_snap.violations = cell.violations.load(std::memory_order_relaxed);
+    cell_snap.quarantined = cell.quarantined.load(std::memory_order_relaxed);
+    snap.cells.push_back(std::move(cell_snap));
+  }
+  return snap;
+}
+
+void ProgressTracker::write_progress_json(std::ostream& os) const {
+  const Snapshot snap = snapshot();
+  obs::JsonWriter json(os);
+  json.begin_object();
+  json.field("schema", obs::kProgressSchema);
+  json.field("campaign", snap.campaign);
+  json.field("state", !snap.started      ? "idle"
+                      : snap.interrupted ? "interrupted"
+                      : snap.done        ? "done"
+                                         : "running");
+  json.field("total_runs", snap.total_runs)
+      .field("completed", snap.completed)
+      .field("ok", snap.ok)
+      .field("violations", snap.violations)
+      .field("quarantined", snap.quarantined)
+      .field("elapsed_seconds", snap.elapsed_seconds)
+      .field("runs_per_second", snap.runs_per_second)
+      .field("runs_per_second_mean", snap.runs_per_second_mean)
+      .field("eta_seconds", snap.eta_seconds);
+  json.key("workers").begin_object();
+  json.field("total", snap.workers).field("busy", snap.workers_busy);
+  json.end_object();
+  json.key("cells").begin_array();
+  for (const CellSnapshot& cell : snap.cells) {
+    json.begin_object();
+    json.field("cell", cell.key)
+        .field("total", cell.total)
+        .field("completed", cell.completed)
+        .field("ok", cell.ok)
+        .field("violations", cell.violations)
+        .field("quarantined", cell.quarantined);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  os << '\n';
+}
+
+void ProgressTracker::write_prometheus(std::ostream& os) const {
+  const Snapshot snap = snapshot();
+  if (!snap.started) return;
+  const auto counter = [&os](const char* name, const char* help, auto value) {
+    os << "# HELP " << name << ' ' << help << '\n'
+       << "# TYPE " << name << " counter\n"
+       << name << ' ' << value << '\n';
+  };
+  const auto gauge = [&os](const char* name, const char* help, auto value) {
+    os << "# HELP " << name << ' ' << help << '\n'
+       << "# TYPE " << name << " gauge\n"
+       << name << ' ' << value << '\n';
+  };
+  gauge("byzrename_campaign_runs", "Total runs this campaign will execute.", snap.total_runs);
+  counter("byzrename_campaign_runs_completed_total", "Runs finished (any verdict).",
+          snap.completed);
+  counter("byzrename_campaign_runs_ok_total", "Runs with every renaming property held.",
+          snap.ok);
+  counter("byzrename_campaign_runs_violations_total", "Runs with a checker violation.",
+          snap.violations);
+  counter("byzrename_campaign_runs_quarantined_total",
+          "Runs excluded after exhausting retries.", snap.quarantined);
+  gauge("byzrename_campaign_runs_pending",
+        "Runs not yet finished (executor queue depth plus in-flight).",
+        snap.total_runs > snap.completed ? snap.total_runs - snap.completed : 0);
+  gauge("byzrename_campaign_workers", "Executor worker threads.", snap.workers);
+  gauge("byzrename_campaign_workers_busy", "Workers currently inside a run.",
+        snap.workers_busy);
+  gauge("byzrename_campaign_runs_per_second", "EWMA completion throughput.",
+        snap.runs_per_second);
+  gauge("byzrename_campaign_eta_seconds",
+        "Estimated seconds to completion (negative: not yet estimable).",
+        snap.eta_seconds);
+  gauge("byzrename_campaign_elapsed_seconds", "Campaign wall clock so far.",
+        snap.elapsed_seconds);
+}
+
+}  // namespace byzrename::exp

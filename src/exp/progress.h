@@ -1,0 +1,134 @@
+#ifndef BYZRENAME_EXP_PROGRESS_H
+#define BYZRENAME_EXP_PROGRESS_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.h"
+
+namespace byzrename::exp {
+
+/// Live progress state of one campaign execution, built for concurrent
+/// observation: worker threads update plain relaxed atomics (no locks,
+/// no allocation — the campaign hot path is untouched) and the HTTP
+/// server thread reads consistent-enough snapshots whenever a scrape
+/// arrives. The tracker is a pure observer — nothing it computes feeds
+/// back into run scheduling or results, so the 1-vs-8-thread
+/// byte-determinism gates cannot be affected by its presence.
+///
+/// Throughput is a time-decayed EWMA over run completion inter-arrival
+/// times (tau = 5 s), updated lock-free with a CAS loop; the ETA is
+/// remaining / EWMA rate, falling back to the whole-campaign mean rate
+/// until the EWMA has warmed up.
+class ProgressTracker {
+ public:
+  /// Point-in-time copy of one cell's counters.
+  struct CellSnapshot {
+    std::string key;  ///< cell_key() of the cell
+    std::size_t total = 0;
+    std::size_t completed = 0;
+    std::size_t ok = 0;
+    std::size_t violations = 0;
+    std::size_t quarantined = 0;
+  };
+
+  /// Point-in-time copy of the whole campaign's state. completed may
+  /// lag the sum of per-cell counters by in-flight updates; every field
+  /// is individually monotonic.
+  struct Snapshot {
+    std::string campaign;
+    bool started = false;
+    bool done = false;
+    bool interrupted = false;
+    std::size_t total_runs = 0;
+    std::size_t completed = 0;
+    std::size_t ok = 0;
+    std::size_t violations = 0;
+    std::size_t quarantined = 0;
+    int workers = 0;
+    int workers_busy = 0;
+    double elapsed_seconds = 0.0;
+    /// EWMA throughput (runs/s); 0 until the first completion interval.
+    double runs_per_second = 0.0;
+    /// Whole-campaign mean throughput (completed / elapsed).
+    double runs_per_second_mean = 0.0;
+    /// Estimated seconds to completion; negative = not yet estimable.
+    double eta_seconds = -1.0;
+    std::vector<CellSnapshot> cells;
+  };
+
+  ProgressTracker() = default;
+  ProgressTracker(const ProgressTracker&) = delete;
+  ProgressTracker& operator=(const ProgressTracker&) = delete;
+
+  /// Arms the tracker for one campaign execution: allocates the
+  /// per-cell counter table (the only allocation the tracker ever
+  /// does) and starts the elapsed clock. Called by run_campaign.
+  void begin(std::string campaign, const std::vector<CampaignCell>& cells,
+             std::size_t repetitions, int workers);
+
+  /// Worker-occupancy hooks, called per run from worker threads.
+  void task_started() noexcept;
+
+  /// Records one finished run. @p cell_slot indexes the cells vector
+  /// handed to begin() (the post-sharding slot, not CampaignCell::index).
+  void task_finished(std::size_t cell_slot, bool ok, bool quarantined) noexcept;
+
+  /// Freezes the elapsed clock and marks the campaign done (or
+  /// interrupted). Scrapes keep working after the campaign ends.
+  void finish(bool interrupted) noexcept;
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// One byzrename.progress/1 JSON document (obs/schema.h), the body of
+  /// GET /progress. Safe to call from any thread at any time.
+  void write_progress_json(std::ostream& os) const;
+
+  /// Campaign-level Prometheus families (runs completed/ok/violations/
+  /// quarantined/pending, worker occupancy, throughput, ETA) for the
+  /// ExpositionHub. Per-cell detail stays JSON-only: a million-run
+  /// sweep's cell count is scrape-hostile label cardinality.
+  void write_prometheus(std::ostream& os) const;
+
+ private:
+  struct CellCounters {
+    std::string key;
+    std::size_t total = 0;
+    std::atomic<std::size_t> completed{0};
+    std::atomic<std::size_t> ok{0};
+    std::atomic<std::size_t> violations{0};
+    std::atomic<std::size_t> quarantined{0};
+  };
+
+  [[nodiscard]] double elapsed_seconds_now() const noexcept;
+
+  std::string campaign_;
+  std::unique_ptr<CellCounters[]> cells_;
+  std::size_t cell_count_ = 0;
+  std::size_t total_runs_ = 0;
+  int workers_ = 0;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> done_{false};
+  std::atomic<bool> interrupted_{false};
+  std::atomic<int> busy_workers_{0};
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> ok_{0};
+  std::atomic<std::size_t> violations_{0};
+  std::atomic<std::size_t> quarantined_{0};
+  /// steady_clock epochs in nanoseconds; 0 = unset.
+  std::atomic<std::int64_t> start_ns_{0};
+  std::atomic<std::int64_t> end_ns_{0};
+  std::atomic<std::int64_t> last_finish_ns_{0};
+  /// Bit pattern of the EWMA rate double, CAS-updated on completion.
+  std::atomic<std::uint64_t> ewma_rate_bits_{0};
+};
+
+}  // namespace byzrename::exp
+
+#endif  // BYZRENAME_EXP_PROGRESS_H

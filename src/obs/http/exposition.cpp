@@ -1,0 +1,83 @@
+#include "obs/http/exposition.h"
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace byzrename::obs {
+
+void ExpositionHub::write(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Writer& writer : writers_) writer(os);
+}
+
+namespace {
+
+/// Reads one "Key:   12345 kB" line value from /proc/self/status;
+/// returns 0 when absent (non-Linux, or the field is missing).
+std::uint64_t proc_status_kb(const std::string& key) {
+  std::ifstream status("/proc/self/status");
+  if (!status.is_open()) return 0;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind(key + ':', 0) != 0) continue;
+    std::uint64_t value = 0;
+    std::istringstream fields(line.substr(key.size() + 1));
+    fields >> value;
+    return value;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void write_process_metrics(std::ostream& os) {
+  const std::uint64_t rss_kb = proc_status_kb("VmRSS");
+  const std::uint64_t peak_kb = proc_status_kb("VmHWM");
+  if (rss_kb > 0) {
+    os << "# HELP process_resident_memory_bytes Resident set size.\n"
+       << "# TYPE process_resident_memory_bytes gauge\n"
+       << "process_resident_memory_bytes " << rss_kb * 1024 << '\n';
+  }
+  if (peak_kb > 0) {
+    os << "# HELP process_resident_memory_peak_bytes Peak resident set size.\n"
+       << "# TYPE process_resident_memory_peak_bytes gauge\n"
+       << "process_resident_memory_peak_bytes " << peak_kb * 1024 << '\n';
+  }
+}
+
+void mount_prometheus(HttpServer& server, const ExpositionHub& hub) {
+  server.handle("/metrics", [&hub](const HttpRequest&) {
+    HttpResponse response;
+    std::ostringstream body;
+    hub.write(body);
+    response.body = body.str();
+    return response;
+  });
+}
+
+void mount_healthz(HttpServer& server) {
+  server.handle("/healthz", [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = "ok\n";
+    return response;
+  });
+}
+
+void mount_json(HttpServer& server, std::string path,
+                std::function<void(std::ostream&)> writer) {
+  server.handle(std::move(path), [writer = std::move(writer)](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json; charset=utf-8";
+    std::ostringstream body;
+    writer(body);
+    response.body = body.str();
+    return response;
+  });
+}
+
+}  // namespace byzrename::obs

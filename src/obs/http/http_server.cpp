@@ -1,0 +1,203 @@
+#include "obs/http/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace byzrename::obs {
+
+namespace {
+
+constexpr int kPollIntervalMs = 50;
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+void set_io_timeout(int fd) {
+  // A scraper that stalls mid-request must not wedge the accept loop:
+  // connections are served one at a time, so every socket read/write is
+  // bounded by this timeout.
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t written = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (written <= 0) return false;
+    data += written;
+    size -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string path, HttpHandler handler) {
+  if (running()) {
+    throw std::logic_error("HttpServer::handle: cannot register routes after start()");
+  }
+  routes_.emplace_back(std::move(path), std::move(handler));
+}
+
+void HttpServer::start(std::uint16_t port) {
+  if (running()) throw std::logic_error("HttpServer::start: already running");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("HttpServer: socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpServer: cannot bind 127.0.0.1:" + std::to_string(port) +
+                             ": " + detail);
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("HttpServer: listen: ") + detail);
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_size) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    // Never started (or already stopped); still reap a joinable thread
+    // in case stop() races a previous stop() that already flipped the
+    // flag but has not joined yet — join() below is idempotent-guarded.
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd poll_set{};
+    poll_set.fd = listen_fd_;
+    poll_set.events = POLLIN;
+    const int ready = ::poll(&poll_set, 1, kPollIntervalMs);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    if ((poll_set.revents & POLLIN) == 0) continue;
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) continue;
+    handle_connection(client_fd);
+    ::close(client_fd);
+  }
+}
+
+void HttpServer::handle_connection(int client_fd) {
+  set_io_timeout(client_fd);
+
+  // Read until the end of the header block; the body (there should be
+  // none on GET) is ignored.
+  std::string request;
+  char buffer[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t got = ::recv(client_fd, buffer, sizeof buffer, 0);
+    if (got <= 0) break;
+    request.append(buffer, static_cast<std::size_t>(got));
+  }
+
+  HttpResponse response;
+  HttpRequest parsed;
+  const std::size_t line_end = request.find("\r\n");
+  const std::size_t method_end = request.find(' ');
+  const std::size_t target_end =
+      method_end == std::string::npos ? std::string::npos : request.find(' ', method_end + 1);
+  if (line_end == std::string::npos || method_end == std::string::npos ||
+      target_end == std::string::npos || target_end > line_end) {
+    response = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else {
+    parsed.method = request.substr(0, method_end);
+    std::string target = request.substr(method_end + 1, target_end - method_end - 1);
+    const std::size_t query = target.find('?');
+    if (query != std::string::npos) {
+      parsed.query = target.substr(query + 1);
+      target.resize(query);
+    }
+    parsed.target = std::move(target);
+
+    if (parsed.method != "GET" && parsed.method != "HEAD") {
+      response = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+    } else {
+      const HttpHandler* handler = nullptr;
+      for (const auto& [path, route] : routes_) {
+        if (path == parsed.target) {
+          handler = &route;
+          break;
+        }
+      }
+      if (handler == nullptr) {
+        response = {404, "text/plain; charset=utf-8", "not found\n"};
+      } else {
+        try {
+          response = (*handler)(parsed);
+        } catch (const std::exception& error) {
+          response = {500, "text/plain; charset=utf-8",
+                      std::string("internal error: ") + error.what() + "\n"};
+        } catch (...) {
+          response = {500, "text/plain; charset=utf-8", "internal error\n"};
+        }
+      }
+    }
+  }
+
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + ' ' +
+                     status_text(response.status) +
+                     "\r\nContent-Type: " + response.content_type +
+                     "\r\nContent-Length: " + std::to_string(response.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  if (write_all(client_fd, head.data(), head.size()) && parsed.method != "HEAD") {
+    write_all(client_fd, response.body.data(), response.body.size());
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace byzrename::obs

@@ -1,0 +1,93 @@
+#ifndef BYZRENAME_OBS_HTTP_HTTP_SERVER_H
+#define BYZRENAME_OBS_HTTP_HTTP_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace byzrename::obs {
+
+/// One parsed request as handed to a handler. Only the request line is
+/// interpreted: the target is the path with any query string stripped
+/// (the query is preserved separately for handlers that want it).
+struct HttpRequest {
+  std::string method;  ///< "GET" or "HEAD" (anything else is rejected)
+  std::string target;  ///< path component, e.g. "/metrics"
+  std::string query;   ///< raw query string without the '?', may be empty
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Minimal dependency-free HTTP/1.1 exposition server: a blocking
+/// accept loop on its own thread, poll-based so stop() takes effect
+/// within one poll interval, serving registered exact-path GET/HEAD
+/// handlers one connection at a time ("Connection: close" on every
+/// response). Built for read-only observability endpoints — /metrics,
+/// /healthz, /progress — where scrapes are small, infrequent, and must
+/// never feed back into the observed computation: handlers run on the
+/// server thread and must be safe against the threads that produce the
+/// data they read (see ExpositionHub / ProgressTracker snapshots).
+///
+/// Binds the IPv4 loopback interface only: the telemetry plane is a
+/// local observer, not a public service. This is the seam the future
+/// byzrenamed daemon mounts its admission/session endpoints on; wider
+/// binding belongs to that change, not this one.
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler for an exact path ("/metrics"). Must be called
+  /// before start(); later registrations would race the server thread.
+  void handle(std::string path, HttpHandler handler);
+
+  /// Binds 127.0.0.1:@p port (0 selects an ephemeral port, readable via
+  /// port()) and launches the accept thread. Throws std::runtime_error
+  /// when the socket cannot be created, bound, or listened on.
+  void start(std::uint16_t port);
+
+  /// Stops the accept loop and joins the server thread. Idempotent;
+  /// also invoked by the destructor.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Port actually bound (resolves port 0 requests); 0 before start().
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Requests answered so far (any status), for idle-overhead accounting.
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int client_fd);
+
+  std::vector<std::pair<std::string, HttpHandler>> routes_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace byzrename::obs
+
+#endif  // BYZRENAME_OBS_HTTP_HTTP_SERVER_H

@@ -11,6 +11,27 @@
 
 namespace byzrename::obs {
 
+void write_prometheus_label_value(std::ostream& os, std::string_view value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': os << "\\\\"; break;
+      case '"': os << "\\\""; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+}
+
+void write_prometheus_help(std::ostream& os, std::string_view help) {
+  for (const char c : help) {
+    switch (c) {
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+}
+
 MetricsRegistry::Handle MetricsRegistry::counter(std::string name, std::string help,
                                                  std::string phase) {
   Instrument instrument;
@@ -116,7 +137,9 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
   for (const Instrument& instrument : instruments_) {
     if (!instrument.touched) continue;
     if (instrument.name != previous_family) {
-      os << "# HELP " << instrument.name << ' ' << instrument.help << '\n';
+      os << "# HELP " << instrument.name << ' ';
+      write_prometheus_help(os, instrument.help);
+      os << '\n';
       os << "# TYPE " << instrument.name << ' '
          << (instrument.kind == Kind::kCounter     ? "counter"
              : instrument.kind == Kind::kGauge     ? "gauge"
@@ -127,7 +150,11 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
     switch (instrument.kind) {
       case Kind::kCounter:
         os << instrument.name;
-        if (!instrument.phase.empty()) os << "{phase=\"" << instrument.phase << "\"}";
+        if (!instrument.phase.empty()) {
+          os << "{phase=\"";
+          write_prometheus_label_value(os, instrument.phase);
+          os << "\"}";
+        }
         os << ' ' << instrument.count << '\n';
         break;
       case Kind::kGauge:

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/algorithm.h"
@@ -12,6 +13,17 @@
 #include "obs/telemetry.h"
 
 namespace byzrename::obs {
+
+/// Appends @p value to @p os escaped for use inside a Prometheus label
+/// value's quotes: backslash, double-quote, and line-feed become \\,
+/// \", and \n per the text-format spec. Shared by every exposition
+/// writer in the repo so hostile values (adversary names, cell keys)
+/// can never corrupt a scrape.
+void write_prometheus_label_value(std::ostream& os, std::string_view value);
+
+/// Appends @p help escaped for a # HELP line: backslash and line-feed
+/// become \\ and \n (quotes are legal raw in HELP text).
+void write_prometheus_help(std::ostream& os, std::string_view help);
 
 /// Typed, allocation-light metric store: monotonic counters, gauges, and
 /// exact integer histograms. Instruments are registered once (returning a

@@ -120,10 +120,37 @@ namespace byzrename::obs {
 /// separate schema precisely because it is NOT deterministic:
 ///   schema cells runs executed violations quarantined cancelled threads
 ///   steals wall_seconds
+///   interrupted       bool     true when the execution was stopped by an
+///                              operator interrupt (SIGINT/SIGTERM through
+///                              the campaign CLI); the cell lines then
+///                              cover only the runs that finished. Added
+///                              within major 1.
 ///   quarantined_runs  array  one object per quarantined run:
 ///     {cell, cell_index, rep, seed, kind, attempts, detail}
 ///   (quarantine lives here, not in campaign/1 cell lines, because
 ///   timeout-kind quarantines depend on wall clocks)
+///
+/// ## byzrename.progress/1 — live campaign progress snapshot
+///
+/// The body of GET /progress on the obs/http telemetry plane (and
+/// nothing else: it is a point-in-time observation, never written into
+/// recorded outputs). VOLATILE by construction — wall clocks, EWMA
+/// throughput, and worker occupancy all enter it. One JSON document per
+/// request:
+///   schema            string   "byzrename.progress/1"
+///   campaign          string   CampaignSpec::name ("" before begin)
+///   state             string   idle | running | done | interrupted
+///   total_runs        int      cells x repetitions this execution owns
+///   completed ok violations quarantined   int   monotonic run counts
+///   elapsed_seconds   double   frozen once the campaign finishes
+///   runs_per_second   double   EWMA completion throughput (tau = 5 s)
+///   runs_per_second_mean double  completed / elapsed
+///   eta_seconds       double   remaining / throughput; 0 when done,
+///                              negative while not yet estimable
+///   workers           object   {total, busy} executor occupancy
+///   cells             array    one {cell, total, completed, ok,
+///                              violations, quarantined} per cell, in
+///                              deterministic expansion order
 ///
 /// ## byzrename.metrics/1 — one protocol round per line
 ///
@@ -214,6 +241,7 @@ inline constexpr const char* kMetricsSchema = "byzrename.metrics/1";
 inline constexpr const char* kAuditSchema = "byzrename.audit/1";
 inline constexpr const char* kCampaignSchema = "byzrename.campaign/1";
 inline constexpr const char* kCampaignSummarySchema = "byzrename.campaign-summary/1";
+inline constexpr const char* kProgressSchema = "byzrename.progress/1";
 inline constexpr const char* kReproSchema = "byzrename.repro/1";
 inline constexpr const char* kReproVerdictSchema = "byzrename.repro-verdict/1";
 

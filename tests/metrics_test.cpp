@@ -128,6 +128,44 @@ TEST(MetricsRegistry, FamilyHeaderEmittedOncePerFamily) {
 }
 
 // ---------------------------------------------------------------------------
+// Prometheus text-format escaping: label values escape \, ", and LF;
+// HELP text escapes \ and LF. Hostile strings (adversary names, cell
+// keys) must never be able to break a sample line or fake extra series.
+
+TEST(PrometheusEscaping, LabelValueEscapesBackslashQuoteAndNewline) {
+  std::ostringstream os;
+  obs::write_prometheus_label_value(os, "a\\b\"c\nd");
+  EXPECT_EQ(os.str(), "a\\\\b\\\"c\\nd");
+}
+
+TEST(PrometheusEscaping, HelpEscapesBackslashAndNewlineButNotQuote) {
+  std::ostringstream os;
+  obs::write_prometheus_help(os, "say \"hi\"\\\nbye");
+  EXPECT_EQ(os.str(), "say \"hi\"\\\\\\nbye");
+}
+
+TEST(PrometheusEscaping, HostileLabelAndHelpCannotCorruptExposition) {
+  MetricsRegistry registry;
+  // A phase label carrying every hostile byte class, and HELP text with
+  // an embedded newline: the rendered text must stay one sample line
+  // with the payload inside the quotes.
+  const auto handle = registry.counter("byzrename_hostile_total",
+                                       "line1\nline2 \\ \"quoted\"",
+                                       "evil\"} 99\nfake_series 1");
+  registry.add(handle, 5);
+  std::ostringstream text;
+  registry.write_prometheus(text);
+  const std::string out = text.str();
+  EXPECT_NE(out.find("# HELP byzrename_hostile_total line1\\nline2 \\\\ \"quoted\"\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("byzrename_hostile_total{phase=\"evil\\\"} 99\\nfake_series 1\"} 5\n"),
+            std::string::npos)
+      << out;
+  EXPECT_EQ(out.find("\nfake_series"), std::string::npos) << out;
+}
+
+// ---------------------------------------------------------------------------
 // Phase taxonomy (core/phase.h)
 
 TEST(PhaseTaxonomy, OpRenamingRoundsClassifyPerAlgorithmOne) {

@@ -13,9 +13,15 @@
 //   byzrename-campaign --grid "nt=13:4;adversary=orderbreak;reps=100" --fail-fast
 //   byzrename-campaign --grid "..." --shard 0/4 --out part0.jsonl
 //
-// Exit code 0 iff every run's renaming properties held; 2 on usage errors.
+// Exit code 0 iff every run's renaming properties held; 2 on usage
+// errors; 130 when interrupted by SIGINT/SIGTERM (partial results are
+// still flushed to every sink, with the summary marked interrupted).
 
+#include <atomic>
 #include <charconv>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -25,12 +31,26 @@
 
 #include "exp/campaign.h"
 #include "exp/campaign_io.h"
+#include "exp/progress.h"
 #include "exp/repro.h"
 #include "exp/spec_parse.h"
+#include "obs/http/exposition.h"
+#include "obs/http/http_server.h"
 
 namespace {
 
 using namespace byzrename;
+
+/// SIGINT/SIGTERM turn into cooperative cancellation: the executor
+/// stops starting runs, in-flight runs finish, and every sink is
+/// flushed with the partial results (summary marked interrupted:true).
+/// A second signal exits immediately — the escape hatch when a run
+/// itself is wedged.
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void handle_interrupt(int) {
+  if (g_interrupted.exchange(true)) std::_Exit(130);
+}
 
 void print_usage() {
   std::cout <<
@@ -56,6 +76,9 @@ void print_usage() {
       "                        (per_round array; deterministic at any --threads)\n"
       "  --fail-fast           cancel outstanding runs on the first violation\n"
       "  --shard <i>/<k>       execute only cells with index %% k == i\n"
+      "  --serve <port>        expose live /metrics, /healthz, /progress on\n"
+      "                        127.0.0.1:<port> while the campaign runs (0 = ephemeral)\n"
+      "  --prom-out <path>     final Prometheus snapshot (same exposition path as /metrics)\n"
       "  --quiet               suppress the human table\n"
       "  --help                this text\n"
       "\n"
@@ -102,6 +125,8 @@ struct Options {
   std::string runs_out_path;
   std::string summary_out_path;
   std::string quarantine_dir;
+  std::string prom_out_path;
+  int serve_port = -1;  ///< -1 = no server; 0 = ephemeral port
   bool quiet = false;
 };
 
@@ -158,6 +183,13 @@ Options parse(int argc, char** argv) {
           options.run.shard_index >= options.run.shard_count) {
         throw CliError{"--shard requires 0 <= i < k"};
       }
+    } else if (arg == "--serve") {
+      const int port = parse_number<int>("--serve", next_value(i));
+      if (port < 0 || port > 65535) throw CliError{"--serve expects a port in [0, 65535]"};
+      options.serve_port = port;
+    } else if (arg == "--prom-out") {
+      options.prom_out_path = next_value(i);
+      if (options.prom_out_path.empty()) throw CliError{"--prom-out needs a path"};
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else {
@@ -243,6 +275,42 @@ int main(int argc, char** argv) {
     options.run.runs_bench = options.spec.name;
   }
 
+  // Graceful interruption: first SIGINT/SIGTERM flips the cooperative
+  // cancel flag run_campaign polls at task start; every sink below still
+  // runs on the partial results. A second signal hard-exits (130).
+  options.run.cancel = &g_interrupted;
+  std::signal(SIGINT, handle_interrupt);
+  std::signal(SIGTERM, handle_interrupt);
+
+  // Live telemetry plane. The tracker is fed from inside run_campaign
+  // (lock-free counters); the server thread only ever reads snapshots,
+  // so the deterministic aggregate path is untouched.
+  exp::ProgressTracker progress;
+  obs::ExpositionHub hub;
+  std::optional<obs::HttpServer> server;
+  if (options.serve_port >= 0 || !options.prom_out_path.empty()) {
+    options.run.progress = &progress;
+    hub.add_writer([&progress](std::ostream& os) { progress.write_prometheus(os); });
+    hub.add_writer([](std::ostream& os) { obs::write_process_metrics(os); });
+  }
+  if (options.serve_port >= 0) {
+    server.emplace();
+    obs::mount_prometheus(*server, hub);
+    obs::mount_healthz(*server);
+    obs::mount_json(*server, "/progress",
+                    [&progress](std::ostream& os) { progress.write_progress_json(os); });
+    try {
+      server->start(static_cast<std::uint16_t>(options.serve_port));
+    } catch (const std::exception& error) {
+      std::cerr << "byzrename-campaign: " << error.what() << '\n';
+      return 2;
+    }
+    if (!options.quiet) {
+      std::cout << "[serve] live telemetry on http://127.0.0.1:" << server->port()
+                << "  (/metrics /healthz /progress)\n";
+    }
+  }
+
   exp::CampaignResult result;
   try {
     result = exp::run_campaign(options.spec, options.run);
@@ -253,6 +321,16 @@ int main(int argc, char** argv) {
 
   if (out.has_value()) exp::write_campaign_cells(*out, options.spec, result);
   if (summary_out.has_value()) exp::write_campaign_summary(*summary_out, options.spec, result);
+
+  if (!options.prom_out_path.empty()) {
+    std::ofstream prom(options.prom_out_path, std::ios::trunc);
+    if (!prom.is_open()) {
+      std::cerr << "byzrename-campaign: cannot open --prom-out path: "
+                << options.prom_out_path << '\n';
+      return 2;
+    }
+    hub.write(prom);
+  }
 
   std::size_t bundles = 0;
   if (!options.quarantine_dir.empty()) {
@@ -281,6 +359,10 @@ int main(int argc, char** argv) {
       std::cout << "[campaign] quarantine bundles: " << bundles << " in "
                 << options.quarantine_dir << '\n';
     }
+    if (!options.prom_out_path.empty()) {
+      std::cout << "[campaign] prometheus snapshot: " << options.prom_out_path << '\n';
+    }
   }
+  if (result.interrupted) return 130;
   return result.all_ok() ? 0 : 1;
 }

@@ -27,9 +27,12 @@
 #include "core/phase.h"
 #include "exp/campaign.h"
 #include "exp/executor.h"
+#include "exp/progress.h"
 #include "exp/repro.h"
 #include "sim/fault.h"
 #include "obs/complexity_audit.h"
+#include "obs/http/exposition.h"
+#include "obs/http/http_server.h"
 #include "obs/metrics_registry.h"
 #include "obs/run_report.h"
 #include "obs/telemetry.h"
@@ -67,6 +70,11 @@ void print_usage() {
       "  --trace-out <path>    write a Chrome trace-event file (chrome://tracing, Perfetto)\n"
       "  --metrics-out <path>  write a Prometheus text dump of the run's metrics registry\n"
       "  --metrics-jsonl <path> write the round-resolved timeseries (byzrename.metrics/1)\n"
+      "  --serve <port>        expose live /metrics, /healthz, /progress on\n"
+      "                        127.0.0.1:<port> during the run (0 = ephemeral port;\n"
+      "                        not valid with --repro)\n"
+      "  --prom-out <path>     final Prometheus snapshot through the same exposition\n"
+      "                        path /metrics serves (registry + process gauges)\n"
       "  --audit               check the paper's complexity budgets (steps, messages,\n"
       "                        bit sizes, Delta_r contraction) and print the verdict;\n"
       "                        exit 1 if any bound is violated\n"
@@ -129,6 +137,8 @@ struct Options {
   std::string metrics_out_path;
   std::string metrics_jsonl_path;
   std::string audit_out_path;
+  std::string prom_out_path;
+  int serve_port = -1;  ///< -1 = no server; 0 = ephemeral port
   bool audit = false;
 };
 
@@ -196,6 +206,13 @@ Options parse(int argc, char** argv) {
       options.metrics_out_path = next_value(i);
     } else if (arg == "--metrics-jsonl") {
       options.metrics_jsonl_path = next_value(i);
+    } else if (arg == "--serve") {
+      const int port = parse_number<int>(arg, next_value(i));
+      if (port < 0 || port > 65535) throw CliError{"--serve expects a port in [0, 65535]"};
+      options.serve_port = port;
+    } else if (arg == "--prom-out") {
+      options.prom_out_path = next_value(i);
+      if (options.prom_out_path.empty()) throw CliError{"--prom-out needs a path"};
     } else if (arg == "--audit") {
       options.audit = true;
     } else if (arg == "--audit-out") {
@@ -224,6 +241,15 @@ int main(int argc, char** argv) {
     return 2;
   } catch (const std::exception& error) {
     std::cerr << "byzrename: bad argument: " << error.what() << '\n';
+    return 2;
+  }
+
+  if (!options.repro_path.empty() &&
+      (options.serve_port >= 0 || !options.prom_out_path.empty())) {
+    // Replays must stay pure: the verdict contract is "the replay IS the
+    // original execution", and a telemetry plane has nothing to observe
+    // that the bundle does not already pin.
+    std::cerr << "byzrename: --serve/--prom-out are not valid with --repro\n";
     return 2;
   }
 
@@ -326,12 +352,50 @@ int main(int argc, char** argv) {
       };
     }
 
+    // Live telemetry plane for the repeat sweep: the campaign tracker
+    // feeds /progress and the campaign-level Prometheus families; the
+    // same hub renders the --prom-out end-of-sweep snapshot.
+    exp::ProgressTracker progress;
+    obs::ExpositionHub hub;
+    std::optional<obs::HttpServer> server;
+    if (options.serve_port >= 0 || !options.prom_out_path.empty()) {
+      run.progress = &progress;
+      hub.add_writer([&progress](std::ostream& os) { progress.write_prometheus(os); });
+      hub.add_writer([](std::ostream& os) { obs::write_process_metrics(os); });
+    }
+    if (options.serve_port >= 0) {
+      server.emplace();
+      obs::mount_prometheus(*server, hub);
+      obs::mount_healthz(*server);
+      obs::mount_json(*server, "/progress",
+                      [&progress](std::ostream& os) { progress.write_progress_json(os); });
+      try {
+        server->start(static_cast<std::uint16_t>(options.serve_port));
+      } catch (const std::exception& error) {
+        std::cerr << "byzrename: " << error.what() << '\n';
+        return 2;
+      }
+      if (!options.quiet) {
+        std::cout << "[serve] live telemetry on http://127.0.0.1:" << server->port()
+                  << "  (/metrics /healthz /progress)\n";
+      }
+    }
+
     exp::CampaignResult result;
     try {
       result = exp::run_campaign(spec, run);
     } catch (const std::exception& error) {
       std::cerr << "byzrename: " << error.what() << '\n';
       return 2;
+    }
+
+    if (!options.prom_out_path.empty()) {
+      std::ofstream prom(options.prom_out_path, std::ios::trunc);
+      if (!prom.is_open()) {
+        std::cerr << "byzrename: cannot open --prom-out path: " << options.prom_out_path << '\n';
+        return 2;
+      }
+      hub.write(prom);
     }
     const exp::CellAggregate& stats = result.aggregates.at(0);
     if (!options.quiet) {
@@ -394,16 +458,71 @@ int main(int argc, char** argv) {
     auditor.emplace();
     telemetry.add_sink(*auditor);
   }
+
+  // Live telemetry plane for a single run: a mutex-guarded metrics sink
+  // feeds the run's registry to GET /metrics while the round loop is
+  // producing it, and a one-cell progress tracker answers /progress.
+  // --prom-out renders the same hub after the run, so a mid-run scrape
+  // and the final snapshot differ only by the in-flight counters.
+  const bool live = options.serve_port >= 0 || !options.prom_out_path.empty();
+  exp::ProgressTracker progress;
+  std::optional<obs::GuardedMetricsSink> live_sink;
+  obs::ExpositionHub hub;
+  std::optional<obs::HttpServer> server;
+  if (live) {
+    live_sink.emplace();
+    telemetry.add_sink(*live_sink);
+    std::vector<exp::CampaignCell> cells(1);
+    cells[0].algorithm = options.config.algorithm;
+    cells[0].params = options.config.params;
+    cells[0].adversary = options.config.adversary;
+    progress.begin("cli-single", cells, 1, 1);
+    hub.add_writer([&progress](std::ostream& os) { progress.write_prometheus(os); });
+    hub.add_writer([&sink = *live_sink](std::ostream& os) { sink.write_prometheus(os); });
+    hub.add_writer([](std::ostream& os) { obs::write_process_metrics(os); });
+  }
+  if (options.serve_port >= 0) {
+    server.emplace();
+    obs::mount_prometheus(*server, hub);
+    obs::mount_healthz(*server);
+    obs::mount_json(*server, "/progress",
+                    [&progress](std::ostream& os) { progress.write_progress_json(os); });
+    try {
+      server->start(static_cast<std::uint16_t>(options.serve_port));
+    } catch (const std::exception& error) {
+      std::cerr << "byzrename: " << error.what() << '\n';
+      return 2;
+    }
+    if (!options.quiet) {
+      std::cout << "[serve] live telemetry on http://127.0.0.1:" << server->port()
+                << "  (/metrics /healthz /progress)\n";
+    }
+  }
+
   trace::EventLog event_log;
   if (!options.trace_out_path.empty()) options.config.event_log = &event_log;
   if (telemetry.active()) options.config.telemetry = &telemetry;
 
   core::ScenarioResult result;
+  if (live) progress.task_started();
   try {
     result = core::run_scenario(options.config);
   } catch (const std::exception& error) {
     std::cerr << "byzrename: " << error.what() << '\n';
     return 2;
+  }
+  if (live) {
+    progress.task_finished(0, result.report.all_ok(), /*quarantined=*/false);
+    progress.finish(/*interrupted=*/false);
+  }
+
+  if (!options.prom_out_path.empty()) {
+    std::ofstream prom(options.prom_out_path, std::ios::trunc);
+    if (!prom.is_open()) {
+      std::cerr << "byzrename: cannot open --prom-out path: " << options.prom_out_path << '\n';
+      return 2;
+    }
+    hub.write(prom);
   }
 
   if (!options.trace_out_path.empty()) {
