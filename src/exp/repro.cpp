@@ -70,9 +70,7 @@ bool same_failure(const ReproVerdict& reference, const ReproVerdict& candidate) 
   return false;
 }
 
-namespace {
-
-void write_scenario(obs::JsonWriter& json, const ReproScenario& scenario) {
+void write_repro_scenario(obs::JsonWriter& json, const ReproScenario& scenario) {
   json.key("scenario").begin_object();
   json.field("algorithm", core::cli_token(scenario.algorithm))
       .field("n", scenario.params.n)
@@ -87,7 +85,7 @@ void write_scenario(obs::JsonWriter& json, const ReproScenario& scenario) {
   json.end_object();
 }
 
-void write_verdict_body(obs::JsonWriter& json, const ReproVerdict& verdict) {
+void write_repro_verdict_body(obs::JsonWriter& json, const ReproVerdict& verdict) {
   json.field("kind", to_string(verdict.kind))
       .field("classes", verdict.classes)
       .field("detail", verdict.detail)
@@ -96,7 +94,7 @@ void write_verdict_body(obs::JsonWriter& json, const ReproVerdict& verdict) {
       .field("max_name", static_cast<std::int64_t>(verdict.max_name));
 }
 
-ReproVerdict parse_verdict(const obs::JsonValue& value) {
+ReproVerdict parse_repro_verdict(const obs::JsonValue& value) {
   ReproVerdict verdict;
   const std::string& kind = value.at("kind").as_string();
   if (kind == "none") {
@@ -118,7 +116,25 @@ ReproVerdict parse_verdict(const obs::JsonValue& value) {
   return verdict;
 }
 
-}  // namespace
+ReproScenario parse_repro_scenario(const obs::JsonValue& value) {
+  ReproScenario scenario;
+  const std::string& token = value.at("algorithm").as_string();
+  const std::optional<core::Algorithm> algorithm = core::algorithm_from_token(token);
+  if (!algorithm.has_value()) {
+    throw std::invalid_argument("scenario: unknown algorithm '" + token + "'");
+  }
+  scenario.algorithm = *algorithm;
+  scenario.params.n = static_cast<int>(value.at("n").as_int());
+  scenario.params.t = static_cast<int>(value.at("t").as_int());
+  scenario.adversary = value.at("adversary").as_string();
+  scenario.actual_faults = static_cast<int>(value.at("faults").as_int());
+  scenario.seed = value.at("seed").as_uint();
+  scenario.iterations = static_cast<int>(value.at("iterations").as_int());
+  scenario.validate_votes = value.at("validate_votes").as_bool();
+  scenario.extra_rounds = static_cast<int>(value.at("extra_rounds").as_int());
+  scenario.fault_plan = sim::parse_fault_plan(value.at("fault_plan").as_string());
+  return scenario;
+}
 
 void write_repro_bundle(std::ostream& os, const ReproBundle& bundle) {
   obs::JsonWriter json(os);
@@ -127,9 +143,9 @@ void write_repro_bundle(std::ostream& os, const ReproBundle& bundle) {
   if (!bundle.campaign.empty()) json.field("campaign", bundle.campaign);
   if (!bundle.cell.empty()) json.field("cell", bundle.cell);
   if (bundle.rep >= 0) json.field("rep", bundle.rep);
-  write_scenario(json, bundle.scenario);
+  write_repro_scenario(json, bundle.scenario);
   json.key("expected").begin_object();
-  write_verdict_body(json, bundle.expected);
+  write_repro_verdict_body(json, bundle.expected);
   json.end_object();
   json.end_object();
   os << '\n';
@@ -147,25 +163,8 @@ ReproBundle parse_repro_bundle(std::string_view text) {
   }
   if (const obs::JsonValue* cell = doc.find("cell")) bundle.cell = cell->as_string();
   if (const obs::JsonValue* rep = doc.find("rep")) bundle.rep = static_cast<int>(rep->as_int());
-
-  const obs::JsonValue& scenario = doc.at("scenario");
-  const std::string& token = scenario.at("algorithm").as_string();
-  const std::optional<core::Algorithm> algorithm = core::algorithm_from_token(token);
-  if (!algorithm.has_value()) {
-    throw std::invalid_argument("repro bundle: unknown algorithm '" + token + "'");
-  }
-  bundle.scenario.algorithm = *algorithm;
-  bundle.scenario.params.n = static_cast<int>(scenario.at("n").as_int());
-  bundle.scenario.params.t = static_cast<int>(scenario.at("t").as_int());
-  bundle.scenario.adversary = scenario.at("adversary").as_string();
-  bundle.scenario.actual_faults = static_cast<int>(scenario.at("faults").as_int());
-  bundle.scenario.seed = scenario.at("seed").as_uint();
-  bundle.scenario.iterations = static_cast<int>(scenario.at("iterations").as_int());
-  bundle.scenario.validate_votes = scenario.at("validate_votes").as_bool();
-  bundle.scenario.extra_rounds = static_cast<int>(scenario.at("extra_rounds").as_int());
-  bundle.scenario.fault_plan = sim::parse_fault_plan(scenario.at("fault_plan").as_string());
-
-  bundle.expected = parse_verdict(doc.at("expected"));
+  bundle.scenario = parse_repro_scenario(doc.at("scenario"));
+  bundle.expected = parse_repro_verdict(doc.at("expected"));
   return bundle;
 }
 
@@ -174,12 +173,12 @@ void write_repro_verdict(std::ostream& os, const ReproBundle& bundle,
   obs::JsonWriter json(os);
   json.begin_object();
   json.field("schema", obs::kReproVerdictSchema);
-  write_scenario(json, bundle.scenario);
+  write_repro_scenario(json, bundle.scenario);
   json.key("expected").begin_object();
-  write_verdict_body(json, bundle.expected);
+  write_repro_verdict_body(json, bundle.expected);
   json.end_object();
   json.key("observed").begin_object();
-  write_verdict_body(json, observed);
+  write_repro_verdict_body(json, observed);
   json.end_object();
   json.field("replays", replays)
       .field("consistent", consistent)

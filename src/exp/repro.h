@@ -13,6 +13,11 @@
 #include "sim/runner.h"
 #include "sim/types.h"
 
+namespace byzrename::obs {
+class JsonWriter;
+class JsonValue;
+}  // namespace byzrename::obs
+
 namespace byzrename::exp {
 
 /// The portable essence of one scenario: everything run_scenario needs,
@@ -120,6 +125,27 @@ struct ReproBundle {
   ReproScenario scenario;
   ReproVerdict expected;
 };
+
+/// Emits `"scenario": {...}` (key plus object) into an open JSON object.
+/// The single serialization of a portable scenario: repro bundles, the
+/// service's byzrename.verdict/1 items, and `byzrename --verdict-out`
+/// all call this, which is what makes their scenario objects
+/// byte-comparable.
+void write_repro_scenario(obs::JsonWriter& json, const ReproScenario& scenario);
+
+/// Emits the verdict fields (kind/classes/detail/rounds/terminated/
+/// max_name) into an already-open JSON object — the counterpart of
+/// write_repro_scenario for the verdict shape shared by repro bundles
+/// and the service API.
+void write_repro_verdict_body(obs::JsonWriter& json, const ReproVerdict& verdict);
+
+/// Parses the object written by write_repro_scenario; throws
+/// std::invalid_argument on missing fields, unknown algorithm tokens,
+/// or a malformed fault plan.
+[[nodiscard]] ReproScenario parse_repro_scenario(const obs::JsonValue& value);
+
+/// Parses the object written by write_repro_verdict_body.
+[[nodiscard]] ReproVerdict parse_repro_verdict(const obs::JsonValue& value);
 
 /// Serializes the bundle as one deterministic JSON document.
 void write_repro_bundle(std::ostream& os, const ReproBundle& bundle);

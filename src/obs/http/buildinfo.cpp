@@ -1,0 +1,60 @@
+#include "obs/http/buildinfo.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/schema.h"
+
+// Fallbacks keep the translation unit compilable outside the CMake
+// build (IDE indexers, single-file experiments); the real values come
+// from src/CMakeLists.txt and are scoped to this file only, so a new
+// git HEAD never rebuilds the whole library.
+#ifndef BYZRENAME_VERSION_STRING
+#define BYZRENAME_VERSION_STRING "0.0.0"
+#endif
+#ifndef BYZRENAME_GIT_SHA
+#define BYZRENAME_GIT_SHA "unknown"
+#endif
+#ifndef BYZRENAME_BUILD_TYPE
+#define BYZRENAME_BUILD_TYPE "unknown"
+#endif
+#ifndef BYZRENAME_COMPILER
+#define BYZRENAME_COMPILER "unknown"
+#endif
+#ifndef BYZRENAME_SANITIZERS
+#define BYZRENAME_SANITIZERS "none"
+#endif
+
+namespace byzrename::obs {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      BYZRENAME_VERSION_STRING, BYZRENAME_GIT_SHA, BYZRENAME_BUILD_TYPE,
+      BYZRENAME_COMPILER,       BYZRENAME_SANITIZERS,
+  };
+  return info;
+}
+
+void write_buildinfo_json(std::ostream& os, const BuildInfo& info) {
+  JsonWriter json(os);
+  json.begin_object()
+      .field("schema", kBuildinfoSchema)
+      .field("version", info.version)
+      .field("git_sha", info.git_sha)
+      .field("build_type", info.build_type)
+      .field("compiler", info.compiler)
+      .field("sanitizers", info.sanitizers)
+      .end_object();
+  os << '\n';
+}
+
+void mount_buildinfo(HttpServer& server) {
+  server.handle("/buildinfo", [](const HttpRequest&) {
+    std::ostringstream body;
+    write_buildinfo_json(body, build_info());
+    return HttpResponse{200, "application/json", body.str(), {}};
+  });
+}
+
+}  // namespace byzrename::obs

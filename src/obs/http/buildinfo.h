@@ -1,0 +1,36 @@
+#ifndef BYZRENAME_OBS_HTTP_BUILDINFO_H
+#define BYZRENAME_OBS_HTTP_BUILDINFO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/http/http_server.h"
+
+namespace byzrename::obs {
+
+/// Identity of the running binary, for the /buildinfo endpoint every
+/// serve surface (byzrename --serve, byzrename-campaign --serve,
+/// byzrenamed) mounts. The values are baked in at compile time through
+/// definitions scoped to buildinfo.cpp (src/CMakeLists.txt), so an
+/// operator can always map a scraped metric or a stored verdict back to
+/// the exact build that produced it.
+struct BuildInfo {
+  std::string version;     ///< project version (CMake PROJECT_VERSION)
+  std::string git_sha;     ///< HEAD commit at configure time; "unknown" outside git
+  std::string build_type;  ///< CMAKE_BUILD_TYPE
+  std::string compiler;    ///< compiler id + version
+  std::string sanitizers;  ///< "address,undefined", "thread", or "none"
+};
+
+/// The build identity compiled into this binary.
+const BuildInfo& build_info();
+
+/// Writes @p info as one byzrename.buildinfo/1 JSON document.
+void write_buildinfo_json(std::ostream& os, const BuildInfo& info);
+
+/// Mounts GET /buildinfo serving build_info() as application/json.
+void mount_buildinfo(HttpServer& server);
+
+}  // namespace byzrename::obs
+
+#endif  // BYZRENAME_OBS_HTTP_BUILDINFO_H

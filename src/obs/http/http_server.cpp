@@ -6,26 +6,44 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
+#include <string_view>
 
 namespace byzrename::obs {
 
 namespace {
 
 constexpr int kPollIntervalMs = 50;
-constexpr std::size_t kMaxRequestBytes = 8192;
+/// Cap on the request line + header block; bodies are bounded separately
+/// by the route's PostOptions::max_body_bytes.
+constexpr std::size_t kMaxHeaderBytes = 8192;
 
 const char* status_text(int status) {
   switch (status) {
     case 200: return "OK";
+    case 202: return "Accepted";
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 415: return "Unsupported Media Type";
+    case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
     default: return "Unknown";
   }
+}
+
+HttpResponse plain_error(int status, const char* message) {
+  return {status, "text/plain; charset=utf-8", std::string(message) + "\n", {}};
 }
 
 void set_io_timeout(int fd) {
@@ -48,15 +66,76 @@ bool write_all(int fd, const char* data, std::size_t size) {
   return true;
 }
 
+bool equals_ignore_case(std::string_view a, std::string_view b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::tolower(static_cast<unsigned char>(x)) ==
+                  std::tolower(static_cast<unsigned char>(y));
+         });
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                           text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+/// Value of the first header named @p name (case-insensitive) in the
+/// header block, or nullopt when absent.
+std::optional<std::string_view> header_value(std::string_view headers,
+                                             std::string_view name) {
+  std::size_t line_start = 0;
+  while (line_start < headers.size()) {
+    std::size_t line_end = headers.find("\r\n", line_start);
+    if (line_end == std::string_view::npos) line_end = headers.size();
+    const std::string_view line = headers.substr(line_start, line_end - line_start);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos &&
+        equals_ignore_case(trim(line.substr(0, colon)), name)) {
+      return trim(line.substr(colon + 1));
+    }
+    line_start = line_end + 2;
+  }
+  return std::nullopt;
+}
+
+/// Media type comparison per the route policy: the header value up to
+/// any ';' parameter must equal the expected type (case-insensitive).
+bool content_type_matches(std::string_view header, std::string_view expected) {
+  if (expected.empty()) return true;
+  const std::size_t semicolon = header.find(';');
+  if (semicolon != std::string_view::npos) header = header.substr(0, semicolon);
+  return equals_ignore_case(trim(header), expected);
+}
+
 }  // namespace
 
 HttpServer::~HttpServer() { stop(); }
 
-void HttpServer::handle(std::string path, HttpHandler handler) {
+HttpServer::Route& HttpServer::route_for(std::string path) {
   if (running()) {
-    throw std::logic_error("HttpServer::handle: cannot register routes after start()");
+    throw std::logic_error("HttpServer: cannot register routes after start()");
   }
-  routes_.emplace_back(std::move(path), std::move(handler));
+  for (Route& route : routes_) {
+    if (route.path == path) return route;
+  }
+  routes_.push_back(Route{std::move(path), nullptr, nullptr, {}});
+  return routes_.back();
+}
+
+void HttpServer::handle(std::string path, HttpHandler handler) {
+  route_for(std::move(path)).get = std::move(handler);
+}
+
+void HttpServer::handle_post(std::string path, HttpHandler handler, PostOptions options) {
+  Route& route = route_for(std::move(path));
+  route.post = std::move(handler);
+  route.post_options = std::move(options);
 }
 
 void HttpServer::start(std::uint16_t port) {
@@ -134,12 +213,14 @@ void HttpServer::serve_loop() {
 void HttpServer::handle_connection(int client_fd) {
   set_io_timeout(client_fd);
 
-  // Read until the end of the header block; the body (there should be
-  // none on GET) is ignored.
+  // Read until the end of the header block; anything received past it is
+  // the start of the body and is kept.
   std::string request;
   char buffer[1024];
-  while (request.size() < kMaxRequestBytes &&
-         request.find("\r\n\r\n") == std::string::npos) {
+  std::size_t header_end = std::string::npos;
+  while (request.size() < kMaxHeaderBytes) {
+    header_end = request.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
     const ssize_t got = ::recv(client_fd, buffer, sizeof buffer, 0);
     if (got <= 0) break;
     request.append(buffer, static_cast<std::size_t>(got));
@@ -151,9 +232,10 @@ void HttpServer::handle_connection(int client_fd) {
   const std::size_t method_end = request.find(' ');
   const std::size_t target_end =
       method_end == std::string::npos ? std::string::npos : request.find(' ', method_end + 1);
-  if (line_end == std::string::npos || method_end == std::string::npos ||
-      target_end == std::string::npos || target_end > line_end) {
-    response = {400, "text/plain; charset=utf-8", "bad request\n"};
+  if (header_end == std::string::npos || line_end == std::string::npos ||
+      method_end == std::string::npos || target_end == std::string::npos ||
+      target_end > line_end) {
+    response = plain_error(400, "bad request");
   } else {
     parsed.method = request.substr(0, method_end);
     std::string target = request.substr(method_end + 1, target_end - method_end - 1);
@@ -163,27 +245,81 @@ void HttpServer::handle_connection(int client_fd) {
       target.resize(query);
     }
     parsed.target = std::move(target);
+    const std::string_view headers =
+        std::string_view(request).substr(line_end + 2, header_end - line_end - 2);
 
-    if (parsed.method != "GET" && parsed.method != "HEAD") {
-      response = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+    const bool is_get = parsed.method == "GET" || parsed.method == "HEAD";
+    const bool is_post = parsed.method == "POST";
+    if (!is_get && !is_post) {
+      response = plain_error(405, "method not allowed");
     } else {
-      const HttpHandler* handler = nullptr;
-      for (const auto& [path, route] : routes_) {
-        if (path == parsed.target) {
-          handler = &route;
+      const Route* route = nullptr;
+      for (const Route& candidate : routes_) {
+        if (candidate.path == parsed.target) {
+          route = &candidate;
           break;
         }
       }
-      if (handler == nullptr) {
-        response = {404, "text/plain; charset=utf-8", "not found\n"};
+      if (route == nullptr) {
+        response = plain_error(404, "not found");
+      } else if (is_get ? route->get == nullptr : route->post == nullptr) {
+        response = plain_error(405, "method not allowed");
       } else {
-        try {
-          response = (*handler)(parsed);
-        } catch (const std::exception& error) {
-          response = {500, "text/plain; charset=utf-8",
-                      std::string("internal error: ") + error.what() + "\n"};
-        } catch (...) {
-          response = {500, "text/plain; charset=utf-8", "internal error\n"};
+        bool body_ok = true;
+        if (is_post) {
+          // Validate the declared body before buffering a single byte of
+          // it: an oversized or mistyped request is rejected from its
+          // headers alone.
+          if (const auto type = header_value(headers, "Content-Type")) {
+            parsed.content_type = std::string(*type);
+          }
+          const auto length_header = header_value(headers, "Content-Length");
+          std::size_t content_length = 0;
+          if (!length_header.has_value()) {
+            response = plain_error(411, "length required");
+            body_ok = false;
+          } else {
+            const auto [end, ec] =
+                std::from_chars(length_header->data(),
+                                length_header->data() + length_header->size(), content_length);
+            if (ec != std::errc{} || end != length_header->data() + length_header->size()) {
+              response = plain_error(400, "bad Content-Length");
+              body_ok = false;
+            } else if (content_length > route->post_options.max_body_bytes) {
+              response = plain_error(413, "request body too large");
+              body_ok = false;
+            } else if (!content_type_matches(parsed.content_type,
+                                             route->post_options.content_type)) {
+              response = plain_error(415, "unsupported content type");
+              body_ok = false;
+            }
+          }
+          if (body_ok) {
+            parsed.body = request.substr(header_end + 4);
+            if (parsed.body.size() > content_length) parsed.body.resize(content_length);
+            while (parsed.body.size() < content_length) {
+              const std::size_t want = std::min(
+                  sizeof buffer, content_length - parsed.body.size());
+              const ssize_t got = ::recv(client_fd, buffer, want, 0);
+              if (got <= 0) break;  // client hung up or stalled past the timeout
+              parsed.body.append(buffer, static_cast<std::size_t>(got));
+            }
+            if (parsed.body.size() < content_length) {
+              response = plain_error(400, "truncated request body");
+              body_ok = false;
+            }
+          }
+        }
+        if (body_ok) {
+          const HttpHandler& handler = is_get ? route->get : route->post;
+          try {
+            response = handler(parsed);
+          } catch (const std::exception& error) {
+            response = {500, "text/plain; charset=utf-8",
+                        std::string("internal error: ") + error.what() + "\n", {}};
+          } catch (...) {
+            response = plain_error(500, "internal error");
+          }
         }
       }
     }
@@ -192,8 +328,11 @@ void HttpServer::handle_connection(int client_fd) {
   std::string head = "HTTP/1.1 " + std::to_string(response.status) + ' ' +
                      status_text(response.status) +
                      "\r\nContent-Type: " + response.content_type +
-                     "\r\nContent-Length: " + std::to_string(response.body.size()) +
-                     "\r\nConnection: close\r\n\r\n";
+                     "\r\nContent-Length: " + std::to_string(response.body.size());
+  for (const auto& [name, value] : response.extra_headers) {
+    head += "\r\n" + name + ": " + value;
+  }
+  head += "\r\nConnection: close\r\n\r\n";
   if (write_all(client_fd, head.data(), head.size()) && parsed.method != "HEAD") {
     write_all(client_fd, response.body.data(), response.body.size());
   }

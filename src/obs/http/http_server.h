@@ -2,6 +2,7 @@
 #define BYZRENAME_OBS_HTTP_HTTP_SERVER_H
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -11,48 +12,85 @@
 
 namespace byzrename::obs {
 
-/// One parsed request as handed to a handler. Only the request line is
-/// interpreted: the target is the path with any query string stripped
+/// One parsed request as handed to a handler. The request line and the
+/// headers the server itself needs (Content-Length, Content-Type) are
+/// interpreted; the target is the path with any query string stripped
 /// (the query is preserved separately for handlers that want it).
 struct HttpRequest {
-  std::string method;  ///< "GET" or "HEAD" (anything else is rejected)
-  std::string target;  ///< path component, e.g. "/metrics"
-  std::string query;   ///< raw query string without the '?', may be empty
+  std::string method;        ///< "GET", "HEAD", or "POST"
+  std::string target;        ///< path component, e.g. "/metrics"
+  std::string query;         ///< raw query string without the '?', may be empty
+  std::string content_type;  ///< Content-Type header value, may be empty
+  std::string body;          ///< request body (POST routes only)
 };
 
 struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
   std::string body;
+  /// Extra response headers ("Retry-After" on 429s); Content-Type,
+  /// Content-Length, and Connection are always emitted by the server.
+  std::vector<std::pair<std::string, std::string>> extra_headers;
 };
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
-/// Minimal dependency-free HTTP/1.1 exposition server: a blocking
-/// accept loop on its own thread, poll-based so stop() takes effect
-/// within one poll interval, serving registered exact-path GET/HEAD
-/// handlers one connection at a time ("Connection: close" on every
-/// response). Built for read-only observability endpoints — /metrics,
-/// /healthz, /progress — where scrapes are small, infrequent, and must
-/// never feed back into the observed computation: handlers run on the
-/// server thread and must be safe against the threads that produce the
-/// data they read (see ExpositionHub / ProgressTracker snapshots).
+/// Minimal dependency-free HTTP/1.1 server: a blocking accept loop on
+/// its own thread, poll-based so stop() takes effect within one poll
+/// interval, serving registered exact-path handlers one connection at a
+/// time ("Connection: close" on every response). Originally built for
+/// read-only observability endpoints (/metrics, /healthz, /progress);
+/// the byzrenamed service daemon additionally mounts POST routes for
+/// session/submit traffic, so requests with bodies are validated before
+/// any handler runs:
+///   405  method without a handler on the route (GET route hit by POST,
+///        or any method other than GET/HEAD/POST)
+///   411  POST without a Content-Length header
+///   413  declared body larger than the route's max_body_bytes — the
+///        body is never read, so an attacker cannot make the server
+///        buffer it
+///   415  Content-Type does not match the route's expected type
+///   400  malformed request line, malformed Content-Length, or a body
+///        shorter than its declared length
+/// Handlers run on the server thread and must be safe against the
+/// threads that produce the data they read (see ExpositionHub /
+/// ProgressTracker snapshots, svc::Scheduler's internal mutex).
 ///
-/// Binds the IPv4 loopback interface only: the telemetry plane is a
-/// local observer, not a public service. This is the seam the future
-/// byzrenamed daemon mounts its admission/session endpoints on; wider
-/// binding belongs to that change, not this one.
+/// Binds the IPv4 loopback interface only: both the telemetry plane and
+/// the renaming service are local by construction; wider binding would
+/// need authentication this layer deliberately does not have.
 class HttpServer {
  public:
+  /// Per-route POST policy. The defaults fit JSON control-plane bodies;
+  /// routes accepting large batches raise max_body_bytes explicitly.
+  struct PostOptions {
+    std::size_t max_body_bytes = 1 << 20;  ///< 413 above this
+    /// Required Content-Type (compared up to any ';' parameter, e.g.
+    /// "application/json; charset=utf-8" matches "application/json").
+    /// Empty accepts any type.
+    std::string content_type = "application/json";
+  };
+
   HttpServer() = default;
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Registers a handler for an exact path ("/metrics"). Must be called
-  /// before start(); later registrations would race the server thread.
+  /// Registers a GET/HEAD handler for an exact path ("/metrics"). Must
+  /// be called before start(); later registrations would race the
+  /// server thread.
   void handle(std::string path, HttpHandler handler);
+
+  /// Registers a POST handler for an exact path ("/v1/submit"). A path
+  /// may carry both a GET and a POST handler. Must be called before
+  /// start().
+  void handle_post(std::string path, HttpHandler handler, PostOptions options);
+  // Not a default argument: PostOptions' member initializers are only
+  // parsed once HttpServer is complete, so `= {}` would not compile.
+  void handle_post(std::string path, HttpHandler handler) {
+    handle_post(std::move(path), std::move(handler), PostOptions{});
+  }
 
   /// Binds 127.0.0.1:@p port (0 selects an ephemeral port, readable via
   /// port()) and launches the accept thread. Throws std::runtime_error
@@ -76,10 +114,18 @@ class HttpServer {
   }
 
  private:
+  struct Route {
+    std::string path;
+    HttpHandler get;   ///< also serves HEAD
+    HttpHandler post;
+    PostOptions post_options;
+  };
+
+  Route& route_for(std::string path);
   void serve_loop();
   void handle_connection(int client_fd);
 
-  std::vector<std::pair<std::string, HttpHandler>> routes_;
+  std::vector<Route> routes_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::thread thread_;

@@ -12,6 +12,11 @@ namespace {
   throw std::invalid_argument(std::string("json: value is not ") + wanted);
 }
 
+/// Nesting bound: the parser recurses once per container level, so a
+/// hostile body of 100k '['s would otherwise overrun the stack. Far
+/// above anything the repo's own writers or the service API produce.
+constexpr int kMaxDepth = 256;
+
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
@@ -74,10 +79,12 @@ class Parser {
 
   JsonValue parse_object() {
     expect('{');
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
     JsonValue::Object members;
     skip_whitespace();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return JsonValue(std::move(members));
     }
     while (true) {
@@ -85,21 +92,30 @@ class Parser {
       std::string key = parse_string();
       skip_whitespace();
       expect(':');
+      // Duplicate keys are ambiguous (RFC 8259 leaves the semantics to
+      // the implementation) and this parser now reads request bodies
+      // from service clients, so reject instead of silently last-wins.
+      if (members.contains(key)) fail("duplicate object key '" + key + "'");
       members.insert_or_assign(std::move(key), parse_value());
       skip_whitespace();
       const char next = peek();
       ++pos_;
-      if (next == '}') return JsonValue(std::move(members));
+      if (next == '}') {
+        --depth_;
+        return JsonValue(std::move(members));
+      }
       if (next != ',') fail("expected ',' or '}' in object");
     }
   }
 
   JsonValue parse_array() {
     expect('[');
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
     JsonValue::Array elements;
     skip_whitespace();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return JsonValue(std::move(elements));
     }
     while (true) {
@@ -107,7 +123,10 @@ class Parser {
       skip_whitespace();
       const char next = peek();
       ++pos_;
-      if (next == ']') return JsonValue(std::move(elements));
+      if (next == ']') {
+        --depth_;
+        return JsonValue(std::move(elements));
+      }
       if (next != ',') fail("expected ',' or ']' in array");
     }
   }
@@ -222,6 +241,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -11,9 +11,11 @@
 namespace byzrename::obs {
 
 /// Minimal JSON document tree — the reading counterpart of JsonWriter,
-/// added for the repro-bundle loader (exp/repro.h). Deliberately small:
-/// the repo reads only documents it wrote itself, so there is no need
-/// for streaming, comments, or tolerance of malformed input.
+/// added for the repro-bundle loader (exp/repro.h) and now also the
+/// byzrenamed request parser. Deliberately small — no streaming, no
+/// comments, no tolerance of malformed input — but hardened for client
+/// bodies: nesting is capped and duplicate object keys are rejected
+/// (both throw std::invalid_argument, like every other malformation).
 class JsonValue {
  public:
   enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };

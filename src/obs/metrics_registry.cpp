@@ -34,20 +34,39 @@ void write_prometheus_help(std::ostream& os, std::string_view help) {
 
 MetricsRegistry::Handle MetricsRegistry::counter(std::string name, std::string help,
                                                  std::string phase) {
+  // The key must be computed before the call: parameter construction
+  // may move from `phase` first, making phase.empty() always true.
+  std::string label_key = phase.empty() ? std::string() : std::string("phase");
+  return labeled_counter(std::move(name), std::move(help), std::move(label_key),
+                         std::move(phase));
+}
+
+MetricsRegistry::Handle MetricsRegistry::labeled_counter(std::string name, std::string help,
+                                                         std::string label_key,
+                                                         std::string label_value) {
   Instrument instrument;
   instrument.kind = Kind::kCounter;
   instrument.name = std::move(name);
   instrument.help = std::move(help);
-  instrument.phase = std::move(phase);
+  instrument.label_key = std::move(label_key);
+  instrument.label_value = std::move(label_value);
   instruments_.push_back(std::move(instrument));
   return instruments_.size() - 1;
 }
 
 MetricsRegistry::Handle MetricsRegistry::gauge(std::string name, std::string help) {
+  return labeled_gauge(std::move(name), std::move(help), {}, {});
+}
+
+MetricsRegistry::Handle MetricsRegistry::labeled_gauge(std::string name, std::string help,
+                                                       std::string label_key,
+                                                       std::string label_value) {
   Instrument instrument;
   instrument.kind = Kind::kGauge;
   instrument.name = std::move(name);
   instrument.help = std::move(help);
+  instrument.label_key = std::move(label_key);
+  instrument.label_value = std::move(label_value);
   instruments_.push_back(std::move(instrument));
   return instruments_.size() - 1;
 }
@@ -133,32 +152,28 @@ std::vector<std::uint64_t> MetricsRegistry::exponential_bounds(std::uint64_t fir
 }
 
 void MetricsRegistry::write_prometheus(std::ostream& os) const {
-  const char* previous_family = "";
-  for (const Instrument& instrument : instruments_) {
-    if (!instrument.touched) continue;
-    if (instrument.name != previous_family) {
-      os << "# HELP " << instrument.name << ' ';
-      write_prometheus_help(os, instrument.help);
-      os << '\n';
-      os << "# TYPE " << instrument.name << ' '
-         << (instrument.kind == Kind::kCounter     ? "counter"
-             : instrument.kind == Kind::kGauge     ? "gauge"
-                                                   : "histogram")
-         << '\n';
-      previous_family = instrument.name.c_str();
-    }
+  // Families are emitted in first-registration order, each series under
+  // its family's single # HELP/# TYPE header even when registrations
+  // interleaved (the service registers per-tenant series as sessions
+  // arrive). Quadratic in the instrument count, which stays small; the
+  // hot path is add()/observe(), never exposition.
+  const auto write_series = [&os](const Instrument& instrument) {
+    const auto write_name_and_label = [&] {
+      os << instrument.name;
+      if (!instrument.label_key.empty()) {
+        os << '{' << instrument.label_key << "=\"";
+        write_prometheus_label_value(os, instrument.label_value);
+        os << "\"}";
+      }
+    };
     switch (instrument.kind) {
       case Kind::kCounter:
-        os << instrument.name;
-        if (!instrument.phase.empty()) {
-          os << "{phase=\"";
-          write_prometheus_label_value(os, instrument.phase);
-          os << "\"}";
-        }
+        write_name_and_label();
         os << ' ' << instrument.count << '\n';
         break;
       case Kind::kGauge:
-        os << instrument.name << ' ' << instrument.gauge << '\n';
+        write_name_and_label();
+        os << ' ' << instrument.gauge << '\n';
         break;
       case Kind::kHistogram: {
         std::uint64_t cumulative = 0;
@@ -172,6 +187,25 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
         os << instrument.name << "_count " << instrument.count << '\n';
         break;
       }
+    }
+  };
+
+  std::vector<bool> emitted(instruments_.size(), false);
+  for (std::size_t i = 0; i < instruments_.size(); ++i) {
+    if (emitted[i] || !instruments_[i].touched) continue;
+    const Instrument& head = instruments_[i];
+    os << "# HELP " << head.name << ' ';
+    write_prometheus_help(os, head.help);
+    os << '\n';
+    os << "# TYPE " << head.name << ' '
+       << (head.kind == Kind::kCounter ? "counter"
+           : head.kind == Kind::kGauge ? "gauge"
+                                       : "histogram")
+       << '\n';
+    for (std::size_t j = i; j < instruments_.size(); ++j) {
+      if (emitted[j] || !instruments_[j].touched || instruments_[j].name != head.name) continue;
+      write_series(instruments_[j]);
+      emitted[j] = true;
     }
   }
   os.flush();

@@ -37,13 +37,24 @@ class MetricsRegistry {
   using Handle = std::size_t;
 
   /// Registers a monotonic counter. @p phase becomes the Prometheus
-  /// `phase` label; empty = unlabeled series. Instruments of one family
-  /// (same name) must be registered consecutively so the text exposition
-  /// can group them under a single # HELP/# TYPE header.
+  /// `phase` label; empty = unlabeled series. Series of one family
+  /// (same name) may be registered at any time — exposition groups them
+  /// under one # HELP/# TYPE header in first-registration order, which
+  /// is what lets the service register per-tenant series as sessions
+  /// arrive.
   Handle counter(std::string name, std::string help, std::string phase = {});
+
+  /// Counter with an arbitrary single label ({session="tenant-a"}).
+  /// The help text of the family's first registration wins.
+  Handle labeled_counter(std::string name, std::string help, std::string label_key,
+                         std::string label_value);
 
   /// Registers a gauge (last written value wins).
   Handle gauge(std::string name, std::string help);
+
+  /// Gauge with an arbitrary single label.
+  Handle labeled_gauge(std::string name, std::string help, std::string label_key,
+                       std::string label_value);
 
   /// Registers an exact integer histogram over the given inclusive
   /// upper bounds (must be strictly increasing; a +Inf bucket is
@@ -71,9 +82,10 @@ class MetricsRegistry {
                                                                      int count);
 
   /// Prometheus text exposition (one # HELP/# TYPE header per family,
-  /// then its series). Instruments never updated are skipped so a run
-  /// that visits three phases does not advertise the other three as
-  /// zeros. Deterministic: registration order, no timestamps.
+  /// then all of its series, families in first-registration order).
+  /// Instruments never updated are skipped so a run that visits three
+  /// phases does not advertise the other three as zeros. Deterministic:
+  /// registration order, no timestamps.
   void write_prometheus(std::ostream& os) const;
 
  private:
@@ -83,7 +95,8 @@ class MetricsRegistry {
     Kind kind = Kind::kCounter;
     std::string name;
     std::string help;
-    std::string phase;  ///< counter label; empty = unlabeled
+    std::string label_key;    ///< e.g. "phase", "session"; empty = unlabeled
+    std::string label_value;
     bool touched = false;
     std::uint64_t count = 0;  ///< counter value / histogram sample count
     double gauge = 0.0;

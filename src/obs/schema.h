@@ -235,6 +235,66 @@ namespace byzrename::obs {
 ///   replays           int      how many times the scenario was run
 ///   consistent        bool     all replays produced identical verdicts
 ///   matches_expected  bool     observed == expected
+///
+/// ## byzrename.buildinfo/1 — identity of the serving binary
+///
+/// The body of GET /buildinfo on every serve surface (byzrename
+/// --serve, byzrename-campaign --serve, byzrenamed). One JSON document:
+///   schema            string   "byzrename.buildinfo/1"
+///   version           string   project version
+///   git_sha           string   HEAD at configure time; "unknown" outside git
+///   build_type        string   CMAKE_BUILD_TYPE
+///   compiler          string   compiler id + version
+///   sanitizers        string   "address,undefined" | "thread" | "none"
+///
+/// ## byzrename service API (docs/SERVICE.md) — the byzrenamed daemon
+///
+/// Request bodies are parsed with obs::parse_json (depth-capped,
+/// duplicate keys rejected) because they arrive from clients, not from
+/// this repo's own writers. Scenario and verdict objects reuse the
+/// byzrename.repro/1 shapes verbatim — the daemon serializes them
+/// through the same exp:: writers, which is what makes service verdicts
+/// byte-comparable against `byzrename --verdict-out` output.
+///
+/// byzrename.session/1 — POST /v1/session request:
+///   schema            string   "byzrename.session/1"
+///   tenant            string   non-empty operator-chosen tenant label;
+///                              also the `session` Prometheus label value
+///
+/// byzrename.session-ack/1 — its 200 response:
+///   schema session             the session id equals the tenant label
+///
+/// byzrename.submit/1 — POST /v1/submit request:
+///   schema            string   "byzrename.submit/1"
+///   session           string   id from session-ack/1
+///   instances         array    byzrename.repro/1 scenario objects
+///
+/// byzrename.submit-ack/1 — its 202 response:
+///   schema session accepted    accepted == len(instances)
+///   first_id          uint64   ids are first_id .. first_id+accepted-1,
+///                              in submission order
+///
+/// byzrename.poll/1 — GET /v1/poll?session=S&cursor=N[&max=K][&wait_ms=T]:
+///   schema session             as submitted
+///   cursor            uint64   pass back to resume after these items
+///   pending           int      submitted but not yet completed
+///   draining          bool     daemon is shutting down
+///   items             array    byzrename.verdict/1 objects, completion order
+///
+/// byzrename.verdict/1 — one finished instance:
+///   schema            string   "byzrename.verdict/1"
+///   id                uint64   omitted in `byzrename --verdict-out`
+///   session           string   omitted in `byzrename --verdict-out`
+///   status            string   done | cancelled (cancelled = drained
+///                              from the queue before running; no verdict)
+///   scenario          object   byzrename.repro/1 scenario shape
+///   verdict           object?  byzrename.repro/1 expected shape (kind,
+///                              classes, detail, rounds, terminated,
+///                              max_name); absent when status=cancelled
+///
+/// byzrename.error/1 — body of every non-2xx service response:
+///   schema error      string   error is human-readable; 429 responses
+///                              additionally carry a Retry-After header
 inline constexpr const char* kRunSchema = "byzrename.run/1";
 inline constexpr const char* kSeriesSchema = "byzrename.series/1";
 inline constexpr const char* kMetricsSchema = "byzrename.metrics/1";
@@ -244,6 +304,14 @@ inline constexpr const char* kCampaignSummarySchema = "byzrename.campaign-summar
 inline constexpr const char* kProgressSchema = "byzrename.progress/1";
 inline constexpr const char* kReproSchema = "byzrename.repro/1";
 inline constexpr const char* kReproVerdictSchema = "byzrename.repro-verdict/1";
+inline constexpr const char* kBuildinfoSchema = "byzrename.buildinfo/1";
+inline constexpr const char* kSessionSchema = "byzrename.session/1";
+inline constexpr const char* kSessionAckSchema = "byzrename.session-ack/1";
+inline constexpr const char* kSubmitSchema = "byzrename.submit/1";
+inline constexpr const char* kSubmitAckSchema = "byzrename.submit-ack/1";
+inline constexpr const char* kPollSchema = "byzrename.poll/1";
+inline constexpr const char* kVerdictSchema = "byzrename.verdict/1";
+inline constexpr const char* kErrorSchema = "byzrename.error/1";
 
 }  // namespace byzrename::obs
 

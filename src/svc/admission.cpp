@@ -1,0 +1,55 @@
+#include "svc/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace byzrename::svc {
+
+namespace {
+
+/// Retry-After from the work the client must wait out: overload divided
+/// by the observed drain rate, clamped to [1, 30] seconds so a stalled
+/// EWMA can neither demand instant retries nor park clients forever.
+int retry_after(std::size_t overload, double drain_rate) {
+  if (drain_rate <= 0.0) return 5;
+  const double seconds = static_cast<double>(overload) / drain_rate;
+  return static_cast<int>(std::clamp(std::ceil(seconds), 1.0, 30.0));
+}
+
+}  // namespace
+
+AdmissionDecision AdmissionController::decide(std::size_t batch_size, std::size_t global_queued,
+                                              std::size_t session_inflight,
+                                              double drain_rate) const {
+  AdmissionDecision decision;
+  if (batch_size > limits_.max_batch) {
+    // A structural limit, not a load condition: retrying the same batch
+    // later cannot succeed, so say so instead of suggesting a wait.
+    decision.admitted = false;
+    decision.reason = "batch of " + std::to_string(batch_size) + " exceeds max_batch " +
+                      std::to_string(limits_.max_batch) + "; split the request";
+    decision.retry_after_seconds = 0;
+    return decision;
+  }
+  if (global_queued + batch_size > limits_.max_queue_depth) {
+    decision.admitted = false;
+    decision.reason = "queue depth " + std::to_string(global_queued) + " + batch " +
+                      std::to_string(batch_size) + " exceeds max_queue_depth " +
+                      std::to_string(limits_.max_queue_depth);
+    decision.retry_after_seconds =
+        retry_after(global_queued + batch_size - limits_.max_queue_depth, drain_rate);
+    return decision;
+  }
+  if (session_inflight + batch_size > limits_.max_session_inflight) {
+    decision.admitted = false;
+    decision.reason = "session in-flight " + std::to_string(session_inflight) + " + batch " +
+                      std::to_string(batch_size) + " exceeds max_session_inflight " +
+                      std::to_string(limits_.max_session_inflight);
+    decision.retry_after_seconds =
+        retry_after(session_inflight + batch_size - limits_.max_session_inflight, drain_rate);
+    return decision;
+  }
+  return decision;
+}
+
+}  // namespace byzrename::svc

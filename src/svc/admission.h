@@ -1,0 +1,59 @@
+#ifndef BYZRENAME_SVC_ADMISSION_H
+#define BYZRENAME_SVC_ADMISSION_H
+
+#include <cstddef>
+#include <string>
+
+namespace byzrename::svc {
+
+/// Bounds the scheduler enforces at submit time. All three are
+/// deliberately generous defaults for a loopback service; the daemon
+/// exposes them as flags.
+struct AdmissionLimits {
+  /// Queued (not yet running) instances across all sessions. The global
+  /// backstop: beyond it the daemon sheds load instead of growing an
+  /// unbounded queue.
+  std::size_t max_queue_depth = 4096;
+  /// Submitted-but-not-completed instances one session may hold. The
+  /// fairness backstop: one tenant cannot occupy the whole queue.
+  std::size_t max_session_inflight = 1024;
+  /// Instances per submit request.
+  std::size_t max_batch = 512;
+};
+
+/// Outcome of one admission check. A rejected batch is rejected whole —
+/// partial admission would make first_id arithmetic ambiguous for the
+/// client.
+struct AdmissionDecision {
+  bool admitted = true;
+  std::string reason;          ///< human-readable, for the error body
+  int retry_after_seconds = 0; ///< Retry-After header value when rejected
+};
+
+/// Pure admission policy: no clocks, no locks, no state — the scheduler
+/// feeds it a snapshot and relays the decision as 429/Retry-After. Kept
+/// separate from the scheduler so the policy is unit-testable without
+/// threads.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionLimits limits = {}) : limits_(limits) {}
+
+  [[nodiscard]] const AdmissionLimits& limits() const noexcept { return limits_; }
+
+  /// @param batch_size        instances in the submit request
+  /// @param global_queued     queued instances across all sessions
+  /// @param session_inflight  submitted-but-not-completed for this session
+  /// @param drain_rate        recent completions/second (EWMA); <= 0 when
+  ///                          unknown. Only shapes Retry-After, never the
+  ///                          admit/reject decision.
+  [[nodiscard]] AdmissionDecision decide(std::size_t batch_size, std::size_t global_queued,
+                                         std::size_t session_inflight,
+                                         double drain_rate) const;
+
+ private:
+  AdmissionLimits limits_;
+};
+
+}  // namespace byzrename::svc
+
+#endif  // BYZRENAME_SVC_ADMISSION_H

@@ -1,0 +1,168 @@
+#include "svc/api.h"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.h"
+#include "obs/json_parse.h"
+#include "obs/schema.h"
+
+namespace byzrename::svc {
+
+namespace {
+
+/// Instances per submit the parser will even look at; the admission
+/// controller applies the configured (usually tighter) limit after
+/// parsing, but a hostile body should not allocate unboundedly first.
+constexpr std::size_t kParseMaxInstances = 65536;
+
+const obs::JsonValue parse_document(std::string_view body, const char* expected_schema) {
+  obs::JsonValue doc = obs::parse_json(body);
+  const std::string& schema = doc.at("schema").as_string();
+  if (schema != expected_schema) {
+    throw std::invalid_argument("expected schema '" + std::string(expected_schema) +
+                                "', got '" + schema + "'");
+  }
+  return doc;
+}
+
+void write_verdict_fields(obs::JsonWriter& json, const exp::ReproScenario& scenario,
+                          InstanceStatus status, const exp::ReproVerdict& verdict) {
+  json.field("status", to_string(status));
+  exp::write_repro_scenario(json, scenario);
+  if (status == InstanceStatus::kDone) {
+    json.key("verdict").begin_object();
+    exp::write_repro_verdict_body(json, verdict);
+    json.end_object();
+  }
+}
+
+}  // namespace
+
+bool valid_session_name(std::string_view name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string parse_session_request(std::string_view body) {
+  const obs::JsonValue doc = parse_document(body, obs::kSessionSchema);
+  const std::string& tenant = doc.at("tenant").as_string();
+  if (!valid_session_name(tenant)) {
+    throw std::invalid_argument("tenant must match [A-Za-z0-9._-]{1,64}");
+  }
+  return tenant;
+}
+
+SubmitRequest parse_submit_request(std::string_view body) {
+  const obs::JsonValue doc = parse_document(body, obs::kSubmitSchema);
+  SubmitRequest request;
+  request.session = doc.at("session").as_string();
+  if (!valid_session_name(request.session)) {
+    throw std::invalid_argument("session must match [A-Za-z0-9._-]{1,64}");
+  }
+  const obs::JsonValue::Array& instances = doc.at("instances").as_array();
+  if (instances.empty()) throw std::invalid_argument("instances must be non-empty");
+  if (instances.size() > kParseMaxInstances) {
+    throw std::invalid_argument("instances exceeds the parse cap of " +
+                                std::to_string(kParseMaxInstances));
+  }
+  request.instances.reserve(instances.size());
+  for (const obs::JsonValue& instance : instances) {
+    request.instances.push_back(exp::parse_repro_scenario(instance));
+  }
+  return request;
+}
+
+std::map<std::string, std::string, std::less<>> parse_query(std::string_view query) {
+  std::map<std::string, std::string, std::less<>> params;
+  std::size_t start = 0;
+  while (start <= query.size() && !query.empty()) {
+    std::size_t end = query.find('&', start);
+    if (end == std::string_view::npos) end = query.size();
+    const std::string_view pair = query.substr(start, end - start);
+    if (!pair.empty()) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        throw std::invalid_argument("query parameter without '=': '" + std::string(pair) + "'");
+      }
+      const auto [it, inserted] =
+          params.emplace(std::string(pair.substr(0, eq)), std::string(pair.substr(eq + 1)));
+      if (!inserted) {
+        throw std::invalid_argument("repeated query parameter '" + it->first + "'");
+      }
+    }
+    if (end == query.size()) break;
+    start = end + 1;
+  }
+  return params;
+}
+
+void write_session_ack(std::ostream& os, const std::string& session) {
+  obs::JsonWriter json(os);
+  json.begin_object()
+      .field("schema", obs::kSessionAckSchema)
+      .field("session", session)
+      .end_object();
+  os << '\n';
+}
+
+void write_submit_ack(std::ostream& os, const std::string& session, std::uint64_t first_id,
+                      std::size_t accepted) {
+  obs::JsonWriter json(os);
+  json.begin_object()
+      .field("schema", obs::kSubmitAckSchema)
+      .field("session", session)
+      .field("first_id", first_id)
+      .field("accepted", static_cast<std::uint64_t>(accepted))
+      .end_object();
+  os << '\n';
+}
+
+void write_poll_response(std::ostream& os, const std::string& session,
+                         const std::vector<InstanceResult>& items, std::uint64_t cursor,
+                         std::size_t pending, bool draining) {
+  obs::JsonWriter json(os);
+  json.begin_object()
+      .field("schema", obs::kPollSchema)
+      .field("session", session)
+      .field("cursor", cursor)
+      .field("pending", static_cast<std::uint64_t>(pending))
+      .field("draining", draining);
+  json.key("items").begin_array();
+  for (const InstanceResult& item : items) {
+    json.begin_object()
+        .field("schema", obs::kVerdictSchema)
+        .field("id", item.id)
+        .field("session", item.session);
+    write_verdict_fields(json, item.scenario, item.status, item.verdict);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  os << '\n';
+}
+
+void write_verdict_document(std::ostream& os, const exp::ReproScenario& scenario,
+                            const exp::ReproVerdict& verdict) {
+  obs::JsonWriter json(os);
+  json.begin_object().field("schema", obs::kVerdictSchema);
+  write_verdict_fields(json, scenario, InstanceStatus::kDone, verdict);
+  json.end_object();
+  os << '\n';
+}
+
+void write_error(std::ostream& os, std::string_view message) {
+  obs::JsonWriter json(os);
+  json.begin_object()
+      .field("schema", obs::kErrorSchema)
+      .field("error", message)
+      .end_object();
+  os << '\n';
+}
+
+}  // namespace byzrename::svc

@@ -1,0 +1,92 @@
+#ifndef BYZRENAME_SVC_API_H
+#define BYZRENAME_SVC_API_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/repro.h"
+
+namespace byzrename::svc {
+
+/// Wire types of the byzrenamed service API (schemas in obs/schema.h,
+/// prose in docs/SERVICE.md). Scenario and verdict objects serialize
+/// through the exp::write_repro_* helpers — the same code path as repro
+/// bundles and `byzrename --verdict-out` — so a service verdict is
+/// byte-comparable against any other surface that ran the same
+/// scenario.
+
+/// Lifecycle of one submitted instance as reported by poll.
+enum class InstanceStatus {
+  kDone,       ///< executed; verdict present
+  kCancelled,  ///< drained from the queue before running; no verdict
+};
+
+[[nodiscard]] constexpr std::string_view to_string(InstanceStatus status) noexcept {
+  switch (status) {
+    case InstanceStatus::kDone: return "done";
+    case InstanceStatus::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+/// One finished (or drained) instance: a byzrename.verdict/1 item.
+struct InstanceResult {
+  std::uint64_t id = 0;
+  std::string session;
+  InstanceStatus status = InstanceStatus::kDone;
+  exp::ReproScenario scenario;
+  exp::ReproVerdict verdict;  ///< meaningful only when status == kDone
+
+  friend bool operator==(const InstanceResult&, const InstanceResult&) = default;
+};
+
+/// POST /v1/submit body after validation.
+struct SubmitRequest {
+  std::string session;
+  std::vector<exp::ReproScenario> instances;
+};
+
+/// Tenant/session identifiers flow into Prometheus label values and
+/// query strings, so they are restricted to [A-Za-z0-9._-], 1..64 chars.
+[[nodiscard]] bool valid_session_name(std::string_view name);
+
+/// Parses a byzrename.session/1 body; throws std::invalid_argument on
+/// malformed JSON, a wrong schema, or an invalid tenant name.
+[[nodiscard]] std::string parse_session_request(std::string_view body);
+
+/// Parses a byzrename.submit/1 body; throws std::invalid_argument on
+/// malformed JSON, a wrong schema, an invalid session name, or an empty
+/// instance list.
+[[nodiscard]] SubmitRequest parse_submit_request(std::string_view body);
+
+/// Splits "session=a&cursor=12" into key -> value (no URL decoding:
+/// every value the API accepts is already percent-free). Repeated keys
+/// throw std::invalid_argument.
+[[nodiscard]] std::map<std::string, std::string, std::less<>> parse_query(
+    std::string_view query);
+
+void write_session_ack(std::ostream& os, const std::string& session);
+void write_submit_ack(std::ostream& os, const std::string& session, std::uint64_t first_id,
+                      std::size_t accepted);
+
+/// One byzrename.verdict/1 document per item inside the poll response.
+void write_poll_response(std::ostream& os, const std::string& session,
+                         const std::vector<InstanceResult>& items, std::uint64_t cursor,
+                         std::size_t pending, bool draining);
+
+/// Identity-free byzrename.verdict/1 document (no id, no session): the
+/// `byzrename --verdict-out` format, and the normal form the service
+/// bench byte-compares daemon results against.
+void write_verdict_document(std::ostream& os, const exp::ReproScenario& scenario,
+                            const exp::ReproVerdict& verdict);
+
+/// byzrename.error/1 body for a non-2xx response.
+void write_error(std::ostream& os, std::string_view message);
+
+}  // namespace byzrename::svc
+
+#endif  // BYZRENAME_SVC_API_H

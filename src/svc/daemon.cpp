@@ -1,0 +1,135 @@
+#include "svc/daemon.h"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/http/buildinfo.h"
+#include "svc/api.h"
+
+namespace byzrename::svc {
+
+namespace {
+
+constexpr int kMaxPollWaitMs = 30000;
+
+obs::HttpResponse json_response(int status, std::string body) {
+  return {status, "application/json", std::move(body), {}};
+}
+
+obs::HttpResponse error_response(int status, std::string_view message) {
+  std::ostringstream body;
+  write_error(body, message);
+  return json_response(status, body.str());
+}
+
+std::uint64_t parse_uint_param(const std::string& value, const char* name) {
+  std::uint64_t parsed = 0;
+  const auto [end, ec] = std::from_chars(value.data(), value.data() + value.size(), parsed);
+  if (ec != std::errc{} || end != value.data() + value.size()) {
+    throw std::invalid_argument(std::string("query parameter '") + name +
+                                "' is not an unsigned integer");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(options), scheduler_(options.scheduler) {}
+
+void Daemon::start() {
+  hub_.add_writer([this](std::ostream& os) { scheduler_.write_metrics(os); });
+  hub_.add_writer([](std::ostream& os) { obs::write_process_metrics(os); });
+  obs::mount_prometheus(server_, hub_);
+  obs::mount_healthz(server_);
+  obs::mount_buildinfo(server_);
+
+  server_.handle_post("/v1/session", [this](const obs::HttpRequest& request) {
+    std::string tenant;
+    try {
+      tenant = parse_session_request(request.body);
+    } catch (const std::invalid_argument& error) {
+      return error_response(400, error.what());
+    }
+    const bool created = scheduler_.open_session(tenant);
+    if (!created && scheduler_.draining()) {
+      return error_response(503, "service is draining");
+    }
+    // Created or already open: both are success (clients retry).
+    std::ostringstream body;
+    write_session_ack(body, tenant);
+    return json_response(200, body.str());
+  });
+
+  server_.handle_post(
+      "/v1/submit",
+      [this](const obs::HttpRequest& request) {
+        SubmitRequest submit;
+        try {
+          submit = parse_submit_request(request.body);
+        } catch (const std::invalid_argument& error) {
+          return error_response(400, error.what());
+        }
+        const Scheduler::SubmitOutcome outcome =
+            scheduler_.submit(submit.session, std::move(submit.instances));
+        if (outcome.draining) return error_response(503, outcome.reason);
+        if (outcome.unknown_session) return error_response(404, outcome.reason);
+        if (!outcome.admitted) {
+          obs::HttpResponse response = error_response(429, outcome.reason);
+          if (outcome.retry_after_seconds > 0) {
+            response.extra_headers.emplace_back("Retry-After",
+                                                std::to_string(outcome.retry_after_seconds));
+          }
+          return response;
+        }
+        std::ostringstream body;
+        write_submit_ack(body, submit.session, outcome.first_id, outcome.accepted);
+        return json_response(202, body.str());
+      },
+      obs::HttpServer::PostOptions{options_.max_submit_body_bytes, "application/json"});
+
+  server_.handle("/v1/poll", [this](const obs::HttpRequest& request) {
+    std::string session;
+    std::uint64_t cursor = 0;
+    std::size_t max_items = 0;
+    int wait_ms = 0;
+    try {
+      const auto params = parse_query(request.query);
+      const auto session_it = params.find("session");
+      if (session_it == params.end()) {
+        throw std::invalid_argument("missing query parameter 'session'");
+      }
+      session = session_it->second;
+      if (const auto it = params.find("cursor"); it != params.end()) {
+        cursor = parse_uint_param(it->second, "cursor");
+      }
+      if (const auto it = params.find("max"); it != params.end()) {
+        max_items = static_cast<std::size_t>(parse_uint_param(it->second, "max"));
+      }
+      if (const auto it = params.find("wait_ms"); it != params.end()) {
+        wait_ms = static_cast<int>(
+            std::min<std::uint64_t>(parse_uint_param(it->second, "wait_ms"), kMaxPollWaitMs));
+      }
+    } catch (const std::invalid_argument& error) {
+      return error_response(400, error.what());
+    }
+    const Scheduler::PollResult poll = scheduler_.poll(session, cursor, max_items, wait_ms);
+    if (poll.unknown_session) {
+      return error_response(404, "unknown session '" + session + "'");
+    }
+    std::ostringstream body;
+    write_poll_response(body, session, poll.items, poll.cursor, poll.pending, poll.draining);
+    return json_response(200, body.str());
+  });
+
+  server_.start(options_.port);
+}
+
+void Daemon::stop(Scheduler::DrainMode mode) {
+  scheduler_.shutdown(mode);
+  server_.stop();
+}
+
+}  // namespace byzrename::svc

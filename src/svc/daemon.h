@@ -1,0 +1,61 @@
+#ifndef BYZRENAME_SVC_DAEMON_H
+#define BYZRENAME_SVC_DAEMON_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/http/exposition.h"
+#include "obs/http/http_server.h"
+#include "svc/scheduler.h"
+
+namespace byzrename::svc {
+
+struct DaemonOptions {
+  /// Loopback port; 0 picks an ephemeral one (readable via port()).
+  std::uint16_t port = 0;
+  SchedulerOptions scheduler;
+  /// Body cap for POST /v1/submit; a full max_batch of fault-planned
+  /// scenarios fits comfortably. POST /v1/session keeps the 1 MiB
+  /// route default.
+  std::size_t max_submit_body_bytes = 8u << 20;
+};
+
+/// The byzrenamed HTTP surface: wires the service API routes
+/// (POST /v1/session, POST /v1/submit, GET /v1/poll), the shared
+/// observability endpoints (/metrics with per-tenant families, /healthz,
+/// /buildinfo), and the scheduler together. Owns all of them; the tool
+/// in tools/byzrenamed.cpp is argument parsing, signal handling, and one
+/// Daemon.
+///
+/// Status mapping, uniformly with byzrename.error/1 bodies:
+///   400  malformed JSON / schema / query string
+///   404  unknown session
+///   429  admission rejection (Retry-After header when retrying helps)
+///   503  draining (shutdown began; no new sessions or submits)
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options = {});
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Mounts every route and starts the HTTP server. Call once.
+  void start();
+
+  /// Drains the scheduler per @p mode, then stops the HTTP server.
+  void stop(Scheduler::DrainMode mode);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return server_.port(); }
+  [[nodiscard]] Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] obs::HttpServer& server() noexcept { return server_; }
+
+ private:
+  DaemonOptions options_;
+  Scheduler scheduler_;
+  obs::ExpositionHub hub_;
+  obs::HttpServer server_;
+};
+
+}  // namespace byzrename::svc
+
+#endif  // BYZRENAME_SVC_DAEMON_H

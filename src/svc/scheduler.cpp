@@ -1,0 +1,288 @@
+#include "svc/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace byzrename::svc {
+
+namespace {
+
+/// EWMA time constant for the completion-rate estimate behind
+/// Retry-After; matches exp::ProgressTracker's throughput horizon.
+constexpr double kEwmaTauSeconds = 5.0;
+
+}  // namespace
+
+Scheduler::Scheduler(SchedulerOptions options)
+    : options_(std::move(options)), admission_(options_.admission), executor_(options_.threads) {
+  if (options_.fair_quantum == 0) options_.fair_quantum = 1;
+  sessions_gauge_ = registry_.gauge("byzrenamed_sessions", "Open sessions.");
+  queued_gauge_ = registry_.gauge("byzrenamed_queued_instances",
+                                  "Instances admitted but not yet dispatched.");
+  running_gauge_ = registry_.gauge("byzrenamed_running_instances",
+                                   "Instances currently executing on the executor.");
+  draining_gauge_ = registry_.gauge("byzrenamed_draining",
+                                    "1 while shutdown is draining, else 0.");
+  latency_hist_ = registry_.histogram(
+      "byzrenamed_completion_latency_microseconds",
+      "Enqueue-to-completion latency of executed instances.",
+      obs::MetricsRegistry::exponential_bounds(64, 2, 20));
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    update_gauges_locked();
+  }
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+Scheduler::~Scheduler() { shutdown(DrainMode::kCancelQueued); }
+
+bool Scheduler::open_session(const std::string& session) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) return false;
+  if (sessions_.contains(session)) return false;
+  Session& created = sessions_[session];
+  created.submitted = registry_.labeled_counter("byzrenamed_instances_submitted_total",
+                                                "Instances admitted, by session.", "session",
+                                                session);
+  created.completed = registry_.labeled_counter("byzrenamed_instances_completed_total",
+                                                "Instances executed, by session.", "session",
+                                                session);
+  created.ok = registry_.labeled_counter("byzrenamed_instances_ok_total",
+                                         "Executed instances whose four renaming properties "
+                                         "all held, by session.",
+                                         "session", session);
+  created.violations = registry_.labeled_counter("byzrenamed_instances_violations_total",
+                                                 "Executed instances the checker flagged, by "
+                                                 "session.",
+                                                 "session", session);
+  created.cancelled = registry_.labeled_counter("byzrenamed_instances_cancelled_total",
+                                                "Instances cancelled by shutdown drain, by "
+                                                "session.",
+                                                "session", session);
+  created.rejected = registry_.labeled_counter("byzrenamed_instances_rejected_total",
+                                               "Instances rejected by admission control, by "
+                                               "session.",
+                                               "session", session);
+  update_gauges_locked();
+  return true;
+}
+
+Scheduler::SubmitOutcome Scheduler::submit(const std::string& session,
+                                           std::vector<exp::ReproScenario> instances) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SubmitOutcome outcome;
+  if (stopping_) {
+    outcome.draining = true;
+    outcome.reason = "service is draining";
+    return outcome;
+  }
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    outcome.unknown_session = true;
+    outcome.reason = "unknown session '" + session + "'";
+    return outcome;
+  }
+  Session& state = it->second;
+  const std::size_t inflight = state.submitted_total - state.done.size();
+  const AdmissionDecision decision =
+      admission_.decide(instances.size(), total_queued_, inflight, drain_rate_locked());
+  if (!decision.admitted) {
+    registry_.add(state.rejected, instances.size());
+    outcome.reason = decision.reason;
+    outcome.retry_after_seconds = decision.retry_after_seconds;
+    return outcome;
+  }
+  outcome.admitted = true;
+  outcome.first_id = next_id_;
+  outcome.accepted = instances.size();
+  const auto now = std::chrono::steady_clock::now();
+  for (exp::ReproScenario& scenario : instances) {
+    state.queue.push_back(Queued{next_id_++, std::move(scenario), now});
+  }
+  state.submitted_total += outcome.accepted;
+  total_queued_ += outcome.accepted;
+  registry_.add(state.submitted, outcome.accepted);
+  update_gauges_locked();
+  dispatch_cv_.notify_one();
+  return outcome;
+}
+
+Scheduler::PollResult Scheduler::poll(const std::string& session, std::uint64_t cursor,
+                                      std::size_t max_items, int wait_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(session);
+  PollResult result;
+  if (it == sessions_.end()) {
+    result.unknown_session = true;
+    return result;
+  }
+  Session& state = it->second;
+  if (wait_ms > 0 && state.done.size() <= cursor) {
+    // Long-poll: woken by each completion; gives up at the deadline or
+    // as soon as nothing further can arrive.
+    results_cv_.wait_for(lock, std::chrono::milliseconds(wait_ms), [&] {
+      return state.done.size() > cursor ||
+             (stopping_ && total_queued_ == 0 && total_running_ == 0);
+    });
+  }
+  const std::uint64_t begin = std::min<std::uint64_t>(cursor, state.done.size());
+  const std::size_t available = state.done.size() - static_cast<std::size_t>(begin);
+  const std::size_t take = max_items == 0 ? available : std::min(available, max_items);
+  result.items.assign(state.done.begin() + static_cast<std::ptrdiff_t>(begin),
+                      state.done.begin() + static_cast<std::ptrdiff_t>(begin + take));
+  result.cursor = begin + take;
+  result.pending = state.submitted_total - state.done.size();
+  result.draining = stopping_;
+  return result;
+}
+
+void Scheduler::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  results_cv_.wait(lock, [&] { return total_queued_ == 0 && total_running_ == 0; });
+}
+
+void Scheduler::shutdown(DrainMode mode) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!stopping_) {
+      stopping_ = true;
+      drain_mode_ = mode;
+      update_gauges_locked();
+    }
+    dispatch_cv_.notify_all();
+    results_cv_.notify_all();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+bool Scheduler::draining() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stopping_;
+}
+
+void Scheduler::write_metrics(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  registry_.write_prometheus(os);
+}
+
+void Scheduler::dispatch_loop() {
+  struct Work {
+    std::string session_name;
+    Session* session = nullptr;
+    Queued item;
+  };
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    dispatch_cv_.wait(lock, [&] { return stopping_ || total_queued_ > 0; });
+    if (stopping_ && drain_mode_ == DrainMode::kCancelQueued && total_queued_ > 0) {
+      // The PR 6 cooperative-cancellation shape at service granularity:
+      // instances that never started report status "cancelled" instead
+      // of silently vanishing, so a draining client can reconcile ids.
+      for (auto& [name, state] : sessions_) {
+        while (!state.queue.empty()) {
+          Queued queued = std::move(state.queue.front());
+          state.queue.pop_front();
+          --total_queued_;
+          InstanceResult cancelled;
+          cancelled.id = queued.id;
+          cancelled.session = name;
+          cancelled.status = InstanceStatus::kCancelled;
+          cancelled.scenario = std::move(queued.scenario);
+          record_result_locked(state, std::move(cancelled), queued.enqueued);
+        }
+      }
+    }
+    if (total_queued_ == 0) {
+      if (stopping_) break;
+      continue;
+    }
+
+    // Fair round-robin gather: up to fair_quantum per session per
+    // sweep, sessions in name order, until the batch cap or all queues
+    // are dry. A session with one instance and a session with a
+    // thousand both make progress every batch.
+    const std::size_t cap =
+        std::max<std::size_t>(64, static_cast<std::size_t>(executor_.threads()) * 8);
+    std::vector<Work> batch;
+    bool took_any = true;
+    while (batch.size() < cap && took_any) {
+      took_any = false;
+      for (auto& [name, state] : sessions_) {
+        const std::size_t take =
+            std::min({options_.fair_quantum, state.queue.size(), cap - batch.size()});
+        for (std::size_t i = 0; i < take; ++i) {
+          batch.push_back(Work{name, &state, std::move(state.queue.front())});
+          state.queue.pop_front();
+        }
+        if (take > 0) took_any = true;
+        if (batch.size() >= cap) break;
+      }
+    }
+    total_queued_ -= batch.size();
+    total_running_ += batch.size();
+    update_gauges_locked();
+
+    lock.unlock();
+    executor_.run(batch.size(), [this, &batch](std::size_t index) {
+      Work& work = batch[index];
+      // Outside the mutex: the verdict computation is the service's
+      // entire CPU budget. Deterministic per the harness re-entrancy
+      // contract, so concurrency cannot change it.
+      exp::ReproVerdict verdict = exp::evaluate_scenario(work.item.scenario);
+      InstanceResult result;
+      result.id = work.item.id;
+      result.session = work.session_name;
+      result.status = InstanceStatus::kDone;
+      result.scenario = std::move(work.item.scenario);
+      result.verdict = std::move(verdict);
+      const std::lock_guard<std::mutex> inner(mutex_);
+      --total_running_;
+      record_result_locked(*work.session, std::move(result), work.item.enqueued);
+    });
+    lock.lock();
+  }
+}
+
+void Scheduler::record_result_locked(Session& session, InstanceResult result,
+                                     std::chrono::steady_clock::time_point enqueued) {
+  double latency_seconds = 0.0;
+  if (result.status == InstanceStatus::kDone) {
+    registry_.add(session.completed, 1);
+    if (result.verdict.kind == exp::FailureKind::kNone) {
+      registry_.add(session.ok, 1);
+    } else if (result.verdict.kind == exp::FailureKind::kViolation) {
+      registry_.add(session.violations, 1);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    latency_seconds = std::chrono::duration<double>(now - enqueued).count();
+    registry_.observe(latency_hist_,
+                      static_cast<std::uint64_t>(std::max(latency_seconds, 0.0) * 1e6));
+    if (has_completion_) {
+      const double dt = std::max(
+          std::chrono::duration<double>(now - last_completion_).count(), 1e-9);
+      const double alpha = 1.0 - std::exp(-dt / kEwmaTauSeconds);
+      ewma_rate_ += alpha * (1.0 / dt - ewma_rate_);
+    }
+    last_completion_ = now;
+    has_completion_ = true;
+  } else {
+    registry_.add(session.cancelled, 1);
+  }
+  if (options_.on_complete) options_.on_complete(result, latency_seconds);
+  session.done.push_back(std::move(result));
+  update_gauges_locked();
+  results_cv_.notify_all();
+}
+
+void Scheduler::update_gauges_locked() {
+  registry_.set(sessions_gauge_, static_cast<double>(sessions_.size()));
+  registry_.set(queued_gauge_, static_cast<double>(total_queued_));
+  registry_.set(running_gauge_, static_cast<double>(total_running_));
+  registry_.set(draining_gauge_, stopping_ ? 1.0 : 0.0);
+}
+
+double Scheduler::drain_rate_locked() const { return ewma_rate_; }
+
+}  // namespace byzrename::svc

@@ -1,0 +1,179 @@
+#ifndef BYZRENAME_SVC_SCHEDULER_H
+#define BYZRENAME_SVC_SCHEDULER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/executor.h"
+#include "exp/repro.h"
+#include "obs/metrics_registry.h"
+#include "svc/admission.h"
+#include "svc/api.h"
+
+namespace byzrename::svc {
+
+struct SchedulerOptions {
+  /// Executor worker count; < 1 selects hardware concurrency.
+  int threads = 0;
+  AdmissionLimits admission;
+  /// Max instances pulled from one session into one dispatch batch
+  /// before moving to the next session — the fair-queueing quantum.
+  std::size_t fair_quantum = 16;
+  /// Completion hook, invoked with the scheduler mutex HELD as each
+  /// instance finishes (latency in seconds, enqueue to completion).
+  /// Must not call back into the scheduler. Benchmark instrumentation;
+  /// leave empty in production.
+  std::function<void(const InstanceResult&, double)> on_complete;
+};
+
+/// Multiplexes many sessions' renaming instances over one work-stealing
+/// executor. The contract that makes the whole service testable: a
+/// verdict is a pure function of its scenario (core::run_scenario's
+/// re-entrancy guarantee), so WHEN an instance runs — which batch,
+/// which worker, what thread count — can never change WHAT it returns,
+/// only when it becomes pollable.
+///
+/// Concurrency model: one internal dispatcher thread gathers fair
+/// round-robin batches (up to fair_quantum per session per batch, in
+/// session-name order) and blocks in Executor::run; worker threads
+/// record each completion under the scheduler mutex as it happens, so
+/// poll() streams results out of a batch still in flight. Every public
+/// member is thread-safe.
+///
+/// Shutdown: shutdown(kCancelQueued) marks still-queued instances
+/// cancelled (pollable, status "cancelled", no verdict — the PR 6
+/// cooperative-cancellation shape) and completes in-flight ones;
+/// shutdown(kWaitAll) runs everything already admitted. Both stop
+/// admission first (submits report `draining`) and block until the
+/// dispatcher exits. The destructor is shutdown(kCancelQueued).
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions options = {});
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  enum class DrainMode {
+    kWaitAll,      ///< run every admitted instance, then stop
+    kCancelQueued, ///< cancel queued instances; in-flight complete
+  };
+
+  struct SubmitOutcome {
+    bool admitted = false;
+    bool unknown_session = false;
+    bool draining = false;
+    std::uint64_t first_id = 0;   ///< ids are first_id .. first_id+accepted-1
+    std::size_t accepted = 0;
+    std::string reason;           ///< admission reason when rejected
+    int retry_after_seconds = 0;
+  };
+
+  struct PollResult {
+    bool unknown_session = false;
+    std::vector<InstanceResult> items;  ///< completion order
+    std::uint64_t cursor = 0;           ///< pass back to continue
+    std::size_t pending = 0;            ///< submitted, not yet pollable
+    bool draining = false;
+  };
+
+  /// Idempotent: returns true when the session was created, false when
+  /// it already existed (reopening is not an error — clients retry).
+  /// Refused (returns false with draining()) once shutdown began.
+  bool open_session(const std::string& session);
+
+  /// Admission-checked enqueue. The batch is admitted or rejected
+  /// whole.
+  SubmitOutcome submit(const std::string& session, std::vector<exp::ReproScenario> instances);
+
+  /// Results for @p session from @p cursor on, at most @p max_items.
+  /// With @p wait_ms > 0 blocks up to that long for the first new
+  /// result (long-poll); returns immediately once anything is
+  /// available.
+  PollResult poll(const std::string& session, std::uint64_t cursor, std::size_t max_items,
+                  int wait_ms = 0);
+
+  /// Blocks until no instance is queued or running. Test/bench helper.
+  void wait_idle();
+
+  /// Stops admission, drains per @p mode, joins the dispatcher.
+  /// Idempotent; the first caller's mode wins.
+  void shutdown(DrainMode mode);
+
+  [[nodiscard]] bool draining() const;
+
+  /// Prometheus families (service gauges, per-tenant counters, the
+  /// completion-latency histogram) under the scheduler mutex — mount as
+  /// an ExpositionHub writer.
+  void write_metrics(std::ostream& os) const;
+
+  [[nodiscard]] int threads() const noexcept { return executor_.threads(); }
+
+ private:
+  struct Queued {
+    std::uint64_t id = 0;
+    exp::ReproScenario scenario;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  struct Session {
+    std::deque<Queued> queue;
+    std::vector<InstanceResult> done;     ///< completion order, append-only
+    std::uint64_t submitted_total = 0;
+    /// Per-tenant counter handles in the shared registry.
+    obs::MetricsRegistry::Handle submitted = 0;
+    obs::MetricsRegistry::Handle completed = 0;
+    obs::MetricsRegistry::Handle ok = 0;
+    obs::MetricsRegistry::Handle violations = 0;
+    obs::MetricsRegistry::Handle cancelled = 0;
+    obs::MetricsRegistry::Handle rejected = 0;
+  };
+
+  void dispatch_loop();
+  void record_result_locked(Session& session, InstanceResult result,
+                            std::chrono::steady_clock::time_point enqueued);
+  void update_gauges_locked();
+  [[nodiscard]] double drain_rate_locked() const;
+
+  SchedulerOptions options_;
+  AdmissionController admission_;
+  exp::Executor executor_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable dispatch_cv_;        ///< wakes the dispatcher
+  mutable std::condition_variable results_cv_; ///< wakes poll/wait_idle
+  std::map<std::string, Session, std::less<>> sessions_;
+  std::size_t total_queued_ = 0;
+  std::size_t total_running_ = 0;
+  std::uint64_t next_id_ = 1;
+  bool stopping_ = false;
+  DrainMode drain_mode_ = DrainMode::kCancelQueued;
+
+  /// EWMA completions/second (tau 5 s), feeding Retry-After.
+  double ewma_rate_ = 0.0;
+  std::chrono::steady_clock::time_point last_completion_{};
+  bool has_completion_ = false;
+
+  obs::MetricsRegistry registry_;
+  obs::MetricsRegistry::Handle sessions_gauge_ = 0;
+  obs::MetricsRegistry::Handle queued_gauge_ = 0;
+  obs::MetricsRegistry::Handle running_gauge_ = 0;
+  obs::MetricsRegistry::Handle draining_gauge_ = 0;
+  obs::MetricsRegistry::Handle latency_hist_ = 0;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace byzrename::svc
+
+#endif  // BYZRENAME_SVC_SCHEDULER_H

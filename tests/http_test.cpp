@@ -29,6 +29,7 @@
 #include "exp/campaign_io.h"
 #include "exp/progress.h"
 #include "exp/spec_parse.h"
+#include "obs/http/buildinfo.h"
 #include "obs/http/exposition.h"
 #include "obs/http/http_server.h"
 #include "obs/json_parse.h"
@@ -82,6 +83,49 @@ std::string http_request(std::uint16_t port, const std::string& request) {
 
 std::string http_get(std::uint16_t port, const std::string& path) {
   return http_request(port, "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+}
+
+std::string http_post(std::uint16_t port, const std::string& path, const std::string& body,
+                      const std::string& content_type = "application/json") {
+  return http_request(port, "POST " + path + " HTTP/1.1\r\nHost: localhost\r\nContent-Type: " +
+                                content_type +
+                                "\r\nContent-Length: " + std::to_string(body.size()) +
+                                "\r\n\r\n" + body);
+}
+
+/// Sends a request and then half-closes the write side, so a server
+/// waiting for more body bytes sees EOF instead of a 2 s read timeout —
+/// the hostile truncated-body case.
+std::string http_request_half_close(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("connect() failed");
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      throw std::runtime_error("send() failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
 }
 
 /// Body of a response (everything after the blank line).
@@ -182,6 +226,195 @@ TEST(HttpServer, StopIsIdempotentAndRestartWorks) {
   server.stop();
   server.start(0);
   EXPECT_NE(http_get(server.port(), "/p").find("200 OK"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// POST routes: the byzrenamed control plane rides these, so the
+// validation ladder (405/411/413/415/400) gets hostile-request coverage
+// at the raw-socket level.
+
+TEST(HttpServerPost, PostRouteReceivesBodyAndEchoesIt) {
+  HttpServer server;
+  server.handle_post("/echo", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.status = 202;
+    response.body = request.method + "|" + request.content_type + "|" + request.body;
+    return response;
+  });
+  server.start(0);
+  const std::string response = http_post(server.port(), "/echo", "{\"a\":1}");
+  EXPECT_NE(response.find("HTTP/1.1 202"), std::string::npos) << response;
+  EXPECT_EQ(body_of(response), "POST|application/json|{\"a\":1}");
+}
+
+TEST(HttpServerPost, GetAndPostCoexistOnOnePath) {
+  HttpServer server;
+  server.handle("/both", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "via-get";
+    return response;
+  });
+  server.handle_post("/both", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "via-post";
+    return response;
+  });
+  server.start(0);
+  EXPECT_EQ(body_of(http_get(server.port(), "/both")), "via-get");
+  EXPECT_EQ(body_of(http_post(server.port(), "/both", "{}")), "via-post");
+}
+
+TEST(HttpServerPost, GetOnPostOnlyRouteIs405) {
+  HttpServer server;
+  server.handle_post("/postonly", [](const HttpRequest&) { return HttpResponse{}; });
+  server.start(0);
+  EXPECT_NE(http_get(server.port(), "/postonly").find("HTTP/1.1 405"), std::string::npos);
+}
+
+TEST(HttpServerPost, MissingContentLengthIs411) {
+  HttpServer server;
+  server.handle_post("/p", [](const HttpRequest&) { return HttpResponse{}; });
+  server.start(0);
+  const std::string response = http_request(
+      server.port(), "POST /p HTTP/1.1\r\nHost: h\r\nContent-Type: application/json\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 411"), std::string::npos) << response;
+}
+
+TEST(HttpServerPost, MalformedContentLengthIs400) {
+  HttpServer server;
+  server.handle_post("/p", [](const HttpRequest&) { return HttpResponse{}; });
+  server.start(0);
+  const std::string response = http_request(
+      server.port(),
+      "POST /p HTTP/1.1\r\nHost: h\r\nContent-Type: application/json\r\n"
+      "Content-Length: banana\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << response;
+}
+
+TEST(HttpServerPost, DeclaredBodyOverRouteCapIs413WithoutReadingIt) {
+  HttpServer server;
+  std::atomic<bool> handler_ran{false};
+  server.handle_post(
+      "/small",
+      [&handler_ran](const HttpRequest&) {
+        handler_ran.store(true);
+        return HttpResponse{};
+      },
+      HttpServer::PostOptions{/*max_body_bytes=*/64, "application/json"});
+  server.start(0);
+  // Declare a huge body but never send it: the server must answer from
+  // the headers alone (no buffering, no timeout waiting for the body).
+  const std::string response = http_request_half_close(
+      server.port(),
+      "POST /small HTTP/1.1\r\nHost: h\r\nContent-Type: application/json\r\n"
+      "Content-Length: 1000000\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 413"), std::string::npos) << response;
+  EXPECT_FALSE(handler_ran.load());
+}
+
+TEST(HttpServerPost, WrongContentTypeIs415ButParametersAreIgnored) {
+  HttpServer server;
+  server.handle_post("/typed", [](const HttpRequest&) { return HttpResponse{}; });
+  server.start(0);
+  EXPECT_NE(http_post(server.port(), "/typed", "{}", "text/plain").find("HTTP/1.1 415"),
+            std::string::npos);
+  // "; charset=..." parameters must not defeat the match.
+  EXPECT_NE(
+      http_post(server.port(), "/typed", "{}", "application/json; charset=utf-8")
+          .find("HTTP/1.1 200"),
+      std::string::npos);
+}
+
+TEST(HttpServerPost, TruncatedBodyIs400) {
+  HttpServer server;
+  server.handle_post("/t", [](const HttpRequest&) { return HttpResponse{}; });
+  server.start(0);
+  const std::string response = http_request_half_close(
+      server.port(),
+      "POST /t HTTP/1.1\r\nHost: h\r\nContent-Type: application/json\r\n"
+      "Content-Length: 10\r\n\r\n{\"a\"");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << response;
+}
+
+TEST(HttpServerPost, ExtraHeadersAreEmittedBeforeConnectionClose) {
+  HttpServer server;
+  server.handle_post("/retry", [](const HttpRequest&) {
+    HttpResponse response;
+    response.status = 429;
+    response.extra_headers.emplace_back("Retry-After", "7");
+    return response;
+  });
+  server.start(0);
+  const std::string response = http_post(server.port(), "/retry", "{}");
+  EXPECT_NE(response.find("HTTP/1.1 429"), std::string::npos) << response;
+  EXPECT_NE(response.find("Retry-After: 7\r\n"), std::string::npos) << response;
+  EXPECT_NE(response.find("Connection: close"), std::string::npos) << response;
+}
+
+TEST(HttpServerPost, RegisteringPostAfterStartThrows) {
+  HttpServer server;
+  server.start(0);
+  EXPECT_THROW(
+      server.handle_post("/late", [](const HttpRequest&) { return HttpResponse{}; }),
+      std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// obs::parse_json hardening: these properties are what make it safe to
+// point the parser at hostile POST bodies (stack-bounded recursion,
+// no silent last-key-wins aliasing).
+
+std::string nested_json(int depth, char open, char close) {
+  std::string text;
+  for (int i = 0; i < depth; ++i) {
+    text += open;
+    if (open == '{' && i + 1 < depth) text += "\"k\":";
+  }
+  if (open == '{') text += "\"k\":1";
+  else text += "1";
+  for (int i = 0; i < depth; ++i) text += close;
+  return text;
+}
+
+TEST(JsonParseHardening, DeepButLegalNestingParses) {
+  // Well under the 256 cap: must parse, and the innermost value must be
+  // reachable.
+  const obs::JsonValue arrays = obs::parse_json(nested_json(200, '[', ']'));
+  const obs::JsonValue* cursor = &arrays;
+  for (int i = 0; i < 200; ++i) cursor = &cursor->as_array().at(0);
+  EXPECT_EQ(cursor->as_int(), 1);
+  EXPECT_NO_THROW(obs::parse_json(nested_json(200, '{', '}')));
+}
+
+TEST(JsonParseHardening, NestingPastTheCapThrowsInsteadOfOverflowing) {
+  EXPECT_THROW(obs::parse_json(nested_json(50000, '[', ']')), std::invalid_argument);
+  EXPECT_THROW(obs::parse_json(nested_json(50000, '{', '}')), std::invalid_argument);
+  EXPECT_THROW(obs::parse_json(nested_json(257, '[', ']')), std::invalid_argument);
+}
+
+TEST(JsonParseHardening, DuplicateObjectKeysAreRejected) {
+  EXPECT_THROW(obs::parse_json("{\"a\":1,\"a\":2}"), std::invalid_argument);
+  EXPECT_THROW(obs::parse_json("{\"x\":{\"a\":1,\"a\":1}}"), std::invalid_argument);
+  // Same key at DIFFERENT depths is legal.
+  EXPECT_NO_THROW(obs::parse_json("{\"a\":{\"a\":1}}"));
+}
+
+// ---------------------------------------------------------------------------
+// /buildinfo: one shared identity endpoint for every serving tool.
+
+TEST(BuildInfo, EndpointServesSchemaVersionAndGitSha) {
+  HttpServer server;
+  obs::mount_buildinfo(server);
+  server.start(0);
+  const std::string response = http_get(server.port(), "/buildinfo");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("application/json"), std::string::npos) << response;
+  const obs::JsonValue doc = obs::parse_json(body_of(response));
+  EXPECT_EQ(doc.at("schema").as_string(), obs::kBuildinfoSchema);
+  EXPECT_FALSE(doc.at("version").as_string().empty());
+  EXPECT_FALSE(doc.at("git_sha").as_string().empty());
+  EXPECT_FALSE(doc.at("compiler").as_string().empty());
+  EXPECT_FALSE(doc.at("sanitizers").as_string().empty());
 }
 
 // ---------------------------------------------------------------------------

@@ -34,6 +34,7 @@
 #include "exp/progress.h"
 #include "exp/repro.h"
 #include "exp/spec_parse.h"
+#include "obs/http/buildinfo.h"
 #include "obs/http/exposition.h"
 #include "obs/http/http_server.h"
 
@@ -297,6 +298,7 @@ int main(int argc, char** argv) {
     server.emplace();
     obs::mount_prometheus(*server, hub);
     obs::mount_healthz(*server);
+    obs::mount_buildinfo(*server);
     obs::mount_json(*server, "/progress",
                     [&progress](std::ostream& os) { progress.write_progress_json(os); });
     try {
@@ -307,7 +309,7 @@ int main(int argc, char** argv) {
     }
     if (!options.quiet) {
       std::cout << "[serve] live telemetry on http://127.0.0.1:" << server->port()
-                << "  (/metrics /healthz /progress)\n";
+                << "  (/metrics /healthz /progress /buildinfo)\n";
     }
   }
 

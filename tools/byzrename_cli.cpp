@@ -10,7 +10,9 @@
 // Exit code 0 iff every renaming property held; 2 on usage errors.
 
 #include <algorithm>
+#include <atomic>
 #include <charconv>
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -31,18 +33,34 @@
 #include "exp/repro.h"
 #include "sim/fault.h"
 #include "obs/complexity_audit.h"
+#include "obs/http/buildinfo.h"
 #include "obs/http/exposition.h"
 #include "obs/http/http_server.h"
 #include "obs/metrics_registry.h"
 #include "obs/run_report.h"
 #include "obs/telemetry.h"
 #include "obs/trace_export.h"
+#include "svc/api.h"
 #include "trace/event_log.h"
 #include "trace/table.h"
 
 namespace {
 
 using namespace byzrename;
+
+/// SIGINT/SIGTERM request a cooperative stop: single runs abort at the
+/// next round boundary, --repeat stops starting new runs. Sinks flush
+/// whatever was collected and the process exits 130 (campaign-tool
+/// semantics). A second signal hard-exits immediately.
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void handle_interrupt(int) {
+  if (g_interrupted.exchange(true)) std::_Exit(130);
+}
+
+/// Thrown out of run_scenario by the interrupt observer; deliberately
+/// not a std::exception so the generic error path cannot swallow it.
+struct InterruptedRun {};
 
 void print_usage() {
   std::cout <<
@@ -61,6 +79,9 @@ void print_usage() {
       "  --repro <path>        replay a byzrename.repro/1 bundle (--repeat K replays it\n"
       "                        K times; exit 0 iff all verdicts match the bundle)\n"
       "  --repro-out <path>    write the byzrename.repro-verdict/1 replay outcome\n"
+      "  --verdict-out <path>  write the single run's byzrename.verdict/1 document —\n"
+      "                        byte-identical to what byzrenamed serves for the same\n"
+      "                        scenario (not valid with --repeat/--repro/--ids)\n"
       "  --repeat <int>        run the scenario K times under derived seeds and print\n"
       "                        aggregate decide-round stats (campaign engine)\n"
       "  --threads <int>       worker threads for --repeat/--repro, >= 1\n"
@@ -134,6 +155,7 @@ struct Options {
   std::string trace_out_path;
   std::string repro_path;
   std::string repro_out_path;
+  std::string verdict_out_path;
   std::string metrics_out_path;
   std::string metrics_jsonl_path;
   std::string audit_out_path;
@@ -188,6 +210,9 @@ Options parse(int argc, char** argv) {
       options.repro_path = next_value(i);
     } else if (arg == "--repro-out") {
       options.repro_out_path = next_value(i);
+    } else if (arg == "--verdict-out") {
+      options.verdict_out_path = next_value(i);
+      if (options.verdict_out_path.empty()) throw CliError{"--verdict-out needs a path"};
     } else if (arg == "--repeat") {
       options.repeat = parse_number<int>(arg, next_value(i));
       if (options.repeat < 1) throw CliError{"--repeat must be >= 1"};
@@ -252,6 +277,19 @@ int main(int argc, char** argv) {
     std::cerr << "byzrename: --serve/--prom-out are not valid with --repro\n";
     return 2;
   }
+  if (!options.verdict_out_path.empty() &&
+      (options.repeat > 1 || !options.repro_path.empty() ||
+       !options.config.correct_ids.empty())) {
+    // The verdict document carries the PORTABLE scenario; --ids pins
+    // machine-chosen identities the byzrename.repro/1 shape cannot
+    // express, and --repeat/--repro describe other execution modes.
+    std::cerr << "byzrename: --verdict-out describes a single seeded run; "
+                 "not valid with --repeat/--repro/--ids\n";
+    return 2;
+  }
+
+  std::signal(SIGINT, handle_interrupt);
+  std::signal(SIGTERM, handle_interrupt);
 
   if (!options.repro_path.empty()) {
     // Repro mode: replay a byzrename.repro/1 bundle bit-for-bit. The
@@ -334,6 +372,7 @@ int main(int argc, char** argv) {
 
     exp::CampaignOptions run;
     run.threads = options.threads;
+    run.cancel = &g_interrupted;
     std::ofstream repeat_json;
     if (!options.json_path.empty()) {
       repeat_json.open(options.json_path, std::ios::trunc);
@@ -367,6 +406,7 @@ int main(int argc, char** argv) {
       server.emplace();
       obs::mount_prometheus(*server, hub);
       obs::mount_healthz(*server);
+      obs::mount_buildinfo(*server);
       obs::mount_json(*server, "/progress",
                       [&progress](std::ostream& os) { progress.write_progress_json(os); });
       try {
@@ -377,7 +417,7 @@ int main(int argc, char** argv) {
       }
       if (!options.quiet) {
         std::cout << "[serve] live telemetry on http://127.0.0.1:" << server->port()
-                  << "  (/metrics /healthz /progress)\n";
+                  << "  (/metrics /healthz /progress /buildinfo)\n";
       }
     }
 
@@ -425,7 +465,9 @@ int main(int argc, char** argv) {
       std::cout << " (first violation at rep " << stats.first_violation_rep << ": "
                 << stats.first_violation << ')';
     }
+    if (result.interrupted) std::cout << " [interrupted]";
     std::cout << '\n';
+    if (result.interrupted) return 130;
     return result.all_ok() ? 0 : 1;
   }
 
@@ -485,6 +527,7 @@ int main(int argc, char** argv) {
     server.emplace();
     obs::mount_prometheus(*server, hub);
     obs::mount_healthz(*server);
+    obs::mount_buildinfo(*server);
     obs::mount_json(*server, "/progress",
                     [&progress](std::ostream& os) { progress.write_progress_json(os); });
     try {
@@ -495,7 +538,7 @@ int main(int argc, char** argv) {
     }
     if (!options.quiet) {
       std::cout << "[serve] live telemetry on http://127.0.0.1:" << server->port()
-                << "  (/metrics /healthz /progress)\n";
+                << "  (/metrics /healthz /progress /buildinfo)\n";
     }
   }
 
@@ -503,10 +546,45 @@ int main(int argc, char** argv) {
   if (!options.trace_out_path.empty()) options.config.event_log = &event_log;
   if (telemetry.active()) options.config.telemetry = &telemetry;
 
+  // Interrupt hook: SIGINT/SIGTERM abort the run at the next round
+  // boundary (the same cooperative granularity as the repro watchdog),
+  // after which every sink flushes what it collected and the process
+  // exits 130 — a Ctrl-C'd run leaves valid partial artifacts, not
+  // truncated files.
+  options.config.observer = [prev = std::move(options.config.observer)](
+                                sim::Round round, const sim::Network& network) {
+    if (prev) prev(round, network);
+    if (g_interrupted.load(std::memory_order_acquire)) throw InterruptedRun{};
+  };
+
+  // Partial flush targets for the interrupt path; the normal path writes
+  // the same files with complete data further down.
+  const auto flush_partial_sinks = [&]() {
+    if (!options.prom_out_path.empty()) {
+      std::ofstream prom(options.prom_out_path, std::ios::trunc);
+      if (prom.is_open()) hub.write(prom);
+    }
+    if (metrics_sink.has_value()) {
+      if (!options.metrics_out_path.empty()) {
+        std::ofstream metrics_out(options.metrics_out_path, std::ios::trunc);
+        if (metrics_out.is_open()) metrics_sink->write_prometheus(metrics_out);
+      }
+      if (!options.metrics_jsonl_path.empty()) {
+        std::ofstream metrics_jsonl(options.metrics_jsonl_path, std::ios::trunc);
+        if (metrics_jsonl.is_open()) metrics_sink->write_metrics_jsonl(metrics_jsonl);
+      }
+    }
+  };
+
   core::ScenarioResult result;
   if (live) progress.task_started();
   try {
     result = core::run_scenario(options.config);
+  } catch (const InterruptedRun&) {
+    if (live) progress.finish(/*interrupted=*/true);
+    flush_partial_sinks();
+    std::cerr << "byzrename: interrupted; partial sinks flushed\n";
+    return 130;
   } catch (const std::exception& error) {
     std::cerr << "byzrename: " << error.what() << '\n';
     return 2;
@@ -580,6 +658,38 @@ int main(int argc, char** argv) {
       }
       metrics_sink->write_metrics_jsonl(metrics_jsonl);
     }
+  }
+
+  if (!options.verdict_out_path.empty()) {
+    std::ofstream verdict_out(options.verdict_out_path, std::ios::trunc);
+    if (!verdict_out.is_open()) {
+      std::cerr << "byzrename: cannot open --verdict-out path: " << options.verdict_out_path
+                << '\n';
+      return 2;
+    }
+    // The portable scenario + the digest evaluate_scenario would have
+    // produced for it. Both serialize through the shared exp:: writers,
+    // so this document is byte-identical to the byzrenamed service's
+    // verdict for the same submission — the CI smoke test diffs them.
+    exp::ReproScenario scenario;
+    scenario.algorithm = options.config.algorithm;
+    scenario.params = options.config.params;
+    scenario.adversary = options.config.adversary;
+    scenario.actual_faults = options.config.actual_faults;
+    scenario.seed = options.config.seed;
+    scenario.iterations = options.config.options.approximation_iterations;
+    scenario.validate_votes = options.config.options.validate_votes;
+    scenario.extra_rounds = options.config.extra_rounds;
+    scenario.fault_plan = options.config.fault_plan;
+    exp::ReproVerdict verdict;
+    verdict.kind =
+        result.report.all_ok() ? exp::FailureKind::kNone : exp::FailureKind::kViolation;
+    verdict.classes = result.report.classes();
+    verdict.detail = result.report.detail;
+    verdict.rounds = result.run.rounds;
+    verdict.terminated = result.run.terminated;
+    verdict.max_name = static_cast<std::int64_t>(result.report.max_name);
+    svc::write_verdict_document(verdict_out, scenario, verdict);
   }
 
   bool audit_ok = true;
