@@ -57,6 +57,14 @@ CheckReport check_renaming(const std::vector<NamedProcess>& processes,
               return a.original_id < b.original_id;
             });
 
+  // Which processes are implicated in some violation: pairwise classes
+  // (order, uniqueness) implicate both members even though the record
+  // names the second. Drives the recovered dimension.
+  std::vector<bool> implicated(sorted.size(), false);
+  const auto implicate = [&](const NamedProcess& p) {
+    implicated[static_cast<std::size_t>(&p - sorted.data())] = true;
+  };
+
   report.min_name = std::numeric_limits<sim::Name>::max();
   report.max_name = std::numeric_limits<sim::Name>::min();
   bool any_named = false;
@@ -68,6 +76,7 @@ CheckReport check_renaming(const std::vector<NamedProcess>& processes,
       msg << "process with id " << p.original_id << " did not decide" << provenance(p);
       record(ViolationClass::kTermination, p, report.termination, msg.str());
       report.termination = false;
+      implicate(p);
       continue;
     }
     const sim::Name name = *p.new_name;
@@ -81,6 +90,7 @@ CheckReport check_renaming(const std::vector<NamedProcess>& processes,
           << namespace_size << "]" << provenance(p);
       record(ViolationClass::kRange, p, report.validity, msg.str());
       report.validity = false;
+      implicate(p);
     }
     if (previous != nullptr && previous->new_name.has_value() && *previous->new_name >= name) {
       std::ostringstream msg;
@@ -88,6 +98,8 @@ CheckReport check_renaming(const std::vector<NamedProcess>& processes,
           << " but names " << *previous->new_name << " >= " << name << provenance(p);
       record(ViolationClass::kOrder, p, report.order_preservation, msg.str());
       report.order_preservation = false;
+      implicate(*previous);
+      implicate(p);
     }
     previous = &p;
   }
@@ -113,7 +125,15 @@ CheckReport check_renaming(const std::vector<NamedProcess>& processes,
           << named[i]->original_id << provenance(*named[i]);
       record(ViolationClass::kUniqueness, *named[i], report.uniqueness, msg.str());
       report.uniqueness = false;
+      implicate(*named[i - 1]);
+      implicate(*named[i]);
     }
+  }
+
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (!sorted[i].restarted) continue;
+    report.restarted += 1;
+    if (sorted[i].new_name.has_value() && !implicated[i]) report.recovered += 1;
   }
 
   if (!any_named) {

@@ -19,6 +19,10 @@ struct NamedProcess {
   std::optional<sim::Name> new_name;
   sim::ProcessIndex index = -1;
   sim::Round decided_round = 0;
+  /// True when a transient restart (sim/fault.h RestartEvent)
+  /// re-initialized this process mid-protocol; feeds the checker's
+  /// recovered dimension.
+  bool restarted = false;
 };
 
 /// The four guarantees of Section II, as a classification rather than a
@@ -71,6 +75,14 @@ struct CheckReport {
   std::string detail;
   /// Every violation found, in checking order, with provenance.
   std::vector<ViolationRecord> violations;
+  /// Transient-restart verdict dimension (Lenzen–Rybicki): how many
+  /// correct processes were restarted mid-protocol, and how many of
+  /// those RECOVERED — re-joined, decided, and are implicated in no
+  /// violation (pairwise violations implicate both members). recovered
+  /// < restarted with all_ok() cannot happen; the converse — violations
+  /// elsewhere while every restarted process recovered — can.
+  int restarted = 0;
+  int recovered = 0;
 
   [[nodiscard]] bool all_ok() const noexcept {
     return validity && termination && uniqueness && order_preservation;

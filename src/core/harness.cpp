@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "adversary/adversary.h"
+#include "adversary/strategies/forgery.h"
 #include "aa/byzantine_aa.h"
 #include "baselines/bit_renaming.h"
 #include "baselines/consensus_renaming.h"
@@ -154,6 +155,14 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   if (config.fault_plan.fault_overshoot < 0) {
     throw std::invalid_argument("run_scenario: fault overshoot must be >= 0");
   }
+  // Fail fast on a forge rule naming an unregistered strategy — a typo'd
+  // sweep spec should error out before burning a campaign, not silently
+  // inject nothing.
+  for (const sim::ForgeRule& rule : config.fault_plan.forges) {
+    if (!adversary::has_forgery_strategy(rule.strategy)) {
+      throw std::invalid_argument("run_scenario: unknown forgery strategy: " + rule.strategy);
+    }
+  }
   const int faults = base_faults + config.fault_plan.fault_overshoot;
   if (faults >= params.n) {
     throw std::invalid_argument(
@@ -229,10 +238,31 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   // with and without a plan shares all protocol randomness, and a faulted
   // run replays bit-for-bit from (seed, plan) alone.
   std::optional<sim::FaultInjector> injector;
+  std::optional<adversary::RegistryForgerySource> forgery;
   if (!config.fault_plan.empty()) {
     injector.emplace(config.fault_plan,
                      sim::Rng::derive_stream(config.seed, 0xFA017ull));
     network.attach_fault_injector(&*injector);
+    if (!config.fault_plan.forges.empty()) {
+      // The registry source captures the env at construction; forge() is
+      // then a pure function, keeping faulted runs order-independent.
+      forgery.emplace(env);
+      network.attach_forgery_source(&*forgery);
+    }
+    if (!config.fault_plan.restarts.empty()) {
+      // Restart events rebuild the process exactly as it was first built:
+      // same algorithm, id, options, and physical index — only its state
+      // (and possibly its round counter) is lost.
+      network.attach_behavior_factory(
+          [algorithm = config.algorithm, params, options, correct_ids,
+           correct_count](sim::ProcessIndex i) -> std::unique_ptr<sim::ProcessBehavior> {
+            if (i < 0 || i >= correct_count) {
+              throw std::logic_error("restart factory: index out of correct range");
+            }
+            return make_behavior(algorithm, params, correct_ids[static_cast<std::size_t>(i)],
+                                 options, i);
+          });
+    }
   }
 
   ScenarioResult result;
@@ -274,7 +304,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   for (int i = 0; i < correct_count; ++i) {
     const auto slot = static_cast<std::size_t>(i);
     result.named.push_back({correct_ids[slot], result.run.decisions[slot],
-                            static_cast<sim::ProcessIndex>(i), result.run.decide_rounds[slot]});
+                            static_cast<sim::ProcessIndex>(i), result.run.decide_rounds[slot],
+                            network.was_restarted(i)});
   }
   result.report = check_renaming(result.named, result.target_namespace);
 

@@ -30,6 +30,11 @@ std::size_t scenario_size(const ReproScenario& scenario) {
       size += static_cast<std::size_t>(rule.delay_rounds);
     }
   }
+  // Each forged message per receiver per round is something a human must
+  // read past, so a forge rule's k weighs like extra delay rounds.
+  for (const sim::ForgeRule& rule : scenario.fault_plan.forges) {
+    if (rule.count > 1) size += static_cast<std::size_t>(rule.count);
+  }
   if (scenario.adversary != "silent") size += 24;
   return size;
 }
@@ -138,6 +143,18 @@ std::vector<ReproScenario> shrink_candidates(const ReproScenario& scenario) {
                                           static_cast<std::ptrdiff_t>(i));
     propose(std::move(candidate));
   }
+  for (std::size_t i = 0; i < scenario.fault_plan.forges.size(); ++i) {
+    ReproScenario candidate = scenario;
+    candidate.fault_plan.forges.erase(candidate.fault_plan.forges.begin() +
+                                      static_cast<std::ptrdiff_t>(i));
+    propose(std::move(candidate));
+  }
+  for (std::size_t i = 0; i < scenario.fault_plan.restarts.size(); ++i) {
+    ReproScenario candidate = scenario;
+    candidate.fault_plan.restarts.erase(candidate.fault_plan.restarts.begin() +
+                                        static_cast<std::ptrdiff_t>(i));
+    propose(std::move(candidate));
+  }
   if (scenario.fault_plan.fault_overshoot > 0) {
     ReproScenario candidate = scenario;
     candidate.fault_plan.fault_overshoot = scenario.fault_plan.fault_overshoot / 2;
@@ -148,6 +165,13 @@ std::vector<ReproScenario> shrink_candidates(const ReproScenario& scenario) {
     if (rule.kind == sim::LinkFaultKind::kDelay && rule.delay_rounds > 1) {
       ReproScenario candidate = scenario;
       candidate.fault_plan.links[i].delay_rounds = rule.delay_rounds / 2;
+      propose(std::move(candidate));
+    }
+  }
+  for (std::size_t i = 0; i < scenario.fault_plan.forges.size(); ++i) {
+    if (scenario.fault_plan.forges[i].count > 1) {
+      ReproScenario candidate = scenario;
+      candidate.fault_plan.forges[i].count = scenario.fault_plan.forges[i].count / 2;
       propose(std::move(candidate));
     }
   }

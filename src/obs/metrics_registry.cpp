@@ -284,7 +284,9 @@ void MetricsSink::on_round(const RoundSample& sample) {
   registry_.add(counters.equivocating_sends, sample.metrics.equivocating_sends);
   registry_.add(counters.injected_faults, sample.metrics.injected_drops +
                                               sample.metrics.injected_duplicates +
-                                              sample.metrics.injected_delays);
+                                              sample.metrics.injected_delays +
+                                              sample.metrics.injected_forgeries +
+                                              sample.metrics.injected_restarts);
   registry_.add(rounds_total_, 1);
   if (sample.has_rank_probes) {
     registry_.set(rank_spread_, sample.rank_spread);
@@ -331,6 +333,14 @@ void MetricsSink::write_metrics_jsonl(std::ostream& os) const {
         .field("injected_drops", sample.metrics.injected_drops)
         .field("injected_duplicates", sample.metrics.injected_duplicates)
         .field("injected_delays", sample.metrics.injected_delays);
+    // New-family counters are omitted when zero so the golden metrics
+    // files (and their byte-compare CI gate) stay valid.
+    if (sample.metrics.injected_forgeries > 0) {
+      json.field("injected_forgeries", sample.metrics.injected_forgeries);
+    }
+    if (sample.metrics.injected_restarts > 0) {
+      json.field("injected_restarts", sample.metrics.injected_restarts);
+    }
     if (sample.has_acceptance) {
       json.key("accepted").begin_object();
       json.field("min", sample.min_accepted).field("max", sample.max_accepted);

@@ -66,6 +66,12 @@ void RunReportSink::on_run_end(const RunSummary& summary) {
       .field("all_ok", result.report.all_ok())
       .field("classes", result.report.classes())
       .field("detail", result.report.detail);
+  // Transient-restart dimension; omitted on runs without restarts so
+  // pre-existing reports keep their exact bytes.
+  if (result.report.restarted > 0) {
+    json.field("restarted", result.report.restarted)
+        .field("recovered", result.report.recovered);
+  }
   json.end_object();
   json.end_object();
 
@@ -80,6 +86,12 @@ void RunReportSink::on_run_end(const RunSummary& summary) {
       .field("injected_drops", metrics.total_injected_drops())
       .field("injected_duplicates", metrics.total_injected_duplicates())
       .field("injected_delays", metrics.total_injected_delays());
+  if (metrics.total_injected_forgeries() > 0) {
+    json.field("injected_forgeries", metrics.total_injected_forgeries());
+  }
+  if (metrics.total_injected_restarts() > 0) {
+    json.field("injected_restarts", metrics.total_injected_restarts());
+  }
   json.end_object();
 
   json.key("per_round").begin_array();

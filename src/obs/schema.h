@@ -44,6 +44,8 @@ namespace byzrename::obs {
 ///     .max_message_bits .max_correct_message_bits       uint64
 ///     .injected_drops .injected_duplicates .injected_delays  uint64
 ///         fault-injector interventions (0 on clean-model runs)
+///     .injected_forgeries .injected_restarts  uint64  impersonation /
+///         transient-restart interventions; OMITTED when zero
 ///   per_round         array    one object per round, in order:
 ///     .round            int      1-based, matches the paper's "Step r"
 ///     .messages .bits .correct_messages .correct_bits .equivocating_sends
@@ -56,6 +58,10 @@ namespace byzrename::obs {
 ///   label             string   free-form row label from the bench
 ///   scenario.fault_plan string canonical fault-plan spec (sim/fault.h);
 ///                              present only on fault-injected runs
+///   scenario.verdict.restarted / .recovered  int  transient-restart
+///       dimension: processes re-initialized mid-protocol, and how many
+///       re-joined, decided, and sit in no violation; present only when
+///       restarted > 0
 ///   per_round[i].accepted        object {min,max}, Alg. 1/4 runs only
 ///   per_round[i].rejected_votes  int, cumulative up to this round
 ///   per_round[i].rank_spread / .rank_spread_exact    double / string
@@ -176,6 +182,7 @@ namespace byzrename::obs {
 ///   injected_drops injected_duplicates injected_delays  uint64
 ///
 /// Optional fields (same guards as byzrename.run/1 per_round entries):
+///   injected_forgeries / injected_restarts  uint64  omitted when zero
 ///   label             string   free-form row label
 ///   accepted          object   {min,max}, Alg. 1/4 runs only
 ///   rejected_votes    int      cumulative up to this round

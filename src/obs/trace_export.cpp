@@ -168,11 +168,16 @@ void write_chrome_trace(std::ostream& os, const trace::EventLog& log, const Trac
         json.field("correct", m.correct_bits).field("byzantine", m.bits - m.correct_bits);
       });
       counter("equivocating sends", [&] { json.field("sends", m.equivocating_sends); });
-      if (m.injected_drops + m.injected_duplicates + m.injected_delays > 0) {
+      if (m.injected_drops + m.injected_duplicates + m.injected_delays +
+              m.injected_forgeries + m.injected_restarts >
+          0) {
         counter("injected faults", [&] {
           json.field("drops", m.injected_drops)
               .field("dups", m.injected_duplicates)
               .field("delays", m.injected_delays);
+          // Omitted when zero so pre-existing traces byte-match.
+          if (m.injected_forgeries > 0) json.field("forgeries", m.injected_forgeries);
+          if (m.injected_restarts > 0) json.field("restarts", m.injected_restarts);
         });
       }
     }

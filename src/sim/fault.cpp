@@ -116,6 +116,47 @@ void parse_event(std::string_view event, FaultPlan& plan) {
     const int k = parse_number<int>(kind, body);
     if (k < 1) fail("overshoot: K must be >= 1");
     plan.fault_overshoot += k;
+  } else if (kind == "forge") {
+    ForgeRule rule;
+    // Body is K[xP][=STRAT]; the strategy name comes last so 'x' inside
+    // it can never be mistaken for the probability separator.
+    if (const std::size_t eq = body.find('='); eq != std::string_view::npos) {
+      rule.strategy = std::string(body.substr(eq + 1));
+      if (rule.strategy.empty()) fail("forge: empty strategy name after '='");
+      body = body.substr(0, eq);
+    }
+    if (const std::size_t x = body.find('x'); x != std::string_view::npos) {
+      rule.probability = parse_probability(kind, body.substr(x + 1));
+      body = body.substr(0, x);
+    }
+    rule.count = parse_number<int>(kind, body);
+    if (rule.count < 0) fail("forge: K must be >= 0");
+    const Window window = parse_window(kind, window_text, /*to_required=*/true);
+    rule.from_round = window.from;
+    rule.to_round = window.to;
+    plan.forges.push_back(std::move(rule));
+  } else if (kind == "restart") {
+    if (window_text.empty()) fail("restart expects PID@R[,scramble|reset]");
+    RestartEvent event;
+    std::string_view round_text = window_text;
+    if (const std::size_t comma = round_text.find(','); comma != std::string_view::npos) {
+      std::string_view state = round_text.substr(comma + 1);
+      round_text = round_text.substr(0, comma);
+      // Accept both the bare token and the ISSUE's `state=` spelling.
+      if (state.starts_with("state=")) state = state.substr(6);
+      if (state == "scramble") {
+        event.state = RestartState::kScramble;
+      } else if (state == "reset") {
+        event.state = RestartState::kReset;
+      } else {
+        fail("restart: state must be scramble or reset, got '" + std::string(state) + "'");
+      }
+    }
+    event.process = parse_number<ProcessIndex>(kind, body);
+    event.round = parse_number<Round>(kind, round_text);
+    if (event.process < 0) fail("restart: PID must be >= 0");
+    if (event.round < 1) fail("restart: rounds start at 1");
+    plan.restarts.push_back(event);
   } else {
     fail("unknown event kind '" + std::string(kind) + "'");
   }
@@ -130,17 +171,34 @@ bool in_window(Round round, Round from, Round to) noexcept {
   return round >= from && (to == 0 || round <= to);
 }
 
-/// Uniform double in [0, 1) from a hash chain over the decision
-/// coordinates — a pure function, never sequential generator state.
-double decision_uniform(std::uint64_t seed, Round round, ProcessIndex sender,
-                        ProcessIndex receiver, std::size_t rule) noexcept {
+/// Hash chain over the decision coordinates — a pure function, never
+/// sequential generator state. The forge/restart families reuse it with
+/// a salt folded into `rule` so their decisions stay order-independent.
+std::uint64_t decision_hash(std::uint64_t seed, Round round, ProcessIndex sender,
+                            ProcessIndex receiver, std::size_t rule) noexcept {
   std::uint64_t h = seed;
   h = splitmix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(round)) << 1));
   h = splitmix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(sender)) << 17));
   h = splitmix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(receiver)) << 33));
   h = splitmix64(h ^ static_cast<std::uint64_t>(rule));
+  return h;
+}
+
+double to_unit(std::uint64_t h) noexcept {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
+
+/// Uniform double in [0, 1) from the decision hash.
+double decision_uniform(std::uint64_t seed, Round round, ProcessIndex sender,
+                        ProcessIndex receiver, std::size_t rule) noexcept {
+  return to_unit(decision_hash(seed, round, sender, receiver, rule));
+}
+
+/// Salts keeping the forge/restart hash streams disjoint from the link
+/// fault stream (and from each other) without widening the coordinates.
+constexpr std::size_t kForgeFireSalt = 0x10000;
+constexpr std::size_t kForgeSenderSalt = 0x20000;
+constexpr std::size_t kRestartSalt = 0x30000;
 
 }  // namespace
 
@@ -185,6 +243,18 @@ std::string to_spec(const FaultPlan& plan) {
     sep();
     out << "part:" << part.lo << '-' << part.hi << '@' << part.from_round << ".."
         << (part.to_round == 0 ? part.from_round : part.to_round);
+  }
+  for (const ForgeRule& rule : plan.forges) {
+    sep();
+    out << "forge:" << rule.count;
+    if (rule.probability != 1.0) out << 'x' << rule.probability;
+    if (rule.strategy != "ghost") out << '=' << rule.strategy;
+    append_window(out, rule.from_round, rule.to_round);
+  }
+  for (const RestartEvent& event : plan.restarts) {
+    sep();
+    out << "restart:" << event.process << '@' << event.round;
+    if (event.state == RestartState::kScramble) out << ",scramble";
   }
   if (plan.fault_overshoot > 0) {
     sep();
@@ -235,6 +305,40 @@ FaultInjector::Fate FaultInjector::fate(Round round, ProcessIndex sender,
     }
   }
   return fate;
+}
+
+void FaultInjector::forged(Round round, ProcessIndex receiver, int n,
+                           std::vector<ForgedMessage>& out) const {
+  if (n <= 0) return;
+  for (std::size_t i = 0; i < plan_.forges.size(); ++i) {
+    const ForgeRule& rule = plan_.forges[i];
+    if (!in_window(round, rule.from_round, rule.to_round)) continue;
+    for (int slot = 0; slot < rule.count; ++slot) {
+      // The slot index stands in for the sender coordinate; the real
+      // spoofed sender is drawn from a separately salted hash so the
+      // firing decision and the identity choice stay independent.
+      const std::size_t coords = i * 64 + static_cast<std::size_t>(slot & 63);
+      const std::uint64_t fire =
+          decision_hash(seed_, round, static_cast<ProcessIndex>(slot), receiver,
+                        kForgeFireSalt + coords);
+      if (to_unit(fire) >= rule.probability) continue;
+      const std::uint64_t pick =
+          decision_hash(seed_, round, static_cast<ProcessIndex>(slot), receiver,
+                        kForgeSenderSalt + coords);
+      ForgedMessage forged;
+      forged.spoofed_sender = static_cast<ProcessIndex>(pick % static_cast<std::uint64_t>(n));
+      forged.rule = i;
+      forged.entropy = splitmix64(fire ^ pick);
+      out.push_back(forged);
+    }
+  }
+}
+
+int FaultInjector::restart_skew(std::size_t rule, const RestartEvent& event) const noexcept {
+  if (event.round <= 1) return 0;
+  const std::uint64_t h = decision_hash(seed_, event.round, event.process, event.process,
+                                        kRestartSalt + rule);
+  return static_cast<int>(h % static_cast<std::uint64_t>(event.round));
 }
 
 }  // namespace byzrename::sim

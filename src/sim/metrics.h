@@ -24,6 +24,13 @@ struct RoundMetrics {
   std::size_t injected_drops = 0;
   std::size_t injected_duplicates = 0;
   std::size_t injected_delays = 0;
+  /// Forged-sender messages the impersonation adversary inserted and
+  /// correct-process restarts triggered this round. Forgeries are NOT
+  /// folded into messages/bits: those count what processes actually
+  /// transmit, which the complexity auditor checks against the paper's
+  /// budgets, and the impersonator is external to the system.
+  std::size_t injected_forgeries = 0;
+  std::size_t injected_restarts = 0;
   /// Largest single message charged in this round (any sender / correct
   /// senders only). Per-round so the bit-size trajectory of the voting
   /// phase is observable, not just the whole-run maximum.
@@ -48,6 +55,8 @@ class Metrics {
     totals_.injected_drops += round.injected_drops;
     totals_.injected_duplicates += round.injected_duplicates;
     totals_.injected_delays += round.injected_delays;
+    totals_.injected_forgeries += round.injected_forgeries;
+    totals_.injected_restarts += round.injected_restarts;
     // Max folds are idempotent with note_message_bits, so rounds built
     // either way (per-message notes or per-round maxima) agree.
     max_message_bits_ = std::max(max_message_bits_, round.max_message_bits);
@@ -83,6 +92,12 @@ class Metrics {
   }
   [[nodiscard]] std::size_t total_injected_delays() const noexcept {
     return totals_.injected_delays;
+  }
+  [[nodiscard]] std::size_t total_injected_forgeries() const noexcept {
+    return totals_.injected_forgeries;
+  }
+  [[nodiscard]] std::size_t total_injected_restarts() const noexcept {
+    return totals_.injected_restarts;
   }
 
   /// Largest single message (any sender).

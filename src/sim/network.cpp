@@ -37,6 +37,8 @@ Network::Network(std::vector<std::unique_ptr<ProcessBehavior>> behaviors,
   }
   inboxes_.resize(n);
   link_offsets_.resize(n + 1);
+  restarted_.assign(n, false);
+  round_offset_.assign(n, 0);
 }
 
 void Network::run_round(Round round) {
@@ -46,6 +48,44 @@ void Network::run_round(Round round) {
   // inbox (re)allocation at all.
   for (Inbox& inbox : inboxes_) inbox.clear();
   RoundMetrics round_metrics;
+
+  // Transient restarts (Lenzen–Rybicki): at the START of the event's
+  // round the process is handed a fresh behavior, forgets any decision,
+  // and loses every in-flight delayed delivery addressed to it. Its
+  // local round counter resets to 1 (kReset) or to a hash-derived wrong
+  // value in [1, round] (kScramble). Processed before the delayed flush
+  // so deliveries due this very round are lost too.
+  if (fault_injector_ != nullptr && behavior_factory_) {
+    const std::vector<RestartEvent>& restarts = fault_injector_->plan().restarts;
+    for (std::size_t e = 0; e < restarts.size(); ++e) {
+      const RestartEvent& event = restarts[e];
+      const auto pid = static_cast<std::size_t>(event.process);
+      if (event.round != round || pid >= n || byzantine_[pid]) continue;
+      behaviors_[pid] = behavior_factory_(event.process);
+      restarted_[pid] = true;
+      done_[pid] = false;
+      decided_round_[pid] = 0;
+      int skew = 0;
+      if (event.state == RestartState::kScramble) {
+        skew = fault_injector_->restart_skew(e, event);
+      }
+      round_offset_[pid] = 1 - static_cast<int>(round) + skew;
+      for (DelayedBatch& batch : delayed_) {
+        const std::size_t lost = std::erase_if(
+            batch.entries, [&](const auto& entry) { return entry.first == pid; });
+        round_metrics.injected_drops += lost;
+      }
+      round_metrics.injected_restarts += 1;
+      if (event_log_ != nullptr) {
+        std::string note = "restart: reset";
+        if (event.state == RestartState::kScramble) {
+          note = "restart: scramble +" + std::to_string(skew);
+        }
+        event_log_->record({round, trace::Event::Kind::kFault, event.process, std::nullopt,
+                            -1, false, std::move(note)});
+      }
+    }
+  }
 
   // Deliveries a delay rule postponed to this round. Their message/bit
   // cost was charged in the round they were sent; a receiver that has
@@ -83,7 +123,8 @@ void Network::run_round(Round round) {
       continue;
     }
     Outbox out(byzantine_[sender]);
-    behaviors_[sender]->on_send(round, out);
+    // A restarted process acts on its own (skewed) view of the round.
+    behaviors_[sender]->on_send(round + round_offset_[sender], out);
     for (const Outbox::Entry& entry : out.entries()) {
       if (event_log_ != nullptr) {
         event_log_->record({round, trace::Event::Kind::kSend,
@@ -170,6 +211,45 @@ void Network::run_round(Round round) {
       }
     }
   }
+
+  // Impersonation (Okun): the external adversary appends up to k forged
+  // deliveries per correct receiver, each arriving on the exact link the
+  // spoofed sender's real messages use. Forgeries are not charged to
+  // messages/bits — the impersonator is outside the system, and those
+  // counters feed the paper's complexity budgets.
+  if (fault_injector_ != nullptr && !fault_injector_->plan().forges.empty()) {
+    const std::vector<ForgeRule>& forges = fault_injector_->plan().forges;
+    for (std::size_t receiver = 0; receiver < n; ++receiver) {
+      if (byzantine_[receiver]) continue;
+      if (fault_injector_->crashed(static_cast<ProcessIndex>(receiver), round)) continue;
+      forged_scratch_.clear();
+      fault_injector_->forged(round, static_cast<ProcessIndex>(receiver),
+                              static_cast<int>(n), forged_scratch_);
+      for (const FaultInjector::ForgedMessage& forged : forged_scratch_) {
+        PayloadRef payload;
+        if (forgery_source_ != nullptr) {
+          payload = forgery_source_->forge(round, forged.spoofed_sender,
+                                           static_cast<ProcessIndex>(receiver),
+                                           forges[forged.rule].strategy, forged.entropy);
+        } else {
+          // Standalone-sim fallback: a phantom process announcing a
+          // hash-derived id far outside any real id range.
+          payload = IdMsg{static_cast<Id>(forged.entropy >> 32)};
+        }
+        if (!payload) continue;  // strategy declined the slot
+        const std::size_t spoofed = static_cast<std::size_t>(forged.spoofed_sender);
+        inboxes_[receiver].push_back({link_of_sender_[receiver][spoofed], payload});
+        round_metrics.injected_forgeries += 1;
+        if (event_log_ != nullptr) {
+          event_log_->record({round, trace::Event::Kind::kFault,
+                              static_cast<ProcessIndex>(receiver), std::nullopt,
+                              link_of_sender_[receiver][spoofed], byzantine_[receiver],
+                              "forge: as p" + std::to_string(forged.spoofed_sender) + " " +
+                                  describe(*payload)});
+        }
+      }
+    }
+  }
   metrics_.add_round(round_metrics);
 
   for (std::size_t receiver = 0; receiver < n; ++receiver) {
@@ -208,7 +288,7 @@ void Network::run_round(Round round) {
                             byzantine_[receiver], describe(*d.payload)});
       }
     }
-    behaviors_[receiver]->on_receive(round, inbox);
+    behaviors_[receiver]->on_receive(round + round_offset_[receiver], inbox);
   }
 
   // Decision transitions: always tracked (the checker's provenance needs

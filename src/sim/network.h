@@ -1,6 +1,7 @@
 #ifndef BYZRENAME_SIM_NETWORK_H
 #define BYZRENAME_SIM_NETWORK_H
 
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -17,6 +18,21 @@ class EventLog;
 }  // namespace byzrename::trace
 
 namespace byzrename::sim {
+
+/// Supplies payloads for the impersonation adversary's forged-sender
+/// messages (ForgeRule in sim/fault.h). Lives at the network layer so
+/// fault.h stays payload-free; the adversary registry implements it
+/// (adversary/strategies/forgery.h). Implementations must be pure in
+/// (round, spoofed_sender, receiver, strategy, entropy) — no internal
+/// state — to preserve the campaign engine's order-independence.
+class ForgerySource {
+ public:
+  virtual ~ForgerySource() = default;
+  /// Payload of one forged delivery, or an empty ref to decline the slot.
+  [[nodiscard]] virtual PayloadRef forge(Round round, ProcessIndex spoofed_sender,
+                                         ProcessIndex receiver, const std::string& strategy,
+                                         std::uint64_t entropy) = 0;
+};
 
 /// Fully connected synchronous network of N processes.
 ///
@@ -88,6 +104,25 @@ class Network {
     fault_injector_ = injector;
   }
 
+  /// Attaches the payload supplier for forge rules; pass nullptr to
+  /// detach. Non-owning. Without one, forged slots fall back to a phantom
+  /// IdMsg carrying the entropy hash as its id — enough for standalone
+  /// sim tests, while the harness always attaches the registry source.
+  void attach_forgery_source(ForgerySource* source) noexcept { forgery_source_ = source; }
+
+  /// Factory producing a fresh behavior for process @p i, used by restart
+  /// events to re-initialize a correct process mid-protocol. Restart
+  /// events targeting correct processes are ignored until one is attached
+  /// (the harness always attaches it when the plan has restarts).
+  using BehaviorFactory = std::function<std::unique_ptr<ProcessBehavior>(ProcessIndex)>;
+  void attach_behavior_factory(BehaviorFactory factory) { behavior_factory_ = std::move(factory); }
+
+  /// True if process @p i was re-initialized by a restart event at any
+  /// point in the run. Feeds the checker's recovered verdict.
+  [[nodiscard]] bool was_restarted(ProcessIndex i) const {
+    return restarted_.at(static_cast<std::size_t>(i));
+  }
+
  private:
   std::vector<std::unique_ptr<ProcessBehavior>> behaviors_;
   std::vector<bool> byzantine_;
@@ -115,6 +150,16 @@ class Network {
   Metrics metrics_;
   trace::EventLog* event_log_ = nullptr;
   const FaultInjector* fault_injector_ = nullptr;
+  ForgerySource* forgery_source_ = nullptr;
+  BehaviorFactory behavior_factory_;
+  /// Processes re-initialized by a restart event at some earlier round.
+  std::vector<bool> restarted_;
+  /// Per-process local-round skew: a restarted process believes the
+  /// current round is round + round_offset_[i] (<= the global round).
+  /// 0 for never-restarted processes, so their view is unchanged.
+  std::vector<int> round_offset_;
+  /// Scratch for FaultInjector::forged, pooled across rounds.
+  std::vector<FaultInjector::ForgedMessage> forged_scratch_;
 };
 
 }  // namespace byzrename::sim

@@ -156,12 +156,11 @@ void write_verdict_document(std::ostream& os, const exp::ReproScenario& scenario
   os << '\n';
 }
 
-void write_error(std::ostream& os, std::string_view message) {
+void write_error(std::ostream& os, std::string_view message, std::string_view code) {
   obs::JsonWriter json(os);
-  json.begin_object()
-      .field("schema", obs::kErrorSchema)
-      .field("error", message)
-      .end_object();
+  json.begin_object().field("schema", obs::kErrorSchema).field("error", message);
+  if (!code.empty()) json.field("code", code);
+  json.end_object();
   os << '\n';
 }
 

@@ -84,8 +84,11 @@ void write_poll_response(std::ostream& os, const std::string& session,
 void write_verdict_document(std::ostream& os, const exp::ReproScenario& scenario,
                             const exp::ReproVerdict& verdict);
 
-/// byzrename.error/1 body for a non-2xx response.
-void write_error(std::ostream& os, std::string_view message);
+/// byzrename.error/1 body for a non-2xx response. A non-empty @p code
+/// adds a machine-readable `code` field so clients can branch without
+/// parsing the message ("cursor-evicted" is the first such code; plain
+/// errors omit the field and keep their pre-code bytes).
+void write_error(std::ostream& os, std::string_view message, std::string_view code = {});
 
 }  // namespace byzrename::svc
 

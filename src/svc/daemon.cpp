@@ -18,9 +18,10 @@ obs::HttpResponse json_response(int status, std::string body) {
   return {status, "application/json", std::move(body), {}};
 }
 
-obs::HttpResponse error_response(int status, std::string_view message) {
+obs::HttpResponse error_response(int status, std::string_view message,
+                                 std::string_view code = {}) {
   std::ostringstream body;
-  write_error(body, message);
+  write_error(body, message, code);
   return json_response(status, body.str());
 }
 
@@ -118,6 +119,16 @@ void Daemon::start() {
     const Scheduler::PollResult poll = scheduler_.poll(session, cursor, max_items, wait_ms);
     if (poll.unknown_session) {
       return error_response(404, "unknown session '" + session + "'");
+    }
+    if (poll.evicted) {
+      // Distinct code: a plain 404 means "no such session"; this one
+      // means "the session is fine but that history is gone — resume
+      // from oldest_cursor".
+      return error_response(404,
+                            "cursor " + std::to_string(cursor) +
+                                " evicted by the retention window; oldest retained cursor is " +
+                                std::to_string(poll.oldest_cursor),
+                            "cursor-evicted");
     }
     std::ostringstream body;
     write_poll_response(body, session, poll.items, poll.cursor, poll.pending, poll.draining);

@@ -64,6 +64,9 @@ bool Scheduler::open_session(const std::string& session) {
                                                "Instances rejected by admission control, by "
                                                "session.",
                                                "session", session);
+  created.evicted_metric = registry_.labeled_counter(
+      "byzrenamed_results_evicted_total",
+      "Completed results dropped by the retention window, by session.", "session", session);
   update_gauges_locked();
   return true;
 }
@@ -84,7 +87,7 @@ Scheduler::SubmitOutcome Scheduler::submit(const std::string& session,
     return outcome;
   }
   Session& state = it->second;
-  const std::size_t inflight = state.submitted_total - state.done.size();
+  const std::size_t inflight = state.submitted_total - state.completed_total();
   const AdmissionDecision decision =
       admission_.decide(instances.size(), total_queued_, inflight, drain_rate_locked());
   if (!decision.admitted) {
@@ -118,21 +121,43 @@ Scheduler::PollResult Scheduler::poll(const std::string& session, std::uint64_t 
     return result;
   }
   Session& state = it->second;
-  if (wait_ms > 0 && state.done.size() <= cursor) {
+  // A cursor below the retention window names results that no longer
+  // exist; replaying from oldest_cursor is the only honest continuation,
+  // and silently skipping would hide the gap from the client.
+  if (cursor < state.evicted) {
+    result.evicted = true;
+    result.cursor = cursor;
+    result.oldest_cursor = state.evicted;
+    result.pending = state.submitted_total - state.completed_total();
+    result.draining = stopping_;
+    return result;
+  }
+  if (wait_ms > 0 && state.completed_total() <= cursor) {
     // Long-poll: woken by each completion; gives up at the deadline or
     // as soon as nothing further can arrive.
     results_cv_.wait_for(lock, std::chrono::milliseconds(wait_ms), [&] {
-      return state.done.size() > cursor ||
+      return state.completed_total() > cursor ||
              (stopping_ && total_queued_ == 0 && total_running_ == 0);
     });
   }
-  const std::uint64_t begin = std::min<std::uint64_t>(cursor, state.done.size());
-  const std::size_t available = state.done.size() - static_cast<std::size_t>(begin);
+  // Eviction may have overtaken the cursor while the long-poll slept.
+  if (cursor < state.evicted) {
+    result.evicted = true;
+    result.cursor = cursor;
+    result.oldest_cursor = state.evicted;
+    result.pending = state.submitted_total - state.completed_total();
+    result.draining = stopping_;
+    return result;
+  }
+  const std::uint64_t begin = std::min<std::uint64_t>(cursor, state.completed_total());
+  const auto local = static_cast<std::size_t>(begin - state.evicted);
+  const std::size_t available = state.done.size() - local;
   const std::size_t take = max_items == 0 ? available : std::min(available, max_items);
-  result.items.assign(state.done.begin() + static_cast<std::ptrdiff_t>(begin),
-                      state.done.begin() + static_cast<std::ptrdiff_t>(begin + take));
+  result.items.assign(state.done.begin() + static_cast<std::ptrdiff_t>(local),
+                      state.done.begin() + static_cast<std::ptrdiff_t>(local + take));
   result.cursor = begin + take;
-  result.pending = state.submitted_total - state.done.size();
+  result.oldest_cursor = state.evicted;
+  result.pending = state.submitted_total - state.completed_total();
   result.draining = stopping_;
   return result;
 }
@@ -272,6 +297,16 @@ void Scheduler::record_result_locked(Session& session, InstanceResult result,
   }
   if (options_.on_complete) options_.on_complete(result, latency_seconds);
   session.done.push_back(std::move(result));
+  // Retention window: the store stays bounded no matter how long the
+  // daemon lives; clients that fall more than the cap behind get a
+  // cursor-evicted poll instead of unbounded memory here.
+  if (options_.retention_cap > 0) {
+    while (session.done.size() > options_.retention_cap) {
+      session.done.pop_front();
+      session.evicted += 1;
+      registry_.add(session.evicted_metric, 1);
+    }
+  }
   update_gauges_locked();
   results_cv_.notify_all();
 }

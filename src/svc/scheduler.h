@@ -34,6 +34,13 @@ struct SchedulerOptions {
   /// Must not call back into the scheduler. Benchmark instrumentation;
   /// leave empty in production.
   std::function<void(const InstanceResult&, double)> on_complete;
+  /// Per-session verdict retention window: once a session holds more
+  /// than this many completed results, the oldest are evicted (ROADMAP
+  /// item 3 — the last unbounded store). A poll whose cursor points
+  /// below the window reports PollResult::evicted; the daemon maps that
+  /// to 404 `cursor-evicted`. 0 disables eviction (pre-retention
+  /// behavior, for tests that replay full histories).
+  std::size_t retention_cap = 65536;
 };
 
 /// Multiplexes many sessions' renaming instances over one work-stealing
@@ -81,8 +88,13 @@ class Scheduler {
 
   struct PollResult {
     bool unknown_session = false;
+    /// The requested cursor points below the retention window: the
+    /// results there have been evicted and cannot be replayed. items is
+    /// empty; oldest_cursor is where retained history begins.
+    bool evicted = false;
     std::vector<InstanceResult> items;  ///< completion order
     std::uint64_t cursor = 0;           ///< pass back to continue
+    std::uint64_t oldest_cursor = 0;    ///< first still-retained cursor
     std::size_t pending = 0;            ///< submitted, not yet pollable
     bool draining = false;
   };
@@ -128,8 +140,17 @@ class Scheduler {
 
   struct Session {
     std::deque<Queued> queue;
-    std::vector<InstanceResult> done;     ///< completion order, append-only
+    /// Completed results still retained, in completion order. Cursor c
+    /// addresses done[c - evicted]; the front is dropped once the
+    /// retention cap is exceeded.
+    std::deque<InstanceResult> done;
+    /// Results evicted off the front of done; done's base cursor.
+    std::uint64_t evicted = 0;
     std::uint64_t submitted_total = 0;
+    /// Results ever completed (retained + evicted).
+    [[nodiscard]] std::uint64_t completed_total() const noexcept {
+      return evicted + done.size();
+    }
     /// Per-tenant counter handles in the shared registry.
     obs::MetricsRegistry::Handle submitted = 0;
     obs::MetricsRegistry::Handle completed = 0;
@@ -137,6 +158,7 @@ class Scheduler {
     obs::MetricsRegistry::Handle violations = 0;
     obs::MetricsRegistry::Handle cancelled = 0;
     obs::MetricsRegistry::Handle rejected = 0;
+    obs::MetricsRegistry::Handle evicted_metric = 0;
   };
 
   void dispatch_loop();

@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -264,6 +265,265 @@ TEST(FaultHarness, OvershootLeavingNoCorrectProcessThrows) {
   config.params = {.n = 4, .t = 1};
   config.fault_plan = sim::parse_fault_plan("overshoot:3");
   EXPECT_THROW((void)core::run_scenario(config), std::invalid_argument);
+}
+
+TEST(FaultPlan, ParsesForgeAndRestartEvents) {
+  const sim::FaultPlan plan = sim::parse_fault_plan(
+      "forge:3x0.5=replay@2..6+forge:0+restart:4@5,scramble+restart:0@1");
+  ASSERT_EQ(plan.forges.size(), 2u);
+  EXPECT_EQ(plan.forges[0].count, 3);
+  EXPECT_DOUBLE_EQ(plan.forges[0].probability, 0.5);
+  EXPECT_EQ(plan.forges[0].strategy, "replay");
+  EXPECT_EQ(plan.forges[0].from_round, 2);
+  EXPECT_EQ(plan.forges[0].to_round, 6);
+  EXPECT_EQ(plan.forges[1].count, 0);  // k = 0 is a valid no-op rule
+  EXPECT_DOUBLE_EQ(plan.forges[1].probability, 1.0);
+  EXPECT_EQ(plan.forges[1].strategy, "ghost");
+  ASSERT_EQ(plan.restarts.size(), 2u);
+  EXPECT_EQ(plan.restarts[0].process, 4);
+  EXPECT_EQ(plan.restarts[0].round, 5);
+  EXPECT_EQ(plan.restarts[0].state, sim::RestartState::kScramble);
+  EXPECT_EQ(plan.restarts[1].process, 0);
+  EXPECT_EQ(plan.restarts[1].round, 1);
+  EXPECT_EQ(plan.restarts[1].state, sim::RestartState::kReset);
+  EXPECT_EQ(plan.event_count(), 4u);
+  // The ISSUE's `state=` spelling is accepted too.
+  EXPECT_EQ(sim::parse_fault_plan("restart:4@5,state=scramble"),
+            sim::parse_fault_plan("restart:4@5,scramble"));
+}
+
+TEST(FaultPlan, ForgeAndRestartRoundTripThroughToSpec) {
+  const char* specs[] = {
+      "forge:1",
+      "forge:0",
+      "forge:2x0.5",
+      "forge:1=replay",
+      "forge:3x0.25=ranklie@2..6",
+      "restart:3@5",
+      "restart:0@2,scramble",
+      "restart:1@1",
+      "restart:1@4,reset",
+      "drop:0.1+forge:2+restart:3@4,scramble+overshoot:1",
+  };
+  for (const char* spec : specs) {
+    const sim::FaultPlan plan = sim::parse_fault_plan(spec);
+    EXPECT_EQ(sim::parse_fault_plan(sim::to_spec(plan)), plan) << spec;
+  }
+}
+
+TEST(FaultPlan, RejectsMalformedForgeAndRestartSpecs) {
+  const char* bad[] = {
+      "forge:-1",          // negative K
+      "forge:1x1.5",       // probability out of [0, 1]
+      "forge:1=",          // empty strategy name
+      "forge:1@3",         // link-rule windows need the full r1..r2 form
+      "restart:3",         // restart needs @R
+      "restart:3@0",       // rounds start at 1
+      "restart:3@2,bogus", // state must be scramble or reset
+      "restart:x@2",       // non-numeric PID
+  };
+  for (const char* spec : bad) {
+    EXPECT_THROW((void)sim::parse_fault_plan(spec), std::invalid_argument) << spec;
+  }
+}
+
+TEST(FaultInjector, ForgedSlotsAreDeterministicBoundedAndSeedSensitive) {
+  const sim::FaultPlan plan = sim::parse_fault_plan("forge:3x0.5@2..4");
+  const sim::FaultInjector a(plan, 42);
+  const sim::FaultInjector b(plan, 42);
+  const sim::FaultInjector other(plan, 43);
+  int fired = 0;
+  int differs = 0;
+  std::vector<sim::FaultInjector::ForgedMessage> out_a, out_b, out_other;
+  for (sim::Round round = 1; round <= 6; ++round) {
+    for (sim::ProcessIndex receiver = 0; receiver < 8; ++receiver) {
+      out_a.clear();
+      out_b.clear();
+      out_other.clear();
+      a.forged(round, receiver, /*n=*/8, out_a);
+      b.forged(round, receiver, /*n=*/8, out_b);
+      other.forged(round, receiver, /*n=*/8, out_other);
+      // Same seed: identical decisions, identities, and entropy.
+      ASSERT_EQ(out_a.size(), out_b.size());
+      for (std::size_t i = 0; i < out_a.size(); ++i) {
+        EXPECT_EQ(out_a[i].spoofed_sender, out_b[i].spoofed_sender);
+        EXPECT_EQ(out_a[i].entropy, out_b[i].entropy);
+        EXPECT_GE(out_a[i].spoofed_sender, 0);
+        EXPECT_LT(out_a[i].spoofed_sender, 8);
+      }
+      EXPECT_LE(out_a.size(), 3u);  // at most K per receiver per round
+      if (round < 2 || round > 4) {
+        EXPECT_TRUE(out_a.empty());  // window closed
+      }
+      fired += static_cast<int>(out_a.size());
+      if (out_a.size() != out_other.size()) differs += 1;
+    }
+  }
+  EXPECT_GT(fired, 0);
+  EXPECT_GT(differs, 0);
+
+  // Degenerate rules inject nothing.
+  std::vector<sim::FaultInjector::ForgedMessage> out;
+  sim::FaultInjector(sim::parse_fault_plan("forge:0"), 1).forged(1, 0, 8, out);
+  EXPECT_TRUE(out.empty());
+  sim::FaultInjector(sim::parse_fault_plan("forge:3x0"), 1).forged(1, 0, 8, out);
+  EXPECT_TRUE(out.empty());
+  // Probability 1 fires every slot.
+  sim::FaultInjector(sim::parse_fault_plan("forge:3"), 1).forged(1, 0, 8, out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(FaultInjector, RestartSkewIsDeterministicAndBounded) {
+  const sim::FaultPlan plan = sim::parse_fault_plan("restart:2@7,scramble+restart:3@1,scramble");
+  const sim::FaultInjector a(plan, 5);
+  const sim::FaultInjector b(plan, 5);
+  const int skew = a.restart_skew(0, plan.restarts[0]);
+  EXPECT_EQ(skew, b.restart_skew(0, plan.restarts[0]));
+  EXPECT_GE(skew, 0);
+  EXPECT_LT(skew, 7);
+  // A round-1 restart has no past to scramble into.
+  EXPECT_EQ(a.restart_skew(1, plan.restarts[1]), 0);
+}
+
+TEST(FaultHarness, ForgeCountZeroMatchesTheUnfaultedRun) {
+  core::ScenarioConfig config;
+  config.params = {.n = 10, .t = 3};
+  config.seed = 5;
+  const core::ScenarioResult plain = core::run_scenario(config);
+  config.fault_plan = sim::parse_fault_plan("forge:0");
+  const core::ScenarioResult noop = core::run_scenario(config);
+  EXPECT_TRUE(noop.report.all_ok());
+  EXPECT_EQ(noop.run.rounds, plain.run.rounds);
+  EXPECT_EQ(noop.run.decisions, plain.run.decisions);
+  EXPECT_EQ(noop.run.metrics.total_messages(), plain.run.metrics.total_messages());
+  EXPECT_EQ(noop.run.metrics.total_injected_forgeries(), 0u);
+}
+
+TEST(FaultHarness, ImpersonationPreservesSafetyWithSmallerMarginThanByzantine) {
+  // The tentpole claim, measured: k-impersonation (Okun) is strictly
+  // weaker than full Byzantine. The ghost strategy's single phantom
+  // identity costs at most one extra name, while the Byzantine idflood
+  // adversary drives the namespace to the tight N+t-1 bound.
+  core::ScenarioConfig forged;
+  forged.params = {.n = 13, .t = 4};
+  forged.seed = 7;
+  forged.fault_plan = sim::parse_fault_plan("forge:8");
+  const core::ScenarioResult under_forge = core::run_scenario(forged);
+  EXPECT_TRUE(under_forge.report.all_ok()) << under_forge.report.detail;
+  EXPECT_GT(under_forge.run.metrics.total_injected_forgeries(), 0u);
+
+  core::ScenarioConfig byzantine;
+  byzantine.params = {.n = 13, .t = 4};
+  byzantine.seed = 7;
+  byzantine.adversary = "idflood";
+  const core::ScenarioResult under_byzantine = core::run_scenario(byzantine);
+  const auto max_name = [](const core::ScenarioResult& result) {
+    sim::Name max = 0;
+    for (const core::NamedProcess& p : result.named) {
+      if (p.new_name.has_value()) max = std::max(max, *p.new_name);
+    }
+    return max;
+  };
+  // idflood saturates the namespace bound exactly (EXPERIMENTS T2);
+  // impersonation stays strictly below it.
+  EXPECT_EQ(max_name(under_byzantine), 16);  // N + t - 1
+  EXPECT_LT(max_name(under_forge), max_name(under_byzantine));
+}
+
+TEST(FaultHarness, GhostAdmissionNeedsTheWeakQuorum) {
+  // The ghost id is accepted only once the forged Ready links reach the
+  // N-2t amplification quorum accumulated over selection steps 3..4 —
+  // k=2 stays below it at n=13, t=4 (4 links < 5), k=4 crosses it.
+  const auto accepted_at = [](int k) {
+    core::ScenarioConfig config;
+    config.params = {.n = 13, .t = 4};
+    config.seed = 7;
+    config.fault_plan = sim::parse_fault_plan("forge:" + std::to_string(k));
+    return core::run_scenario(config).max_accepted;
+  };
+  EXPECT_EQ(accepted_at(2), 9u);   // the 9 correct ids only
+  EXPECT_EQ(accepted_at(4), 10u);  // + the ghost
+}
+
+TEST(FaultHarness, UnknownForgeryStrategyThrows) {
+  core::ScenarioConfig config;
+  config.params = {.n = 7, .t = 2};
+  config.fault_plan = sim::parse_fault_plan("forge:1=no-such-strategy");
+  EXPECT_THROW((void)core::run_scenario(config), std::invalid_argument);
+}
+
+TEST(FaultHarness, RestartAtRoundOneRecovers) {
+  // Restarting before anything was sent loses nothing: the process
+  // re-runs the protocol from scratch, in lockstep with everyone else.
+  core::ScenarioConfig config;
+  config.params = {.n = 13, .t = 2};
+  config.seed = 7;
+  config.extra_rounds = 8;
+  config.fault_plan = sim::parse_fault_plan("restart:3@1");
+  const core::ScenarioResult result = core::run_scenario(config);
+  EXPECT_TRUE(result.report.all_ok()) << result.report.detail;
+  EXPECT_EQ(result.report.restarted, 1);
+  EXPECT_EQ(result.report.recovered, 1);
+  int restarted_named = 0;
+  for (const core::NamedProcess& p : result.named) restarted_named += p.restarted ? 1 : 0;
+  EXPECT_EQ(restarted_named, 1);
+  EXPECT_EQ(result.run.metrics.total_injected_restarts(), 1u);
+}
+
+TEST(FaultHarness, MidProtocolRestartStarvesButStaysSafe) {
+  // A restart after the one-shot id-announcement round has no rejoin
+  // path in Alg. 1: the restarted process starves (termination loss for
+  // it alone) while every safety class survives — the same fail-safe
+  // shape the drop sweeps show (EXPERIMENTS.md).
+  core::ScenarioConfig config;
+  config.params = {.n = 13, .t = 2};
+  config.seed = 7;
+  config.extra_rounds = 8;
+  config.fault_plan = sim::parse_fault_plan("restart:3@2");
+  const core::ScenarioResult result = core::run_scenario(config);
+  EXPECT_TRUE(result.report.has(core::ViolationClass::kTermination));
+  EXPECT_FALSE(result.report.has(core::ViolationClass::kUniqueness));
+  EXPECT_FALSE(result.report.has(core::ViolationClass::kOrder));
+  EXPECT_FALSE(result.report.has(core::ViolationClass::kRange));
+  EXPECT_EQ(result.report.restarted, 1);
+  EXPECT_EQ(result.report.recovered, 0);
+}
+
+TEST(FaultHarness, RestartAfterTerminationIsANoOp) {
+  // fast renaming finishes in 2 rounds; a restart scheduled for round 3
+  // never fires because the run is already over.
+  core::ScenarioConfig config;
+  config.algorithm = core::Algorithm::kFastRenaming;
+  config.params = {.n = 13, .t = 2};
+  config.seed = 7;
+  config.fault_plan = sim::parse_fault_plan("restart:3@3");
+  const core::ScenarioResult result = core::run_scenario(config);
+  EXPECT_TRUE(result.report.all_ok()) << result.report.detail;
+  EXPECT_EQ(result.report.restarted, 0);
+  EXPECT_EQ(result.run.metrics.total_injected_restarts(), 0u);
+}
+
+TEST(FaultHarness, ForgeDropDelayCompositionIsBitReproducible) {
+  core::ScenarioConfig config;
+  config.params = {.n = 13, .t = 4};
+  config.adversary = "idflood";
+  config.seed = 77;
+  config.fault_plan =
+      sim::parse_fault_plan("forge:2x0.5+drop:0.1+delay:0.5x2+restart:1@3,scramble");
+  config.extra_rounds = 4;
+  const core::ScenarioResult first = core::run_scenario(config);
+  const core::ScenarioResult second = core::run_scenario(config);
+  EXPECT_EQ(first.report.all_ok(), second.report.all_ok());
+  EXPECT_EQ(first.report.classes(), second.report.classes());
+  EXPECT_EQ(first.report.restarted, second.report.restarted);
+  EXPECT_EQ(first.report.recovered, second.report.recovered);
+  EXPECT_EQ(first.run.rounds, second.run.rounds);
+  EXPECT_EQ(first.run.decisions, second.run.decisions);
+  EXPECT_EQ(first.run.metrics.total_messages(), second.run.metrics.total_messages());
+  EXPECT_EQ(first.run.metrics.total_injected_forgeries(),
+            second.run.metrics.total_injected_forgeries());
+  EXPECT_EQ(first.run.metrics.total_injected_restarts(),
+            second.run.metrics.total_injected_restarts());
 }
 
 TEST(AdversaryRegistry, EveryListedNameResolvesAndUnknownThrows) {

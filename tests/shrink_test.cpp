@@ -110,6 +110,47 @@ TEST(Shrinker, MinimizesSeededFailureToSameClassStrictlySmaller) {
   EXPECT_EQ(again.scenario, result.scenario);
 }
 
+TEST(Shrinker, RestartFailureShedsTheIrrelevantForgeRule) {
+  // A mid-protocol restart starves the restarted process (termination
+  // violation); the forge rule riding along contributes nothing to that
+  // failure, so the shrinker must delete it and keep the restart.
+  exp::ReproScenario scenario;
+  scenario.params = {.n = 13, .t = 2};
+  scenario.seed = 7;
+  scenario.extra_rounds = 8;
+  scenario.fault_plan = sim::parse_fault_plan("restart:3@2+forge:1");
+  const exp::ReproVerdict original = exp::evaluate_scenario(scenario);
+  ASSERT_EQ(original.kind, exp::FailureKind::kViolation);
+  ASSERT_NE(original.classes.find("termination"), std::string::npos);
+
+  const exp::ShrinkResult result = exp::shrink_scenario(scenario);
+  EXPECT_TRUE(result.shrank());
+  EXPECT_LT(result.final_size, result.original_size);
+  EXPECT_EQ(result.verdict.classes, original.classes);
+  EXPECT_TRUE(result.scenario.fault_plan.forges.empty());
+  ASSERT_EQ(result.scenario.fault_plan.restarts.size(), 1u);
+}
+
+TEST(Shrinker, ForgeHeavyFailureMinimizesStrictlySmaller) {
+  // The failure is carried by the total drop; the forge rule (and its
+  // count, which the shrinker halves before erasing) must disappear from
+  // the minimized scenario while the failure class is preserved.
+  exp::ReproScenario scenario;
+  scenario.params = {.n = 10, .t = 3};
+  scenario.seed = 7;
+  scenario.fault_plan = sim::parse_fault_plan("drop:1.0+forge:8x0.5");
+  const exp::ReproVerdict original = exp::evaluate_scenario(scenario);
+  ASSERT_EQ(original.kind, exp::FailureKind::kViolation);
+
+  const exp::ShrinkResult result = exp::shrink_scenario(scenario);
+  EXPECT_TRUE(result.shrank());
+  EXPECT_LT(result.final_size, result.original_size);
+  EXPECT_EQ(result.verdict.classes, original.classes);
+  EXPECT_TRUE(result.scenario.fault_plan.forges.empty());
+  // Deterministic: the same input shrinks to the same minimum.
+  EXPECT_EQ(exp::shrink_scenario(scenario).scenario, result.scenario);
+}
+
 TEST(ReproBundle, WriteParseRoundTripsIncludingUint64Seed) {
   exp::ReproBundle bundle;
   bundle.campaign = "unit";

@@ -523,6 +523,86 @@ TEST(SvcScheduler, LongPollReturnsEarlyWhenResultsArrive) {
   EXPECT_LT(waited, 25.0) << "long-poll did not return on completion";
 }
 
+TEST(SvcScheduler, RetentionEvictsOldResultsAndFlagsStaleCursors) {
+  SchedulerOptions options;
+  options.threads = 2;
+  options.retention_cap = 4;
+  Scheduler scheduler(options);
+  scheduler.open_session("s");
+  scheduler.submit("s", mixed_scenarios(10, 900));
+  scheduler.wait_idle();
+
+  // The oldest 6 results were evicted; cursor 0 addresses lost history.
+  const Scheduler::PollResult stale = scheduler.poll("s", 0, 0);
+  EXPECT_FALSE(stale.unknown_session);
+  EXPECT_TRUE(stale.evicted);
+  EXPECT_TRUE(stale.items.empty());
+  EXPECT_EQ(stale.oldest_cursor, 6u);
+
+  // Resuming from the reported cursor replays exactly the retained tail.
+  const Scheduler::PollResult tail = scheduler.poll("s", stale.oldest_cursor, 0);
+  EXPECT_FALSE(tail.evicted);
+  ASSERT_EQ(tail.items.size(), 4u);
+  EXPECT_EQ(tail.cursor, 10u);
+  // The live end of the window is not "evicted" — just empty.
+  const Scheduler::PollResult live = scheduler.poll("s", tail.cursor, 0);
+  EXPECT_FALSE(live.evicted);
+  EXPECT_TRUE(live.items.empty());
+
+  // Eviction is visible on /metrics.
+  std::ostringstream os;
+  scheduler.write_metrics(os);
+  EXPECT_NE(os.str().find("byzrenamed_results_evicted_total{session=\"s\"} 6"),
+            std::string::npos)
+      << os.str();
+}
+
+TEST(SvcScheduler, RetentionZeroDisablesEviction) {
+  SchedulerOptions options;
+  options.threads = 2;
+  options.retention_cap = 0;
+  Scheduler scheduler(options);
+  scheduler.open_session("s");
+  scheduler.submit("s", mixed_scenarios(10, 901));
+  scheduler.wait_idle();
+  const Scheduler::PollResult poll = scheduler.poll("s", 0, 0);
+  EXPECT_FALSE(poll.evicted);
+  EXPECT_EQ(poll.items.size(), 10u);
+}
+
+TEST(SvcDaemon, EvictedCursorPolls404WithDistinctErrorCode) {
+  svc::DaemonOptions options;
+  options.scheduler.threads = 2;
+  options.scheduler.retention_cap = 2;
+  svc::Daemon daemon(options);
+  daemon.start();
+  const std::uint16_t port = daemon.port();
+
+  http_post(port, "/v1/session", "{\"schema\":\"byzrename.session/1\",\"tenant\":\"s\"}");
+  http_post(port, "/v1/submit", submit_body("s", mixed_scenarios(6, 902)));
+  daemon.scheduler().wait_idle();
+
+  const std::string stale = http_get(port, "/v1/poll?session=s&cursor=0");
+  EXPECT_NE(stale.find("HTTP/1.1 404"), std::string::npos) << stale;
+  const obs::JsonValue error = obs::parse_json(body_of(stale));
+  EXPECT_EQ(error.at("schema").as_string(), obs::kErrorSchema);
+  EXPECT_EQ(error.at("code").as_string(), "cursor-evicted");
+  // The message names the oldest retained cursor so clients can resume.
+  EXPECT_NE(error.at("error").as_string().find("oldest retained cursor is 4"),
+            std::string::npos)
+      << error.at("error").as_string();
+
+  const std::string tail = http_get(port, "/v1/poll?session=s&cursor=4");
+  EXPECT_NE(tail.find("HTTP/1.1 200"), std::string::npos) << tail;
+  EXPECT_EQ(obs::parse_json(body_of(tail)).at("items").as_array().size(), 2u);
+  // A plain unknown-session 404 carries no code field.
+  const std::string unknown = http_get(port, "/v1/poll?session=ghost");
+  EXPECT_NE(unknown.find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_EQ(body_of(unknown).find("\"code\""), std::string::npos) << unknown;
+
+  daemon.stop(Scheduler::DrainMode::kCancelQueued);
+}
+
 // ---------------------------------------------------------------------------
 // Daemon over HTTP
 

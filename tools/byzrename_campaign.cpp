@@ -59,9 +59,12 @@ void print_usage() {
       "  --grid <spec>         sweep spec, e.g. \"algo=op;n=10,13;t=3,4;adversary=split;reps=5\"\n"
       "                        (clauses: algo,n,t,nt,adversary,reps,seed,faults,iterations,\n"
       "                        extra,fault,keep-invalid,no-validation,name; ranges like\n"
-      "                        n=4..16/3; fault=drop:0.2+crash:1@2 injects link/crash faults)\n"
+      "                        n=4..16/3; fault=drop:0.2+forge:2+restart:3@5 injects\n"
+      "                        link/crash/impersonation/restart faults)\n"
       "  --preset <name>       built-in grid: table4 (T4 complexity diagonal),\n"
-      "                        smoke (tiny 2x2 sanity grid)\n"
+      "                        smoke (tiny 2x2 sanity grid), forgeboundary /\n"
+      "                        restartboundary (EXPERIMENTS.md degradation frontiers;\n"
+      "                        rerun with fault=... per table row)\n"
       "  --threads <int>       worker threads, >= 1 (default: hardware concurrency)\n"
       "  --out <path>          deterministic byzrename.campaign/1 cell lines\n"
       "  --runs-out <path>     one byzrename.run/1 line per run (parallel writers,\n"
@@ -114,6 +117,24 @@ exp::CampaignSpec preset_spec(std::string_view name) {
   if (name == "smoke") {
     return exp::parse_campaign_spec(
         "name=smoke;algo=op;n=7,10;t=2,3;adversary=silent,idflood;reps=2;seed=7");
+  }
+  if (name == "forgeboundary") {
+    // Impersonation degradation frontier (EXPERIMENTS.md): one forged
+    // sender per correct receiver per round against all three regimes at
+    // a shared valid (n, t). Rows of the boundary table vary the rule —
+    // rerun with fault=forge:K[xP] per row; the grid and seed stay fixed.
+    return exp::parse_campaign_spec(
+        "name=forgeboundary;algo=op,const,fast;n=13;t=2;adversary=silent;"
+        "reps=50;seed=7;fault=forge:1");
+  }
+  if (name == "restartboundary") {
+    // Transient-restart frontier (EXPERIMENTS.md): one correct process
+    // loses its state mid-protocol. extra=12 gives the restarted process
+    // headroom to re-finish so the table measures recovery, not just the
+    // missed deadline. Rows vary fault=restart:PID@R[,scramble].
+    return exp::parse_campaign_spec(
+        "name=restartboundary;algo=op,const,fast;n=13;t=2;adversary=silent;"
+        "reps=50;seed=7;extra=12;fault=restart:3@2");
   }
   throw CliError{"unknown preset: " + std::string(name)};
 }

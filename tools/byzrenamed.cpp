@@ -55,6 +55,9 @@ void print_usage() {
       "  --max-batch <n>         instances per submit request (default 512)\n"
       "  --quantum <n>           fair-queueing quantum: instances taken per session\n"
       "                          per dispatch batch (default 16)\n"
+      "  --retention <n>         completed verdicts retained per session; older ones\n"
+      "                          are evicted and their cursors poll 404 cursor-evicted\n"
+      "                          (default 65536, 0 = unbounded)\n"
       "  --drain-grace <secs>    after the drain completes, keep serving polls this\n"
       "                          long so clients can collect results (default 2)\n"
       "  --quiet                 suppress status lines (the serving-on line still\n"
@@ -131,6 +134,9 @@ Options parse(int argc, char** argv) {
       if (options.daemon.scheduler.fair_quantum == 0) {
         throw CliError{"--quantum must be >= 1"};
       }
+    } else if (arg == "--retention") {
+      options.daemon.scheduler.retention_cap =
+          parse_number<std::size_t>("--retention", next_value(i));
     } else if (arg == "--drain-grace") {
       options.drain_grace_seconds = parse_number<double>("--drain-grace", next_value(i));
       if (options.drain_grace_seconds < 0.0) throw CliError{"--drain-grace must be >= 0"};
