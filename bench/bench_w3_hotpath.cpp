@@ -26,6 +26,7 @@
 
 #include "core/harness.h"
 #include "core/rank_approx.h"
+#include "core/voting_kernel.h"
 #include "exp/progress.h"
 #include "numeric/rational.h"
 #include "obs/bench_report.h"
@@ -179,6 +180,51 @@ Measurement bench_macro_op(int n, int reps) {
   return {best, static_cast<double>(allocs)};
 }
 
+/// One warmed fixed-kernel voting step over N full rank votes, driven
+/// directly against FixedVotingEngine — and the PR's zero-allocation
+/// guarantee, enforced: any heap allocation in the scored steps aborts
+/// the bench (and with it the CI perf gate).
+Measurement bench_voting_round(int n, int steps) {
+  const int t = (n - 1) / 3;
+  const sim::SystemParams params{.n = n, .t = t};
+  core::RenamingOptions options;
+  core::FixedVotingEngine engine(params, options,
+                                 core::default_approximation_iterations(t));
+  if (!engine.enabled()) std::abort();
+
+  std::set<sim::Id> accepted;
+  for (int i = 0; i < n; ++i) accepted.insert(i + 1);
+  engine.assign_initial_ranks(accepted);
+  const std::set<sim::Id> timely = accepted;
+
+  // N identical honest votes, one per link, sharing a single payload —
+  // the inbox shape of a fault-free voting round.
+  const sim::PayloadRef vote = engine.encode_ranks();
+  sim::Inbox inbox;
+  for (int link = 0; link < n; ++link) inbox.push_back({link, vote});
+
+  int rejected = 0;
+  // Two warm-up steps bring every pooled buffer (including the swapped
+  // next-generation rank arrays) to steady-state capacity.
+  engine.step(inbox, timely, accepted, rejected);
+  engine.step(inbox, timely, accepted, rejected);
+
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  for (int s = 0; s < steps; ++s) engine.step(inbox, timely, accepted, rejected);
+  const double elapsed = seconds_since(start);
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  if (allocs != 0) {
+    std::fprintf(stderr,
+                 "voting_round_n%d: %llu heap allocations in %d steady-state "
+                 "voting steps (expected 0)\n",
+                 n, static_cast<unsigned long long>(allocs), steps);
+    std::abort();
+  }
+  if (accepted.size() != static_cast<std::size_t>(n)) std::abort();
+  return {elapsed / steps, static_cast<double>(allocs) / steps};
+}
+
 }  // namespace
 
 int main() {
@@ -202,8 +248,19 @@ int main() {
     emit("trimmed_mean_n" + std::to_string(n), bench_trimmed_mean(n, n >= 64 ? 10 : 40),
          "ms/step", 1e3);
   }
-  for (const int n : {16, 64, 128}) {
+  for (const int n : {16, 64, 128, 256}) {
     emit("macro_op_n" + std::to_string(n), bench_macro_op(n, n >= 128 ? 1 : 3), "s/run ", 1.0);
+  }
+  for (const int n : {128, 1024}) {
+    emit("voting_round_n" + std::to_string(n), bench_voting_round(n, n >= 1024 ? 5 : 20),
+         "ms/step", 1e3);
+  }
+  if (const char* full = std::getenv("BYZRENAME_BENCH_N1024");
+      full != nullptr && full[0] == '1') {
+    // The full N=1024 Alg. 1 instance (split adversary): minutes of
+    // wall clock on one core, so opt-in rather than part of the tracked
+    // baseline. docs/PERFORMANCE.md records a measured reference run.
+    emit("macro_op_n1024", bench_macro_op(1024, 1), "s/run ", 1.0);
   }
 
   {

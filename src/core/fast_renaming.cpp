@@ -15,8 +15,14 @@ using sim::Name;
 using sim::Outbox;
 using sim::Round;
 
-FastRenamingProcess::FastRenamingProcess(sim::SystemParams params, Id my_id)
-    : params_(params), my_id_(my_id) {
+FastRenamingProcess::FastRenamingProcess(sim::SystemParams params, Id my_id,
+                                         RenamingOptions options)
+    : params_(params),
+      options_(options),
+      my_id_(my_id),
+      link_id_(static_cast<std::size_t>(params.n), 0),
+      link_seen_(static_cast<std::size_t>(params.n), 0),
+      echoed_(static_cast<std::size_t>(params.n), 0) {
   if (!valid_for_fast_renaming(params)) {
     throw std::invalid_argument("FastRenamingProcess: requires N > 2t^2 + t");
   }
@@ -34,7 +40,9 @@ void FastRenamingProcess::on_send(Round round, Outbox& out) {
 }
 
 bool FastRenamingProcess::is_valid_echo(LinkIndex link, const std::vector<Id>& ids) const {
-  if (!link_id_.contains(link)) return false;  // sender never announced an id in step 1
+  if (link_seen_[static_cast<std::size_t>(link)] == 0) {
+    return false;  // sender never announced an id in step 1
+  }
   if (static_cast<int>(ids.size()) > params_.n) return false;
   int common = 0;
   for (const Id id : ids) {
@@ -49,28 +57,32 @@ void FastRenamingProcess::on_receive(Round round, const Inbox& inbox) {
     for (const Delivery& d : inbox) {
       const auto* msg = std::get_if<IdMsg>(&*d.payload);
       if (msg == nullptr) continue;
-      if (link_id_.contains(d.link)) continue;  // one announcement per link
-      link_id_.emplace(d.link, msg->id);
+      auto& seen = link_seen_[static_cast<std::size_t>(d.link)];
+      if (seen != 0) continue;  // one announcement per link
+      seen = 1;
+      link_id_[static_cast<std::size_t>(d.link)] = msg->id;
       timely_.insert(msg->id);
     }
     return;
   }
   if (round != 2) return;
 
-  std::set<LinkIndex> echoed_links;
   for (const Delivery& d : inbox) {
     const auto* msg = std::get_if<MultiEchoMsg>(&*d.payload);
     if (msg == nullptr) continue;
-    if (!echoed_links.insert(d.link).second) continue;  // one MultiEcho per link
+    auto& echoed = echoed_[static_cast<std::size_t>(d.link)];
+    if (echoed != 0) continue;  // one MultiEcho per link
+    echoed = 1;
     // Treat the id list as a set: repeating an id inside one message must
     // not inflate its counter.
-    std::set<Id> unique_ids(msg->ids.begin(), msg->ids.end());
-    std::vector<Id> ids(unique_ids.begin(), unique_ids.end());
-    if (!is_valid_echo(d.link, ids)) {
+    echo_ids_.assign(msg->ids.begin(), msg->ids.end());
+    std::sort(echo_ids_.begin(), echo_ids_.end());
+    echo_ids_.erase(std::unique(echo_ids_.begin(), echo_ids_.end()), echo_ids_.end());
+    if (!is_valid_echo(d.link, echo_ids_)) {
       ++rejected_echoes_;
       continue;
     }
-    for (const Id id : ids) {
+    for (const Id id : echo_ids_) {
       accepted_.insert(id);
       counter_[id] += 1;
     }

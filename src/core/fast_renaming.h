@@ -29,7 +29,10 @@ namespace byzrename::core {
 /// correct names differ by at least N-t (Lemma VI.2).
 class FastRenamingProcess final : public sim::ProcessBehavior {
  public:
-  FastRenamingProcess(sim::SystemParams params, sim::Id my_id);
+  /// `options` keeps the constructor signature uniform across the
+  /// renaming algorithms (harness/spec plumbing); the 2-step algorithm
+  /// has no rank arithmetic, so rank_kernel does not affect it.
+  FastRenamingProcess(sim::SystemParams params, sim::Id my_id, RenamingOptions options = {});
 
   void on_send(sim::Round round, sim::Outbox& out) override;
   void on_receive(sim::Round round, const sim::Inbox& inbox) override;
@@ -51,9 +54,17 @@ class FastRenamingProcess final : public sim::ProcessBehavior {
   [[nodiscard]] bool is_valid_echo(sim::LinkIndex link, const std::vector<sim::Id>& ids) const;
 
   sim::SystemParams params_;
+  RenamingOptions options_;
   sim::Id my_id_;
 
-  std::map<sim::LinkIndex, sim::Id> link_id_;  ///< paper's linkid array
+  // Paper's linkid array, literally: flat per-link slots (links are
+  // dense in [0, N)) instead of the former std::map — no node churn on
+  // the hot announcement path.
+  std::vector<sim::Id> link_id_;
+  std::vector<unsigned char> link_seen_;
+  std::vector<unsigned char> echoed_;  ///< one MultiEcho per link (step 2)
+  std::vector<sim::Id> echo_ids_;      ///< pooled sort/unique scratch
+
   std::set<sim::Id> timely_;
   std::set<sim::Id> accepted_;
   std::map<sim::Id, int> counter_;

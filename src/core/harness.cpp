@@ -44,7 +44,7 @@ std::unique_ptr<sim::ProcessBehavior> make_behavior(Algorithm algorithm,
       return std::make_unique<OpRenamingProcess>(params, id, adjusted);
     }
     case Algorithm::kFastRenaming:
-      return std::make_unique<FastRenamingProcess>(params, id);
+      return std::make_unique<FastRenamingProcess>(params, id, options);
     case Algorithm::kCrashRenaming:
       return std::make_unique<baselines::CrashRenamingProcess>(params, id, options);
     case Algorithm::kConsensusRenaming:
@@ -63,7 +63,8 @@ std::unique_ptr<sim::ProcessBehavior> make_behavior(Algorithm algorithm,
     case Algorithm::kScalarAA: {
       const int rounds =
           options.approximation_iterations >= 0 ? options.approximation_iterations : 10;
-      return std::make_unique<aa::ByzantineAAProcess>(params, numeric::Rational(id), rounds);
+      return std::make_unique<aa::ByzantineAAProcess>(params, numeric::Rational(id), rounds,
+                                                      std::size_t{1} << 16, options.rank_kernel);
     }
   }
   throw std::invalid_argument("make_correct_behavior: unknown algorithm");

@@ -1,5 +1,6 @@
 #include "core/id_selection.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace byzrename::core {
@@ -42,8 +43,39 @@ void IdSelection::on_send(Round step, Outbox& out) {
 }
 
 void IdSelection::on_receive(Round step, const Inbox& inbox) {
-  const int quorum = params_.n - params_.t;          // N - t
+  const int quorum = params_.n - params_.t;           // N - t
   const int weak_quorum = params_.n - 2 * params_.t;  // N - 2t
+
+  // Sorted distinct (id, link) keys; a run of one id then has exactly
+  // one entry per distinct link, so run length == the link-set size the
+  // per-id sets of the map-based implementation used to track. Keys
+  // pack the sign-biased id above the link, so id-major, link-minor
+  // pair order becomes plain unsigned 128-bit order.
+  constexpr std::uint64_t kIdBias = std::uint64_t{1} << 63;
+  const auto pack = [](Id id, LinkIndex link) -> IdLink {
+    return (static_cast<IdLink>(static_cast<std::uint64_t>(id) ^ kIdBias) << 32) |
+           static_cast<std::uint32_t>(link);
+  };
+  const auto unpack_id = [](IdLink key) -> Id {
+    return static_cast<Id>(static_cast<std::uint64_t>(key >> 32) ^ kIdBias);
+  };
+  // `sorted_prefix` keys at the front are already sorted and distinct
+  // (the step-3 tally carried into step 4): sort only the appended tail
+  // and merge, instead of re-sorting the whole cumulative buffer.
+  const auto canonical = [](std::vector<IdLink>& pairs, std::size_t sorted_prefix = 0) {
+    const auto mid = pairs.begin() + static_cast<std::ptrdiff_t>(sorted_prefix);
+    std::sort(mid, pairs.end());
+    if (sorted_prefix > 0) std::inplace_merge(pairs.begin(), mid, pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  };
+  const auto for_each_count = [&](const std::vector<IdLink>& pairs, auto&& fn) {
+    for (std::size_t i = 0; i < pairs.size();) {
+      std::size_t j = i;
+      while (j < pairs.size() && (pairs[j] >> 32) == (pairs[i] >> 32)) ++j;
+      fn(unpack_id(pairs[i]), static_cast<int>(j - i));
+      i = j;
+    }
+  };
 
   switch (step) {
     case 1: {
@@ -51,54 +83,64 @@ void IdSelection::on_receive(Round step, const Inbox& inbox) {
       // provably faulty and only its first announcement counts. This is
       // what caps Byzantine step-1 injections at t*(N-t) id slots
       // (Lemma A.1's counting argument).
-      std::set<LinkIndex> seen_links;
+      std::vector<unsigned char> seen_links(static_cast<std::size_t>(params_.n), 0);
       ids_.clear();
       for (const Delivery& d : inbox) {
         const auto* msg = std::get_if<IdMsg>(&*d.payload);
         if (msg == nullptr) continue;
-        if (!seen_links.insert(d.link).second) continue;
+        auto& seen = seen_links[static_cast<std::size_t>(d.link)];
+        if (seen != 0) continue;
+        seen = 1;
         ids_.insert(msg->id);
       }
       break;
     }
     case 2: {
+      std::vector<IdLink> echo_pairs;
+      echo_pairs.reserve(inbox.size());
       for (const Delivery& d : inbox) {
         const auto* msg = std::get_if<EchoMsg>(&*d.payload);
         if (msg == nullptr) continue;
-        echo_links_[msg->id].insert(d.link);
+        echo_pairs.push_back(pack(msg->id, d.link));
       }
+      canonical(echo_pairs);
       ids_.clear();
-      for (const auto& [id, links] : echo_links_) {
-        if (static_cast<int>(links.size()) >= quorum) ids_.insert(id);
-      }
+      for_each_count(echo_pairs, [&](Id id, int count) {
+        if (count >= quorum) ids_.insert(id);
+      });
       break;
     }
     case 3: {
       for (const Delivery& d : inbox) {
         const auto* msg = std::get_if<ReadyMsg>(&*d.payload);
         if (msg == nullptr) continue;
-        ready_links_[msg->id].insert(d.link);
+        ready_pairs_.push_back(pack(msg->id, d.link));
       }
+      canonical(ready_pairs_);
       ids_.clear();
-      for (const auto& [id, links] : ready_links_) {
-        const int count = static_cast<int>(links.size());
+      for_each_count(ready_pairs_, [&](Id id, int count) {
         if (count >= quorum) timely_.insert(id);
         // Amplification: a weak quorum of Readys means at least one
         // correct process observed an Echo quorum, so join in step 4.
         if (count >= weak_quorum && !ready_sent_.contains(id)) ids_.insert(id);
-      }
+      });
       break;
     }
     case 4: {
       // Ready counts accumulate over steps 3 and 4 (paper, lines 24-25).
+      const std::size_t step3_pairs = ready_pairs_.size();
       for (const Delivery& d : inbox) {
         const auto* msg = std::get_if<ReadyMsg>(&*d.payload);
         if (msg == nullptr) continue;
-        ready_links_[msg->id].insert(d.link);
+        ready_pairs_.push_back(pack(msg->id, d.link));
       }
-      for (const auto& [id, links] : ready_links_) {
-        if (static_cast<int>(links.size()) >= quorum) accepted_.insert(id);
-      }
+      canonical(ready_pairs_, step3_pairs);
+      for_each_count(ready_pairs_, [&](Id id, int count) {
+        if (count >= quorum) accepted_.insert(id);
+      });
+      // The selection phase is over; release the O(N^2) tally buffer so
+      // long voting phases (and N=1024 instances) do not pin it.
+      ready_pairs_ = std::vector<IdLink>();
       break;
     }
     default:

@@ -1,9 +1,12 @@
 #ifndef BYZRENAME_CORE_ID_SELECTION_H
 #define BYZRENAME_CORE_ID_SELECTION_H
 
-#include <map>
+#include <cstdint>
 #include <set>
+#include <utility>
+#include <vector>
 
+#include "numeric/fixed_rank.h"
 #include "sim/payload.h"
 #include "sim/process.h"
 #include "sim/types.h"
@@ -22,7 +25,11 @@ namespace byzrename::core {
 ///
 /// The message pattern is Bracha-style Echo/Ready, cut to exactly four
 /// steps, with all counting done over *distinct link labels* because the
-/// receiver never knows sender identities.
+/// receiver never knows sender identities. Tallying uses flat sorted
+/// (id, link) pair vectors rather than per-id link sets: the steps see
+/// O(N^2) deliveries, and one sort + adjacent-unique scan per step
+/// replaces millions of red-black-tree node insertions at large N with
+/// the exact same distinct-link counts.
 class IdSelection {
  public:
   IdSelection(sim::SystemParams params, sim::Id my_id);
@@ -44,15 +51,20 @@ class IdSelection {
   [[nodiscard]] sim::Id my_id() const noexcept { return my_id_; }
 
  private:
+  /// (id, link) packed into one 128-bit key — sign-biased id in the top
+  /// 96 bits, link in the low 32 — so the tally sorts compare flat
+  /// unsigned integers instead of struct pairs.
+  using IdLink = numeric::uwide_t;
+
   sim::SystemParams params_;
   sim::Id my_id_;
 
   /// Working id set carried between steps (the paper's `Ids` variable).
   std::set<sim::Id> ids_;
-  /// Distinct links that echoed each id in step 2.
-  std::map<sim::Id, std::set<sim::LinkIndex>> echo_links_;
-  /// Distinct links that sent Ready for each id, cumulative over steps 3-4.
-  std::map<sim::Id, std::set<sim::LinkIndex>> ready_links_;
+  /// Distinct (id, link) Ready pairs, cumulative over steps 3-4 (kept
+  /// sorted + deduplicated between the two counting passes; released
+  /// after step 4).
+  std::vector<IdLink> ready_pairs_;
   /// Ids this process has already broadcast Ready for (step 3).
   std::set<sim::Id> ready_sent_;
 

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <stdexcept>
+#include <utility>
 
 namespace byzrename::core {
 
@@ -22,6 +23,11 @@ OpRenamingProcess::OpRenamingProcess(sim::SystemParams params, Id my_id, Renamin
   if (!valid_for_op_renaming(params)) {
     throw std::invalid_argument("OpRenamingProcess: requires N > 3t");
   }
+  if (options_.rank_kernel != RankKernel::kExact) {
+    engine_.emplace(params_, options_, iterations_);
+    if (!engine_->enabled()) engine_.reset();  // over-budget instance: oracle only
+  }
+  kernel_ = engine_.has_value() ? options_.rank_kernel : RankKernel::kExact;
 }
 
 void OpRenamingProcess::on_send(Round round, Outbox& out) {
@@ -30,7 +36,11 @@ void OpRenamingProcess::on_send(Round round, Outbox& out) {
     selection_.on_send(round, out);
     return;
   }
-  out.broadcast(encode_vote(ranks_));
+  if (kernel_ == RankKernel::kExact) {
+    out.broadcast(encode_vote(ranks_));
+  } else {
+    out.broadcast(engine_->encode_ranks());
+  }
 }
 
 void OpRenamingProcess::on_receive(Round round, const Inbox& inbox) {
@@ -45,21 +55,47 @@ void OpRenamingProcess::on_receive(Round round, const Inbox& inbox) {
     return;
   }
 
+  if (kernel_ == RankKernel::kExact) {
+    exact_step(inbox, ranks_, accepted_, rejected_votes_);
+  } else {
+    engine_->step(inbox, selection_.timely(), accepted_, rejected_votes_);
+    ranks_cache_valid_ = false;
+    if (kernel_ == RankKernel::kCheck) {
+      exact_step(inbox, shadow_ranks_, shadow_accepted_, shadow_rejected_);
+      if (engine_->materialize() != shadow_ranks_ || accepted_ != shadow_accepted_ ||
+          rejected_votes_ != shadow_rejected_) {
+        throw std::logic_error(
+            "OpRenamingProcess: fixed kernel diverged from the exact oracle");
+      }
+    }
+  }
+
+  if (round == 4 + iterations_) decide();
+}
+
+void OpRenamingProcess::exact_step(const Inbox& inbox, RankMap& ranks, std::set<Id>& accepted,
+                                   int& rejected) {
   // Voting step: accept at most one vote per link (a link spamming
   // several arrays is provably faulty; counting them all would let one
   // Byzantine process outvote the trim).
   std::map<sim::LinkIndex, RankMap> per_link;
   for (const sim::Delivery& d : inbox) {
+    const auto* fixed = std::get_if<sim::FixedRanksMsg>(&*d.payload);
     const auto* msg = std::get_if<sim::RanksMsg>(&*d.payload);
-    if (msg == nullptr) continue;
+    if (fixed == nullptr && msg == nullptr) continue;
     if (per_link.contains(d.link)) {
-      ++rejected_votes_;
+      ++rejected;
       continue;
+    }
+    sim::RanksMsg converted;
+    if (fixed != nullptr) {
+      converted = sim::to_ranks_msg(*fixed);
+      msg = &converted;
     }
     RankMap vote;
     if (!decode_vote(*msg, params_, options_, vote) ||
         (options_.validate_votes && !is_valid_ranks(selection_.timely(), vote, delta_))) {
-      ++rejected_votes_;
+      ++rejected;
       continue;
     }
     per_link.emplace(d.link, std::move(vote));
@@ -69,33 +105,64 @@ void OpRenamingProcess::on_receive(Round round, const Inbox& inbox) {
   votes.reserve(per_link.size());
   for (auto& [link, vote] : per_link) votes.push_back(std::move(vote));
 
-  ApproximateResult result = approximate(params_, accepted_, ranks_, votes);
-  ranks_ = std::move(result.new_ranks);
-
-  if (round == 4 + iterations_) decide();
+  ApproximateResult result = approximate(params_, accepted, ranks, votes);
+  ranks = std::move(result.new_ranks);
 }
 
 void OpRenamingProcess::assign_initial_ranks() {
   // ranks[id] := rank(accepted, id) * delta, rank being the 1-based
   // position in the sorted accepted set (Alg. 1, lines 26-28).
-  ranks_.clear();
-  std::int64_t position = 0;
-  for (const Id id : accepted_) {  // std::set iterates in sorted order
-    ++position;
-    ranks_.emplace(id, Rational(position) * delta_);
+  if (kernel_ == RankKernel::kExact) {
+    ranks_.clear();
+    std::int64_t position = 0;
+    for (const Id id : accepted_) {  // std::set iterates in sorted order
+      ++position;
+      ranks_.emplace(id, Rational(position) * delta_);
+    }
+    return;
   }
+  engine_->assign_initial_ranks(accepted_);
+  ranks_cache_valid_ = false;
+  if (kernel_ == RankKernel::kCheck) {
+    shadow_accepted_ = accepted_;
+    shadow_rejected_ = rejected_votes_;
+    shadow_ranks_.clear();
+    std::int64_t position = 0;
+    for (const Id id : shadow_accepted_) {
+      ++position;
+      shadow_ranks_.emplace(id, Rational(position) * delta_);
+    }
+    if (engine_->materialize() != shadow_ranks_) {
+      throw std::logic_error("OpRenamingProcess: fixed initial ranks diverged from exact");
+    }
+  }
+}
+
+const RankMap& OpRenamingProcess::ranks() const {
+  if (kernel_ == RankKernel::kExact) return ranks_;
+  if (!ranks_cache_valid_) {
+    ranks_cache_ = engine_->materialize();
+    ranks_cache_valid_ = true;
+  }
+  return ranks_cache_;
 }
 
 void OpRenamingProcess::decide() {
   decided_ = true;
-  const auto it = ranks_.find(selection_.my_id());
-  if (it == ranks_.end()) {
+  std::optional<Rational> rank;
+  if (kernel_ == RankKernel::kExact) {
+    const auto it = ranks_.find(selection_.my_id());
+    if (it != ranks_.end()) rank = it->second;
+  } else {
+    rank = engine_->rank_of(selection_.my_id());
+  }
+  if (!rank.has_value()) {
     // Cannot happen for valid parameters: my id is timely at every
     // correct process (Lemma IV.2), hence never dropped (Cor. IV.5).
     decision_ = std::nullopt;
     return;
   }
-  decision_ = it->second.round().to_int64();
+  decision_ = rank->round().to_int64();
 }
 
 }  // namespace byzrename::core

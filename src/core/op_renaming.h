@@ -8,6 +8,7 @@
 #include "core/id_selection.h"
 #include "core/params.h"
 #include "core/rank_approx.h"
+#include "core/voting_kernel.h"
 #include "sim/process.h"
 
 namespace byzrename::core {
@@ -17,6 +18,12 @@ namespace byzrename::core {
 /// Steps 1-4 run the id selection phase (IdSelection); steps 5 onwards
 /// run the validated approximate-agreement voting phase. After the last
 /// voting step the process decides round(ranks[my_id]).
+///
+/// The voting phase runs on one of two arithmetic kernels
+/// (RenamingOptions::rank_kernel): the fixed-width SoA engine
+/// (FixedVotingEngine, the default — zero heap allocations per voting
+/// round) or the exact-Rational oracle it is bit-identical to. kCheck
+/// runs both and throws on any divergence.
 ///
 /// Guarantees (Theorem IV.10): for N > 3t the decided names of correct
 /// processes are unique, order-preserving with respect to original ids,
@@ -44,14 +51,25 @@ class OpRenamingProcess final : public sim::ProcessBehavior {
   [[nodiscard]] const std::set<sim::Id>& selection_accepted() const noexcept {
     return selection_.accepted();
   }
-  [[nodiscard]] const RankMap& ranks() const noexcept { return ranks_; }
+  /// Current rank estimates as canonical Rationals. On the fixed kernel
+  /// this materializes (and caches) the SoA state, so the reference
+  /// stays valid until the next voting step, exactly like before.
+  [[nodiscard]] const RankMap& ranks() const;
   [[nodiscard]] sim::Id my_id() const noexcept { return selection_.my_id(); }
   /// Votes rejected by decode/isValid across the whole run.
   [[nodiscard]] int rejected_votes() const noexcept { return rejected_votes_; }
+  /// The kernel actually running (an over-budget instance downgrades
+  /// kFixed/kCheck to kExact).
+  [[nodiscard]] RankKernel rank_kernel() const noexcept { return kernel_; }
 
  private:
   void assign_initial_ranks();
   void decide();
+  /// One exact-oracle voting step over `inbox` (the pre-fixed-point
+  /// pipeline, verbatim): used by the kExact kernel and as the kCheck
+  /// shadow. Fixed-point votes are consumed via their exact equivalent.
+  void exact_step(const sim::Inbox& inbox, RankMap& ranks, std::set<sim::Id>& accepted,
+                  int& rejected);
 
   sim::SystemParams params_;
   RenamingOptions options_;
@@ -60,7 +78,17 @@ class OpRenamingProcess final : public sim::ProcessBehavior {
 
   IdSelection selection_;
   std::set<sim::Id> accepted_;  ///< working copy, shrinks as ids are dropped
-  RankMap ranks_;
+  RankMap ranks_;               ///< exact-kernel state (empty on kFixed/kCheck)
+
+  RankKernel kernel_ = RankKernel::kExact;
+  std::optional<FixedVotingEngine> engine_;
+  mutable RankMap ranks_cache_;  ///< materialized engine state for ranks()
+  mutable bool ranks_cache_valid_ = false;
+
+  // kCheck: exact shadow of the fixed engine, compared after each step.
+  RankMap shadow_ranks_;
+  std::set<sim::Id> shadow_accepted_;
+  int shadow_rejected_ = 0;
 
   int rejected_votes_ = 0;
   bool decided_ = false;

@@ -2,7 +2,9 @@
 #define BYZRENAME_CORE_PARAMS_H
 
 #include <cstddef>
+#include <optional>
 #include <stdexcept>
+#include <string_view>
 
 #include "numeric/rational.h"
 #include "sim/types.h"
@@ -48,6 +50,40 @@ inline constexpr int kConstantTimeIterations = 4;
   return (params.n - 2 * params.t) / params.t + 1;
 }
 
+/// Arithmetic backend for the voting phase's rank computations.
+enum class RankKernel {
+  /// Fixed-width limb arithmetic over the per-instance common
+  /// denominator (numeric/fixed_rank.h); falls back to the exact oracle
+  /// per ballot for off-grid Byzantine values, so decisions and every
+  /// observable output are bit-identical to kExact.
+  kFixed,
+  /// Exact arbitrary-precision Rational arithmetic: the oracle.
+  kExact,
+  /// Runs kFixed while maintaining a shadow kExact state and throws
+  /// std::logic_error on any divergence. Test/diagnostic mode.
+  kCheck,
+};
+
+/// Parses a user-facing rank-kernel token (CLI --rank-kernel, campaign
+/// spec kernel= clause).
+[[nodiscard]] inline std::optional<RankKernel> rank_kernel_from_token(
+    std::string_view token) noexcept {
+  if (token == "fixed") return RankKernel::kFixed;
+  if (token == "exact") return RankKernel::kExact;
+  if (token == "check") return RankKernel::kCheck;
+  return std::nullopt;
+}
+
+/// Canonical token for a kernel (inverse of rank_kernel_from_token).
+[[nodiscard]] inline const char* rank_kernel_token(RankKernel kernel) noexcept {
+  switch (kernel) {
+    case RankKernel::kFixed: return "fixed";
+    case RankKernel::kExact: return "exact";
+    case RankKernel::kCheck: return "check";
+  }
+  return "fixed";
+}
+
 /// Configuration of the order-preserving renaming algorithm (Alg. 1).
 struct RenamingOptions {
   /// Voting-phase iterations; -1 selects default_approximation_iterations.
@@ -62,6 +98,12 @@ struct RenamingOptions {
   /// most N+t-1 entries (Lemma IV.3); anything larger is Byzantine spam.
   /// -1 selects n + t.
   int max_vote_entries = -1;
+  /// Voting-phase arithmetic backend. The default fixed-width kernel is
+  /// observably identical to the exact oracle (the cross-check suite
+  /// asserts byte-identical verdicts/metrics/audit output) but an order
+  /// of magnitude cheaper; kExact remains as the oracle and kCheck runs
+  /// both in lockstep.
+  RankKernel rank_kernel = RankKernel::kFixed;
   /// ABLATION ONLY: when false, skips the Alg. 2 isValid filter on
   /// received votes (structural decode checks still apply). Exists so
   /// bench_a2 can demonstrate that without the filter a Byzantine vote

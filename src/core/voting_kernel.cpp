@@ -1,0 +1,708 @@
+#include "core/voting_kernel.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace byzrename::core {
+
+using numeric::BigInt;
+using numeric::FixedConvert;
+using numeric::FixedSpec;
+using numeric::kFixedAccLimbs;
+using numeric::kFixedRankLimbs;
+using numeric::limb_t;
+using numeric::Rational;
+using numeric::uwide_t;
+using sim::Id;
+
+namespace {
+
+constexpr limb_t kSignBias = limb_t{1} << 63;
+
+/// Pooled classic-vote scratch above this many value limbs is released
+/// after the step: keeps N <= 512 instances allocation-free round over
+/// round without pinning tens of megabytes per process at N = 1024.
+constexpr std::size_t kArenaKeepLimbs = std::size_t{1} << 19;
+
+void copy_limbs(limb_t* dst, const limb_t* src, int w) noexcept {
+  for (int i = 0; i < w; ++i) dst[i] = src[i];
+}
+
+/// Bit length of |v| for a two's-complement value (scratch-free).
+std::size_t signed_bit_length(const limb_t* v, int w) noexcept {
+  limb_t mag[kFixedRankLimbs];
+  if (numeric::limb_is_negative(v, w)) {
+    numeric::limb_neg(mag, v, w);
+  } else {
+    copy_limbs(mag, v, w);
+  }
+  for (int i = w - 1; i >= 0; --i) {
+    if (mag[i] != 0) {
+      return static_cast<std::size_t>(i) * 64 + std::bit_width(mag[i]);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FixedBallotKernel
+// ---------------------------------------------------------------------------
+
+FixedBallotKernel::Outcome FixedBallotKernel::average_keys(const FixedSpec& spec,
+                                                           uwide_t* keys, int n, limb_t* out,
+                                                           BigInt& sum_out) {
+  const int w = spec.width;
+  const int t = spec.t;
+  const auto c = static_cast<limb_t>(spec.select_count);
+
+  limb_t acc[kFixedAccLimbs] = {0, 0, 0};
+  const auto accumulate_key = [&](uwide_t key) {
+    limb_t value[3] = {static_cast<limb_t>(key), static_cast<limb_t>(key >> 64) ^ kSignBias, 0};
+    numeric::limb_sign_extend(value, 2, 3);
+    // Wrapping add: the true sum fits w+1 limbs, so modular two's
+    // complement is exact.
+    (void)numeric::limb_add_n(acc, acc, value, 3);
+  };
+
+  if (t <= 0) {
+    // No trim and select_t keeps everything: the sum is order-free, so
+    // no sort is needed at all.
+    for (int i = 0; i < n; ++i) accumulate_key(keys[i]);
+  } else {
+    const int picks = static_cast<int>(spec.select_count);
+    if (n <= numeric::kNetworkSortMax) {
+      numeric::sort_u128_network(keys, n);
+    } else if (picks <= 8) {
+      // Few order statistics: successive nth_element over shrinking
+      // suffixes beats a full sort (positions are t, 2t, ..., ct).
+      int prev = -1;
+      for (int j = 0; j < picks; ++j) {
+        const int pos = t * (1 + j);
+        std::nth_element(keys + prev + 1, keys + pos, keys + n);
+        prev = pos;
+      }
+    } else {
+      std::sort(keys, keys + n);
+    }
+    for (int j = 0; j < picks; ++j) accumulate_key(keys[t * (1 + j)]);
+  }
+
+  const bool negative = numeric::limb_is_negative(acc, 3);
+  limb_t magnitude[kFixedAccLimbs];
+  if (negative) {
+    numeric::limb_neg(magnitude, acc, 3);
+  } else {
+    copy_limbs(magnitude, acc, 3);
+  }
+  limb_t quotient[kFixedAccLimbs];
+  if (numeric::limb_divrem_1(quotient, magnitude, 3, c) != 0) {
+    sum_out = BigInt::from_words64(magnitude, 3, negative);
+    return Outcome::kRemainder;
+  }
+  if (negative) {
+    numeric::limb_neg(out, quotient, w);
+  } else {
+    copy_limbs(out, quotient, w);
+  }
+  return Outcome::kOk;
+}
+
+FixedBallotKernel::Outcome FixedBallotKernel::average(const FixedSpec& spec, limb_t* ballot,
+                                                      int n, limb_t* out, BigInt& sum_out) {
+  const int w = spec.width;
+  const int t = spec.t;
+  const auto c = static_cast<limb_t>(spec.select_count);
+
+  if (w == 2 && t > 0) {
+    // Offset-binary u128 keys: flipping the sign bit of the top limb
+    // maps two's-complement order onto unsigned order, so the sort is a
+    // flat branch-free key compare and keys convert back bijectively.
+    keys_.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const limb_t lo = ballot[2 * i];
+      const limb_t hi = ballot[2 * i + 1] ^ kSignBias;
+      keys_[static_cast<std::size_t>(i)] = (static_cast<uwide_t>(hi) << 64) | lo;
+    }
+    return average_keys(spec, keys_.data(), n, out, sum_out);
+  }
+
+  limb_t acc[kFixedAccLimbs] = {0, 0, 0, 0, 0};
+  limb_t tmp[kFixedAccLimbs];
+  const auto accumulate = [&](const limb_t* value) {
+    copy_limbs(tmp, value, w);
+    numeric::limb_sign_extend(tmp, w, w + 1);
+    // Wrapping add: the true sum fits w+1 limbs, so modular two's
+    // complement is exact.
+    (void)numeric::limb_add_n(acc, acc, tmp, w + 1);
+  };
+
+  if (t <= 0) {
+    // No trim and select_t keeps everything: the sum is order-free, so
+    // no sort is needed at all.
+    for (int i = 0; i < n; ++i) accumulate(ballot + static_cast<std::size_t>(i) * w);
+  } else {
+    // Wide values: big-endian limb keys with a biased top limb, ordered
+    // by std::array's lexicographic compare.
+    wide_keys_.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      auto& key = wide_keys_[static_cast<std::size_t>(i)];
+      const limb_t* value = ballot + static_cast<std::size_t>(i) * w;
+      for (int j = 0; j < w; ++j) key[static_cast<std::size_t>(j)] = value[w - 1 - j];
+      key[0] ^= kSignBias;
+      for (int j = w; j < kFixedRankLimbs; ++j) key[static_cast<std::size_t>(j)] = 0;
+    }
+    const int picks = static_cast<int>(spec.select_count);
+    if (picks <= 8) {
+      int prev = -1;
+      for (int j = 0; j < picks; ++j) {
+        const int pos = t * (1 + j);
+        std::nth_element(wide_keys_.begin() + prev + 1, wide_keys_.begin() + pos,
+                         wide_keys_.begin() + n);
+        prev = pos;
+      }
+    } else {
+      std::sort(wide_keys_.begin(), wide_keys_.begin() + n);
+    }
+    for (int j = 0; j < picks; ++j) {
+      auto key = wide_keys_[static_cast<std::size_t>(t * (1 + j))];
+      key[0] ^= kSignBias;
+      limb_t value[kFixedRankLimbs];
+      for (int i = 0; i < w; ++i) value[i] = key[static_cast<std::size_t>(w - 1 - i)];
+      accumulate(value);
+    }
+  }
+
+  const bool negative = numeric::limb_is_negative(acc, w + 1);
+  limb_t magnitude[kFixedAccLimbs];
+  if (negative) {
+    numeric::limb_neg(magnitude, acc, w + 1);
+  } else {
+    copy_limbs(magnitude, acc, w + 1);
+  }
+  limb_t quotient[kFixedAccLimbs];
+  if (numeric::limb_divrem_1(quotient, magnitude, w + 1, c) != 0) {
+    sum_out = BigInt::from_words64(magnitude, w + 1, negative);
+    return Outcome::kRemainder;
+  }
+  // The average of w-limb values is again a w-limb value (convexity),
+  // so the top quotient limb is zero and the sign fits.
+  if (negative) {
+    numeric::limb_neg(out, quotient, w);
+  } else {
+    copy_limbs(out, quotient, w);
+  }
+  return Outcome::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// FixedVotingEngine
+// ---------------------------------------------------------------------------
+
+FixedVotingEngine::FixedVotingEngine(sim::SystemParams params, RenamingOptions options,
+                                     int iterations)
+    : params_(params),
+      options_(options),
+      spec_(numeric::derive_fixed_spec(params.n, params.t, iterations)),
+      delta_(delta(params)),
+      w_(spec_.width) {
+  link_seen_.assign(static_cast<std::size_t>(params.n), 0);
+  // Representable magnitudes stay below 2^(64w - 1), so when even the
+  // widest on-grid value fits the rank-bits budget (it always does at
+  // the default 4096), the per-entry check in admit_fixed is vacuous.
+  bits_always_ok_ =
+      spec_.ok && 64 * static_cast<std::size_t>(w_) - 1 + spec_.scale_bits + 2 <=
+                      options_.max_rank_bits;
+}
+
+bool FixedVotingEngine::matches_spec(const sim::FixedRanksMsg& msg) const noexcept {
+  return msg.width == w_ && msg.scale == spec_.scale &&
+         msg.nums.size() == msg.ids.size() * static_cast<std::size_t>(w_);
+}
+
+void FixedVotingEngine::assign_initial_ranks(const std::set<Id>& accepted) {
+  ids_.clear();
+  nums_.clear();
+  is_exact_.clear();
+  overrides_.clear();
+  limb_t position = 0;
+  limb_t value[kFixedRankLimbs];
+  for (const Id id : accepted) {
+    ++position;
+    // position * delta = position * (S + c^I) / S: always on-grid and
+    // within width (the headroom covers (N+t) * delta * S).
+    const limb_t carry = numeric::limb_mul_1(value, spec_.delta_scaled.data(), w_, position);
+    if (carry != 0) throw std::logic_error("FixedVotingEngine: initial rank overflow");
+    ids_.push_back(id);
+    nums_.insert(nums_.end(), value, value + w_);
+    is_exact_.push_back(0);
+  }
+}
+
+sim::PayloadRef FixedVotingEngine::encode_ranks() const {
+  if (overrides_.empty()) {
+    sim::FixedRanksMsg msg;
+    msg.width = w_;
+    msg.scale = spec_.scale;
+    msg.ids = ids_;
+    msg.nums = nums_;
+    return sim::PayloadRef(std::move(msg));
+  }
+  // Some rank is off-grid: fall back to the classic wire form (the
+  // codec makes both encode to identical bytes anyway).
+  sim::RanksMsg msg;
+  msg.entries.reserve(ids_.size());
+  for (std::size_t k = 0; k < ids_.size(); ++k) {
+    if (is_exact_[k] != 0) {
+      msg.entries.push_back({ids_[k], overrides_.at(ids_[k])});
+    } else {
+      msg.entries.push_back(
+          {ids_[k], numeric::fixed_to_rational(nums_.data() + k * w_, w_, spec_.scale_big)});
+    }
+  }
+  return sim::PayloadRef(std::move(msg));
+}
+
+bool FixedVotingEngine::rank_bits_ok(const limb_t* num) const {
+  // Sufficient unreduced bound first: encoded_bits of the reduced form
+  // never exceeds bits(|num|) + bits(S) + 2, so honest budgets pass
+  // without a gcd; only artificially tiny max_rank_bits options reach
+  // the exact computation.
+  const std::size_t bound = signed_bit_length(num, w_) + spec_.scale_bits + 2;
+  if (bound <= options_.max_rank_bits) return true;
+  return numeric::fixed_to_rational(num, w_, spec_.scale_big).encoded_bits() <=
+         options_.max_rank_bits;
+}
+
+namespace {
+
+/// Gap validity over the fixed lane: cur - prev >= delta * S, computed
+/// in w+1-limb two's complement (no overflow). Honest values (and the
+/// strategy zoo's shifted variants) are small non-negative one-limb
+/// numerators, so the common case folds to a single u64 compare.
+bool gap_ok(const limb_t* prev, const limb_t* cur, const FixedSpec& spec) noexcept {
+  const int w = spec.width;
+  if (w == 2 && ((prev[1] | cur[1] | (prev[0] >> 63) | (cur[0] >> 63)) == 0) &&
+      spec.delta_scaled[1] == 0) {
+    // All three quantities in [0, 2^63): prev + delta cannot wrap.
+    return cur[0] >= prev[0] + spec.delta_scaled[0];
+  }
+  limb_t a[kFixedAccLimbs];
+  limb_t b[kFixedAccLimbs];
+  limb_t diff[kFixedAccLimbs];
+  copy_limbs(a, cur, w);
+  numeric::limb_sign_extend(a, w, w + 1);
+  copy_limbs(b, prev, w);
+  numeric::limb_sign_extend(b, w, w + 1);
+  (void)numeric::limb_sub_n(diff, a, b, w + 1);
+  (void)numeric::limb_sub_n(diff, diff, spec.delta_scaled.data(), w + 1);
+  return !numeric::limb_is_negative(diff, w + 1);
+}
+
+}  // namespace
+
+bool FixedVotingEngine::admit_fixed(const sim::FixedRanksMsg& msg) {
+  const int max_entries =
+      options_.max_vote_entries >= 0 ? options_.max_vote_entries : params_.n + params_.t;
+  if (static_cast<int>(msg.ids.size()) > max_entries) return false;
+  Id previous = 0;
+  bool first = true;
+  for (std::size_t i = 0; i < msg.ids.size(); ++i) {
+    if (!first && msg.ids[i] <= previous) return false;  // unsorted or duplicate id
+    if (!bits_always_ok_ && !rank_bits_ok(msg.nums.data() + i * w_)) return false;
+    previous = msg.ids[i];
+    first = false;
+  }
+
+  if (options_.validate_votes) {
+    // is_valid_ranks over the fixed lane: every timely id ranked, with
+    // consecutive ranks separated by at least delta.
+    const limb_t* prev_num = nullptr;
+    std::uint32_t pos = 0;
+    for (const Id id : timely_flat_) {
+      while (pos < msg.ids.size() && msg.ids[pos] < id) ++pos;
+      if (pos >= msg.ids.size() || msg.ids[pos] != id) return false;
+      const limb_t* cur_num = msg.nums.data() + static_cast<std::size_t>(pos) * w_;
+      if (prev_num != nullptr && !gap_ok(prev_num, cur_num, spec_)) return false;
+      prev_num = cur_num;
+    }
+  }
+
+  votes_.push_back(Vote{msg.ids.data(), msg.nums.data(),
+                        static_cast<std::uint32_t>(msg.ids.size()), -1, 0, 0});
+  return true;
+}
+
+bool FixedVotingEngine::admit_classic(const sim::RanksMsg& msg) {
+  const int max_entries =
+      options_.max_vote_entries >= 0 ? options_.max_vote_entries : params_.n + params_.t;
+  if (static_cast<int>(msg.entries.size()) > max_entries) return false;
+  Id previous = 0;
+  bool first = true;
+  for (const sim::RankEntry& entry : msg.entries) {
+    if (!first && entry.id <= previous) return false;
+    if (entry.rank.encoded_bits() > options_.max_rank_bits) return false;
+    previous = entry.id;
+    first = false;
+  }
+
+  // Convert into the pooled arena (reserved up front, so these appends
+  // never reallocate mid-step); off-grid entries go to the exact list.
+  const std::size_t id_mark = arena_ids_.size();
+  const std::size_t num_mark = arena_nums_.size();
+  std::int32_t exacts_index = -1;
+  for (std::uint32_t i = 0; i < msg.entries.size(); ++i) {
+    const sim::RankEntry& entry = msg.entries[i];
+    arena_ids_.push_back(entry.id);
+    limb_t value[kFixedRankLimbs] = {0, 0, 0, 0};
+    if (numeric::rational_to_fixed(entry.rank, spec_, value) != FixedConvert::kOk) {
+      if (exacts_index < 0) {
+        if (vote_exacts_used_ == vote_exacts_.size()) vote_exacts_.emplace_back();
+        exacts_index = static_cast<std::int32_t>(vote_exacts_used_++);
+        vote_exacts_[static_cast<std::size_t>(exacts_index)].clear();
+      }
+      vote_exacts_[static_cast<std::size_t>(exacts_index)].emplace_back(i, entry.rank);
+      // Zero placeholder keeps the limb lane index-aligned; shadowed by
+      // the exact list everywhere it matters.
+    }
+    arena_nums_.insert(arena_nums_.end(), value, value + w_);
+  }
+
+  Vote vote{arena_ids_.data() + id_mark, arena_nums_.data() + num_mark,
+            static_cast<std::uint32_t>(msg.entries.size()), exacts_index, 0, 0};
+
+  if (options_.validate_votes) {
+    const ExactEntries* exacts =
+        exacts_index >= 0 ? &vote_exacts_[static_cast<std::size_t>(exacts_index)] : nullptr;
+    const limb_t* prev_num = nullptr;
+    const Rational* prev_exact = nullptr;
+    bool valid = true;
+    std::uint32_t pos = 0;
+    std::uint32_t ec = 0;
+    bool have_prev = false;
+    for (const Id id : timely_flat_) {
+      while (pos < vote.count && vote.ids[pos] < id) ++pos;
+      if (pos >= vote.count || vote.ids[pos] != id) {
+        valid = false;
+        break;
+      }
+      if (exacts != nullptr) {
+        while (ec < exacts->size() && (*exacts)[ec].first < pos) ++ec;
+      }
+      const Rational* cur_exact =
+          (exacts != nullptr && ec < exacts->size() && (*exacts)[ec].first == pos)
+              ? &(*exacts)[ec].second
+              : nullptr;
+      const limb_t* cur_num = vote.nums + static_cast<std::size_t>(pos) * w_;
+      if (have_prev) {
+        if (prev_exact == nullptr && cur_exact == nullptr) {
+          if (!gap_ok(prev_num, cur_num, spec_)) {
+            valid = false;
+            break;
+          }
+        } else {
+          const Rational a = prev_exact != nullptr
+                                 ? *prev_exact
+                                 : numeric::fixed_to_rational(prev_num, w_, spec_.scale_big);
+          const Rational b = cur_exact != nullptr
+                                 ? *cur_exact
+                                 : numeric::fixed_to_rational(cur_num, w_, spec_.scale_big);
+          if (b - a < delta_) {
+            valid = false;
+            break;
+          }
+        }
+      }
+      prev_num = cur_num;
+      prev_exact = cur_exact;
+      have_prev = true;
+    }
+    if (!valid) {
+      // Roll the arena back; the vote was never published.
+      arena_ids_.resize(id_mark);
+      arena_nums_.resize(num_mark);
+      if (exacts_index >= 0) --vote_exacts_used_;
+      return false;
+    }
+  }
+
+  votes_.push_back(vote);
+  return true;
+}
+
+Rational FixedVotingEngine::value_at(const Vote& vote, std::uint32_t index) const {
+  if (vote.exacts >= 0) {
+    const ExactEntries& exacts = vote_exacts_[static_cast<std::size_t>(vote.exacts)];
+    const auto it = std::lower_bound(
+        exacts.begin(), exacts.end(), index,
+        [](const auto& entry, std::uint32_t i) { return entry.first < i; });
+    if (it != exacts.end() && it->first == index) return it->second;
+  }
+  return numeric::fixed_to_rational(vote.nums + static_cast<std::size_t>(index) * w_, w_,
+                                    spec_.scale_big);
+}
+
+void FixedVotingEngine::push_result(Id id, const limb_t* num) {
+  next_ids_.push_back(id);
+  next_nums_.insert(next_nums_.end(), num, num + w_);
+  next_is_exact_.push_back(0);
+}
+
+void FixedVotingEngine::push_override(Id id, Rational value) {
+  next_ids_.push_back(id);
+  for (int i = 0; i < w_; ++i) next_nums_.push_back(0);
+  next_is_exact_.push_back(1);
+  next_overrides_.emplace(id, std::move(value));
+}
+
+void FixedVotingEngine::step(const sim::Inbox& inbox, const std::set<Id>& timely,
+                             std::set<Id>& accepted, int& rejected_votes) {
+  const int n = params_.n;
+  const int t = params_.t;
+  ++step_serial_;
+  timely_flat_.assign(timely.begin(), timely.end());
+  votes_.clear();
+  vote_exacts_used_ = 0;
+
+  // Size the arena before taking pointers into it: classic (and
+  // spec-mismatched) votes convert into contiguous storage that must
+  // not move for the rest of the step.
+  std::size_t classic_entries = 0;
+  for (const sim::Delivery& d : inbox) {
+    if (const auto* classic = std::get_if<sim::RanksMsg>(&*d.payload)) {
+      classic_entries += classic->entries.size();
+    } else if (const auto* fixed = std::get_if<sim::FixedRanksMsg>(&*d.payload)) {
+      if (!matches_spec(*fixed)) classic_entries += fixed->ids.size();
+    }
+  }
+  arena_ids_.clear();
+  arena_ids_.reserve(classic_entries);
+  arena_nums_.clear();
+  arena_nums_.reserve(classic_entries * static_cast<std::size_t>(w_));
+
+  // Admission: at most one vote per link, counted and filtered exactly
+  // like the oracle path (decode_vote + is_valid_ranks). As there, a
+  // link is only burned by an *accepted* vote.
+  for (const sim::Delivery& d : inbox) {
+    const auto* fixed = std::get_if<sim::FixedRanksMsg>(&*d.payload);
+    const auto* classic = std::get_if<sim::RanksMsg>(&*d.payload);
+    if (fixed == nullptr && classic == nullptr) continue;
+    if (link_seen_[static_cast<std::size_t>(d.link)] == step_serial_) {
+      ++rejected_votes;
+      continue;
+    }
+    bool ok;
+    if (fixed != nullptr && matches_spec(*fixed)) {
+      ok = admit_fixed(*fixed);
+    } else if (fixed != nullptr) {
+      // Foreign-instance fixed vote: degrade to the classic path via
+      // its exact equivalent (never produced by this simulator's
+      // honest or adversarial senders; handled for totality).
+      ok = admit_classic(sim::to_ranks_msg(*fixed));
+    } else {
+      ok = admit_classic(*classic);
+    }
+    if (ok) {
+      link_seen_[static_cast<std::size_t>(d.link)] = step_serial_;
+    } else {
+      ++rejected_votes;
+    }
+  }
+
+  // Gather-and-average, one merge pass over the sorted votes per id.
+  next_ids_.clear();
+  next_nums_.clear();
+  next_is_exact_.clear();
+  next_overrides_.clear();
+  if (ballot_.size() < static_cast<std::size_t>(n) * static_cast<std::size_t>(w_)) {
+    ballot_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(w_));
+  }
+
+  // Fused lane: when every admitted vote is pure fixed (the steady
+  // state) and the local rank is on-grid, gather writes offset-binary
+  // u128 keys directly — no intermediate limb ballot, no exacts branch
+  // in the inner loop.
+  bool all_fixed = w_ == 2;
+  if (all_fixed) {
+    for (const Vote& vote : votes_) {
+      if (vote.exacts >= 0) {
+        all_fixed = false;
+        break;
+      }
+    }
+  }
+  if (all_fixed && key_ballot_.size() < static_cast<std::size_t>(n)) {
+    key_ballot_.resize(static_cast<std::size_t>(n));
+  }
+
+  for (std::size_t k = 0; k < ids_.size(); ++k) {
+    const Id id = ids_[k];
+    if (all_fixed && is_exact_[k] == 0) {
+      int count = 0;
+      for (Vote& vote : votes_) {
+        while (vote.cursor < vote.count && vote.ids[vote.cursor] < id) ++vote.cursor;
+        if (vote.cursor >= vote.count || vote.ids[vote.cursor] != id) continue;
+        const limb_t* v = vote.nums + static_cast<std::size_t>(vote.cursor) * 2;
+        key_ballot_[static_cast<std::size_t>(count)] =
+            (static_cast<uwide_t>(v[1] ^ kSignBias) << 64) | v[0];
+        ++count;
+        ++vote.cursor;
+      }
+      if (count < n - t) {
+        accepted.erase(id);
+        continue;
+      }
+      if (count < n) {
+        const limb_t* own = nums_.data() + k * 2;
+        const uwide_t own_key = (static_cast<uwide_t>(own[1] ^ kSignBias) << 64) | own[0];
+        while (count < n) key_ballot_[static_cast<std::size_t>(count++)] = own_key;
+      }
+      limb_t result[kFixedRankLimbs];
+      BigInt sum;
+      if (kernel_.average_keys(spec_, key_ballot_.data(), n, result, sum) ==
+          FixedBallotKernel::Outcome::kOk) {
+        push_result(id, result);
+      } else {
+        push_override(id, Rational(sum, BigInt(spec_.select_count) * spec_.scale_big));
+      }
+      continue;
+    }
+    int count = 0;
+    exact_hits_.clear();
+    for (Vote& vote : votes_) {
+      while (vote.cursor < vote.count && vote.ids[vote.cursor] < id) ++vote.cursor;
+      if (vote.cursor >= vote.count || vote.ids[vote.cursor] != id) continue;
+      if (vote.exacts >= 0) {
+        const ExactEntries& exacts = vote_exacts_[static_cast<std::size_t>(vote.exacts)];
+        while (vote.exact_cursor < exacts.size() &&
+               exacts[vote.exact_cursor].first < vote.cursor) {
+          ++vote.exact_cursor;
+        }
+        if (vote.exact_cursor < exacts.size() &&
+            exacts[vote.exact_cursor].first == vote.cursor) {
+          exact_hits_.emplace_back(static_cast<std::uint32_t>(count),
+                                   &exacts[vote.exact_cursor].second);
+          for (int i = 0; i < w_; ++i) ballot_[static_cast<std::size_t>(count) * w_ + i] = 0;
+          ++count;
+          ++vote.cursor;
+          continue;
+        }
+      }
+      copy_limbs(ballot_.data() + static_cast<std::size_t>(count) * w_,
+                 vote.nums + static_cast<std::size_t>(vote.cursor) * w_, w_);
+      ++count;
+      ++vote.cursor;
+    }
+
+    if (count < n - t) {
+      // Fewer than N-t votes: discarded (Alg. 3 line 08); never a
+      // timely id of any correct process (Cor. IV.5).
+      accepted.erase(id);
+      continue;
+    }
+
+    // Pad to exactly N with the local value (Alg. 3 lines 10-11).
+    if (count < n) {
+      if (is_exact_[k] != 0) {
+        const Rational& own = overrides_.at(id);
+        while (count < n) {
+          exact_hits_.emplace_back(static_cast<std::uint32_t>(count), &own);
+          for (int i = 0; i < w_; ++i) ballot_[static_cast<std::size_t>(count) * w_ + i] = 0;
+          ++count;
+        }
+      } else {
+        const limb_t* own = nums_.data() + k * static_cast<std::size_t>(w_);
+        while (count < n) {
+          copy_limbs(ballot_.data() + static_cast<std::size_t>(count) * w_, own, w_);
+          ++count;
+        }
+      }
+    }
+
+    if (exact_hits_.empty()) {
+      limb_t result[kFixedRankLimbs];
+      BigInt sum;
+      if (kernel_.average(spec_, ballot_.data(), n, result, sum) ==
+          FixedBallotKernel::Outcome::kOk) {
+        push_result(id, result);
+      } else {
+        // Sum not divisible by c: the exact average sum / (c*S) left
+        // the grid (only reachable via admitted Byzantine values).
+        push_override(id, Rational(sum, BigInt(spec_.select_count) * spec_.scale_big));
+      }
+      continue;
+    }
+
+    // Exact-oracle lane: at least one ballot entry is off-grid.
+    // Materializes the ballot in the oracle's order (vote order, then
+    // padding) and replicates rank_approx::approximate verbatim.
+    exact_ballot_.clear();
+    std::size_t hit = 0;
+    for (int j = 0; j < n; ++j) {
+      if (hit < exact_hits_.size() &&
+          exact_hits_[hit].first == static_cast<std::uint32_t>(j)) {
+        exact_ballot_.push_back(*exact_hits_[hit].second);
+        ++hit;
+      } else {
+        exact_ballot_.push_back(numeric::fixed_to_rational(
+            ballot_.data() + static_cast<std::size_t>(j) * w_, w_, spec_.scale_big));
+      }
+    }
+    std::sort(exact_ballot_.begin(), exact_ballot_.end());
+    Rational sum;
+    if (t > 0) {
+      for (std::int64_t j = 0; j < spec_.select_count; ++j) {
+        sum += exact_ballot_[static_cast<std::size_t>(t) * static_cast<std::size_t>(1 + j)];
+      }
+    } else {
+      for (const Rational& value : exact_ballot_) sum += value;
+    }
+    Rational result = sum / Rational(spec_.select_count);
+    limb_t fixed_result[kFixedRankLimbs];
+    if (numeric::rational_to_fixed(result, spec_, fixed_result) == FixedConvert::kOk) {
+      push_result(id, fixed_result);  // landed back on the grid
+    } else {
+      push_override(id, std::move(result));
+    }
+  }
+
+  ids_.swap(next_ids_);
+  nums_.swap(next_nums_);
+  is_exact_.swap(next_is_exact_);
+  overrides_.swap(next_overrides_);
+  shrink_scratch();
+}
+
+void FixedVotingEngine::shrink_scratch() {
+  if (arena_nums_.capacity() > kArenaKeepLimbs) {
+    arena_nums_ = std::vector<limb_t>();
+    arena_ids_ = std::vector<Id>();
+  }
+}
+
+RankMap FixedVotingEngine::materialize() const {
+  RankMap out;
+  for (std::size_t k = 0; k < ids_.size(); ++k) {
+    if (is_exact_[k] != 0) {
+      out.emplace(ids_[k], overrides_.at(ids_[k]));
+    } else {
+      out.emplace(ids_[k], numeric::fixed_to_rational(
+                               nums_.data() + k * static_cast<std::size_t>(w_), w_,
+                               spec_.scale_big));
+    }
+  }
+  return out;
+}
+
+std::optional<Rational> FixedVotingEngine::rank_of(Id id) const {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) return std::nullopt;
+  const auto k = static_cast<std::size_t>(it - ids_.begin());
+  if (is_exact_[k] != 0) return overrides_.at(id);
+  return numeric::fixed_to_rational(nums_.data() + k * static_cast<std::size_t>(w_), w_,
+                                    spec_.scale_big);
+}
+
+}  // namespace byzrename::core

@@ -1,0 +1,154 @@
+#ifndef BYZRENAME_CORE_VOTING_KERNEL_H
+#define BYZRENAME_CORE_VOTING_KERNEL_H
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/params.h"
+#include "core/rank_approx.h"
+#include "numeric/fixed_rank.h"
+#include "sim/payload.h"
+#include "sim/types.h"
+
+namespace byzrename::core {
+
+/// Trimmed-mean select_t averaging over a padded ballot of fixed-point
+/// values — the arithmetic heart of one Alg. 3 voting step, shared by
+/// the renaming engine and the AA substrate. Scratch buffers are pooled
+/// inside the object, so steady-state calls allocate nothing.
+class FixedBallotKernel {
+ public:
+  enum class Outcome {
+    kOk,         ///< average written to out (on-grid)
+    kRemainder,  ///< sum not divisible by c: caller must fall back to
+                 ///< the exact value sum / (c * S), provided in sum_out
+  };
+
+  /// Sorts ballot (n values of spec.width two's-complement limbs,
+  /// reordered in place), discards the t lowest/highest, sums the
+  /// select_t positions and divides by spec.select_count. Equal by
+  /// construction to rank_approx's exact pipeline on the same multiset.
+  Outcome average(const numeric::FixedSpec& spec, numeric::limb_t* ballot, int n,
+                  numeric::limb_t* out, numeric::BigInt& sum_out);
+
+  /// width == 2 fast form: the ballot arrives as offset-binary u128
+  /// keys (top limb sign-bit flipped), the representation `average`
+  /// would build internally anyway — callers that gather straight into
+  /// key form skip one full pass over the ballot. Keys are reordered.
+  Outcome average_keys(const numeric::FixedSpec& spec, numeric::uwide_t* keys, int n,
+                       numeric::limb_t* out, numeric::BigInt& sum_out);
+
+ private:
+  std::vector<numeric::uwide_t> keys_;  ///< width == 2: offset-binary u128 sort keys
+  std::vector<std::array<numeric::limb_t, numeric::kFixedRankLimbs>>
+      wide_keys_;  ///< width > 2: big-endian biased limbs, lexicographic order
+};
+
+/// Fixed-point voting engine: the SoA rank state of one renaming
+/// process plus one Alg. 3 step over an inbox. Ranks live as `width`
+/// two's-complement limbs over the instance scale S; the rare values
+/// Byzantine senders push off the 1/S grid are carried as exact
+/// Rational overrides, and any ballot touching one is averaged by the
+/// exact oracle — which makes every observable output (decisions,
+/// accepted sets, rejected counts, wire bytes) bit-identical to the
+/// pure exact-Rational path while the honest fast path runs heap-free.
+class FixedVotingEngine {
+ public:
+  FixedVotingEngine(sim::SystemParams params, RenamingOptions options, int iterations);
+
+  /// False when the derived spec does not fit the supported width; the
+  /// caller must run the exact kernel for the whole instance.
+  [[nodiscard]] bool enabled() const noexcept { return spec_.ok; }
+
+  [[nodiscard]] const numeric::FixedSpec& spec() const noexcept { return spec_; }
+
+  /// ranks[id] := position * delta over the sorted accepted set.
+  void assign_initial_ranks(const std::set<sim::Id>& accepted);
+
+  /// This round's broadcast: a FixedRanksMsg while every rank is
+  /// on-grid (the steady state), else the classic RanksMsg equivalent.
+  /// Both encode to identical wire bytes.
+  [[nodiscard]] sim::PayloadRef encode_ranks() const;
+
+  /// One voting step: admits at most one structurally valid vote per
+  /// link (mirroring decode_vote + is_valid_ranks), gathers per-id
+  /// ballots by merge over the sorted votes, drops ids under n-t
+  /// ballots from `accepted`, pads to n with the local rank, and
+  /// averages. Steady-state heap allocations: zero.
+  void step(const sim::Inbox& inbox, const std::set<sim::Id>& timely,
+            std::set<sim::Id>& accepted, int& rejected_votes);
+
+  /// Current ranks in the oracle representation (canonical Rationals).
+  [[nodiscard]] RankMap materialize() const;
+
+  /// Rank of one id, if still held.
+  [[nodiscard]] std::optional<numeric::Rational> rank_of(sim::Id id) const;
+
+  /// Number of ranks currently carried as exact overrides (diagnostics).
+  [[nodiscard]] int override_count() const noexcept { return static_cast<int>(overrides_.size()); }
+
+ private:
+  struct Vote {
+    const sim::Id* ids = nullptr;
+    const numeric::limb_t* nums = nullptr;
+    std::uint32_t count = 0;
+    std::int32_t exacts = -1;  ///< index into vote_exacts_, -1 if none
+    std::uint32_t cursor = 0;
+    std::uint32_t exact_cursor = 0;
+  };
+  using ExactEntries = std::vector<std::pair<std::uint32_t, numeric::Rational>>;
+
+  [[nodiscard]] bool matches_spec(const sim::FixedRanksMsg& msg) const noexcept;
+  [[nodiscard]] bool admit_fixed(const sim::FixedRanksMsg& msg);
+  [[nodiscard]] bool admit_classic(const sim::RanksMsg& msg);
+  [[nodiscard]] bool rank_bits_ok(const numeric::limb_t* num) const;
+  [[nodiscard]] numeric::Rational value_at(const Vote& vote, std::uint32_t index) const;
+  void push_result(sim::Id id, const numeric::limb_t* num);
+  void push_override(sim::Id id, numeric::Rational value);
+  void shrink_scratch();
+
+  sim::SystemParams params_;
+  RenamingOptions options_;
+  numeric::FixedSpec spec_;
+  numeric::Rational delta_;
+  int w_ = 0;
+  /// True when every representable fixed value trivially satisfies
+  /// max_rank_bits (the default budget): the per-entry bits check in
+  /// admit_fixed then short-circuits entirely.
+  bool bits_always_ok_ = false;
+
+  // --- state: parallel arrays sorted by id, overrides on the side ----
+  std::vector<sim::Id> ids_;
+  std::vector<numeric::limb_t> nums_;
+  std::vector<unsigned char> is_exact_;
+  std::map<sim::Id, numeric::Rational> overrides_;
+
+  std::vector<sim::Id> next_ids_;
+  std::vector<numeric::limb_t> next_nums_;
+  std::vector<unsigned char> next_is_exact_;
+  std::map<sim::Id, numeric::Rational> next_overrides_;
+
+  // --- pooled per-step scratch (reused round over round) -------------
+  std::vector<Vote> votes_;
+  std::vector<sim::Id> arena_ids_;         ///< converted classic-vote ids
+  std::vector<numeric::limb_t> arena_nums_;
+  std::vector<ExactEntries> vote_exacts_;
+  std::size_t vote_exacts_used_ = 0;
+  std::vector<int> link_seen_;  ///< stamped with step_serial_, never cleared
+  int step_serial_ = 0;
+  std::vector<sim::Id> timely_flat_;  ///< pooled copy of the timely set
+  std::vector<numeric::limb_t> ballot_;
+  std::vector<numeric::uwide_t> key_ballot_;  ///< width == 2 fused-gather lane
+  std::vector<std::pair<std::uint32_t, const numeric::Rational*>> exact_hits_;
+  std::vector<numeric::Rational> exact_ballot_;
+  FixedBallotKernel kernel_;
+};
+
+}  // namespace byzrename::core
+
+#endif  // BYZRENAME_CORE_VOTING_KERNEL_H

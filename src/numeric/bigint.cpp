@@ -90,6 +90,28 @@ BigInt BigInt::from_mag_parts(std::uint64_t lo, std::uint64_t hi, bool negative)
   return value;
 }
 
+int BigInt::magnitude_words64(std::uint64_t* out, int max_words) const noexcept {
+  const std::size_t words = (limbs_.size() + 1) / 2;
+  if (words > static_cast<std::size_t>(max_words)) return -1;
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t lo = limbs_[2 * w];
+    const std::uint64_t hi = 2 * w + 1 < limbs_.size() ? limbs_[2 * w + 1] : 0;
+    out[w] = lo | (hi << 32);
+  }
+  return static_cast<int>(words);
+}
+
+BigInt BigInt::from_words64(const std::uint64_t* words, int count, bool negative) {
+  BigInt value;
+  for (int w = 0; w < count; ++w) {
+    value.limbs_.push_back(static_cast<Limb>(words[w] & 0xFFFFFFFFU));
+    value.limbs_.push_back(static_cast<Limb>(words[w] >> 32));
+  }
+  value.trim();
+  value.negative_ = negative && !value.limbs_.empty();
+  return value;
+}
+
 unsigned BigInt::trailing_zero_bits() const noexcept {
   std::size_t i = 0;
   while (limbs_[i] == 0) ++i;

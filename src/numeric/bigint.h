@@ -45,6 +45,16 @@ class BigInt {
   /// the Rational fast paths use to store 128-bit intermediate results.
   static BigInt from_mag_parts(std::uint64_t lo, std::uint64_t hi, bool negative);
 
+  /// Copies the magnitude into little-endian 64-bit words and returns
+  /// the count of significant words written, or -1 if the magnitude
+  /// needs more than max_words (out is untouched then). Zero yields 0.
+  /// This is the no-allocation bridge into the fixed-rank limb kernels.
+  int magnitude_words64(std::uint64_t* out, int max_words) const noexcept;
+
+  /// Builds a value from little-endian 64-bit magnitude words (leading
+  /// zero words tolerated); a zero magnitude ignores the sign.
+  static BigInt from_words64(const std::uint64_t* words, int count, bool negative);
+
   /// True iff the value is zero.
   [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
 

@@ -1,0 +1,139 @@
+#include "numeric/fixed_rank.h"
+
+namespace byzrename::numeric {
+
+namespace {
+
+/// Stops the scale derivation once S can no longer fit a convertible
+/// width; keeps user-supplied iteration counts from driving a pointless
+/// big-integer power loop.
+constexpr std::size_t kScaleBitCap = 64 * kFixedRankLimbs;
+
+/// Schoolbook a(aw limbs) * b(bw limbs) -> r (aw+bw limbs, zeroed here).
+void mul_mag(limb_t* r, const limb_t* a, int aw, const limb_t* b, int bw) noexcept {
+  for (int i = 0; i < aw + bw; ++i) r[i] = 0;
+  for (int i = 0; i < aw; ++i) {
+    limb_t carry = 0;
+    for (int j = 0; j < bw; ++j) {
+      const uwide_t p = static_cast<uwide_t>(a[i]) * b[j] + r[i + j] + carry;
+      r[i + j] = static_cast<limb_t>(p);
+      carry = static_cast<limb_t>(p >> 64);
+    }
+    r[i + bw] = carry;
+  }
+}
+
+int significant_words(const limb_t* v, int w) noexcept {
+  while (w > 0 && v[w - 1] == 0) --w;
+  return w;
+}
+
+}  // namespace
+
+FixedSpec derive_fixed_spec(int n, int t, int iterations) {
+  FixedSpec spec;
+  spec.n = n;
+  spec.t = t;
+  spec.iterations = iterations < 0 ? 0 : iterations;
+  if (n < 1 || t < 0 || (t > 0 && n - 2 * t - 1 < 0)) return spec;
+  spec.select_count = t > 0 ? static_cast<std::int64_t>((n - 2 * t - 1) / t) + 1
+                            : static_cast<std::int64_t>(n);
+
+  BigInt power(1);
+  for (int i = 0; i < spec.iterations; ++i) {
+    power *= BigInt(spec.select_count);
+    if (power.bit_length() > kScaleBitCap) return spec;  // oracle-only instance
+  }
+  spec.scale_big = BigInt(3 * (static_cast<std::int64_t>(n) + t)) * power;
+  spec.scale_bits = spec.scale_big.bit_length();
+  if (spec.scale_bits + kFixedHeadroomBits + 1 > kScaleBitCap) return spec;
+
+  spec.width = std::max(
+      2, static_cast<int>((spec.scale_bits + kFixedHeadroomBits + 1 + 63) / 64));
+  spec.scale_limbs = spec.scale_big.magnitude_words64(spec.scale.data(), kFixedRankLimbs);
+
+  // delta * S = S + S/(3(N+t)) = S + c^I: the integer the validity
+  // check's gap comparison uses (is_valid_ranks over the fixed lane).
+  std::array<limb_t, kFixedRankLimbs> power_words{};
+  power.magnitude_words64(power_words.data(), kFixedRankLimbs);
+  std::array<limb_t, kFixedRankLimbs> sum{};
+  limb_add_n(sum.data(), spec.scale.data(), power_words.data(), kFixedRankLimbs);
+  for (int i = 0; i < kFixedRankLimbs; ++i) spec.delta_scaled[i] = sum[i];
+  spec.delta_scaled[kFixedRankLimbs] = 0;
+
+  spec.ok = true;
+  return spec;
+}
+
+FixedConvert rational_to_fixed(const Rational& value, const FixedSpec& spec, limb_t* out) {
+  // Denominator must divide S exactly; m = S / den is the grid multiplier.
+  limb_t den[kFixedRankLimbs];
+  const int den_words = value.denominator().magnitude_words64(den, kFixedRankLimbs);
+  if (den_words < 0) return FixedConvert::kOffGrid;  // den > S, cannot divide it
+
+  limb_t multiplier[kFixedRankLimbs];
+  int multiplier_words;
+  if (den_words <= 1) {
+    const limb_t d = den_words == 0 ? 1 : den[0];  // canonical den is never 0
+    if (limb_divrem_1(multiplier, spec.scale.data(), spec.scale_limbs, d) != 0) {
+      return FixedConvert::kOffGrid;
+    }
+    multiplier_words = significant_words(multiplier, spec.scale_limbs);
+  } else {
+    BigInt quotient;
+    BigInt remainder;
+    BigInt::div_mod(spec.scale_big, value.denominator(), quotient, remainder);
+    if (!remainder.is_zero()) return FixedConvert::kOffGrid;
+    multiplier_words = quotient.magnitude_words64(multiplier, kFixedRankLimbs);
+  }
+
+  limb_t num[kFixedRankLimbs];
+  const int num_words = value.numerator().magnitude_words64(num, kFixedRankLimbs);
+  if (num_words < 0) return FixedConvert::kOverflow;
+
+  // Hot path: honest traffic has one-limb numerators and multipliers
+  // (the §IV-D budget keeps S itself small for moderate N), so the
+  // scaled numerator is a single 64x64 multiply.
+  if (num_words <= 1 && multiplier_words <= 1) {
+    const uwide_t p = static_cast<uwide_t>(num_words == 0 ? 0 : num[0]) *
+                      (multiplier_words == 0 ? 0 : multiplier[0]);
+    const limb_t hi = static_cast<limb_t>(p >> 64);
+    if (spec.width == 2 && (hi >> 63) != 0) return FixedConvert::kOverflow;
+    limb_t product2[kFixedRankLimbs] = {static_cast<limb_t>(p), hi, 0, 0};
+    if (value.is_negative()) {
+      limb_neg(out, product2, spec.width);
+    } else {
+      for (int i = 0; i < spec.width; ++i) out[i] = product2[i];
+    }
+    return FixedConvert::kOk;
+  }
+
+  limb_t product[2 * kFixedRankLimbs];
+  mul_mag(product, num, num_words, multiplier, multiplier_words);
+  // Reject magnitudes >= 2^(64*width - 1): the symmetric two's-complement
+  // range, so sign handling below cannot overflow.
+  const int product_words = significant_words(product, num_words + multiplier_words);
+  if (product_words > spec.width) return FixedConvert::kOverflow;
+  for (int i = product_words; i < spec.width; ++i) product[i] = 0;
+  if ((product[spec.width - 1] >> 63) != 0) return FixedConvert::kOverflow;
+
+  if (value.is_negative()) {
+    limb_neg(out, product, spec.width);
+  } else {
+    for (int i = 0; i < spec.width; ++i) out[i] = product[i];
+  }
+  return FixedConvert::kOk;
+}
+
+Rational fixed_to_rational(const limb_t* num, int width, const BigInt& scale) {
+  limb_t magnitude[kFixedRankLimbs];
+  const bool negative = limb_is_negative(num, width);
+  if (negative) {
+    limb_neg(magnitude, num, width);
+  } else {
+    for (int i = 0; i < width; ++i) magnitude[i] = num[i];
+  }
+  return Rational(BigInt::from_words64(magnitude, width, negative), scale);
+}
+
+}  // namespace byzrename::numeric

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "numeric/bigint.h"
+#include "numeric/fixed_rank.h"
 #include "numeric/rational.h"
 
 namespace byzrename::sim {
@@ -53,6 +54,32 @@ void put_rational(std::vector<std::uint8_t>& out, const Rational& value) {
   const std::vector<std::uint8_t> magnitude = value.denominator().magnitude_bytes();
   put_varint(out, static_cast<std::uint64_t>(magnitude.size()));
   out.insert(out.end(), magnitude.begin(), magnitude.end());
+}
+
+// --- analytic sizes --------------------------------------------------------
+// The network charges encoded_bits() on every broadcast; these mirror
+// the writers above byte-for-byte without materializing any buffer.
+
+std::size_t varint_len(std::uint64_t value) noexcept {
+  std::size_t bytes = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++bytes;
+  }
+  return bytes;
+}
+
+std::size_t svarint_len(std::int64_t value) noexcept {
+  const auto raw = static_cast<std::uint64_t>(value);
+  return varint_len((raw << 1) ^ static_cast<std::uint64_t>(value >> 63));
+}
+
+std::size_t rational_len(const Rational& value) noexcept {
+  const std::size_t num_bytes = (value.numerator().bit_length() + 7) / 8;
+  const std::size_t den_bytes = (value.denominator().bit_length() + 7) / 8;
+  return varint_len((static_cast<std::uint64_t>(num_bytes) << 1) |
+                    (value.is_negative() ? 1u : 0u)) +
+         num_bytes + varint_len(den_bytes) + den_bytes;
 }
 
 // --- reading ---------------------------------------------------------------
@@ -169,13 +196,26 @@ std::vector<std::uint8_t> encode(const Payload& payload) {
           put_svarint(out, msg.sim_round);
           put_varint(out, msg.blob.size());
           out.insert(out.end(), msg.blob.begin(), msg.blob.end());
-        } else {
-          static_assert(std::is_same_v<T, WrappedEchoMsg>);
+        } else if constexpr (std::is_same_v<T, WrappedEchoMsg>) {
           out.push_back(static_cast<std::uint8_t>(Kind::kWrappedEcho));
           put_svarint(out, msg.sender);
           put_svarint(out, msg.sim_round);
           put_varint(out, msg.blob.size());
           out.insert(out.end(), msg.blob.begin(), msg.blob.end());
+        } else {
+          static_assert(std::is_same_v<T, FixedRanksMsg>);
+          // A fixed-point vote encodes as the byte-identical RanksMsg of
+          // its reduced-rational equivalents: message complexity (and
+          // the decoder) cannot distinguish the two representations.
+          const BigInt scale = BigInt::from_words64(
+              msg.scale.data(), numeric::kFixedRankLimbs, false);
+          out.push_back(static_cast<std::uint8_t>(Kind::kRanks));
+          put_varint(out, msg.ids.size());
+          for (std::size_t i = 0; i < msg.ids.size(); ++i) {
+            put_svarint(out, msg.ids[i]);
+            put_rational(out, numeric::fixed_to_rational(
+                                  msg.nums.data() + i * msg.width, msg.width, scale));
+          }
         }
       },
       payload);
@@ -281,6 +321,32 @@ std::optional<Payload> decode(const std::vector<std::uint8_t>& bytes) {
   return result;
 }
 
-std::size_t encoded_bits(const Payload& payload) { return encode(payload).size() * 8; }
+std::size_t encoded_bits(const Payload& payload) {
+  // Rational-bearing messages dominate the hot all-to-all rounds; size
+  // them analytically so the per-broadcast charge allocates nothing.
+  // codec_test asserts these equal 8 * encode().size() exactly.
+  if (const auto* ranks = std::get_if<RanksMsg>(&payload)) {
+    std::size_t bytes = 1 + varint_len(ranks->entries.size());
+    for (const RankEntry& entry : ranks->entries) {
+      bytes += svarint_len(entry.id) + rational_len(entry.rank);
+    }
+    return bytes * 8;
+  }
+  if (const auto* fixed = std::get_if<FixedRanksMsg>(&payload)) {
+    const BigInt scale =
+        BigInt::from_words64(fixed->scale.data(), numeric::kFixedRankLimbs, false);
+    std::size_t bytes = 1 + varint_len(fixed->ids.size());
+    for (std::size_t i = 0; i < fixed->ids.size(); ++i) {
+      bytes += svarint_len(fixed->ids[i]) +
+               rational_len(numeric::fixed_to_rational(fixed->nums.data() + i * fixed->width,
+                                                       fixed->width, scale));
+    }
+    return bytes * 8;
+  }
+  if (const auto* aa = std::get_if<AAValueMsg>(&payload)) {
+    return (1 + rational_len(aa->value)) * 8;
+  }
+  return encode(payload).size() * 8;
+}
 
 }  // namespace byzrename::sim

@@ -206,6 +206,23 @@ void Network::run_round(Round round) {
         const auto dest = static_cast<std::size_t>(*entry.dest);
         if (dest >= n) throw std::out_of_range("Network: send_to destination out of range");
         deliver(dest);
+      } else if (fault_injector_ == nullptr && event_log_ == nullptr) {
+        // Fault-free, untraced broadcast: identical bookkeeping to n
+        // deliver() calls, folded out of the fan-out loop. The O(N^2)
+        // echo steps (and every voting round) take this path in
+        // benchmarks and clean campaigns.
+        round_metrics.messages += n;
+        round_metrics.bits += n * payload_bits;
+        round_metrics.max_message_bits = std::max(round_metrics.max_message_bits, payload_bits);
+        if (!byzantine_[sender]) {
+          round_metrics.correct_messages += n;
+          round_metrics.correct_bits += n * payload_bits;
+          round_metrics.max_correct_message_bits =
+              std::max(round_metrics.max_correct_message_bits, payload_bits);
+        }
+        for (std::size_t receiver = 0; receiver < n; ++receiver) {
+          inboxes_[receiver].push_back({link_of_sender_[receiver][sender], entry.payload});
+        }
       } else {
         for (std::size_t receiver = 0; receiver < n; ++receiver) deliver(receiver);
       }

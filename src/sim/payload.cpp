@@ -14,7 +14,23 @@ std::size_t rational_bits(const numeric::Rational& value) noexcept {
   return value.encoded_bits();
 }
 
+numeric::Rational entry_rational(const FixedRanksMsg& msg, std::size_t index,
+                                 const numeric::BigInt& scale) {
+  return numeric::fixed_to_rational(msg.nums.data() + index * msg.width, msg.width, scale);
+}
+
 }  // namespace
+
+RanksMsg to_ranks_msg(const FixedRanksMsg& msg) {
+  const numeric::BigInt scale =
+      numeric::BigInt::from_words64(msg.scale.data(), numeric::kFixedRankLimbs, false);
+  RanksMsg out;
+  out.entries.reserve(msg.ids.size());
+  for (std::size_t i = 0; i < msg.ids.size(); ++i) {
+    out.entries.push_back({msg.ids[i], entry_rational(msg, i, scale)});
+  }
+  return out;
+}
 
 std::size_t wire_bits(const Payload& payload) noexcept {
   return kTagBits + std::visit(
@@ -37,9 +53,19 @@ std::size_t wire_bits(const Payload& payload) noexcept {
                             return kIdBits + kLengthBits + msg.words.size() * kIdBits;
                           } else if constexpr (std::is_same_v<T, WrappedCastMsg>) {
                             return kIdBits + kLengthBits + msg.blob.size() * 8;
-                          } else {
-                            static_assert(std::is_same_v<T, WrappedEchoMsg>);
+                          } else if constexpr (std::is_same_v<T, WrappedEchoMsg>) {
                             return 2 * kIdBits + kLengthBits + msg.blob.size() * 8;
+                          } else {
+                            static_assert(std::is_same_v<T, FixedRanksMsg>);
+                            // Mirror of the RanksMsg branch over the
+                            // reduced-rational equivalents.
+                            const numeric::BigInt scale = numeric::BigInt::from_words64(
+                                msg.scale.data(), numeric::kFixedRankLimbs, false);
+                            std::size_t bits = kLengthBits;
+                            for (std::size_t i = 0; i < msg.ids.size(); ++i) {
+                              bits += kIdBits + rational_bits(entry_rational(msg, i, scale));
+                            }
+                            return bits;
                           }
                         },
                         payload);
@@ -76,10 +102,21 @@ std::string describe(const Payload& payload) {
           out << "Word(tag=" << msg.tag << ", words=" << msg.words.size() << ")";
         } else if constexpr (std::is_same_v<T, WrappedCastMsg>) {
           out << "Cast(r=" << msg.sim_round << ", " << msg.blob.size() << "B)";
-        } else {
-          static_assert(std::is_same_v<T, WrappedEchoMsg>);
+        } else if constexpr (std::is_same_v<T, WrappedEchoMsg>) {
           out << "CastEcho(p" << msg.sender << ", r=" << msg.sim_round << ", " << msg.blob.size()
               << "B)";
+        } else {
+          static_assert(std::is_same_v<T, FixedRanksMsg>);
+          // Render exactly like the equivalent RanksMsg so traces are
+          // identical across rank kernels.
+          const numeric::BigInt scale = numeric::BigInt::from_words64(
+              msg.scale.data(), numeric::kFixedRankLimbs, false);
+          out << "Ranks[" << msg.ids.size() << "]{";
+          for (std::size_t i = 0; i < msg.ids.size(); ++i) {
+            if (i != 0) out << ", ";
+            out << msg.ids[i] << ":" << entry_rational(msg, i, scale);
+          }
+          out << "}";
         }
       },
       payload);

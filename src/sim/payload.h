@@ -10,6 +10,7 @@
 #include <variant>
 #include <vector>
 
+#include "numeric/fixed_rank.h"
 #include "numeric/rational.h"
 #include "sim/types.h"
 
@@ -47,6 +48,27 @@ struct RanksMsg {
   std::vector<RankEntry> entries;
   friend bool operator==(const RanksMsg&, const RanksMsg&) = default;
 };
+
+/// Voting-phase vote in fixed-point form: the semantic twin of RanksMsg
+/// for senders whose whole ranks array sits on the instance's common
+/// denominator grid (numeric/fixed_rank.h). SoA layout: `nums` holds
+/// `width` little-endian two's-complement limbs per id, each an integer
+/// numerator over `scale`; receivers of the same instance use the limbs
+/// directly with zero per-delivery conversion. On the wire this message
+/// IS a RanksMsg: the codec emits the byte-identical reduced-rational
+/// encoding (and decodes those bytes back to a RanksMsg), so message
+/// complexity accounting cannot tell the two apart.
+struct FixedRanksMsg {
+  std::int32_t width = 2;
+  std::array<numeric::limb_t, numeric::kFixedRankLimbs> scale{};
+  std::vector<Id> ids;             ///< sorted ascending
+  std::vector<numeric::limb_t> nums;  ///< width limbs per id
+  friend bool operator==(const FixedRanksMsg&, const FixedRanksMsg&) = default;
+};
+
+/// Materializes the exact-Rational equivalent of a fixed-point vote —
+/// the message an exact-kernel sender with the same state would emit.
+[[nodiscard]] RanksMsg to_ranks_msg(const FixedRanksMsg& msg);
 
 /// Step-2 message of the 2-step algorithm (paper: <MultiEcho, ids>).
 struct MultiEchoMsg {
@@ -90,7 +112,7 @@ struct WrappedEchoMsg {
 /// round with any content; correct receivers must ignore what they cannot
 /// interpret at the current step.
 using Payload = std::variant<IdMsg, EchoMsg, ReadyMsg, RanksMsg, MultiEchoMsg, AAValueMsg, WordMsg,
-                             WrappedCastMsg, WrappedEchoMsg>;
+                             WrappedCastMsg, WrappedEchoMsg, FixedRanksMsg>;
 
 /// Size of the payload in bits under a simple fixed-width wire model:
 /// ids cost 64 bits (log Nmax), rationals their exact numerator +

@@ -1,0 +1,401 @@
+// Fixed-width rank kernel: boundary behavior of the numeric layer and
+// the oracle cross-check contract — the fixed kernel must be observably
+// indistinguishable from the exact-Rational oracle on every output a
+// run exposes (verdicts, names, per-round metrics JSONL, audit records,
+// campaign aggregates), across adversaries, fault plans, and thread
+// counts. The suite carries the "kernel" ctest label; the ASan and TSan
+// CI jobs both run it.
+
+#include "numeric/fixed_rank.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "aa/byzantine_aa.h"
+#include "adversary/adversary.h"
+#include "core/harness.h"
+#include "core/params.h"
+#include "core/voting_kernel.h"
+#include "exp/campaign.h"
+#include "exp/spec_parse.h"
+#include "obs/complexity_audit.h"
+#include "obs/metrics_registry.h"
+#include "obs/telemetry.h"
+#include "sim/codec.h"
+#include "sim/fault.h"
+#include "sim/payload.h"
+
+namespace byzrename {
+namespace {
+
+using numeric::BigInt;
+using numeric::FixedConvert;
+using numeric::FixedSpec;
+using numeric::kFixedRankLimbs;
+using numeric::limb_t;
+using numeric::Rational;
+
+// ---------------------------------------------------------------------------
+// FixedSpec derivation (the §IV-D bit budget made concrete)
+
+TEST(FixedSpec, DerivesCommonDenominatorFromBitBudget) {
+  // n=64, t=21: c = floor((64 - 42 - 1)/21) + 1 = 2, I = 3*ceil(lg 21)+3
+  // = 18, S = 3(n+t) * c^I = 255 * 2^18.
+  const int iterations = core::default_approximation_iterations(21);
+  ASSERT_EQ(iterations, 18);
+  const FixedSpec spec = numeric::derive_fixed_spec(64, 21, iterations);
+  ASSERT_TRUE(spec.ok);
+  EXPECT_EQ(spec.select_count, 2);
+  EXPECT_EQ(spec.width, 2);
+  EXPECT_EQ(spec.scale_bits, 26u);  // bits(255 * 2^18) = 8 + 18
+  EXPECT_EQ(spec.scale[0], std::uint64_t{255} << 18);
+  EXPECT_EQ(spec.scale[1], 0u);
+  // delta * S = S + c^I; here 255*2^18 + 2^18 = 2^26.
+  EXPECT_EQ(spec.delta_scaled[0], std::uint64_t{1} << 26);
+  EXPECT_EQ(spec.delta_scaled[1], 0u);
+}
+
+TEST(FixedSpec, FaultFreeInstanceKeepsEveryValue) {
+  const FixedSpec spec = numeric::derive_fixed_spec(5, 0, 0);
+  ASSERT_TRUE(spec.ok);
+  EXPECT_EQ(spec.select_count, 5);  // t = 0: select_t keeps all N values
+}
+
+TEST(FixedSpec, OverBudgetIterationCountDowngradesToOracle) {
+  // c^I alone would exceed the limb capacity: the instance must refuse
+  // the fixed path (spec.ok == false) rather than silently truncate.
+  const FixedSpec spec = numeric::derive_fixed_spec(64, 21, 400);
+  EXPECT_FALSE(spec.ok);
+}
+
+// ---------------------------------------------------------------------------
+// Conversion boundaries: the symmetric two's-complement range edge
+
+class FixedConvertBoundary : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_ = numeric::derive_fixed_spec(64, 21, core::default_approximation_iterations(21));
+    ASSERT_TRUE(spec_.ok);
+  }
+  FixedSpec spec_;
+};
+
+TEST_F(FixedConvertBoundary, GridValuesRoundTripExactly) {
+  const sim::SystemParams params{.n = 64, .t = 21};
+  const Rational d = core::delta(params);
+  limb_t out[kFixedRankLimbs];
+  for (int position = 1; position <= 85; ++position) {
+    const Rational value = Rational(position) * d;
+    ASSERT_EQ(numeric::rational_to_fixed(value, spec_, out), FixedConvert::kOk);
+    EXPECT_EQ(numeric::fixed_to_rational(out, spec_.width, spec_.scale_big), value);
+  }
+  const Rational negative = Rational(-7) * d;
+  ASSERT_EQ(numeric::rational_to_fixed(negative, spec_, out), FixedConvert::kOk);
+  EXPECT_EQ(numeric::fixed_to_rational(out, spec_.width, spec_.scale_big), negative);
+}
+
+TEST_F(FixedConvertBoundary, DenominatorNotDividingScaleIsOffGrid) {
+  // S = 255 * 2^18 = 3*5*17 * 2^18: 7 does not divide it.
+  limb_t out[kFixedRankLimbs];
+  EXPECT_EQ(numeric::rational_to_fixed(Rational::of(1, 7), spec_, out),
+            FixedConvert::kOffGrid);
+  // A denominator larger than S itself can never divide it.
+  const BigInt huge_den =
+      BigInt(2) * spec_.scale_big + BigInt(1);  // odd, > S: no reduction, no division
+  EXPECT_EQ(numeric::rational_to_fixed(Rational(BigInt(1), huge_den), spec_, out),
+            FixedConvert::kOffGrid);
+}
+
+TEST_F(FixedConvertBoundary, OverflowTriggersExactlyAtTheSymmetricRangeEdge) {
+  // Scaled magnitudes below 2^(64w-1) = 2^127 convert; 2^127 itself must
+  // not (two's-complement sign headroom). Denominator = S makes the grid
+  // multiplier exactly 1, so the boundary is hit with no rounding slack;
+  // the numerator 2^126 + 3 shares no factor with S = 3*5*17*2^18.
+  const std::uint64_t in_range_words[2] = {3, std::uint64_t{1} << 62};   // 2^126 + 3
+  const std::uint64_t over_words[2] = {0, std::uint64_t{1} << 63};       // 2^127
+  for (const bool negative : {false, true}) {
+    const Rational in_range(BigInt::from_words64(in_range_words, 2, negative),
+                            spec_.scale_big);
+    ASSERT_EQ(in_range.denominator(), spec_.scale_big);  // stayed unreduced
+    limb_t out[kFixedRankLimbs];
+    ASSERT_EQ(numeric::rational_to_fixed(in_range, spec_, out), FixedConvert::kOk);
+    EXPECT_EQ(numeric::fixed_to_rational(out, spec_.width, spec_.scale_big), in_range);
+
+    const Rational over(BigInt::from_words64(over_words, 2, negative), spec_.scale_big);
+    EXPECT_EQ(numeric::rational_to_fixed(over, spec_, out), FixedConvert::kOverflow);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec: FixedRanksMsg and its RanksMsg twin are one wire format
+
+TEST(FixedRanksCodec, EncodesByteIdenticallyToClassicForm) {
+  const sim::SystemParams params{.n = 10, .t = 3};
+  core::FixedVotingEngine engine(params, core::RenamingOptions{},
+                                 core::default_approximation_iterations(3));
+  ASSERT_TRUE(engine.enabled());
+  std::set<sim::Id> accepted;
+  for (sim::Id id : {5, 11, 23, 42, 100, 2001}) accepted.insert(id);
+  engine.assign_initial_ranks(accepted);
+
+  const sim::PayloadRef fixed_payload = engine.encode_ranks();
+  const auto* fixed = std::get_if<sim::FixedRanksMsg>(&*fixed_payload);
+  ASSERT_NE(fixed, nullptr);
+  const sim::RanksMsg classic = sim::to_ranks_msg(*fixed);
+
+  const std::vector<std::uint8_t> fixed_bytes = sim::encode(*fixed_payload);
+  EXPECT_EQ(fixed_bytes, sim::encode(sim::Payload{classic}));
+  EXPECT_EQ(sim::encoded_bits(*fixed_payload), 8 * fixed_bytes.size());
+
+  // decode() of those bytes yields the classic form (the wire kind is
+  // kRanks), equal entry by entry.
+  const std::optional<sim::Payload> decoded = sim::decode(fixed_bytes);
+  ASSERT_TRUE(decoded.has_value());
+  const auto* round_trip = std::get_if<sim::RanksMsg>(&*decoded);
+  ASSERT_NE(round_trip, nullptr);
+  EXPECT_EQ(*round_trip, classic);
+}
+
+// ---------------------------------------------------------------------------
+// Byzantine admission under the fixed engine
+
+TEST(FixedVotingEngine, OversizedRankEncodingStillRejected) {
+  const sim::SystemParams params{.n = 4, .t = 1};
+  core::FixedVotingEngine engine(params, core::RenamingOptions{},
+                                 core::default_approximation_iterations(1));
+  ASSERT_TRUE(engine.enabled());
+  std::set<sim::Id> accepted{1, 2, 3, 4};
+  engine.assign_initial_ranks(accepted);
+  const std::set<sim::Id> timely = accepted;
+  const core::RankMap before = engine.materialize();
+
+  const sim::PayloadRef honest = engine.encode_ranks();
+  sim::RanksMsg bloated = sim::to_ranks_msg(std::get<sim::FixedRanksMsg>(*honest));
+  // Denominator inflation far past max_rank_bits (default 4096): ~66
+  // words of 64 bits. The structural bits check must reject the vote
+  // before any arithmetic touches it.
+  std::vector<std::uint64_t> words(66, 0);
+  words[65] = 1;
+  bloated.entries[0].rank =
+      Rational(BigInt(1), BigInt::from_words64(words.data(), 66, false));
+
+  sim::Inbox inbox;
+  for (int link = 0; link < 3; ++link) inbox.push_back({link, honest});
+  inbox.push_back({3, sim::PayloadRef(std::move(bloated))});
+
+  int rejected = 0;
+  engine.step(inbox, timely, accepted, rejected);
+  EXPECT_EQ(rejected, 1);
+  EXPECT_EQ(accepted.size(), 4u);
+  // 3 identical honest votes (= n - t) plus own padding: ranks unchanged.
+  EXPECT_EQ(engine.materialize(), before);
+}
+
+TEST(FixedVotingEngine, OverlongFixedVoteRejected) {
+  const sim::SystemParams params{.n = 4, .t = 1};
+  core::FixedVotingEngine engine(params, core::RenamingOptions{},
+                                 core::default_approximation_iterations(1));
+  ASSERT_TRUE(engine.enabled());
+  std::set<sim::Id> accepted{1, 2, 3, 4};
+  engine.assign_initial_ranks(accepted);
+  const std::set<sim::Id> timely = accepted;
+
+  const sim::PayloadRef honest = engine.encode_ranks();
+  sim::FixedRanksMsg spam = std::get<sim::FixedRanksMsg>(*honest);
+  // Entry count past n + t (Lemma IV.3's cap): must be rejected whole.
+  while (spam.ids.size() <= 5) {
+    spam.ids.push_back(spam.ids.back() + 1000);
+    spam.nums.insert(spam.nums.end(), {0, 0});
+  }
+  sim::Inbox inbox;
+  for (int link = 0; link < 3; ++link) inbox.push_back({link, honest});
+  inbox.push_back({3, sim::PayloadRef(std::move(spam))});
+
+  int rejected = 0;
+  engine.step(inbox, timely, accepted, rejected);
+  EXPECT_EQ(rejected, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle cross-check: fixed vs exact, byte-compared on every output
+
+struct DeepRun {
+  core::ScenarioResult result;
+  std::string metrics_jsonl;
+  std::string audit_jsonl;
+};
+
+DeepRun run_deep(core::ScenarioConfig config) {
+  obs::MetricsSink sink;
+  obs::ComplexityAuditor auditor;
+  obs::Telemetry telemetry;
+  telemetry.add_sink(sink);
+  telemetry.add_sink(auditor);
+  config.telemetry = &telemetry;
+  DeepRun run;
+  run.result = core::run_scenario(config);
+  std::ostringstream metrics;
+  sink.write_metrics_jsonl(metrics);
+  run.metrics_jsonl = metrics.str();
+  std::ostringstream audit;
+  auditor.write_audit_jsonl(audit);
+  run.audit_jsonl = audit.str();
+  return run;
+}
+
+void expect_kernels_identical(core::ScenarioConfig config) {
+  config.options.rank_kernel = core::RankKernel::kFixed;
+  const DeepRun fixed = run_deep(config);
+  config.options.rank_kernel = core::RankKernel::kExact;
+  const DeepRun exact = run_deep(config);
+
+  SCOPED_TRACE("adversary=" + config.adversary + " n=" + std::to_string(config.params.n));
+  EXPECT_EQ(fixed.result.report.all_ok(), exact.result.report.all_ok());
+  EXPECT_EQ(fixed.result.max_accepted, exact.result.max_accepted);
+  EXPECT_EQ(fixed.result.min_accepted, exact.result.min_accepted);
+  EXPECT_EQ(fixed.result.total_rejected, exact.result.total_rejected);
+  ASSERT_EQ(fixed.result.named.size(), exact.result.named.size());
+  for (std::size_t i = 0; i < fixed.result.named.size(); ++i) {
+    EXPECT_EQ(fixed.result.named[i].original_id, exact.result.named[i].original_id);
+    EXPECT_EQ(fixed.result.named[i].new_name, exact.result.named[i].new_name);
+    EXPECT_EQ(fixed.result.named[i].decided_round, exact.result.named[i].decided_round);
+  }
+  // The strong form: per-round metrics timeseries and the complexity
+  // audit verdict are byte-identical documents.
+  EXPECT_EQ(fixed.metrics_jsonl, exact.metrics_jsonl);
+  EXPECT_EQ(fixed.audit_jsonl, exact.audit_jsonl);
+}
+
+core::ScenarioConfig op_config(int n, const std::string& adversary, std::uint64_t seed) {
+  core::ScenarioConfig config;
+  config.params = {.n = n, .t = (n - 1) / 3};
+  config.adversary = adversary;
+  config.seed = seed;
+  return config;
+}
+
+TEST(OracleCrossCheck, EveryAdversaryByteIdenticalAtSmallN) {
+  for (const std::string& adversary : adversary::adversary_names()) {
+    for (const int n : {13, 16}) {
+      expect_kernels_identical(op_config(n, adversary, 77));
+    }
+  }
+}
+
+TEST(OracleCrossCheck, SplitWorldByteIdenticalAtN64) {
+  expect_kernels_identical(op_config(64, "split", 21));
+}
+
+TEST(OracleCrossCheck, FaultPlansByteIdentical) {
+  const char* plans[] = {
+      "drop:0.2",
+      "dup:0.5+delay:1.0x2",
+      "crash:2@3..5",
+      "restart:4@5,scramble",
+      "forge:3x0.5@2..4",
+  };
+  for (const char* plan : plans) {
+    for (const char* adversary : {"silent", "split"}) {
+      core::ScenarioConfig config = op_config(13, adversary, 5);
+      config.fault_plan = sim::parse_fault_plan(plan);
+      config.extra_rounds = 8;  // injected faults may defer decisions
+      SCOPED_TRACE(std::string("plan=") + plan);
+      expect_kernels_identical(config);
+    }
+  }
+}
+
+TEST(OracleCrossCheck, CampaignsAgreeAcrossKernelsAndThreadCounts) {
+  const auto run = [](const char* kernel, int threads) {
+    const exp::CampaignSpec spec = exp::parse_campaign_spec(
+        std::string("nt=13:4,16:5;adversary=split,asymflood,random;reps=2;seed=9;kernel=") +
+        kernel);
+    exp::CampaignOptions options;
+    options.threads = threads;
+    return exp::run_campaign(spec, options);
+  };
+  const exp::CampaignResult reference = run("exact", 1);
+  for (const char* kernel : {"fixed", "exact"}) {
+    for (const int threads : {1, 8}) {
+      if (std::string(kernel) == "exact" && threads == 1) continue;
+      const exp::CampaignResult other = run(kernel, threads);
+      SCOPED_TRACE(std::string("kernel=") + kernel + " threads=" + std::to_string(threads));
+      ASSERT_EQ(other.runs.size(), reference.runs.size());
+      for (std::size_t i = 0; i < reference.runs.size(); ++i) {
+        const exp::RunRecord& a = reference.runs[i];
+        const exp::RunRecord& b = other.runs[i];
+        EXPECT_EQ(a.seed, b.seed);
+        EXPECT_EQ(a.ok, b.ok);
+        EXPECT_EQ(a.terminated, b.terminated);
+        EXPECT_EQ(a.rounds, b.rounds);
+        EXPECT_EQ(a.max_name, b.max_name);
+        EXPECT_EQ(a.messages, b.messages);
+        EXPECT_EQ(a.bits, b.bits);
+        EXPECT_EQ(a.correct_messages, b.correct_messages);
+        EXPECT_EQ(a.correct_bits, b.correct_bits);
+        EXPECT_EQ(a.max_message_bits, b.max_message_bits);
+        EXPECT_EQ(a.max_correct_message_bits, b.max_correct_message_bits);
+        EXPECT_EQ(a.min_accepted, b.min_accepted);
+        EXPECT_EQ(a.max_accepted, b.max_accepted);
+        EXPECT_EQ(a.rejected_votes, b.rejected_votes);
+        EXPECT_EQ(a.violation_classes, b.violation_classes);
+      }
+    }
+  }
+}
+
+TEST(CheckKernel, LockstepShadowAgreesOnAdversarySweep) {
+  // kCheck runs the fixed engine with an exact shadow and throws
+  // std::logic_error on the first divergence — a clean all_ok run IS
+  // the assertion.
+  for (const std::string& adversary : adversary::adversary_names()) {
+    core::ScenarioConfig config = op_config(13, adversary, 31);
+    config.options.rank_kernel = core::RankKernel::kCheck;
+    const core::ScenarioResult result = core::run_scenario(config);
+    EXPECT_TRUE(result.run.terminated) << adversary;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AA substrate cross-check, including off-grid Byzantine values
+
+TEST(ByzantineAACrossCheck, OffGridInboxKeepsKernelsInLockstep) {
+  const sim::SystemParams params{.n = 7, .t = 2};
+  const int rounds = 5;
+  aa::ByzantineAAProcess fixed(params, Rational::of(1, 3), rounds, std::size_t{1} << 16,
+                               core::RankKernel::kFixed);
+  aa::ByzantineAAProcess exact(params, Rational::of(1, 3), rounds, std::size_t{1} << 16,
+                               core::RankKernel::kExact);
+  aa::ByzantineAAProcess check(params, Rational::of(1, 3), rounds, std::size_t{1} << 16,
+                               core::RankKernel::kCheck);
+  ASSERT_EQ(fixed.kernel(), core::RankKernel::kFixed);
+
+  // Off-grid fractions (1/7, 1/11) mixed with extremes: the fixed lane
+  // must detour through the exact oracle and land on the same value.
+  sim::Inbox inbox;
+  inbox.push_back({0, sim::PayloadRef(sim::AAValueMsg{Rational::of(1, 7)})});
+  inbox.push_back({1, sim::PayloadRef(sim::AAValueMsg{Rational(-1000)})});
+  inbox.push_back({2, sim::PayloadRef(sim::AAValueMsg{Rational(1000)})});
+  inbox.push_back({3, sim::PayloadRef(sim::AAValueMsg{Rational::of(-3, 11)})});
+  inbox.push_back({4, sim::PayloadRef(sim::AAValueMsg{Rational::of(5, 2)})});
+  inbox.push_back({5, sim::PayloadRef(sim::AAValueMsg{Rational(0)})});
+  inbox.push_back({6, sim::PayloadRef(sim::AAValueMsg{Rational::of(1, 3)})});
+
+  for (int round = 1; round <= rounds; ++round) {
+    fixed.on_receive(round, inbox);
+    exact.on_receive(round, inbox);
+    check.on_receive(round, inbox);
+    ASSERT_EQ(fixed.value(), exact.value()) << "round " << round;
+    ASSERT_EQ(check.value(), exact.value()) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace byzrename

@@ -72,6 +72,9 @@ void print_usage() {
       "  --adversary <name>    Byzantine strategy (default silent)\n"
       "  --seed <uint64>       run seed (default 1)\n"
       "  --iterations <int>    voting iterations override (Alg. 1 only)\n"
+      "  --rank-kernel <k>     voting arithmetic: fixed (default), exact (the\n"
+      "                        oracle), or check (both in lockstep, throw on\n"
+      "                        divergence); all three are observably identical\n"
       "  --no-validation       ABLATION: disable the Alg. 2 isValid filter\n"
       "  --ids <a,b,c,...>     explicit correct-process ids\n"
       "  --fault-plan <spec>   inject link/crash/partition faults, e.g.\n"
@@ -196,6 +199,13 @@ Options parse(int argc, char** argv) {
       options.config.seed = parse_number<std::uint64_t>(arg, next_value(i));
     } else if (arg == "--iterations") {
       options.config.options.approximation_iterations = parse_number<int>(arg, next_value(i));
+    } else if (arg == "--rank-kernel") {
+      const std::string value = next_value(i);
+      const auto kernel = core::rank_kernel_from_token(value);
+      if (!kernel.has_value()) {
+        throw CliError{"--rank-kernel expects fixed, exact, or check, got '" + value + "'"};
+      }
+      options.config.options.rank_kernel = *kernel;
     } else if (arg == "--no-validation") {
       options.config.options.validate_votes = false;
     } else if (arg == "--ids") {
