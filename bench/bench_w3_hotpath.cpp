@@ -8,11 +8,11 @@
 // bench/baseline/BENCH_hotpath.json; CI compares the N=64 macro case
 // against it (>25% regression fails the job; see docs/PERFORMANCE.md).
 //
-// Heap allocations are counted by overriding global operator new in
-// this translation unit, which makes allocs_per_round/allocs_per_run
-// exact and hardware-independent — the stable half of the baseline.
+// Heap allocations are counted through the shared obs::AllocProfiler
+// interposition (obs/prof/alloc_interpose.h, included by exactly this
+// translation unit), which makes allocs_per_round/allocs_per_run exact
+// and hardware-independent — the stable half of the baseline.
 
-#include <atomic>
 #include <chrono>
 #include <iostream>
 #include <cstdio>
@@ -32,46 +32,19 @@
 #include "obs/bench_report.h"
 #include "obs/http/exposition.h"
 #include "obs/http/http_server.h"
+#include "obs/prof/alloc_interpose.h"
+#include "obs/prof/profiler.h"
 #include "sim/network.h"
 #include "sim/process.h"
 #include "sim/rng.h"
-
-namespace {
-std::atomic<std::uint64_t> g_allocs{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void* operator new(std::size_t size, std::align_val_t align) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
-                                   (size + static_cast<std::size_t>(align) - 1) &
-                                       ~(static_cast<std::size_t>(align) - 1))) {
-    return p;
-  }
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size, std::align_val_t align) {
-  return ::operator new(size, align);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
 
 namespace {
 
 using namespace byzrename;
 using numeric::Rational;
 using Clock = std::chrono::steady_clock;
+
+std::uint64_t alloc_count() { return obs::prof::AllocProfiler::process_counts().count; }
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -114,11 +87,11 @@ Measurement bench_fanout(int n, int rounds) {
                        sim::Rng(7));
   // Warm one round so pooled buffers reach steady state before counting.
   network.run_round(1);
-  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t allocs_before = alloc_count();
   const auto start = Clock::now();
   for (int r = 0; r < rounds; ++r) network.run_round(r + 2);
   const double elapsed = seconds_since(start);
-  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  const std::uint64_t allocs = alloc_count() - allocs_before;
   return {elapsed / rounds, static_cast<double>(allocs) / rounds};
 }
 
@@ -141,7 +114,7 @@ Measurement bench_trimmed_mean(int n, int steps) {
     std::set<sim::Id> working = accepted;
     (void)core::approximate(params, working, mine, votes);
   }
-  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t allocs_before = alloc_count();
   const auto start = Clock::now();
   for (int s = 0; s < steps; ++s) {
     std::set<sim::Id> working = accepted;
@@ -149,25 +122,30 @@ Measurement bench_trimmed_mean(int n, int steps) {
     if (result.new_ranks.empty()) std::abort();  // defeat dead-code elimination
   }
   const double elapsed = seconds_since(start);
-  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  const std::uint64_t allocs = alloc_count() - allocs_before;
   return {elapsed / steps, static_cast<double>(allocs) / steps};
 }
 
 /// Full Alg. 1 run (selection + voting + decision) under the split-world
-/// adversary — the macro case the CI perf gate tracks at N=64.
-Measurement bench_macro_op(int n, int reps) {
+/// adversary — the macro case the CI perf gate tracks at N=64. With
+/// @p profiler attached, the run is phase-attributed through the full
+/// obs/prof plane (scope tree + per-round phase hooks), which is how
+/// the profiler-overhead gate measures what `byzrename --profile`
+/// costs.
+Measurement bench_macro_op(int n, int reps, obs::prof::Profiler* profiler = nullptr) {
   core::ScenarioConfig config;
   config.params = {.n = n, .t = (n - 1) / 3};
   config.adversary = "split";
   config.seed = 21;
+  config.profiler = profiler;
 
   // Deterministic alloc count from a single scored rep.
-  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t allocs_before = alloc_count();
   {
     const core::ScenarioResult result = core::run_scenario(config);
     if (!result.report.all_ok()) std::abort();
   }
-  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  const std::uint64_t allocs = alloc_count() - allocs_before;
 
   double best = 0;
   for (int rep = 0; rep < reps; ++rep) {
@@ -209,11 +187,11 @@ Measurement bench_voting_round(int n, int steps) {
   engine.step(inbox, timely, accepted, rejected);
   engine.step(inbox, timely, accepted, rejected);
 
-  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t allocs_before = alloc_count();
   const auto start = Clock::now();
   for (int s = 0; s < steps; ++s) engine.step(inbox, timely, accepted, rejected);
   const double elapsed = seconds_since(start);
-  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  const std::uint64_t allocs = alloc_count() - allocs_before;
   if (allocs != 0) {
     std::fprintf(stderr,
                  "voting_round_n%d: %llu heap allocations in %d steady-state "
@@ -222,6 +200,57 @@ Measurement bench_voting_round(int n, int steps) {
     std::abort();
   }
   if (accepted.size() != static_cast<std::size_t>(n)) std::abort();
+  return {elapsed / steps, static_cast<double>(allocs) / steps};
+}
+
+/// The warmed fixed-kernel voting step again, but with every scored
+/// step bracketed by an obs::prof::Scope on a live Profiler — the
+/// steady-state cost of phase attribution itself. The warm-up steps
+/// also run under the scope so the node is interned (its one-time
+/// allocation) before counting starts; after that, a profiled voting
+/// step must still allocate exactly zero bytes, enforced with the same
+/// abort gate as the unprofiled row.
+Measurement bench_voting_round_prof(int n, int steps) {
+  const int t = (n - 1) / 3;
+  const sim::SystemParams params{.n = n, .t = t};
+  core::RenamingOptions options;
+  core::FixedVotingEngine engine(params, options,
+                                 core::default_approximation_iterations(t));
+  if (!engine.enabled()) std::abort();
+
+  std::set<sim::Id> accepted;
+  for (int i = 0; i < n; ++i) accepted.insert(i + 1);
+  engine.assign_initial_ranks(accepted);
+  const std::set<sim::Id> timely = accepted;
+
+  const sim::PayloadRef vote = engine.encode_ranks();
+  sim::Inbox inbox;
+  for (int link = 0; link < n; ++link) inbox.push_back({link, vote});
+
+  obs::prof::Profiler profiler;
+  int rejected = 0;
+  for (int warm = 0; warm < 2; ++warm) {
+    obs::prof::Scope scope(&profiler, "voting step");
+    engine.step(inbox, timely, accepted, rejected);
+  }
+
+  const std::uint64_t allocs_before = alloc_count();
+  const auto start = Clock::now();
+  for (int s = 0; s < steps; ++s) {
+    obs::prof::Scope scope(&profiler, "voting step");
+    engine.step(inbox, timely, accepted, rejected);
+  }
+  const double elapsed = seconds_since(start);
+  const std::uint64_t allocs = alloc_count() - allocs_before;
+  if (allocs != 0) {
+    std::fprintf(stderr,
+                 "voting_round_prof_n%d: %llu heap allocations in %d profiled "
+                 "steady-state voting steps (expected 0 — the profiler must "
+                 "stay allocation-free once its nodes are interned)\n",
+                 n, static_cast<unsigned long long>(allocs), steps);
+    std::abort();
+  }
+  if (profiler.snapshot().nodes.empty()) std::abort();
   return {elapsed / steps, static_cast<double>(allocs) / steps};
 }
 
@@ -248,13 +277,43 @@ int main() {
     emit("trimmed_mean_n" + std::to_string(n), bench_trimmed_mean(n, n >= 64 ? 10 : 40),
          "ms/step", 1e3);
   }
+  Measurement macro_n64;
   for (const int n : {16, 64, 128, 256}) {
-    emit("macro_op_n" + std::to_string(n), bench_macro_op(n, n >= 128 ? 1 : 3), "s/run ", 1.0);
+    const Measurement m = bench_macro_op(n, n >= 128 ? 1 : 3);
+    if (n == 64) macro_n64 = m;
+    emit("macro_op_n" + std::to_string(n), m, "s/run ", 1.0);
   }
+
+  {
+    // The profiler-overhead gate (docs/PERFORMANCE.md): the N=64 macro
+    // case once more with a live obs/prof Profiler attached — scope
+    // tree, per-round phase hooks, hardware counters where available.
+    // Compared against the macro_op_n64 best-of measured seconds ago in
+    // this same process (machine-relative, so the gate is immune to
+    // host speed), the profiled run must stay within +5% plus a 2 ms
+    // absolute epsilon that absorbs timer jitter on the ~150 ms base.
+    obs::prof::Profiler profiler;
+    const Measurement prof = bench_macro_op(64, 3, &profiler);
+    emit("macro_op_prof_n64", prof, "s/run ", 1.0);
+    const double bound = macro_n64.unit_seconds * 1.05 + 2e-3;
+    if (prof.unit_seconds > bound) {
+      std::fprintf(stderr,
+                   "macro_op_prof_n64: profiled run took %.6f s vs %.6f s "
+                   "unprofiled (bound %.6f s = +5%% + 2 ms) — the profiler "
+                   "hot path got too expensive\n",
+                   prof.unit_seconds, macro_n64.unit_seconds, bound);
+      std::abort();
+    }
+  }
+
   for (const int n : {128, 1024}) {
     emit("voting_round_n" + std::to_string(n), bench_voting_round(n, n >= 1024 ? 5 : 20),
          "ms/step", 1e3);
   }
+  // Phase attribution on the smallest hot unit we have: a profiled
+  // steady-state voting step must cost microseconds more, not allocate
+  // (bench_voting_round_prof aborts otherwise).
+  emit("voting_round_prof_n128", bench_voting_round_prof(128, 20), "ms/step", 1e3);
   if (const char* full = std::getenv("BYZRENAME_BENCH_N1024");
       full != nullptr && full[0] == '1') {
     // The full N=1024 Alg. 1 instance (split adversary): minutes of

@@ -16,6 +16,14 @@
 // Latency is measured per instance from submit-admission to
 // completion (queueing included — that is what a service client
 // experiences), reported as p50/p99/mean milliseconds.
+//
+// Heap allocations are counted through the shared obs::AllocProfiler
+// interposition (obs/prof/alloc_interpose.h — the one definition of
+// the counting operator new this binary gets): allocs-per-instance for
+// the concurrent soak (scheduler + queueing overhead included) and for
+// the serial ground-truth pass (pure evaluate_scenario cost). The
+// serial figure is single-threaded and deterministic; the soak figure
+// moves with thread interleaving and is informational.
 
 #include <algorithm>
 #include <atomic>
@@ -35,12 +43,15 @@
 #include "core/algorithm.h"
 #include "exp/repro.h"
 #include "obs/bench_report.h"
+#include "obs/prof/alloc_interpose.h"
 #include "svc/api.h"
 #include "svc/scheduler.h"
 
 namespace {
 
 using namespace byzrename;
+
+std::uint64_t alloc_count() { return obs::prof::AllocProfiler::process_counts().count; }
 
 constexpr std::size_t kDefaultInstances = 10000;
 constexpr int kDefaultThreads = 8;
@@ -187,7 +198,10 @@ int main(int argc, char** argv) {
   std::printf("W4 — service soak: %zu instances, %zu tenants, %d worker threads\n", instances,
               kTenantCount, threads);
 
+  const std::uint64_t soak_allocs_before = alloc_count();
   SoakResult soak = run_soak(instances, threads);
+  const double soak_allocs_per_instance =
+      static_cast<double>(alloc_count() - soak_allocs_before) / static_cast<double>(instances);
 
   if (soak.verdicts.size() != instances) {
     std::fprintf(stderr, "FATAL: %zu instances submitted, %zu verdicts polled\n", instances,
@@ -199,6 +213,7 @@ int main(int argc, char** argv) {
   // scheduler — exp::evaluate_scenario exactly as `byzrename
   // --verdict-out` would produce them.
   const auto serial_start = std::chrono::steady_clock::now();
+  const std::uint64_t serial_allocs_before = alloc_count();
   std::size_t mismatches = 0;
   for (std::size_t index = 0; index < instances; ++index) {
     const exp::ReproScenario scenario = scenario_for(index);
@@ -214,6 +229,9 @@ int main(int argc, char** argv) {
     }
   }
   const double serial_seconds = seconds_since(serial_start);
+  const double serial_allocs_per_instance =
+      static_cast<double>(alloc_count() - serial_allocs_before) /
+      static_cast<double>(instances);
 
   std::sort(soak.latencies.begin(), soak.latencies.end());
   const auto percentile = [&](double p) {
@@ -243,6 +261,8 @@ int main(int argc, char** argv) {
   std::printf("%-28s %12llu\n", "admission_rejections",
               static_cast<unsigned long long>(soak.rejections));
   std::printf("%-28s %12zu\n", "verdict_mismatches", mismatches);
+  std::printf("%-28s %12.1f\n", "soak_allocs_per_instance", soak_allocs_per_instance);
+  std::printf("%-28s %12.1f\n", "serial_allocs_per_instance", serial_allocs_per_instance);
 
   reporter.write_series("soak",
                         {{"instances", static_cast<double>(instances)},
@@ -252,9 +272,11 @@ int main(int argc, char** argv) {
                          {"latency_p99_ms", p99_ms},
                          {"latency_mean_ms", mean_ms},
                          {"admission_rejections", static_cast<double>(soak.rejections)},
-                         {"verdict_mismatches", static_cast<double>(mismatches)}});
+                         {"verdict_mismatches", static_cast<double>(mismatches)},
+                         {"allocs_per_instance", soak_allocs_per_instance}});
   reporter.write_series("serial", {{"instances_per_second", serial_rate},
-                                   {"speedup", service_rate / serial_rate}});
+                                   {"speedup", service_rate / serial_rate},
+                                   {"allocs_per_instance", serial_allocs_per_instance}});
   reporter.announce(std::cout);
 
   if (mismatches != 0) {

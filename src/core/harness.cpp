@@ -14,6 +14,8 @@
 #include "baselines/crash_renaming.h"
 #include "core/fast_renaming.h"
 #include "core/op_renaming.h"
+#include "obs/prof/phase_profile.h"
+#include "obs/prof/profiler.h"
 #include "obs/telemetry.h"
 #include "sim/rng.h"
 #include "translate/crash_to_byzantine.h"
@@ -171,6 +173,12 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   }
   const int correct_count = params.n - faults;
 
+  // Profiler attachment: ambient for caller-defined scopes under the
+  // call tree, plus the harness's own setup/run/check top-level scopes.
+  // Everything below is a read-only observation — see ScenarioConfig.
+  obs::prof::ThreadProfilerGuard profiler_guard(config.profiler);
+  obs::prof::Scope setup_scope(config.profiler, "setup");
+
   // Ids: correct processes sit at indices 0..correct_count-1 in id order;
   // the faulty tail receives "natural" ids interleaved with them.
   std::vector<sim::Id> correct_ids = config.correct_ids;
@@ -269,6 +277,14 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   ScenarioResult result;
   result.target_namespace = namespace_size(config.algorithm, params);
   const int budget = expected_steps(config.algorithm, params, options) + config.extra_rounds;
+  const bool uses_iterations = config.algorithm == Algorithm::kOpRenaming ||
+                               config.algorithm == Algorithm::kOpRenamingConstantTime ||
+                               config.algorithm == Algorithm::kCrashRenaming ||
+                               config.algorithm == Algorithm::kTranslatedRenaming;
+  const int resolved_iterations = !uses_iterations ? -1
+                                  : options.approximation_iterations >= 0
+                                      ? options.approximation_iterations
+                                      : default_approximation_iterations(params.t);
 
   // Fan the runner's single observer slot out to the caller's probe and
   // the telemetry sampler; with neither attached the run pays nothing.
@@ -284,14 +300,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     info.faults = faults;
     info.adversary = config.adversary;
     info.seed = config.seed;
-    const bool uses_iterations = config.algorithm == Algorithm::kOpRenaming ||
-                                 config.algorithm == Algorithm::kOpRenamingConstantTime ||
-                                 config.algorithm == Algorithm::kCrashRenaming ||
-                                 config.algorithm == Algorithm::kTranslatedRenaming;
-    info.iterations = !uses_iterations ? -1
-                      : options.approximation_iterations >= 0
-                          ? options.approximation_iterations
-                          : default_approximation_iterations(params.t);
+    info.iterations = resolved_iterations;
     info.validate_votes = options.validate_votes;
     info.target_namespace = result.target_namespace;
     info.round_budget = budget;
@@ -300,7 +309,20 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     telemetry->begin_run(std::move(info));
     hub.add(telemetry->round_observer());
   }
-  result.run = sim::run_to_completion(network, budget, hub.as_observer());
+  setup_scope.close();
+  {
+    // Per-round phase bracketing under a "run" scope: the hook fires
+    // inside run_round only, so observer/telemetry cost stays out of
+    // the phase nodes (it lands in "run" self time instead).
+    obs::prof::Scope run_scope(config.profiler, "run");
+    std::optional<obs::prof::PhaseRoundProfiler> phase_hook;
+    if (config.profiler != nullptr) {
+      phase_hook.emplace(*config.profiler, config.algorithm, resolved_iterations);
+    }
+    result.run = sim::run_to_completion(network, budget, hub.as_observer(),
+                                        phase_hook ? &*phase_hook : nullptr);
+  }
+  obs::prof::Scope check_scope(config.profiler, "check");
 
   for (int i = 0; i < correct_count; ++i) {
     const auto slot = static_cast<std::size_t>(i);
@@ -324,6 +346,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     }
   }
   if (result.min_accepted == static_cast<std::size_t>(-1)) result.min_accepted = 0;
+  check_scope.close();
   if (telemetry != nullptr) telemetry->end_run(result);
   return result;
 }

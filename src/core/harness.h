@@ -18,6 +18,10 @@ namespace byzrename::obs {
 class Telemetry;
 }  // namespace byzrename::obs
 
+namespace byzrename::obs::prof {
+class Profiler;
+}  // namespace byzrename::obs::prof
+
 namespace byzrename::core {
 
 /// Creates a correct-process behavior for the given protocol. Also used
@@ -72,6 +76,16 @@ struct ScenarioConfig {
   obs::Telemetry* telemetry = nullptr;
   /// Free-form label copied into telemetry reports (bench row id etc).
   std::string telemetry_label;
+  /// Optional profiler (obs/prof/profiler.h). When attached the harness
+  /// opens "setup" / "run" / "check" scopes, brackets every round with
+  /// its phase scope ("run;voting k=2", core/phase.h taxonomy), and
+  /// installs the profiler as the thread's ambient profiler so
+  /// caller-defined prof::AmbientScope sites report into the same tree.
+  /// Strictly read-only like telemetry: attaching one cannot change any
+  /// run result. One profiler instruments one run at a time (its scope
+  /// stack is per-run state); campaign workers attach a fresh local one
+  /// per run. Null costs nothing.
+  obs::prof::Profiler* profiler = nullptr;
 };
 
 /// Everything a test or bench wants to know about one run.
@@ -110,7 +124,7 @@ struct ScenarioResult {
 ///    seeded sim::Rng instances local to the run.
 ///
 /// The caller-supplied attachments are the exception: observer,
-/// event_log, and telemetry are invoked on the calling thread and must
+/// event_log, telemetry, and profiler are invoked on the calling thread and must
 /// not be shared across concurrent runs unless they synchronize
 /// internally (obs::RunReportSink buffers per-run state — one sink per
 /// in-flight run; see obs/run_report.h). Anyone adding a cache or

@@ -12,6 +12,7 @@
 #include "exp/executor.h"
 #include "exp/progress.h"
 #include "exp/repro.h"
+#include "obs/prof/profiler.h"
 #include "obs/run_report.h"
 #include "obs/telemetry.h"
 #include "sim/rng.h"
@@ -175,6 +176,7 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
   result.runs.resize(total_runs);
   result.aggregates.reserve(result.cells.size());
   for (const CampaignCell& cell : result.cells) result.aggregates.push_back(make_aggregate(cell));
+  if (options.profile) result.profiles.resize(result.cells.size());
 
   Executor executor(options.threads);
   result.threads = executor.threads();
@@ -227,6 +229,10 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
     // frame until the cell mutex is held (RunRecord deliberately does
     // not carry per-round vectors).
     std::vector<sim::RoundMetrics> per_round_copy;
+    // Profile tree of the successful attempt, same lifecycle: one fresh
+    // profiler per attempt (its scope stack is per-run state), snapshot
+    // taken on this worker's frame, merged under the cell mutex.
+    std::optional<obs::prof::ProfileSnapshot> profile_copy;
 
     // Retry-then-quarantine: exceptions and watchdog timeouts are
     // infrastructure failures, so the run gets fresh attempts; a checker
@@ -256,9 +262,15 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
         config.telemetry = &telemetry;
         config.telemetry_label = cell_key(cell) + "/rep" + std::to_string(rep);
       }
+      std::optional<obs::prof::Profiler> profiler;
+      if (options.profile) {
+        profiler.emplace();
+        config.profiler = &*profiler;
+      }
       try {
         const core::ScenarioResult scenario = core::run_scenario(config);
         if (options.round_stats) per_round_copy = scenario.run.metrics.per_round();
+        if (profiler) profile_copy = profiler->snapshot();
         record.ok = scenario.report.all_ok();
         record.failure = record.ok ? FailureKind::kNone : FailureKind::kViolation;
         record.terminated = scenario.run.terminated;
@@ -305,6 +317,9 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
       fold_run(result.aggregates[slot], record);
       if (options.round_stats && !record.quarantined) {
         fold_round_stats(result.aggregates[slot], record, per_round_copy);
+      }
+      if (profile_copy && !record.quarantined) {
+        result.profiles[slot].merge(*profile_copy);
       }
     }
     if (record.quarantined) {

@@ -15,6 +15,7 @@
 #include "core/params.h"
 #include "exp/repro.h"
 #include "exp/stats.h"
+#include "obs/prof/profile_io.h"
 #include "sim/fault.h"
 #include "sim/types.h"
 
@@ -233,6 +234,14 @@ struct CampaignOptions {
   /// Extra attempts after a run throws or times out, before it is
   /// quarantined. Checker violations are results, never retried.
   int quarantine_retries = 1;
+  /// Attach a fresh obs/prof profiler to every run and merge the
+  /// snapshots into CampaignResult::profiles (one phase-attributed
+  /// aggregate per cell, byzrename.profile/1 kind "cell"). Count-based
+  /// aggregate fields stay byte-identical across --threads values: the
+  /// profiler observes, never steers, and per-run allocation attribution
+  /// is thread-local. Off by default — per-round scope bracketing is
+  /// cheap but not free at sweep volume.
+  bool profile = false;
   /// Live progress observer (exp/progress.h), fed from worker threads
   /// and scraped by the obs/http /progress endpoint. Strictly read-only
   /// with respect to results: attaching one cannot change any
@@ -261,6 +270,10 @@ struct CampaignResult {
   std::vector<RunRecord> runs;
   /// One aggregate per entry of `cells`, same order.
   std::vector<CellAggregate> aggregates;
+  /// Per-cell profile aggregates, same order as `cells`; empty unless
+  /// CampaignOptions::profile. Quarantined runs never merge (their
+  /// trees describe an aborted attempt, not a measurement).
+  std::vector<obs::prof::ProfileAggregate> profiles;
   int threads = 1;
   double wall_seconds = 0.0;  ///< volatile whole-campaign wall clock
   std::size_t executed = 0;

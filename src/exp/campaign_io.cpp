@@ -154,4 +154,15 @@ void print_campaign_table(std::ostream& os, const CampaignResult& result) {
      << result.steals << " steal(s), " << result.wall_seconds << "s\n";
 }
 
+void write_campaign_profiles(std::ostream& os, const CampaignSpec& spec,
+                             const CampaignResult& result) {
+  if (result.profiles.size() != result.cells.size()) return;
+  for (std::size_t slot = 0; slot < result.cells.size(); ++slot) {
+    obs::prof::write_profile_aggregate_json(os, result.profiles[slot], spec.name,
+                                            cell_key(result.cells[slot]),
+                                            result.cells[slot].index);
+  }
+  os.flush();
+}
+
 }  // namespace byzrename::exp

@@ -25,6 +25,14 @@ void write_campaign_summary(std::ostream& os, const CampaignSpec& spec,
 /// campaign CLI's default (non-quiet) output.
 void print_campaign_table(std::ostream& os, const CampaignResult& result);
 
+/// Writes one byzrename.profile/1 kind-"cell" line per cell of @p
+/// result, in cell order. No-op unless the campaign ran with
+/// CampaignOptions::profile. Count-based fields are deterministic at
+/// any thread count; wall/CPU/hardware counters ride inside each node's
+/// `volatile` object (obs/schema.h has the strip recipe).
+void write_campaign_profiles(std::ostream& os, const CampaignSpec& spec,
+                             const CampaignResult& result);
+
 }  // namespace byzrename::exp
 
 #endif  // BYZRENAME_EXP_CAMPAIGN_IO_H

@@ -133,12 +133,24 @@ ProgressTracker::Snapshot ProgressTracker::snapshot() const {
       snap.total_runs > snap.completed ? snap.total_runs - snap.completed : 0;
   if (snap.done || remaining == 0) {
     snap.eta_seconds = 0.0;
+    snap.rate_source = snap.runs_per_second > 0.0 ? "ewma"
+                       : snap.runs_per_second_mean > 0.0 ? "mean"
+                                                         : "none";
   } else {
     // Prefer the EWMA (tracks the current cell mix); until it has a
-    // sample, the campaign mean is the only estimate available.
-    const double rate =
-        snap.runs_per_second > 0.0 ? snap.runs_per_second : snap.runs_per_second_mean;
-    snap.eta_seconds = rate > 0.0 ? static_cast<double>(remaining) / rate : -1.0;
+    // sample, the campaign mean is the only estimate available. The
+    // snapshot says which one fed the ETA so consumers don't have to
+    // guess why the estimate jumped when the EWMA warmed up.
+    if (snap.runs_per_second > 0.0) {
+      snap.rate_source = "ewma";
+      snap.eta_seconds = static_cast<double>(remaining) / snap.runs_per_second;
+    } else if (snap.runs_per_second_mean > 0.0) {
+      snap.rate_source = "mean";
+      snap.eta_seconds = static_cast<double>(remaining) / snap.runs_per_second_mean;
+    } else {
+      snap.rate_source = "none";
+      snap.eta_seconds = -1.0;
+    }
   }
   snap.cells.reserve(cell_count_);
   for (std::size_t slot = 0; slot < cell_count_; ++slot) {
@@ -173,7 +185,8 @@ void ProgressTracker::write_progress_json(std::ostream& os) const {
       .field("elapsed_seconds", snap.elapsed_seconds)
       .field("runs_per_second", snap.runs_per_second)
       .field("runs_per_second_mean", snap.runs_per_second_mean)
-      .field("eta_seconds", snap.eta_seconds);
+      .field("eta_seconds", snap.eta_seconds)
+      .field("rate_source", snap.rate_source);
   json.key("workers").begin_object();
   json.field("total", snap.workers).field("busy", snap.workers_busy);
   json.end_object();

@@ -59,6 +59,11 @@ class ProgressTracker {
     double runs_per_second_mean = 0.0;
     /// Estimated seconds to completion; negative = not yet estimable.
     double eta_seconds = -1.0;
+    /// Which throughput produced eta_seconds: "ewma" (warm EWMA),
+    /// "mean" (EWMA cold, whole-campaign mean used instead), or "none"
+    /// (no rate yet; eta_seconds carries the -1 sentinel). Disambiguates
+    /// an ETA that would otherwise silently switch estimators.
+    const char* rate_source = "none";
     std::vector<CellSnapshot> cells;
   };
 

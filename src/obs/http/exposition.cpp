@@ -7,6 +7,13 @@
 #include <string>
 #include <utility>
 
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+#include "obs/http/buildinfo.h"
+#include "obs/metrics_registry.h"
+
 namespace byzrename::obs {
 
 void ExpositionHub::write(std::ostream& os) const {
@@ -32,6 +39,49 @@ std::uint64_t proc_status_kb(const std::string& key) {
   return 0;
 }
 
+/// Unix start time of this process in seconds, or a negative value when
+/// it cannot be determined (non-Linux, unreadable procfs). Combines
+/// /proc/self/stat field 22 (start ticks after boot; parsed after the
+/// last ')' because the comm field may contain spaces and parentheses)
+/// with /proc/stat's btime (boot epoch seconds).
+double process_start_epoch_seconds() {
+#ifdef __linux__
+  std::ifstream self_stat("/proc/self/stat");
+  if (!self_stat.is_open()) return -1.0;
+  std::string stat_line;
+  std::getline(self_stat, stat_line);
+  const std::size_t comm_end = stat_line.rfind(')');
+  if (comm_end == std::string::npos) return -1.0;
+  std::istringstream fields(stat_line.substr(comm_end + 1));
+  // Fields 3..21 precede starttime (field 22); field 2 was comm.
+  std::string skip;
+  for (int field = 3; field < 22; ++field) {
+    if (!(fields >> skip)) return -1.0;
+  }
+  std::uint64_t start_ticks = 0;
+  if (!(fields >> start_ticks)) return -1.0;
+
+  std::ifstream proc_stat("/proc/stat");
+  if (!proc_stat.is_open()) return -1.0;
+  std::string line;
+  std::int64_t boot_epoch = -1;
+  while (std::getline(proc_stat, line)) {
+    if (line.rfind("btime ", 0) != 0) continue;
+    std::istringstream btime(line.substr(6));
+    if (!(btime >> boot_epoch)) return -1.0;
+    break;
+  }
+  if (boot_epoch < 0) return -1.0;
+
+  const long ticks_per_second = ::sysconf(_SC_CLK_TCK);
+  if (ticks_per_second <= 0) return -1.0;
+  return static_cast<double>(boot_epoch) +
+         static_cast<double>(start_ticks) / static_cast<double>(ticks_per_second);
+#else
+  return -1.0;
+#endif
+}
+
 }  // namespace
 
 void write_process_metrics(std::ostream& os) {
@@ -47,6 +97,27 @@ void write_process_metrics(std::ostream& os) {
        << "# TYPE process_resident_memory_peak_bytes gauge\n"
        << "process_resident_memory_peak_bytes " << peak_kb * 1024 << '\n';
   }
+  // Absent-not-zero, like the memory gauges: a start time of 0 would be
+  // 1970 and an aggregator would happily compute a 55-year uptime.
+  const double start_epoch = process_start_epoch_seconds();
+  if (start_epoch >= 0.0) {
+    os << "# HELP process_start_time_seconds Start time of the process since unix epoch.\n"
+       << "# TYPE process_start_time_seconds gauge\n"
+       << "process_start_time_seconds " << start_epoch << '\n';
+  }
+  // The /buildinfo identity as a value-1 info gauge, so every scrape
+  // can be joined to the exact build that produced it without a second
+  // HTTP round trip.
+  const BuildInfo& info = build_info();
+  os << "# HELP byzrename_build_info Build identity of the serving binary (value is always 1).\n"
+     << "# TYPE byzrename_build_info gauge\n"
+     << "byzrename_build_info{version=\"";
+  write_prometheus_label_value(os, info.version);
+  os << "\",git_sha=\"";
+  write_prometheus_label_value(os, info.git_sha);
+  os << "\",build_type=\"";
+  write_prometheus_label_value(os, info.build_type);
+  os << "\"} 1\n";
 }
 
 void mount_prometheus(HttpServer& server, const ExpositionHub& hub) {

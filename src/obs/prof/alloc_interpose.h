@@ -1,0 +1,69 @@
+#ifndef BYZRENAME_OBS_PROF_ALLOC_INTERPOSE_H
+#define BYZRENAME_OBS_PROF_ALLOC_INTERPOSE_H
+
+// Global operator new/delete replacement that feeds obs::AllocProfiler.
+//
+// Include this header in EXACTLY ONE translation unit of a binary that
+// wants allocation accounting (the benches' main files, the CLI tools).
+// Replaceable allocation functions must be ordinary non-inline
+// definitions, so a second including TU in the same binary is a
+// duplicate-symbol link error — which is the guard against accidentally
+// double-counting, not a limitation to work around.
+//
+// The stubs forward the raw size to prof::detail::note_alloc and then
+// to std::malloc / std::aligned_alloc, the same shape the original
+// bench_w3_hotpath interposition used (verified under the ASan/UBSan CI
+// matrix: a user-provided operator new takes precedence over the
+// sanitizer's and its malloc call is still intercepted, so leak checks
+// keep working). Deallocation is left uncounted on purpose — see
+// AllocProfiler's header comment.
+
+#include <cstdlib>
+#include <new>
+
+#include "obs/prof/alloc_profiler.h"
+
+namespace byzrename::obs::prof::detail {
+/// Flags interposed() at static-init time, before main.
+inline const bool alloc_interpose_registered = (mark_interposed(), true);
+}  // namespace byzrename::obs::prof::detail
+
+void* operator new(std::size_t size) {
+  byzrename::obs::prof::detail::note_alloc(size);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  byzrename::obs::prof::detail::note_alloc(size);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+// GCC's -Wmismatched-new-delete pairs an inlined free() here with the
+// (non-inlined) replaced operator new at some call sites and flags a
+// mismatch; the pairing is correct — every pointer the news above
+// return came from malloc/aligned_alloc.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // BYZRENAME_OBS_PROF_ALLOC_INTERPOSE_H

@@ -1,0 +1,42 @@
+#include "obs/prof/alloc_profiler.h"
+
+#include <atomic>
+
+namespace byzrename::obs::prof {
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+std::atomic<bool> g_interposed{false};
+
+/// Trivially constructible/destructible: no TLS guard variable, no
+/// destructor ordering hazard when operator delete runs during thread
+/// teardown (we never touch it from deallocation anyway).
+thread_local AllocCounts t_alloc_counts;
+
+}  // namespace
+
+void detail::note_alloc(std::size_t size) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  t_alloc_counts.count += 1;
+  t_alloc_counts.bytes += size;
+}
+
+void detail::mark_interposed() noexcept {
+  g_interposed.store(true, std::memory_order_relaxed);
+}
+
+bool AllocProfiler::interposed() noexcept {
+  return g_interposed.load(std::memory_order_relaxed);
+}
+
+AllocCounts AllocProfiler::process_counts() noexcept {
+  return {g_alloc_count.load(std::memory_order_relaxed),
+          g_alloc_bytes.load(std::memory_order_relaxed)};
+}
+
+AllocCounts AllocProfiler::thread_counts() noexcept { return t_alloc_counts; }
+
+}  // namespace byzrename::obs::prof

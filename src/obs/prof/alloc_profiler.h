@@ -1,0 +1,66 @@
+#ifndef BYZRENAME_OBS_PROF_ALLOC_PROFILER_H
+#define BYZRENAME_OBS_PROF_ALLOC_PROFILER_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace byzrename::obs::prof {
+
+/// Monotonic allocation totals: operator-new calls and requested bytes.
+/// Frees are deliberately not tracked — the profiler answers "how much
+/// allocation PRESSURE does this scope cause", not "what is live".
+struct AllocCounts {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Heap-allocation accounting, fed by the per-binary interposition
+/// header (obs/prof/alloc_interpose.h). The counting itself lives here
+/// in the library so it exists exactly once; a binary opts in by
+/// including the interposition header in ONE translation unit, which
+/// replaces the global operator new/delete set with forwarding stubs.
+///
+/// Two counter planes, updated on every allocation:
+///  - process totals (relaxed atomics) — what the benches diff around a
+///    measured region;
+///  - thread-local totals — what Profiler scopes diff, so one run's
+///    per-phase allocation attribution is exact and independent of
+///    whatever other campaign workers allocate concurrently. This
+///    thread-locality is what keeps per-run alloc counts byte-identical
+///    at --threads 1 vs 8.
+///
+/// In a binary that never included the interposition header every query
+/// returns zeros and interposed() is false; callers degrade to
+/// reporting "allocation counting unavailable" rather than fake zeros.
+class AllocProfiler {
+ public:
+  /// True iff this binary compiled obs/prof/alloc_interpose.h.
+  [[nodiscard]] static bool interposed() noexcept;
+
+  /// Process-wide totals since start.
+  [[nodiscard]] static AllocCounts process_counts() noexcept;
+
+  /// The calling thread's totals since thread start.
+  [[nodiscard]] static AllocCounts thread_counts() noexcept;
+};
+
+namespace detail {
+
+/// Called by the interposition stubs on every allocation. Must stay
+/// allocation-free and async-signal-tolerant: relaxed atomics plus a
+/// trivially-initialized thread_local only.
+void note_alloc(std::size_t size) noexcept;
+
+/// Static-init registration proof from the interposition header.
+void mark_interposed() noexcept;
+
+}  // namespace detail
+
+}  // namespace byzrename::obs::prof
+
+namespace byzrename::obs {
+/// The issue-facing alias: obs::AllocProfiler.
+using AllocProfiler = prof::AllocProfiler;
+}  // namespace byzrename::obs
+
+#endif  // BYZRENAME_OBS_PROF_ALLOC_PROFILER_H

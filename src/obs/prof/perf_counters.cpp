@@ -1,0 +1,98 @@
+#include "obs/prof/perf_counters.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace byzrename::obs::prof {
+
+bool PerfCounters::disabled_by_env() noexcept {
+  const char* value = std::getenv("BYZRENAME_NO_PERF");
+  return value != nullptr && value[0] == '1';
+}
+
+#ifdef __linux__
+
+namespace {
+
+/// The fixed event list, index-aligned with HwCounts' fields.
+constexpr std::uint64_t kEventConfigs[4] = {
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES,  // last-level cache misses
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+int open_event(std::uint64_t config) noexcept {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;  // user-space attribution; also lowers the
+  attr.exclude_hv = 1;      // perf_event_paranoid privilege bar
+  // pid=0, cpu=-1: this thread, on whatever CPU it runs.
+  const long fd = ::syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0UL);
+  return fd < 0 ? -1 : static_cast<int>(fd);
+}
+
+}  // namespace
+
+void PerfCounters::open() noexcept {
+  if (opened_) return;
+  opened_ = true;
+  if (disabled_by_env()) return;
+  for (int i = 0; i < 4; ++i) fds_[i] = open_event(kEventConfigs[i]);
+  for (const int fd : fds_) {
+    if (fd >= 0) {
+      available_ = true;
+      break;
+    }
+  }
+}
+
+void PerfCounters::close() noexcept {
+  for (int& fd : fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  available_ = false;
+  opened_ = false;
+}
+
+HwCounts PerfCounters::read() const noexcept {
+  HwCounts counts;
+  if (!available_) return counts;
+  std::uint64_t values[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4; ++i) {
+    if (fds_[i] < 0) continue;
+    std::uint64_t value = 0;
+    if (::read(fds_[i], &value, sizeof(value)) == sizeof(value)) values[i] = value;
+  }
+  counts.cycles = values[0];
+  counts.instructions = values[1];
+  counts.llc_misses = values[2];
+  counts.branch_misses = values[3];
+  return counts;
+}
+
+#else  // !__linux__
+
+void PerfCounters::open() noexcept { opened_ = true; }
+void PerfCounters::close() noexcept {
+  available_ = false;
+  opened_ = false;
+}
+HwCounts PerfCounters::read() const noexcept { return {}; }
+
+#endif
+
+PerfCounters::~PerfCounters() { close(); }
+
+}  // namespace byzrename::obs::prof

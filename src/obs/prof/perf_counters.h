@@ -1,0 +1,66 @@
+#ifndef BYZRENAME_OBS_PROF_PERF_COUNTERS_H
+#define BYZRENAME_OBS_PROF_PERF_COUNTERS_H
+
+#include <cstdint>
+
+namespace byzrename::obs::prof {
+
+/// One hardware-counter reading (or a delta between two readings).
+/// Counters that could not be opened stay 0, so consumers can always
+/// sum/subtract without branching on availability.
+struct HwCounts {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t branch_misses = 0;
+};
+
+/// The four fixed hardware events the profiler samples at scope
+/// boundaries, opened via the raw perf_event_open syscall (there is no
+/// libc wrapper) against the calling thread.
+///
+/// Availability is strictly best-effort — the profiler's contract is to
+/// degrade to timer-only mode, never to fail:
+///  - the syscall itself may be absent or forbidden (ENOSYS in seccomp'd
+///    CI containers, EACCES/EPERM under perf_event_paranoid >= 2 without
+///    CAP_PERFMON, ENOENT when the PMU is not exposed, e.g. many VMs);
+///  - individual events may be missing while others work (LLC-miss
+///    counters are frequently unavailable under virtualization), in
+///    which case the open events count and the rest read 0.
+/// `BYZRENAME_NO_PERF=1` forces timer-only mode, which is how the prof
+/// test suite exercises the degraded path on machines where the
+/// counters would otherwise work.
+///
+/// The events are opened with pid=0/cpu=-1: they follow the OPENING
+/// thread. Profiler opens its counters lazily on the first scope enter
+/// so they attach to the thread actually being measured.
+class PerfCounters {
+ public:
+  PerfCounters() = default;
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// Attempts to open all four events on the calling thread. Idempotent;
+  /// respects disabled_by_env(). Never throws.
+  void open() noexcept;
+  void close() noexcept;
+
+  /// True when at least one event opened.
+  [[nodiscard]] bool available() const noexcept { return available_; }
+
+  /// Current cumulative values of the open events (0 for closed ones).
+  [[nodiscard]] HwCounts read() const noexcept;
+
+  /// BYZRENAME_NO_PERF=1 in the environment: force timer-only mode.
+  [[nodiscard]] static bool disabled_by_env() noexcept;
+
+ private:
+  int fds_[4] = {-1, -1, -1, -1};
+  bool available_ = false;
+  bool opened_ = false;
+};
+
+}  // namespace byzrename::obs::prof
+
+#endif  // BYZRENAME_OBS_PROF_PERF_COUNTERS_H

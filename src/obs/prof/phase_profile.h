@@ -1,0 +1,50 @@
+#ifndef BYZRENAME_OBS_PROF_PHASE_PROFILE_H
+#define BYZRENAME_OBS_PROF_PHASE_PROFILE_H
+
+#include <cstdio>
+
+#include "core/phase.h"
+#include "obs/prof/profiler.h"
+#include "sim/runner.h"
+
+namespace byzrename::obs::prof {
+
+/// sim::RoundHook adapter that opens one profiler scope per round,
+/// named by the core/phase.h taxonomy — "selection", "echo", "ready",
+/// "voting k=<k>", "decision k=<k>" (matching core::phase_label), or
+/// "protocol" for unmodeled baselines. The harness stacks it under its
+/// "run" scope, so paths come out as "run;voting k=2".
+///
+/// The label is formatted into a fixed buffer: after each distinct
+/// round label has been interned once, per-round bracketing allocates
+/// nothing.
+class PhaseRoundProfiler final : public sim::RoundHook {
+ public:
+  /// @p iterations is the resolved voting iteration count
+  /// (core::round_phase's contract; pass <= 0 when not applicable).
+  PhaseRoundProfiler(Profiler& profiler, core::Algorithm algorithm, int iterations) noexcept
+      : profiler_(profiler), algorithm_(algorithm), iterations_(iterations) {}
+
+  void on_round_begin(sim::Round round) override {
+    const core::RoundPhase classified = core::round_phase(algorithm_, round, iterations_);
+    if (classified.voting_iteration > 0) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "%s k=%d", core::to_string(classified.phase),
+                    classified.voting_iteration);
+      profiler_.enter(label);
+    } else {
+      profiler_.enter(core::to_string(classified.phase));
+    }
+  }
+
+  void on_round_end(sim::Round) override { profiler_.exit(); }
+
+ private:
+  Profiler& profiler_;
+  core::Algorithm algorithm_;
+  int iterations_;
+};
+
+}  // namespace byzrename::obs::prof
+
+#endif  // BYZRENAME_OBS_PROF_PHASE_PROFILE_H

@@ -1,0 +1,195 @@
+#include "obs/prof/profile_io.h"
+
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "obs/http/exposition.h"
+#include "obs/json.h"
+#include "obs/metrics_registry.h"
+#include "obs/schema.h"
+
+namespace byzrename::obs::prof {
+
+namespace {
+
+/// The per-node measurement block shared by run and cell documents.
+/// Deterministic fields first, volatile (wall/CPU/hardware) nested —
+/// the campaign byte-compare gate strips `volatile` with jq and
+/// compares the rest.
+void write_node_fields(JsonWriter& json, std::string_view path, std::string_view name,
+                       int depth, std::uint64_t calls, std::uint64_t allocs,
+                       std::uint64_t alloc_bytes, std::uint64_t wall_ns,
+                       std::uint64_t cpu_ns, const HwCounts& hw) {
+  json.field("path", path)
+      .field("name", name)
+      .field("depth", depth)
+      .field("calls", calls)
+      .field("allocs", allocs)
+      .field("alloc_bytes", alloc_bytes);
+  json.key("volatile").begin_object();
+  json.field("wall_seconds", static_cast<double>(wall_ns) * 1e-9)
+      .field("cpu_seconds", static_cast<double>(cpu_ns) * 1e-9)
+      .field("cycles", hw.cycles)
+      .field("instructions", hw.instructions)
+      .field("llc_misses", hw.llc_misses)
+      .field("branch_misses", hw.branch_misses);
+  json.end_object();
+}
+
+}  // namespace
+
+void write_profile_json(std::ostream& os, const ProfileSnapshot& snapshot,
+                        std::string_view label) {
+  JsonWriter json(os);
+  json.begin_object();
+  json.field("schema", kProfileSchema).field("kind", "run");
+  if (!label.empty()) json.field("label", label);
+  json.field("hw_counters", snapshot.hw_available);
+  json.field("alloc_counting", AllocProfiler::interposed());
+  json.key("nodes").begin_array();
+  for (std::size_t i = 0; i < snapshot.nodes.size(); ++i) {
+    const ProfileNode& node = snapshot.nodes[i];
+    json.begin_object();
+    write_node_fields(json, snapshot.path(i), node.name, node.depth, node.calls,
+                      node.allocs, node.alloc_bytes, node.wall_ns, node.cpu_ns, node.hw);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  os << '\n';
+}
+
+void write_collapsed(std::ostream& os, const ProfileSnapshot& snapshot,
+                     std::string_view root) {
+  // Self time = inclusive minus the sum of children (clamped: clock
+  // jitter can make children sum slightly past the parent).
+  std::vector<std::uint64_t> child_wall(snapshot.nodes.size(), 0);
+  for (const ProfileNode& node : snapshot.nodes) {
+    if (node.parent >= 0) {
+      child_wall[static_cast<std::size_t>(node.parent)] += node.wall_ns;
+    }
+  }
+  for (std::size_t i = 0; i < snapshot.nodes.size(); ++i) {
+    const ProfileNode& node = snapshot.nodes[i];
+    const std::uint64_t self_ns =
+        node.wall_ns > child_wall[i] ? node.wall_ns - child_wall[i] : 0;
+    os << root << ';' << snapshot.path(i) << ' ' << self_ns / 1000 << '\n';
+  }
+}
+
+void write_profile_prometheus(std::ostream& os, const ProfileSnapshot& snapshot) {
+  if (snapshot.nodes.empty()) return;
+  struct Family {
+    const char* name;
+    const char* help;
+    bool hw;
+  };
+  // One pass per family keeps # HELP/# TYPE headers grouped the way the
+  // text format requires.
+  const auto emit = [&](const char* name, const char* help, auto value_of) {
+    os << "# HELP " << name << ' ' << help << '\n' << "# TYPE " << name << " counter\n";
+    for (std::size_t i = 0; i < snapshot.nodes.size(); ++i) {
+      os << name << "{scope=\"";
+      write_prometheus_label_value(os, snapshot.path(i));
+      os << "\"} " << value_of(snapshot.nodes[i]) << '\n';
+    }
+  };
+  emit("byzrename_profile_wall_seconds_total",
+       "Wall-clock seconds attributed to the scope (inclusive of children).",
+       [](const ProfileNode& n) { return static_cast<double>(n.wall_ns) * 1e-9; });
+  emit("byzrename_profile_cpu_seconds_total",
+       "Thread CPU seconds attributed to the scope (inclusive).",
+       [](const ProfileNode& n) { return static_cast<double>(n.cpu_ns) * 1e-9; });
+  emit("byzrename_profile_calls_total", "Scope enter/exit pairs.",
+       [](const ProfileNode& n) { return n.calls; });
+  emit("byzrename_profile_allocations_total",
+       "Heap allocations inside the scope (0 without alloc interposition).",
+       [](const ProfileNode& n) { return n.allocs; });
+  emit("byzrename_profile_alloc_bytes_total",
+       "Heap bytes requested inside the scope.",
+       [](const ProfileNode& n) { return n.alloc_bytes; });
+  if (snapshot.hw_available) {
+    emit("byzrename_profile_cycles_total", "CPU cycles inside the scope (perf_event).",
+         [](const ProfileNode& n) { return n.hw.cycles; });
+    emit("byzrename_profile_instructions_total",
+         "Instructions retired inside the scope (perf_event).",
+         [](const ProfileNode& n) { return n.hw.instructions; });
+    emit("byzrename_profile_llc_misses_total",
+         "Last-level cache misses inside the scope (perf_event).",
+         [](const ProfileNode& n) { return n.hw.llc_misses; });
+    emit("byzrename_profile_branch_misses_total",
+         "Branch mispredictions inside the scope (perf_event).",
+         [](const ProfileNode& n) { return n.hw.branch_misses; });
+  }
+}
+
+void mount_profile(HttpServer& server, const Profiler& profiler, std::string label) {
+  mount_json(server, "/profile", [&profiler, label = std::move(label)](std::ostream& os) {
+    write_profile_json(os, profiler.snapshot(), label);
+  });
+}
+
+void ProfileAggregate::merge(const ProfileSnapshot& snapshot) {
+  runs_ += 1;
+  hw_available_ = hw_available_ || snapshot.hw_available;
+  for (std::size_t i = 0; i < snapshot.nodes.size(); ++i) {
+    const ProfileNode& node = snapshot.nodes[i];
+    Entry& entry = entries_[snapshot.path(i)];
+    if (entry.runs == 0) {
+      entry.name = node.name;
+      entry.depth = node.depth;
+    }
+    entry.runs += 1;
+    entry.calls += node.calls;
+    entry.allocs += node.allocs;
+    entry.alloc_bytes += node.alloc_bytes;
+    entry.wall_ns += node.wall_ns;
+    entry.cpu_ns += node.cpu_ns;
+    entry.hw.cycles += node.hw.cycles;
+    entry.hw.instructions += node.hw.instructions;
+    entry.hw.llc_misses += node.hw.llc_misses;
+    entry.hw.branch_misses += node.hw.branch_misses;
+  }
+}
+
+void write_profile_aggregate_json(std::ostream& os, const ProfileAggregate& aggregate,
+                                  std::string_view campaign, std::string_view cell,
+                                  std::size_t cell_index) {
+  JsonWriter json(os);
+  json.begin_object();
+  json.field("schema", kProfileSchema)
+      .field("kind", "cell")
+      .field("campaign", campaign)
+      .field("cell", cell)
+      .field("cell_index", static_cast<std::uint64_t>(cell_index))
+      .field("runs", static_cast<std::uint64_t>(aggregate.runs()))
+      .field("hw_counters", aggregate.hw_available())
+      .field("alloc_counting", AllocProfiler::interposed());
+  json.key("nodes").begin_array();
+  for (const auto& [path, entry] : aggregate.entries()) {
+    json.begin_object();
+    json.field("path", path)
+        .field("name", entry.name)
+        .field("depth", entry.depth)
+        .field("node_runs", entry.runs)
+        .field("calls", entry.calls)
+        .field("allocs", entry.allocs)
+        .field("alloc_bytes", entry.alloc_bytes);
+    json.key("volatile").begin_object();
+    json.field("wall_seconds", static_cast<double>(entry.wall_ns) * 1e-9)
+        .field("cpu_seconds", static_cast<double>(entry.cpu_ns) * 1e-9)
+        .field("cycles", entry.hw.cycles)
+        .field("instructions", entry.hw.instructions)
+        .field("llc_misses", entry.hw.llc_misses)
+        .field("branch_misses", entry.hw.branch_misses);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  os << '\n';
+}
+
+}  // namespace byzrename::obs::prof

@@ -1,0 +1,92 @@
+#ifndef BYZRENAME_OBS_PROF_PROFILE_IO_H
+#define BYZRENAME_OBS_PROF_PROFILE_IO_H
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/prof/profiler.h"
+
+namespace byzrename::obs {
+class HttpServer;
+}  // namespace byzrename::obs
+
+namespace byzrename::obs::prof {
+
+/// One byzrename.profile/1 document (kind "run") for a single
+/// profiler's tree, on one line. Field-by-field schema in obs/schema.h;
+/// the split that matters: `calls`/`allocs`/`alloc_bytes` are
+/// deterministic, everything under each node's `volatile` object is
+/// wall-clock- or hardware-dependent.
+void write_profile_json(std::ostream& os, const ProfileSnapshot& snapshot,
+                        std::string_view label);
+
+/// Flamegraph collapsed-stack text: one `root;path value` line per
+/// node, value = SELF wall-clock microseconds (inclusive minus
+/// children), nodes in first-visit order. Feed to flamegraph.pl /
+/// inferno / speedscope as-is.
+void write_collapsed(std::ostream& os, const ProfileSnapshot& snapshot,
+                     std::string_view root = "byzrename");
+
+/// Prometheus counter families (`byzrename_profile_*_total{scope=...}`)
+/// for the ExpositionHub, so a live scrape of /metrics sees per-scope
+/// attribution next to the protocol counters. Hardware families are
+/// emitted only when counters opened — absent, not zero, per the
+/// registry convention.
+void write_profile_prometheus(std::ostream& os, const ProfileSnapshot& snapshot);
+
+/// Mounts GET /profile serving @p profiler's live tree as a
+/// byzrename.profile/1 document. The profiler must outlive the server;
+/// snapshot() does the cross-thread synchronization.
+void mount_profile(HttpServer& server, const Profiler& profiler, std::string label);
+
+/// Order-independent merge of per-run profile trees into one per-cell
+/// aggregate, keyed by full scope path. Built for the campaign engine's
+/// determinism contract: merging is commutative over runs (sums of
+/// unsigned counters into a path-sorted map), so the count-based fields
+/// of the emitted document are byte-identical at any --threads and
+/// across shards, while wall/CPU/hardware sums ride in each node's
+/// `volatile` object. Not internally synchronized — the campaign folds
+/// under its per-cell mutex, same as CellAggregate.
+class ProfileAggregate {
+ public:
+  struct Entry {
+    std::string name;  ///< leaf name (last path segment)
+    int depth = 0;
+    std::uint64_t runs = 0;  ///< runs whose tree contained this path
+    std::uint64_t calls = 0;
+    std::uint64_t allocs = 0;
+    std::uint64_t alloc_bytes = 0;
+    std::uint64_t wall_ns = 0;
+    std::uint64_t cpu_ns = 0;
+    HwCounts hw;
+  };
+
+  /// Folds one finished run's tree in.
+  void merge(const ProfileSnapshot& snapshot);
+
+  [[nodiscard]] const std::map<std::string, Entry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t runs() const noexcept { return runs_; }
+  [[nodiscard]] bool hw_available() const noexcept { return hw_available_; }
+
+ private:
+  std::map<std::string, Entry> entries_;  ///< path -> sums, sorted by path
+  std::size_t runs_ = 0;
+  bool hw_available_ = false;
+};
+
+/// One byzrename.profile/1 document (kind "cell") for a campaign cell's
+/// aggregate, on one line. Nodes emit in path-sorted order — the
+/// deterministic order merging guarantees.
+void write_profile_aggregate_json(std::ostream& os, const ProfileAggregate& aggregate,
+                                  std::string_view campaign, std::string_view cell,
+                                  std::size_t cell_index);
+
+}  // namespace byzrename::obs::prof
+
+#endif  // BYZRENAME_OBS_PROF_PROFILE_IO_H

@@ -153,6 +153,11 @@ namespace byzrename::obs {
 ///   runs_per_second_mean double  completed / elapsed
 ///   eta_seconds       double   remaining / throughput; 0 when done,
 ///                              negative while not yet estimable
+///   rate_source       string   which throughput fed eta_seconds:
+///                              "ewma" (warm EWMA), "mean" (EWMA not yet
+///                              warm, completed/elapsed used instead), or
+///                              "none" (no completions yet; eta_seconds
+///                              is the -1 sentinel)
 ///   workers           object   {total, busy} executor occupancy
 ///   cells             array    one {cell, total, completed, ok,
 ///                              violations, quarantined} per cell, in
@@ -254,6 +259,48 @@ namespace byzrename::obs {
 ///   compiler          string   compiler id + version
 ///   sanitizers        string   "address,undefined" | "thread" | "none"
 ///
+/// ## byzrename.profile/1 — phase-attributed profile tree
+///
+/// Written by the obs/prof profiling plane: `byzrename --profile-out`
+/// (kind "run"), `byzrename-campaign --profile-out` (kind "cell", one
+/// line per cell), and served live as GET /profile next to /metrics.
+/// One JSON document per line.
+///
+/// Shared envelope:
+///   schema            string   "byzrename.profile/1"
+///   kind              string   "run" | "cell"
+///   hw_counters       bool     perf_event_open delivered at least one
+///                              hardware counter; when false every
+///                              volatile counter field reads 0
+///   alloc_counting    bool     the binary interposed operator new
+///                              (obs/prof/alloc_interpose.h); when false
+///                              allocs/alloc_bytes read 0, not "no
+///                              allocations"
+///   nodes             array    the scope tree, parents before children
+///
+/// Per node, DETERMINISTIC fields (byte-identical across machines and
+/// campaign --threads counts for a fixed scenario set):
+///   path              string   semicolon-joined scope path from the
+///                              top ("run;voting k=2")
+///   name depth        string/int   leaf label and 0-based depth
+///   calls             uint64   times the scope was entered
+///   allocs alloc_bytes uint64  operator-new count/bytes attributed to
+///                              the scope's thread while it was open
+///   node_runs         uint64   (kind "cell" only) runs whose trees
+///                              contained this path
+///
+/// VOLATILE fields — wall clocks and machine counters, never compared
+/// byte-for-byte — are quarantined under one sub-object so consumers
+/// can strip them mechanically (jq 'walk(if type == "object" then
+/// del(.volatile) else . end)'):
+///   volatile          object   {wall_seconds, cpu_seconds, cycles,
+///                              instructions, llc_misses, branch_misses}
+///
+/// kind "run" adds: label (string, optional row id).
+/// kind "cell" adds: campaign, cell (string ids), cell_index (int),
+/// runs (int, trees merged into the aggregate); nodes are path-sorted
+/// and counter fields are sums over those runs.
+///
 /// ## byzrename service API (docs/SERVICE.md) — the byzrenamed daemon
 ///
 /// Request bodies are parsed with obs::parse_json (depth-capped,
@@ -319,6 +366,7 @@ inline constexpr const char* kSubmitAckSchema = "byzrename.submit-ack/1";
 inline constexpr const char* kPollSchema = "byzrename.poll/1";
 inline constexpr const char* kVerdictSchema = "byzrename.verdict/1";
 inline constexpr const char* kErrorSchema = "byzrename.error/1";
+inline constexpr const char* kProfileSchema = "byzrename.profile/1";
 
 }  // namespace byzrename::obs
 

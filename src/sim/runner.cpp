@@ -2,10 +2,13 @@
 
 namespace byzrename::sim {
 
-RunResult run_to_completion(Network& network, int max_rounds, const RoundObserver& observer) {
+RunResult run_to_completion(Network& network, int max_rounds, const RoundObserver& observer,
+                            RoundHook* hook) {
   RunResult result;
   for (Round round = 1; round <= max_rounds; ++round) {
+    if (hook != nullptr) hook->on_round_begin(round);
     network.run_round(round);
+    if (hook != nullptr) hook->on_round_end(round);
     result.rounds = round;
     if (observer) observer(round, network);
     if (network.all_correct_done()) {

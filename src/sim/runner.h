@@ -30,11 +30,26 @@ struct RunResult {
 /// benches to record per-round convergence traces.
 using RoundObserver = std::function<void(Round, const Network&)>;
 
+/// Pre/post bracket around each round's execution, for callers that
+/// need to MEASURE a round rather than observe its outcome (the
+/// obs/prof phase timer). on_round_begin fires immediately before
+/// Network::run_round and on_round_end immediately after it — BEFORE
+/// the RoundObserver, so observer/telemetry cost is never attributed to
+/// the protocol phase being timed. Implementations must not touch the
+/// network; this is a timing seam, not a second observer.
+class RoundHook {
+ public:
+  virtual ~RoundHook() = default;
+  virtual void on_round_begin(Round round) = 0;
+  virtual void on_round_end(Round round) = 0;
+};
+
 /// Runs the network round by round until every correct process is done or
 /// @p max_rounds is exhausted. All algorithms in the paper terminate in a
 /// round count known a priori, so a run hitting max_rounds indicates a
 /// bug and is reported via RunResult::terminated = false.
-RunResult run_to_completion(Network& network, int max_rounds, const RoundObserver& observer = {});
+RunResult run_to_completion(Network& network, int max_rounds, const RoundObserver& observer = {},
+                            RoundHook* hook = nullptr);
 
 }  // namespace byzrename::sim
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/prof/profiler.h"
+
 namespace byzrename::svc {
 
 namespace {
@@ -67,6 +69,9 @@ bool Scheduler::open_session(const std::string& session) {
   created.evicted_metric = registry_.labeled_counter(
       "byzrenamed_results_evicted_total",
       "Completed results dropped by the retention window, by session.", "session", session);
+  created.cpu_micros = registry_.labeled_counter(
+      "byzrenamed_tenant_cpu_microseconds_total",
+      "Worker thread CPU time spent evaluating this session's instances.", "session", session);
   update_gauges_locked();
   return true;
 }
@@ -254,8 +259,12 @@ void Scheduler::dispatch_loop() {
       Work& work = batch[index];
       // Outside the mutex: the verdict computation is the service's
       // entire CPU budget. Deterministic per the harness re-entrancy
-      // contract, so concurrency cannot change it.
+      // contract, so concurrency cannot change it. The thread-CPU delta
+      // around it is exactly this tenant's cost (one instance per
+      // worker thread at a time).
+      const std::uint64_t cpu_before = obs::prof::thread_cpu_ns();
       exp::ReproVerdict verdict = exp::evaluate_scenario(work.item.scenario);
+      const std::uint64_t cpu_after = obs::prof::thread_cpu_ns();
       InstanceResult result;
       result.id = work.item.id;
       result.session = work.session_name;
@@ -264,6 +273,9 @@ void Scheduler::dispatch_loop() {
       result.verdict = std::move(verdict);
       const std::lock_guard<std::mutex> inner(mutex_);
       --total_running_;
+      if (cpu_after > cpu_before) {
+        registry_.add(work.session->cpu_micros, (cpu_after - cpu_before) / 1000);
+      }
       record_result_locked(*work.session, std::move(result), work.item.enqueued);
     });
     lock.lock();

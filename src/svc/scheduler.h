@@ -159,6 +159,11 @@ class Scheduler {
     obs::MetricsRegistry::Handle cancelled = 0;
     obs::MetricsRegistry::Handle rejected = 0;
     obs::MetricsRegistry::Handle evicted_metric = 0;
+    /// Thread CPU time spent inside this tenant's verdict evaluations
+    /// (obs/prof thread_cpu_ns deltas around evaluate_scenario), in
+    /// microseconds — the per-tenant cost attribution an operator bills
+    /// or throttles on.
+    obs::MetricsRegistry::Handle cpu_micros = 0;
   };
 
   void dispatch_loop();

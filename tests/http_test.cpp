@@ -454,6 +454,14 @@ TEST(Exposition, ProcessMetricsReportResidentSetOnProcfs) {
   // there with a positive value; the writer is allowed to emit nothing
   // only where /proc/self/status does not exist.
   EXPECT_NE(os.str().find("process_resident_memory_bytes"), std::string::npos) << os.str();
+  // Same procfs condition for the start-time gauge (absent, not zero,
+  // where /proc/self/stat or btime cannot be read).
+  EXPECT_NE(os.str().find("process_start_time_seconds"), std::string::npos) << os.str();
+  // The build-info gauge has no procfs dependency: always present,
+  // always value 1, with the standard three labels.
+  EXPECT_NE(os.str().find("byzrename_build_info{version=\""), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("git_sha=\""), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("build_type=\""), std::string::npos) << os.str();
 }
 
 // ---------------------------------------------------------------------------
@@ -522,6 +530,12 @@ TEST(ProgressTracker, ProgressJsonIsValidAndCarriesTheSchema) {
   ASSERT_EQ(doc.at("cells").as_array().size(), 2u);
   EXPECT_EQ(doc.at("cells").as_array()[0].at("cell").as_string(), "op-renaming/n7/t2/silent");
   EXPECT_GE(doc.at("elapsed_seconds").as_double(), 0.0);
+  // rate_source names which estimator produced eta_seconds; with one
+  // completion the EWMA may or may not be warm, but the field is always
+  // one of the three documented values.
+  const std::string rate_source = doc.at("rate_source").as_string();
+  EXPECT_TRUE(rate_source == "ewma" || rate_source == "mean" || rate_source == "none")
+      << rate_source;
 
   tracker.finish(true);
   std::ostringstream done;
@@ -546,7 +560,11 @@ TEST(ProgressTracker, EtaConvergesAsCompletionsArrive) {
   cells[0].adversary = "silent";
   tracker.begin("eta", cells, /*repetitions=*/200, /*workers=*/1);
 
-  EXPECT_LT(tracker.snapshot().eta_seconds, 0.0);  // nothing finished yet
+  {
+    const ProgressTracker::Snapshot idle = tracker.snapshot();
+    EXPECT_LT(idle.eta_seconds, 0.0);  // nothing finished yet
+    EXPECT_STREQ(idle.rate_source, "none");  // -1 sentinel, no estimator
+  }
 
   // 50 completions at a (roughly) steady 1 ms cadence: the EWMA rate
   // must land near 1000 runs/s and the ETA near 150 remaining * 1 ms.
@@ -561,6 +579,9 @@ TEST(ProgressTracker, EtaConvergesAsCompletionsArrive) {
   // Generous envelope — CI timers jitter — but the estimate must be the
   // right order of magnitude, not a default or a garbage value.
   EXPECT_LT(snapshot.eta_seconds, 30.0);
+  // A warm EWMA after 50 steady completions must be the source the ETA
+  // came from — the field that makes a dashboard's ETA auditable.
+  EXPECT_STREQ(snapshot.rate_source, "ewma");
 
   tracker.finish(false);
   EXPECT_EQ(tracker.snapshot().eta_seconds, 0.0);  // done: nothing remains

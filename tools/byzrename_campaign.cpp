@@ -37,6 +37,7 @@
 #include "obs/http/buildinfo.h"
 #include "obs/http/exposition.h"
 #include "obs/http/http_server.h"
+#include "obs/prof/alloc_interpose.h"
 
 namespace {
 
@@ -83,6 +84,10 @@ void print_usage() {
       "  --serve <port>        expose live /metrics, /healthz, /progress on\n"
       "                        127.0.0.1:<port> while the campaign runs (0 = ephemeral)\n"
       "  --prom-out <path>     final Prometheus snapshot (same exposition path as /metrics)\n"
+      "  --profile-out <path>  attach the phase-attributed profiler to every run and write\n"
+      "                        one byzrename.profile/1 kind-\"cell\" line per cell; count\n"
+      "                        fields are byte-identical at any --threads (wall/CPU/hw\n"
+      "                        counters ride in each node's volatile object)\n"
       "  --quiet               suppress the human table\n"
       "  --help                this text\n"
       "\n"
@@ -148,6 +153,7 @@ struct Options {
   std::string summary_out_path;
   std::string quarantine_dir;
   std::string prom_out_path;
+  std::string profile_out_path;
   int serve_port = -1;  ///< -1 = no server; 0 = ephemeral port
   bool quiet = false;
 };
@@ -212,6 +218,10 @@ Options parse(int argc, char** argv) {
     } else if (arg == "--prom-out") {
       options.prom_out_path = next_value(i);
       if (options.prom_out_path.empty()) throw CliError{"--prom-out needs a path"};
+    } else if (arg == "--profile-out") {
+      options.profile_out_path = next_value(i);
+      if (options.profile_out_path.empty()) throw CliError{"--profile-out needs a path"};
+      options.run.profile = true;
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else {
@@ -277,11 +287,13 @@ int main(int argc, char** argv) {
   std::optional<std::ofstream> out;
   std::optional<std::ofstream> runs_out;
   std::optional<std::ofstream> summary_out;
+  std::optional<std::ofstream> profile_out;
   try {
     options = parse(argc, argv);
     out = open_out(options.out_path, "--out");
     runs_out = open_out(options.runs_out_path, "--runs-out");
     summary_out = open_out(options.summary_out_path, "--summary-out");
+    profile_out = open_out(options.profile_out_path, "--profile-out");
   } catch (const CliError& error) {
     std::cerr << "byzrename-campaign: " << error.message << "\n\n";
     print_usage();
@@ -344,6 +356,7 @@ int main(int argc, char** argv) {
 
   if (out.has_value()) exp::write_campaign_cells(*out, options.spec, result);
   if (summary_out.has_value()) exp::write_campaign_summary(*summary_out, options.spec, result);
+  if (profile_out.has_value()) exp::write_campaign_profiles(*profile_out, options.spec, result);
 
   if (!options.prom_out_path.empty()) {
     std::ofstream prom(options.prom_out_path, std::ios::trunc);
@@ -384,6 +397,9 @@ int main(int argc, char** argv) {
     }
     if (!options.prom_out_path.empty()) {
       std::cout << "[campaign] prometheus snapshot: " << options.prom_out_path << '\n';
+    }
+    if (profile_out.has_value()) {
+      std::cout << "[campaign] profile aggregates: " << options.profile_out_path << '\n';
     }
   }
   if (result.interrupted) return 130;

@@ -28,6 +28,7 @@
 #include "core/op_renaming.h"
 #include "core/phase.h"
 #include "exp/campaign.h"
+#include "exp/campaign_io.h"
 #include "exp/executor.h"
 #include "exp/progress.h"
 #include "exp/repro.h"
@@ -37,6 +38,9 @@
 #include "obs/http/exposition.h"
 #include "obs/http/http_server.h"
 #include "obs/metrics_registry.h"
+#include "obs/prof/alloc_interpose.h"
+#include "obs/prof/profile_io.h"
+#include "obs/prof/profiler.h"
 #include "obs/run_report.h"
 #include "obs/telemetry.h"
 #include "obs/trace_export.h"
@@ -99,6 +103,14 @@ void print_usage() {
       "                        not valid with --repro)\n"
       "  --prom-out <path>     final Prometheus snapshot through the same exposition\n"
       "                        path /metrics serves (registry + process gauges)\n"
+      "  --profile             attach the phase-attributed profiler (timer tree, hardware\n"
+      "                        counters when perf_event_open allows, per-scope allocation\n"
+      "                        attribution) and print the scope tree; with --serve the\n"
+      "                        live tree is at GET /profile\n"
+      "  --profile-out <path>  write the byzrename.profile/1 document (implies --profile;\n"
+      "                        with --repeat: one kind-\"cell\" aggregate line)\n"
+      "  --flame-out <path>    write collapsed stacks for flamegraph.pl / speedscope\n"
+      "                        (implies --profile; single run only)\n"
       "  --audit               check the paper's complexity budgets (steps, messages,\n"
       "                        bit sizes, Delta_r contraction) and print the verdict;\n"
       "                        exit 1 if any bound is violated\n"
@@ -163,8 +175,11 @@ struct Options {
   std::string metrics_jsonl_path;
   std::string audit_out_path;
   std::string prom_out_path;
+  std::string profile_out_path;
+  std::string flame_out_path;
   int serve_port = -1;  ///< -1 = no server; 0 = ephemeral port
   bool audit = false;
+  bool profile = false;
 };
 
 Options parse(int argc, char** argv) {
@@ -248,6 +263,16 @@ Options parse(int argc, char** argv) {
     } else if (arg == "--prom-out") {
       options.prom_out_path = next_value(i);
       if (options.prom_out_path.empty()) throw CliError{"--prom-out needs a path"};
+    } else if (arg == "--profile") {
+      options.profile = true;
+    } else if (arg == "--profile-out") {
+      options.profile_out_path = next_value(i);
+      if (options.profile_out_path.empty()) throw CliError{"--profile-out needs a path"};
+      options.profile = true;
+    } else if (arg == "--flame-out") {
+      options.flame_out_path = next_value(i);
+      if (options.flame_out_path.empty()) throw CliError{"--flame-out needs a path"};
+      options.profile = true;
     } else if (arg == "--audit") {
       options.audit = true;
     } else if (arg == "--audit-out") {
@@ -280,11 +305,17 @@ int main(int argc, char** argv) {
   }
 
   if (!options.repro_path.empty() &&
-      (options.serve_port >= 0 || !options.prom_out_path.empty())) {
+      (options.serve_port >= 0 || !options.prom_out_path.empty() || options.profile)) {
     // Replays must stay pure: the verdict contract is "the replay IS the
     // original execution", and a telemetry plane has nothing to observe
     // that the bundle does not already pin.
-    std::cerr << "byzrename: --serve/--prom-out are not valid with --repro\n";
+    std::cerr << "byzrename: --serve/--prom-out/--profile are not valid with --repro\n";
+    return 2;
+  }
+  if (options.repeat > 1 && !options.flame_out_path.empty()) {
+    // Collapsed stacks render ONE tree; the repeat aggregate merges many.
+    // The kind-"cell" --profile-out document is the aggregate answer.
+    std::cerr << "byzrename: --flame-out describes a single run; not valid with --repeat\n";
     return 2;
   }
   if (!options.verdict_out_path.empty() &&
@@ -383,6 +414,7 @@ int main(int argc, char** argv) {
     exp::CampaignOptions run;
     run.threads = options.threads;
     run.cancel = &g_interrupted;
+    run.profile = options.profile;
     std::ofstream repeat_json;
     if (!options.json_path.empty()) {
       repeat_json.open(options.json_path, std::ios::trunc);
@@ -446,6 +478,37 @@ int main(int argc, char** argv) {
         return 2;
       }
       hub.write(prom);
+    }
+    if (options.profile && !result.profiles.empty()) {
+      if (!options.profile_out_path.empty()) {
+        std::ofstream profile_out(options.profile_out_path, std::ios::trunc);
+        if (!profile_out.is_open()) {
+          std::cerr << "byzrename: cannot open --profile-out path: " << options.profile_out_path
+                    << '\n';
+          return 2;
+        }
+        exp::write_campaign_profiles(profile_out, spec, result);
+      }
+      if (!options.quiet) {
+        const obs::prof::ProfileAggregate& aggregate = result.profiles.front();
+        std::cout << "profile     " << aggregate.runs() << " run(s) aggregated"
+                  << (aggregate.hw_available() ? ", hardware counters on" : ", timer-only")
+                  << '\n';
+        trace::Table profile_table({"scope", "calls", "wall s", "cpu s", "allocs"});
+        for (const auto& [path, entry] : aggregate.entries()) {
+          std::ostringstream wall, cpu;
+          wall.precision(4);
+          wall << static_cast<double>(entry.wall_ns) * 1e-9;
+          cpu.precision(4);
+          cpu << static_cast<double>(entry.cpu_ns) * 1e-9;
+          profile_table.add_row({std::string(static_cast<std::size_t>(entry.depth) * 2, ' ') +
+                                     entry.name,
+                                 std::to_string(entry.calls), wall.str(), cpu.str(),
+                                 std::to_string(entry.allocs)});
+        }
+        profile_table.print(std::cout);
+        std::cout << '\n';
+      }
     }
     const exp::CellAggregate& stats = result.aggregates.at(0);
     if (!options.quiet) {
@@ -521,6 +584,11 @@ int main(int argc, char** argv) {
   std::optional<obs::GuardedMetricsSink> live_sink;
   obs::ExpositionHub hub;
   std::optional<obs::HttpServer> server;
+  std::optional<obs::prof::Profiler> profiler;
+  if (options.profile) {
+    profiler.emplace();
+    options.config.profiler = &*profiler;
+  }
   if (live) {
     live_sink.emplace();
     telemetry.add_sink(*live_sink);
@@ -532,6 +600,11 @@ int main(int argc, char** argv) {
     hub.add_writer([&progress](std::ostream& os) { progress.write_prometheus(os); });
     hub.add_writer([&sink = *live_sink](std::ostream& os) { sink.write_prometheus(os); });
     hub.add_writer([](std::ostream& os) { obs::write_process_metrics(os); });
+    if (profiler) {
+      hub.add_writer([&prof = *profiler](std::ostream& os) {
+        obs::prof::write_profile_prometheus(os, prof.snapshot());
+      });
+    }
   }
   if (options.serve_port >= 0) {
     server.emplace();
@@ -540,6 +613,7 @@ int main(int argc, char** argv) {
     obs::mount_buildinfo(*server);
     obs::mount_json(*server, "/progress",
                     [&progress](std::ostream& os) { progress.write_progress_json(os); });
+    if (profiler) obs::prof::mount_profile(*server, *profiler, "cli-single");
     try {
       server->start(static_cast<std::uint16_t>(options.serve_port));
     } catch (const std::exception& error) {
@@ -548,7 +622,8 @@ int main(int argc, char** argv) {
     }
     if (!options.quiet) {
       std::cout << "[serve] live telemetry on http://127.0.0.1:" << server->port()
-                << "  (/metrics /healthz /progress /buildinfo)\n";
+                << "  (/metrics /healthz /progress /buildinfo"
+                << (profiler ? " /profile" : "") << ")\n";
     }
   }
 
@@ -611,6 +686,26 @@ int main(int argc, char** argv) {
       return 2;
     }
     hub.write(prom);
+  }
+
+  std::optional<obs::prof::ProfileSnapshot> profile_snapshot;
+  if (profiler) profile_snapshot = profiler->snapshot();
+  if (profile_snapshot && !options.profile_out_path.empty()) {
+    std::ofstream profile_out(options.profile_out_path, std::ios::trunc);
+    if (!profile_out.is_open()) {
+      std::cerr << "byzrename: cannot open --profile-out path: " << options.profile_out_path
+                << '\n';
+      return 2;
+    }
+    obs::prof::write_profile_json(profile_out, *profile_snapshot, "cli-single");
+  }
+  if (profile_snapshot && !options.flame_out_path.empty()) {
+    std::ofstream flame_out(options.flame_out_path, std::ios::trunc);
+    if (!flame_out.is_open()) {
+      std::cerr << "byzrename: cannot open --flame-out path: " << options.flame_out_path << '\n';
+      return 2;
+    }
+    obs::prof::write_collapsed(flame_out, *profile_snapshot);
   }
 
   if (!options.trace_out_path.empty()) {
@@ -746,6 +841,27 @@ int main(int argc, char** argv) {
                      p.new_name.has_value() ? std::to_string(*p.new_name) : "(none)"});
     }
     table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  if (profile_snapshot && !options.quiet) {
+    std::cout << "profile: " << profile_snapshot->nodes.size() << " scope(s), "
+              << (profile_snapshot->hw_available ? "hardware counters on" : "timer-only mode")
+              << (obs::prof::AllocProfiler::interposed() ? "" : ", allocation counting off")
+              << '\n';
+    trace::Table profile_table({"scope", "calls", "wall s", "cpu s", "allocs", "cycles"});
+    for (const obs::prof::ProfileNode& node : profile_snapshot->nodes) {
+      std::ostringstream wall, cpu;
+      wall.precision(4);
+      wall << static_cast<double>(node.wall_ns) * 1e-9;
+      cpu.precision(4);
+      cpu << static_cast<double>(node.cpu_ns) * 1e-9;
+      profile_table.add_row(
+          {std::string(static_cast<std::size_t>(node.depth) * 2, ' ') + node.name,
+           std::to_string(node.calls), wall.str(), cpu.str(), std::to_string(node.allocs),
+           std::to_string(node.hw.cycles)});
+    }
+    profile_table.print(std::cout);
     std::cout << '\n';
   }
 
